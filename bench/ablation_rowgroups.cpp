@@ -1,0 +1,65 @@
+// Ablation: row-group granularity vs statistics-based pruning.
+//
+// Chunk min/max statistics let both the Select path and the OCS embedded
+// engine skip row groups that cannot match a range predicate (§2.2's
+// "efficient predicate pushdown"). Smaller groups prune more precisely
+// but pay more per-chunk overhead; this sweep quantifies the trade-off
+// on a range-partitionable column (Laghos vertex_id) and a uniform one
+// (x), where pruning cannot help.
+#include <cstdio>
+
+#include "workloads/laghos.h"
+#include "workloads/testbed.h"
+
+using namespace pocs;
+
+int main() {
+  std::printf("=== Ablation: row-group size vs chunk pruning (Laghos) ===\n");
+  std::printf("%-14s %-22s %12s %14s %14s\n", "rows/group", "predicate",
+              "groups", "skipped", "sim time (s)");
+  for (size_t rows_per_group : {size_t{1} << 12, size_t{1} << 14,
+                                size_t{1} << 16}) {
+    workloads::Testbed testbed;
+    workloads::LaghosConfig config;
+    config.num_files = 4;
+    config.rows_per_file = 1 << 16;
+    config.rows_per_group = rows_per_group;
+    auto data = workloads::GenerateLaghos(config);
+    if (!data.ok() || !testbed.Ingest(std::move(*data)).ok()) {
+      std::fprintf(stderr, "ingest failed\n");
+      return 1;
+    }
+    struct Case {
+      const char* label;
+      std::string sql;
+    } cases[] = {
+        // vertex_id is monotone within files → chunk ranges are disjoint
+        // and a narrow range prunes almost everything.
+        {"vertex_id<200 (sorted)",
+         "SELECT COUNT(*) AS n FROM laghos WHERE vertex_id < 200"},
+        // x is uniform in every chunk → min/max cannot prune.
+        {"x<0.5 (uniform)",
+         "SELECT COUNT(*) AS n FROM laghos WHERE x < 0.5"},
+    };
+    for (const Case& c : cases) {
+      auto result = testbed.Run(c.sql, "ocs");
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s: %s\n", c.label,
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%-14zu %-22s %12llu %14llu %14.4f\n", rows_per_group,
+                  c.label,
+                  static_cast<unsigned long long>(
+                      result->metrics.row_groups_total),
+                  static_cast<unsigned long long>(
+                      result->metrics.row_groups_skipped),
+                  result->metrics.total);
+    }
+  }
+  std::printf("\nSmaller row groups cut the media/decode term on the "
+              "sorted-column predicate\nand change nothing on the uniform "
+              "one — statistics only prune when value\nranges correlate "
+              "with storage order.\n");
+  return 0;
+}

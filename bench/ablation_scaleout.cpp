@@ -1,0 +1,46 @@
+// Ablation: OCS backend scale-out. The paper evaluates a single storage
+// node (§5.1) but its hierarchical design (frontend + N backends) exists
+// to scale; this bench sweeps backend counts and shows how the pushdown
+// advantage grows as storage-side media/CPU parallelism rises while the
+// compute↔frontend link stays fixed.
+#include <cstdio>
+
+#include "workloads/laghos.h"
+#include "workloads/testbed.h"
+
+using namespace pocs;
+
+int main() {
+  std::printf("=== Ablation: OCS storage-node scale-out (Laghos) ===\n");
+  std::printf("%-8s %-12s %14s %16s\n", "nodes", "path", "sim time (s)",
+              "moved (KB)");
+  for (size_t nodes : {size_t{1}, size_t{2}, size_t{4}}) {
+    workloads::TestbedConfig config;
+    config.cluster.num_storage_nodes = nodes;
+    workloads::Testbed testbed(config);
+    workloads::LaghosConfig laghos;
+    laghos.num_files = 8;
+    laghos.rows_per_file = 1 << 16;
+    auto data = workloads::GenerateLaghos(laghos);
+    if (!data.ok() || !testbed.Ingest(std::move(*data)).ok()) {
+      std::fprintf(stderr, "ingest failed\n");
+      return 1;
+    }
+    for (const char* catalog : {"hive", "ocs"}) {
+      auto result = testbed.Run(workloads::LaghosQuery(), catalog);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s: %s\n", catalog,
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%-8zu %-12s %14.4f %16.1f\n", nodes,
+                  catalog == std::string("hive") ? "filter-only" : "all-ops",
+                  result->metrics.total,
+                  result->metrics.bytes_from_storage / 1024.0);
+    }
+  }
+  std::printf("\nStorage-side media and CPU scale with nodes; the\n"
+              "compute-side link does not — so the filter-only path "
+              "plateaus on transfer\nwhile full pushdown keeps scaling.\n");
+  return 0;
+}

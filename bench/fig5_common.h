@@ -1,0 +1,110 @@
+// Shared driver for the Fig. 5 progressive-pushdown benches: runs one
+// query with a cumulative sequence of pushdown configurations and prints
+// execution time (bars) + data movement (line) per step, exactly the two
+// axes of the paper's figure.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "workloads/testbed.h"
+
+namespace pocs::bench {
+
+struct Fig5Step {
+  std::string label;    // e.g. "no pushdown", "+filter", "+aggregation"
+  std::string catalog;  // engine catalog to run through
+};
+
+// Steps for a progressive OCS pushdown sequence: registers one OCS
+// catalog per cumulative configuration.
+inline std::vector<Fig5Step> ProgressiveSteps(
+    workloads::Testbed& testbed, bool with_project, bool with_topn) {
+  std::vector<Fig5Step> steps;
+  steps.push_back({"no pushdown", "hive_raw"});
+
+  connectors::OcsConnectorConfig config;
+  config.pushdown_projection = false;
+  config.pushdown_aggregation = false;
+  config.pushdown_topn = false;
+  testbed.RegisterOcsCatalog("ocs_filter", config);
+  steps.push_back({"+filter", "ocs_filter"});
+
+  if (with_project) {
+    config.pushdown_projection = true;
+    testbed.RegisterOcsCatalog("ocs_project", config);
+    steps.push_back({"+projection", "ocs_project"});
+  }
+
+  config.pushdown_projection = with_project;
+  config.pushdown_aggregation = true;
+  testbed.RegisterOcsCatalog("ocs_agg", config);
+  steps.push_back({"+aggregation", "ocs_agg"});
+
+  if (with_topn) {
+    config.pushdown_topn = true;
+    testbed.RegisterOcsCatalog("ocs_topn", config);
+    steps.push_back({"+topn", "ocs_topn"});
+  }
+  return steps;
+}
+
+struct Fig5Row {
+  std::string label;
+  double seconds = 0;
+  uint64_t bytes_moved = 0;
+  std::string plan;
+};
+
+inline int RunFig5(const char* title, workloads::Testbed& testbed,
+                   const std::string& sql,
+                   const std::vector<Fig5Step>& steps) {
+  std::printf("=== %s ===\n", title);
+  std::printf("query: %s\n\n", sql.c_str());
+  std::printf("%-14s %14s %16s   %s\n", "pushdown", "sim time (s)",
+              "moved (KB)", "optimized plan");
+  std::vector<Fig5Row> rows;
+  for (const Fig5Step& step : steps) {
+    auto result = testbed.Run(sql, step.catalog);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", step.label.c_str(),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    Fig5Row row;
+    row.label = step.label;
+    row.seconds = result->metrics.total;
+    row.bytes_moved = result->metrics.bytes_from_storage;
+    row.plan = result->optimized_plan;
+    std::printf("%-14s %14.4f %16.1f   %s\n", row.label.c_str(), row.seconds,
+                row.bytes_moved / 1024.0, row.plan.c_str());
+    rows.push_back(std::move(row));
+  }
+  // Headline ratios in the paper's terms (vs the filter-only step).
+  const Fig5Row* filter_row = nullptr;
+  for (const auto& row : rows) {
+    if (row.label == "+filter") filter_row = &row;
+  }
+  if (filter_row && rows.size() > 1) {
+    const Fig5Row& last = rows.back();
+    std::printf("\nfull vs filter-only: %.2fx speedup, %.2f%% less data "
+                "movement\n",
+                filter_row->seconds / last.seconds,
+                100.0 * (1.0 - static_cast<double>(last.bytes_moved) /
+                                   static_cast<double>(filter_row->bytes_moved)));
+  }
+  std::printf("\n");
+  return 0;
+}
+
+// Bench scale via env var POCS_BENCH_SCALE (1 = default, larger = more rows).
+inline size_t BenchScale() {
+  const char* env = std::getenv("POCS_BENCH_SCALE");
+  if (!env) return 1;
+  long v = std::atol(env);
+  return v < 1 ? 1 : static_cast<size_t>(v);
+}
+
+}  // namespace pocs::bench

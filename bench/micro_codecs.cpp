@@ -1,0 +1,61 @@
+// Micro: codec compression/decompression throughput and ratios over
+// float-heavy scientific payloads — the substrate under Fig. 6.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "compress/codec.h"
+
+namespace {
+
+using pocs::ByteSpan;
+using pocs::Bytes;
+using pocs::compress::CodecType;
+using pocs::compress::GetCodec;
+
+Bytes ScientificPayload(size_t n_doubles) {
+  Bytes data;
+  data.reserve(n_doubles * 8);
+  for (size_t i = 0; i < n_doubles; ++i) {
+    double v = static_cast<double>(
+        static_cast<float>(0.5 + 0.3 * std::sin(i * 0.001)));
+    const auto* p = reinterpret_cast<const uint8_t*>(&v);
+    data.insert(data.end(), p, p + 8);
+  }
+  return data;
+}
+
+void BM_Compress(benchmark::State& state) {
+  CodecType type = static_cast<CodecType>(state.range(0));
+  Bytes input = ScientificPayload(1 << 16);
+  const auto& codec = GetCodec(type);
+  size_t compressed_size = 0;
+  for (auto _ : state) {
+    Bytes out = codec.Compress(ByteSpan(input.data(), input.size()));
+    compressed_size = out.size();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * input.size());
+  state.counters["ratio"] =
+      static_cast<double>(input.size()) / compressed_size;
+  state.SetLabel(std::string(pocs::compress::CodecName(type)));
+}
+BENCHMARK(BM_Compress)->DenseRange(0, 3);
+
+void BM_Decompress(benchmark::State& state) {
+  CodecType type = static_cast<CodecType>(state.range(0));
+  Bytes input = ScientificPayload(1 << 16);
+  const auto& codec = GetCodec(type);
+  Bytes compressed = codec.Compress(ByteSpan(input.data(), input.size()));
+  for (auto _ : state) {
+    auto out = codec.Decompress(ByteSpan(compressed.data(), compressed.size()));
+    benchmark::DoNotOptimize(out->data());
+  }
+  state.SetBytesProcessed(state.iterations() * input.size());
+  state.SetLabel(std::string(pocs::compress::CodecName(type)));
+}
+BENCHMARK(BM_Decompress)->DenseRange(0, 3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

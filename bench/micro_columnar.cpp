@@ -1,0 +1,112 @@
+// Micro: columnar kernel throughput — scalar comparison (selection
+// vectors), gather, row hashing, multi-key sort, IPC serialization.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "columnar/batch.h"
+#include "columnar/ipc.h"
+#include "columnar/kernels.h"
+
+namespace {
+
+using namespace pocs::columnar;
+
+RecordBatchPtr MakeBatchRows(size_t n) {
+  std::mt19937_64 rng(7);
+  auto id = MakeColumn(TypeKind::kInt64);
+  auto value = MakeColumn(TypeKind::kFloat64);
+  auto tag = MakeColumn(TypeKind::kString);
+  std::uniform_real_distribution<double> dist(0.0, 4.0);
+  for (size_t i = 0; i < n; ++i) {
+    id->AppendInt64(static_cast<int64_t>(i));
+    value->AppendFloat64(dist(rng));
+    tag->AppendString(std::string(1, static_cast<char>('a' + i % 8)));
+  }
+  return MakeBatch(MakeSchema({{"id", TypeKind::kInt64},
+                               {"value", TypeKind::kFloat64},
+                               {"tag", TypeKind::kString}}),
+                   {id, value, tag});
+}
+
+void BM_CompareScalar(benchmark::State& state) {
+  auto batch = MakeBatchRows(1 << 18);
+  for (auto _ : state) {
+    auto sel = CompareScalar(*batch->column(1), CompareOp::kGe,
+                             Datum::Float64(2.0));
+    benchmark::DoNotOptimize(sel.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch->num_rows());
+}
+BENCHMARK(BM_CompareScalar);
+
+void BM_Between(benchmark::State& state) {
+  auto batch = MakeBatchRows(1 << 18);
+  for (auto _ : state) {
+    auto sel = Between(*batch->column(1), Datum::Float64(0.8),
+                       Datum::Float64(3.2));
+    benchmark::DoNotOptimize(sel.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch->num_rows());
+}
+BENCHMARK(BM_Between);
+
+void BM_TakeBatch(benchmark::State& state) {
+  auto batch = MakeBatchRows(1 << 18);
+  auto sel =
+      CompareScalar(*batch->column(1), CompareOp::kGe, Datum::Float64(2.0));
+  for (auto _ : state) {
+    auto taken = TakeBatch(*batch, sel);
+    benchmark::DoNotOptimize(taken.get());
+  }
+  state.SetItemsProcessed(state.iterations() * sel.size());
+}
+BENCHMARK(BM_TakeBatch);
+
+void BM_HashRows(benchmark::State& state) {
+  auto batch = MakeBatchRows(1 << 18);
+  std::vector<ColumnPtr> keys = {batch->column(2), batch->column(0)};
+  std::vector<uint64_t> hashes;
+  for (auto _ : state) {
+    HashRows(keys, &hashes);
+    benchmark::DoNotOptimize(hashes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch->num_rows());
+}
+BENCHMARK(BM_HashRows);
+
+void BM_SortIndices(benchmark::State& state) {
+  auto batch = MakeBatchRows(1 << 16);
+  std::vector<SortKey> keys = {{2, true, true}, {1, false, true}};
+  for (auto _ : state) {
+    auto idx = SortIndices(*batch, keys);
+    benchmark::DoNotOptimize(idx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch->num_rows());
+}
+BENCHMARK(BM_SortIndices);
+
+void BM_IpcSerialize(benchmark::State& state) {
+  auto batch = MakeBatchRows(1 << 16);
+  for (auto _ : state) {
+    auto data = ipc::SerializeBatch(*batch);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(state.iterations() * batch->ByteSize());
+}
+BENCHMARK(BM_IpcSerialize);
+
+void BM_IpcDeserialize(benchmark::State& state) {
+  auto batch = MakeBatchRows(1 << 16);
+  auto data = ipc::SerializeBatch(*batch);
+  for (auto _ : state) {
+    auto rt = ipc::DeserializeBatch(pocs::ByteSpan(data.data(), data.size()));
+    benchmark::DoNotOptimize(rt->get());
+  }
+  state.SetBytesProcessed(state.iterations() * batch->ByteSize());
+}
+BENCHMARK(BM_IpcDeserialize);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Micro: end-to-end engine latencies — parse→plan→optimize cost and full
+// small-query round trips per access path. Complements Table 3 by
+// isolating the coordinator-side costs at high iteration counts.
+#include <benchmark/benchmark.h>
+
+#include "engine/analyzer.h"
+#include "engine/optimizer.h"
+#include "sql/parser.h"
+#include "workloads/laghos.h"
+#include "workloads/testbed.h"
+
+namespace {
+
+using namespace pocs;
+
+workloads::Testbed* SharedTestbed() {
+  static workloads::Testbed* testbed = [] {
+    auto* t = new workloads::Testbed();
+    workloads::LaghosConfig config;
+    config.num_files = 2;
+    config.rows_per_file = 1 << 12;
+    auto data = workloads::GenerateLaghos(config);
+    if (!data.ok() || !t->Ingest(std::move(*data)).ok()) std::abort();
+    return t;
+  }();
+  return testbed;
+}
+
+void BM_ParseQuery(benchmark::State& state) {
+  std::string sql = workloads::LaghosQuery();
+  for (auto _ : state) {
+    auto query = sql::ParseQuery(sql);
+    benchmark::DoNotOptimize(query.ok());
+  }
+}
+BENCHMARK(BM_ParseQuery);
+
+void BM_AnalyzeAndPrune(benchmark::State& state) {
+  auto query = sql::ParseQuery(workloads::LaghosQuery());
+  connector::TableHandle handle;
+  handle.connector_id = "bench";
+  handle.info.schema = workloads::LaghosSchema();
+  handle.info.table_name = "laghos";
+  handle.info.row_count = 1 << 20;
+  handle.info.column_stats.resize(10);
+  for (auto _ : state) {
+    auto plan = engine::AnalyzeQuery(*query, handle);
+    benchmark::DoNotOptimize(plan.ok());
+    if (plan.ok()) {
+      benchmark::DoNotOptimize(engine::PruneColumns(*plan).ok());
+    }
+  }
+}
+BENCHMARK(BM_AnalyzeAndPrune);
+
+void BM_EndToEndQuery(benchmark::State& state) {
+  auto* testbed = SharedTestbed();
+  const char* catalogs[] = {"hive_raw", "hive", "ocs"};
+  const char* catalog = catalogs[state.range(0)];
+  std::string sql = workloads::LaghosQuery("laghos", 10);
+  for (auto _ : state) {
+    auto result = testbed->engine().Execute(sql, catalog);
+    benchmark::DoNotOptimize(result.ok());
+    if (!result.ok()) state.SkipWithError("query failed");
+  }
+  state.SetLabel(catalog);
+}
+BENCHMARK(BM_EndToEndQuery)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

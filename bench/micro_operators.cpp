@@ -1,0 +1,112 @@
+// Micro: execution-operator throughput — hash aggregation (few vs many
+// groups), top-N accumulation, expression evaluation — the compute
+// kernels whose storage-vs-compute placement the paper's pushdown
+// decisions trade off.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "exec/hash_aggregator.h"
+#include "exec/sorter.h"
+#include "substrait/eval.h"
+
+namespace {
+
+using namespace pocs;
+using columnar::ColumnPtr;
+using columnar::Datum;
+using columnar::MakeBatch;
+using columnar::MakeColumn;
+using columnar::MakeSchema;
+using columnar::RecordBatchPtr;
+using columnar::TypeKind;
+using substrait::AggFunc;
+using substrait::Expression;
+using substrait::ScalarFunc;
+
+RecordBatchPtr GroupedBatch(size_t rows, int64_t groups) {
+  std::mt19937_64 rng(3);
+  auto g = MakeColumn(TypeKind::kInt64);
+  auto v = MakeColumn(TypeKind::kFloat64);
+  for (size_t i = 0; i < rows; ++i) {
+    g->AppendInt64(static_cast<int64_t>(rng() % groups));
+    v->AppendFloat64(static_cast<double>(rng() % 1000));
+  }
+  return MakeBatch(
+      MakeSchema({{"g", TypeKind::kInt64}, {"v", TypeKind::kFloat64}}),
+      {g, v});
+}
+
+void BM_HashAggregate(benchmark::State& state) {
+  const int64_t groups = state.range(0);
+  auto batch = GroupedBatch(1 << 17, groups);
+  for (auto _ : state) {
+    exec::HashAggregator agg(
+        batch->schema(), {0},
+        {{AggFunc::kSum, Expression::FieldRef(1, TypeKind::kFloat64), "s"},
+         {AggFunc::kAvg, Expression::FieldRef(1, TypeKind::kFloat64), "m"}});
+    benchmark::DoNotOptimize(agg.Consume(*batch).ok());
+    auto out = agg.Finish();
+    benchmark::DoNotOptimize(out->get());
+  }
+  state.SetItemsProcessed(state.iterations() * batch->num_rows());
+  state.SetLabel(std::to_string(groups) + " groups");
+}
+BENCHMARK(BM_HashAggregate)->Arg(4)->Arg(1024)->Arg(65536);
+
+void BM_TopN(benchmark::State& state) {
+  auto batch = GroupedBatch(1 << 17, 1 << 17);
+  for (auto _ : state) {
+    exec::TopNAccumulator topn(batch->schema(), {{1, true, true}},
+                               static_cast<size_t>(state.range(0)));
+    benchmark::DoNotOptimize(topn.Consume(*batch).ok());
+    auto out = topn.Finish();
+    benchmark::DoNotOptimize(out->get());
+  }
+  state.SetItemsProcessed(state.iterations() * batch->num_rows());
+}
+BENCHMARK(BM_TopN)->Arg(100)->Arg(10000);
+
+void BM_ExpressionEval(benchmark::State& state) {
+  auto batch = GroupedBatch(1 << 17, 1024);
+  // (v * (1 - 0.05)) * (1 + 0.08): the Q1-style arithmetic chain.
+  auto expr = Expression::Call(
+      ScalarFunc::kMultiply,
+      {Expression::Call(ScalarFunc::kMultiply,
+                        {Expression::FieldRef(1, TypeKind::kFloat64),
+                         Expression::Literal(Datum::Float64(0.95))},
+                        TypeKind::kFloat64),
+       Expression::Literal(Datum::Float64(1.08))},
+      TypeKind::kFloat64);
+  for (auto _ : state) {
+    auto col = substrait::Evaluate(expr, *batch);
+    benchmark::DoNotOptimize(col->get());
+  }
+  state.SetItemsProcessed(state.iterations() * batch->num_rows());
+}
+BENCHMARK(BM_ExpressionEval);
+
+void BM_FilterEval(benchmark::State& state) {
+  auto batch = GroupedBatch(1 << 17, 1024);
+  auto pred = Expression::Call(
+      ScalarFunc::kAnd,
+      {Expression::Call(ScalarFunc::kGe,
+                        {Expression::FieldRef(1, TypeKind::kFloat64),
+                         Expression::Literal(Datum::Float64(200.0))},
+                        TypeKind::kBool),
+       Expression::Call(ScalarFunc::kLe,
+                        {Expression::FieldRef(1, TypeKind::kFloat64),
+                         Expression::Literal(Datum::Float64(800.0))},
+                        TypeKind::kBool)},
+      TypeKind::kBool);
+  for (auto _ : state) {
+    auto out = substrait::FilterBatch(pred, *batch);
+    benchmark::DoNotOptimize(out->get());
+  }
+  state.SetItemsProcessed(state.iterations() * batch->num_rows());
+}
+BENCHMARK(BM_FilterEval);
+
+}  // namespace
+
+BENCHMARK_MAIN();

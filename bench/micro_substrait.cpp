@@ -1,0 +1,108 @@
+// Micro: plan-IR costs — Substrait-style serialization/parsing and full
+// ScanSpec → IR translation, the overheads Table 3 shows stay under 2%.
+#include <benchmark/benchmark.h>
+
+#include "connectors/ocs/translator.h"
+#include "engine/two_phase.h"
+#include "substrait/serialize.h"
+#include "workloads/laghos.h"
+
+namespace {
+
+using namespace pocs;
+using columnar::Datum;
+using columnar::TypeKind;
+using connector::PushedOperator;
+using substrait::AggFunc;
+using substrait::Expression;
+using substrait::ScalarFunc;
+
+connector::TableHandle Handle() {
+  connector::TableHandle handle;
+  handle.info.schema = workloads::LaghosSchema();
+  handle.info.bucket = "hpc";
+  handle.info.row_count = 1 << 20;
+  handle.info.column_stats.resize(10);
+  return handle;
+}
+
+connector::ScanSpec FullSpec() {
+  connector::ScanSpec spec;
+  spec.columns = {0, 1, 2, 3, 4};
+  spec.output_schema = columnar::MakeSchema({{"vertex_id", TypeKind::kInt64},
+                                             {"x", TypeKind::kFloat64},
+                                             {"y", TypeKind::kFloat64},
+                                             {"z", TypeKind::kFloat64},
+                                             {"e", TypeKind::kFloat64}});
+  PushedOperator filter;
+  filter.kind = PushedOperator::Kind::kFilter;
+  auto band = [](int field) {
+    return Expression::Call(
+        ScalarFunc::kAnd,
+        {Expression::Call(ScalarFunc::kGe,
+                          {Expression::FieldRef(field, TypeKind::kFloat64),
+                           Expression::Literal(Datum::Float64(0.8))},
+                          TypeKind::kBool),
+         Expression::Call(ScalarFunc::kLe,
+                          {Expression::FieldRef(field, TypeKind::kFloat64),
+                           Expression::Literal(Datum::Float64(3.2))},
+                          TypeKind::kBool)},
+        TypeKind::kBool);
+  };
+  filter.predicate = Expression::Call(
+      ScalarFunc::kAnd,
+      {Expression::Call(ScalarFunc::kAnd, {band(1), band(2)}, TypeKind::kBool),
+       band(3)},
+      TypeKind::kBool);
+  spec.operators.push_back(filter);
+
+  PushedOperator agg;
+  agg.kind = PushedOperator::Kind::kPartialAggregation;
+  agg.group_keys = {0};
+  agg.aggregates = engine::PartialAggSpecs(
+      {{AggFunc::kMin, Expression::FieldRef(1, TypeKind::kFloat64), "mx"},
+       {AggFunc::kAvg, Expression::FieldRef(4, TypeKind::kFloat64), "e"}});
+  spec.operators.push_back(agg);
+
+  PushedOperator topn;
+  topn.kind = PushedOperator::Kind::kPartialTopN;
+  topn.sort_fields = {{2, true, true}};
+  topn.limit = 100;
+  spec.operators.push_back(topn);
+  return spec;
+}
+
+void BM_TranslateScanSpec(benchmark::State& state) {
+  auto handle = Handle();
+  auto spec = FullSpec();
+  connector::Split split{"hpc", "laghos/part-0"};
+  for (auto _ : state) {
+    auto plan = connectors::TranslateScanSpec(handle, split, spec);
+    benchmark::DoNotOptimize(plan.ok());
+  }
+}
+BENCHMARK(BM_TranslateScanSpec);
+
+void BM_SerializePlan(benchmark::State& state) {
+  auto plan = connectors::TranslateScanSpec(Handle(), {"hpc", "o"}, FullSpec());
+  for (auto _ : state) {
+    auto wire = substrait::SerializePlan(*plan);
+    benchmark::DoNotOptimize(wire.data());
+  }
+}
+BENCHMARK(BM_SerializePlan);
+
+void BM_DeserializePlan(benchmark::State& state) {
+  auto plan = connectors::TranslateScanSpec(Handle(), {"hpc", "o"}, FullSpec());
+  auto wire = substrait::SerializePlan(*plan);
+  for (auto _ : state) {
+    auto parsed = substrait::DeserializePlan(ByteSpan(wire.data(), wire.size()));
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+  state.counters["wire_bytes"] = static_cast<double>(wire.size());
+}
+BENCHMARK(BM_DeserializePlan);
+
+}  // namespace
+
+BENCHMARK_MAIN();

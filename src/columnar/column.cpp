@@ -1,0 +1,130 @@
+#include "columnar/column.h"
+
+namespace pocs::columnar {
+
+Datum Column::GetDatum(size_t i) const {
+  if (IsNull(i)) return Datum::Null(type_);
+  switch (type_) {
+    case TypeKind::kBool: return Datum::Bool(GetBool(i));
+    case TypeKind::kInt32: return Datum::Int32(i32_[i]);
+    case TypeKind::kDate32: return Datum::Date32(i32_[i]);
+    case TypeKind::kInt64: return Datum::Int64(i64_[i]);
+    case TypeKind::kFloat64: return Datum::Float64(f64_[i]);
+    case TypeKind::kString: return Datum::String(std::string(GetString(i)));
+  }
+  return Datum::Null(type_);
+}
+
+void Column::AppendNull() {
+  EnsureValidity();
+  validity_.push_back(0);
+  ++null_count_;
+  switch (type_) {
+    case TypeKind::kBool: bool_.push_back(0); break;
+    case TypeKind::kInt32:
+    case TypeKind::kDate32: i32_.push_back(0); break;
+    case TypeKind::kInt64: i64_.push_back(0); break;
+    case TypeKind::kFloat64: f64_.push_back(0); break;
+    case TypeKind::kString: offsets_.push_back(offsets_.back()); break;
+  }
+  ++length_;
+}
+
+void Column::AppendBool(bool v) {
+  assert(type_ == TypeKind::kBool);
+  MarkValid();
+  bool_.push_back(v ? 1 : 0);
+  ++length_;
+}
+
+void Column::AppendInt32(int32_t v) {
+  assert(type_ == TypeKind::kInt32 || type_ == TypeKind::kDate32);
+  MarkValid();
+  i32_.push_back(v);
+  ++length_;
+}
+
+void Column::AppendInt64(int64_t v) {
+  assert(type_ == TypeKind::kInt64);
+  MarkValid();
+  i64_.push_back(v);
+  ++length_;
+}
+
+void Column::AppendFloat64(double v) {
+  assert(type_ == TypeKind::kFloat64);
+  MarkValid();
+  f64_.push_back(v);
+  ++length_;
+}
+
+void Column::AppendString(std::string_view v) {
+  assert(type_ == TypeKind::kString);
+  MarkValid();
+  chars_.append(v);
+  offsets_.push_back(static_cast<int32_t>(chars_.size()));
+  ++length_;
+}
+
+void Column::AppendDatum(const Datum& d) {
+  if (d.is_null()) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case TypeKind::kBool: AppendBool(d.bool_value()); break;
+    case TypeKind::kInt32:
+    case TypeKind::kDate32: AppendInt32(static_cast<int32_t>(d.AsInt64())); break;
+    case TypeKind::kInt64: AppendInt64(d.AsInt64()); break;
+    case TypeKind::kFloat64: AppendFloat64(d.AsDouble()); break;
+    case TypeKind::kString: AppendString(d.string_value()); break;
+  }
+}
+
+void Column::AppendFrom(const Column& src, size_t i) {
+  assert(src.type_ == type_);
+  if (src.IsNull(i)) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case TypeKind::kBool: AppendBool(src.GetBool(i)); break;
+    case TypeKind::kInt32:
+    case TypeKind::kDate32: AppendInt32(src.i32_[i]); break;
+    case TypeKind::kInt64: AppendInt64(src.i64_[i]); break;
+    case TypeKind::kFloat64: AppendFloat64(src.f64_[i]); break;
+    case TypeKind::kString: AppendString(src.GetString(i)); break;
+  }
+}
+
+void Column::Reserve(size_t n) {
+  switch (type_) {
+    case TypeKind::kBool: bool_.reserve(n); break;
+    case TypeKind::kInt32:
+    case TypeKind::kDate32: i32_.reserve(n); break;
+    case TypeKind::kInt64: i64_.reserve(n); break;
+    case TypeKind::kFloat64: f64_.reserve(n); break;
+    case TypeKind::kString: offsets_.reserve(n + 1); break;
+  }
+}
+
+size_t Column::ByteSize() const {
+  size_t bytes = validity_.size();
+  switch (type_) {
+    case TypeKind::kBool: bytes += bool_.size(); break;
+    case TypeKind::kInt32:
+    case TypeKind::kDate32: bytes += i32_.size() * 4; break;
+    case TypeKind::kInt64: bytes += i64_.size() * 8; break;
+    case TypeKind::kFloat64: bytes += f64_.size() * 8; break;
+    case TypeKind::kString:
+      bytes += offsets_.size() * 4 + chars_.size();
+      break;
+  }
+  return bytes;
+}
+
+std::shared_ptr<Column> MakeColumn(TypeKind type) {
+  return std::make_shared<Column>(type);
+}
+
+}  // namespace pocs::columnar

@@ -1,0 +1,140 @@
+// Column: a typed, optionally-nullable vector of values. Building and
+// reading are unified in one class; columns handed across module
+// boundaries travel as shared_ptr<const Column> and are treated as
+// immutable from then on.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "columnar/types.h"
+
+namespace pocs::columnar {
+
+class Column;
+using ColumnPtr = std::shared_ptr<const Column>;
+
+class Column {
+ public:
+  explicit Column(TypeKind type) : type_(type) {
+    if (type == TypeKind::kString) offsets_.push_back(0);
+  }
+
+  TypeKind type() const { return type_; }
+  size_t length() const { return length_; }
+
+  // ---- nullability -------------------------------------------------------
+  bool has_nulls() const { return null_count_ > 0; }
+  size_t null_count() const { return null_count_; }
+  bool IsNull(size_t i) const {
+    return !validity_.empty() && validity_[i] == 0;
+  }
+
+  // ---- typed accessors (caller must match type; checked in debug) -------
+  bool GetBool(size_t i) const {
+    assert(type_ == TypeKind::kBool);
+    return bool_[i] != 0;
+  }
+  int32_t GetInt32(size_t i) const {
+    assert(type_ == TypeKind::kInt32 || type_ == TypeKind::kDate32);
+    return i32_[i];
+  }
+  int64_t GetInt64(size_t i) const {
+    assert(type_ == TypeKind::kInt64);
+    return i64_[i];
+  }
+  double GetFloat64(size_t i) const {
+    assert(type_ == TypeKind::kFloat64);
+    return f64_[i];
+  }
+  std::string_view GetString(size_t i) const {
+    assert(type_ == TypeKind::kString);
+    return std::string_view(chars_).substr(offsets_[i],
+                                           offsets_[i + 1] - offsets_[i]);
+  }
+
+  // Value widened to double for numeric types (null → 0; check IsNull).
+  double AsDouble(size_t i) const {
+    switch (type_) {
+      case TypeKind::kBool: return bool_[i] ? 1.0 : 0.0;
+      case TypeKind::kInt32:
+      case TypeKind::kDate32: return static_cast<double>(i32_[i]);
+      case TypeKind::kInt64: return static_cast<double>(i64_[i]);
+      case TypeKind::kFloat64: return f64_[i];
+      case TypeKind::kString: return 0.0;
+    }
+    return 0.0;
+  }
+
+  Datum GetDatum(size_t i) const;
+
+  // ---- appends -----------------------------------------------------------
+  void AppendNull();
+  void AppendBool(bool v);
+  void AppendInt32(int32_t v);
+  void AppendInt64(int64_t v);
+  void AppendFloat64(double v);
+  void AppendString(std::string_view v);
+  // Append any datum of matching type (null allowed).
+  void AppendDatum(const Datum& d);
+  // Append value at index i of src (same type).
+  void AppendFrom(const Column& src, size_t i);
+
+  void Reserve(size_t n);
+
+  // ---- bulk typed data (for kernels and serialization) -------------------
+  const std::vector<uint8_t>& bool_data() const { return bool_; }
+  const std::vector<int32_t>& i32_data() const { return i32_; }
+  const std::vector<int64_t>& i64_data() const { return i64_; }
+  const std::vector<double>& f64_data() const { return f64_; }
+  const std::vector<int32_t>& offsets() const { return offsets_; }
+  const std::string& chars() const { return chars_; }
+  const std::vector<uint8_t>& validity() const { return validity_; }
+
+  std::vector<int32_t>& mutable_i32() { return i32_; }
+  std::vector<int64_t>& mutable_i64() { return i64_; }
+  std::vector<double>& mutable_f64() { return f64_; }
+  // After bulk-writing into a mutable_* vector, fix the logical length.
+  void SetBulkLength(size_t n) { length_ = n; }
+
+  // In-memory footprint of the value data (used for byte accounting).
+  size_t ByteSize() const;
+
+  // Restore internal invariants after deserialization.
+  void FinishDeserialized(size_t length, size_t null_count) {
+    length_ = length;
+    null_count_ = null_count;
+  }
+  std::vector<uint8_t>& mutable_validity() { return validity_; }
+  std::vector<uint8_t>& mutable_bool() { return bool_; }
+  std::vector<int32_t>& mutable_offsets() { return offsets_; }
+  std::string& mutable_chars() { return chars_; }
+
+ private:
+  void MarkValid() {
+    if (!validity_.empty()) validity_.push_back(1);
+  }
+  void EnsureValidity() {
+    if (validity_.empty()) validity_.assign(length_, 1);
+  }
+
+  TypeKind type_;
+  size_t length_ = 0;
+  size_t null_count_ = 0;
+  std::vector<uint8_t> validity_;  // empty == all valid
+  std::vector<uint8_t> bool_;
+  std::vector<int32_t> i32_;
+  std::vector<int64_t> i64_;
+  std::vector<double> f64_;
+  std::vector<int32_t> offsets_;  // strings: length+1 entries
+  std::string chars_;
+};
+
+using ColumnBuilder = Column;  // building and reading share one class
+
+std::shared_ptr<Column> MakeColumn(TypeKind type);
+
+}  // namespace pocs::columnar

@@ -1,0 +1,229 @@
+#include "columnar/kernels.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace pocs::columnar {
+
+std::string_view CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "<>";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename T, typename Getter>
+void CompareLoop(const Column& col, CompareOp op, T lit, Getter get,
+                 const SelectionVector* input, SelectionVector* out) {
+  auto test = [&](T v) {
+    switch (op) {
+      case CompareOp::kEq: return v == lit;
+      case CompareOp::kNe: return v != lit;
+      case CompareOp::kLt: return v < lit;
+      case CompareOp::kLe: return v <= lit;
+      case CompareOp::kGt: return v > lit;
+      case CompareOp::kGe: return v >= lit;
+    }
+    return false;
+  };
+  const bool nulls = col.has_nulls();
+  if (input) {
+    for (uint32_t i : *input) {
+      if (nulls && col.IsNull(i)) continue;
+      if (test(get(i))) out->push_back(i);
+    }
+  } else {
+    const uint32_t n = static_cast<uint32_t>(col.length());
+    for (uint32_t i = 0; i < n; ++i) {
+      if (nulls && col.IsNull(i)) continue;
+      if (test(get(i))) out->push_back(i);
+    }
+  }
+}
+
+}  // namespace
+
+SelectionVector CompareScalar(const Column& col, CompareOp op,
+                              const Datum& literal,
+                              const SelectionVector* input) {
+  SelectionVector out;
+  out.reserve(input ? input->size() : col.length());
+  if (literal.is_null()) return out;  // comparisons with NULL match nothing
+  switch (col.type()) {
+    case TypeKind::kBool:
+      CompareLoop<int>(col, op, literal.bool_value() ? 1 : 0,
+                       [&](uint32_t i) { return col.GetBool(i) ? 1 : 0; },
+                       input, &out);
+      break;
+    case TypeKind::kInt32:
+    case TypeKind::kDate32:
+      CompareLoop<int64_t>(col, op, literal.AsInt64(),
+                           [&](uint32_t i) { return int64_t{col.GetInt32(i)}; },
+                           input, &out);
+      break;
+    case TypeKind::kInt64:
+      CompareLoop<int64_t>(col, op, literal.AsInt64(),
+                           [&](uint32_t i) { return col.GetInt64(i); }, input,
+                           &out);
+      break;
+    case TypeKind::kFloat64:
+      CompareLoop<double>(col, op, literal.AsDouble(),
+                          [&](uint32_t i) { return col.GetFloat64(i); }, input,
+                          &out);
+      break;
+    case TypeKind::kString: {
+      std::string_view lit = literal.string_value();
+      CompareLoop<std::string_view>(
+          col, op, lit, [&](uint32_t i) { return col.GetString(i); }, input,
+          &out);
+      break;
+    }
+  }
+  return out;
+}
+
+SelectionVector Between(const Column& col, const Datum& lo, const Datum& hi,
+                        const SelectionVector* input) {
+  SelectionVector pass_lo = CompareScalar(col, CompareOp::kGe, lo, input);
+  return CompareScalar(col, CompareOp::kLe, hi, &pass_lo);
+}
+
+std::shared_ptr<Column> Take(const Column& col, const SelectionVector& sel) {
+  auto out = MakeColumn(col.type());
+  out->Reserve(sel.size());
+  for (uint32_t i : sel) out->AppendFrom(col, i);
+  return out;
+}
+
+RecordBatchPtr TakeBatch(const RecordBatch& batch, const SelectionVector& sel) {
+  std::vector<ColumnPtr> cols;
+  cols.reserve(batch.num_columns());
+  for (size_t c = 0; c < batch.num_columns(); ++c) {
+    cols.push_back(Take(*batch.column(c), sel));
+  }
+  return MakeBatch(batch.schema(), std::move(cols));
+}
+
+void HashRows(const std::vector<ColumnPtr>& keys, std::vector<uint64_t>* out) {
+  if (keys.empty()) {
+    out->clear();
+    return;
+  }
+  const size_t n = keys[0]->length();
+  out->assign(n, 0x5bd1e995u);
+  for (const auto& key : keys) {
+    const Column& col = *key;
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t h;
+      if (col.IsNull(i)) {
+        h = 0x9ae16a3b2f90404fULL;
+      } else {
+        switch (col.type()) {
+          case TypeKind::kBool: h = HashValue<uint8_t>(col.GetBool(i)); break;
+          case TypeKind::kInt32:
+          case TypeKind::kDate32: h = HashValue(col.GetInt32(i)); break;
+          case TypeKind::kInt64: h = HashValue(col.GetInt64(i)); break;
+          case TypeKind::kFloat64: h = HashValue(col.GetFloat64(i)); break;
+          case TypeKind::kString: h = HashString(col.GetString(i)); break;
+          default: h = 0; break;
+        }
+      }
+      (*out)[i] = HashCombine((*out)[i], h);
+    }
+  }
+}
+
+namespace {
+
+bool CellsEqual(const Column& ca, size_t a, const Column& cb, size_t b) {
+  const bool na = ca.IsNull(a);
+  const bool nb = cb.IsNull(b);
+  if (na || nb) return na && nb;
+  switch (ca.type()) {
+    case TypeKind::kBool: return ca.GetBool(a) == cb.GetBool(b);
+    case TypeKind::kInt32:
+    case TypeKind::kDate32: return ca.GetInt32(a) == cb.GetInt32(b);
+    case TypeKind::kInt64: return ca.GetInt64(a) == cb.GetInt64(b);
+    case TypeKind::kFloat64: return ca.GetFloat64(a) == cb.GetFloat64(b);
+    case TypeKind::kString: return ca.GetString(a) == cb.GetString(b);
+  }
+  return false;
+}
+
+}  // namespace
+
+bool RowsEqual(const std::vector<ColumnPtr>& keys, size_t a, size_t b) {
+  return RowsEqual(keys, a, keys, b);
+}
+
+bool RowsEqual(const std::vector<ColumnPtr>& keys_a, size_t a,
+               const std::vector<ColumnPtr>& keys_b, size_t b) {
+  for (size_t k = 0; k < keys_a.size(); ++k) {
+    if (!CellsEqual(*keys_a[k], a, *keys_b[k], b)) return false;
+  }
+  return true;
+}
+
+int CompareRows(const RecordBatch& batch, const std::vector<SortKey>& keys,
+                uint32_t a, uint32_t b) {
+  for (const SortKey& key : keys) {
+    const Column& col = *batch.column(key.column);
+    const bool na = col.IsNull(a);
+    const bool nb = col.IsNull(b);
+    int cmp = 0;
+    if (na || nb) {
+      if (na && nb) continue;
+      cmp = na ? (key.nulls_first ? -1 : 1) : (key.nulls_first ? 1 : -1);
+      return cmp;
+    }
+    switch (col.type()) {
+      case TypeKind::kBool:
+        cmp = int{col.GetBool(a)} - int{col.GetBool(b)};
+        break;
+      case TypeKind::kInt32:
+      case TypeKind::kDate32: {
+        int32_t va = col.GetInt32(a), vb = col.GetInt32(b);
+        cmp = (va < vb) ? -1 : (va > vb ? 1 : 0);
+        break;
+      }
+      case TypeKind::kInt64: {
+        int64_t va = col.GetInt64(a), vb = col.GetInt64(b);
+        cmp = (va < vb) ? -1 : (va > vb ? 1 : 0);
+        break;
+      }
+      case TypeKind::kFloat64: {
+        double va = col.GetFloat64(a), vb = col.GetFloat64(b);
+        cmp = (va < vb) ? -1 : (va > vb ? 1 : 0);
+        break;
+      }
+      case TypeKind::kString: {
+        auto va = col.GetString(a), vb = col.GetString(b);
+        cmp = (va < vb) ? -1 : (va > vb ? 1 : 0);
+        break;
+      }
+    }
+    if (cmp != 0) return key.ascending ? cmp : -cmp;
+  }
+  return 0;
+}
+
+std::vector<uint32_t> SortIndices(const RecordBatch& batch,
+                                  const std::vector<SortKey>& keys) {
+  std::vector<uint32_t> idx(batch.num_rows());
+  for (uint32_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::stable_sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t b) {
+    return CompareRows(batch, keys, a, b) < 0;
+  });
+  return idx;
+}
+
+}  // namespace pocs::columnar

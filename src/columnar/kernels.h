@@ -1,0 +1,65 @@
+// Vectorized compute kernels over columns: scalar comparisons producing
+// selection vectors, gather (Take), multi-key sort indices, and row
+// hashing for hash aggregation. These are the primitives both the engine
+// operators and the OCS embedded engine are built on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "columnar/batch.h"
+#include "columnar/column.h"
+
+namespace pocs::columnar {
+
+enum class CompareOp : uint8_t {
+  kEq = 0,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+std::string_view CompareOpName(CompareOp op);
+
+using SelectionVector = std::vector<uint32_t>;
+
+// Rows of `col` (restricted to `input` if non-null) where
+// `col[i] <op> literal` holds. Null values never match.
+SelectionVector CompareScalar(const Column& col, CompareOp op,
+                              const Datum& literal,
+                              const SelectionVector* input = nullptr);
+
+// Rows where lo <= col[i] <= hi (BETWEEN).
+SelectionVector Between(const Column& col, const Datum& lo, const Datum& hi,
+                        const SelectionVector* input = nullptr);
+
+// Gather: out[i] = col[sel[i]].
+std::shared_ptr<Column> Take(const Column& col, const SelectionVector& sel);
+RecordBatchPtr TakeBatch(const RecordBatch& batch, const SelectionVector& sel);
+
+// Row-wise hash of the given key columns; out has batch-length entries.
+void HashRows(const std::vector<ColumnPtr>& keys, std::vector<uint64_t>* out);
+
+// True iff rows a and b are equal on every key column (null == null).
+bool RowsEqual(const std::vector<ColumnPtr>& keys, size_t a, size_t b);
+// Cross-column-set variant: keys_a[.] row a vs keys_b[.] row b.
+bool RowsEqual(const std::vector<ColumnPtr>& keys_a, size_t a,
+               const std::vector<ColumnPtr>& keys_b, size_t b);
+
+struct SortKey {
+  int column;       // index into the batch
+  bool ascending = true;
+  bool nulls_first = true;
+};
+
+// Stable sort permutation of batch rows by the given keys.
+std::vector<uint32_t> SortIndices(const RecordBatch& batch,
+                                  const std::vector<SortKey>& keys);
+
+// Three-way comparison of row a vs row b under the sort keys.
+int CompareRows(const RecordBatch& batch, const std::vector<SortKey>& keys,
+                uint32_t a, uint32_t b);
+
+}  // namespace pocs::columnar

@@ -1,0 +1,161 @@
+// Byte-buffer primitives: an append-only ByteBuffer plus little-endian and
+// varint readers/writers. These underlie every serialization path in the
+// repo (columnar IPC, Parquet-lite pages, Substrait wire format, RPC
+// frames), so they are kept allocation-frugal and bounds-checked.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pocs {
+
+using Bytes = std::vector<uint8_t>;
+using ByteSpan = std::span<const uint8_t>;
+
+// Growable output buffer with typed little-endian appends.
+class BufferWriter {
+ public:
+  BufferWriter() = default;
+  explicit BufferWriter(size_t reserve) { data_.reserve(reserve); }
+
+  void WriteBytes(const void* src, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(src);
+    data_.insert(data_.end(), p, p + n);
+  }
+  void WriteBytes(ByteSpan span) { WriteBytes(span.data(), span.size()); }
+
+  template <typename T>
+  void WriteLE(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteBytes(&value, sizeof(T));  // host is little-endian (x86-64/aarch64)
+  }
+
+  void WriteU8(uint8_t v) { data_.push_back(v); }
+
+  // LEB128 unsigned varint.
+  void WriteVarint(uint64_t v) {
+    while (v >= 0x80) {
+      data_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    data_.push_back(static_cast<uint8_t>(v));
+  }
+
+  // ZigZag-encoded signed varint.
+  void WriteSVarint(int64_t v) {
+    WriteVarint((static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63));
+  }
+
+  void WriteString(std::string_view s) {
+    WriteVarint(s.size());
+    WriteBytes(s.data(), s.size());
+  }
+
+  // Patch a previously written fixed-width little-endian value.
+  template <typename T>
+  void PatchLE(size_t offset, T value) {
+    std::memcpy(data_.data() + offset, &value, sizeof(T));
+  }
+
+  size_t size() const { return data_.size(); }
+  const Bytes& data() const { return data_; }
+  Bytes&& Take() { return std::move(data_); }
+  ByteSpan span() const { return ByteSpan(data_.data(), data_.size()); }
+
+ private:
+  Bytes data_;
+};
+
+// Bounds-checked reader over a byte span. All reads return Status on
+// underflow so corrupt inputs surface as Corruption, never UB.
+class BufferReader {
+ public:
+  explicit BufferReader(ByteSpan data) : data_(data) {}
+  BufferReader(const void* data, size_t n)
+      : data_(static_cast<const uint8_t*>(data), n) {}
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return pos_ >= data_.size(); }
+
+  Status ReadBytes(void* dst, size_t n) {
+    if (remaining() < n) {
+      return Status::Corruption("buffer underflow: need " + std::to_string(n) +
+                                " bytes, have " + std::to_string(remaining()));
+    }
+    std::memcpy(dst, data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Result<ByteSpan> ReadSpan(size_t n) {
+    if (remaining() < n) {
+      return Status::Corruption("buffer underflow reading span of " +
+                                std::to_string(n));
+    }
+    ByteSpan out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  template <typename T>
+  Result<T> ReadLE() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v{};
+    POCS_RETURN_NOT_OK(ReadBytes(&v, sizeof(T)));
+    return v;
+  }
+
+  Result<uint8_t> ReadU8() { return ReadLE<uint8_t>(); }
+
+  Result<uint64_t> ReadVarint() {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (exhausted()) return Status::Corruption("truncated varint");
+      if (shift >= 64) return Status::Corruption("varint overflow");
+      uint8_t b = data_[pos_++];
+      v |= static_cast<uint64_t>(b & 0x7F) << shift;
+      if (!(b & 0x80)) break;
+      shift += 7;
+    }
+    return v;
+  }
+
+  Result<int64_t> ReadSVarint() {
+    POCS_ASSIGN_OR_RETURN(uint64_t raw, ReadVarint());
+    return static_cast<int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+  }
+
+  Result<std::string> ReadString() {
+    POCS_ASSIGN_OR_RETURN(uint64_t n, ReadVarint());
+    if (remaining() < n) return Status::Corruption("truncated string");
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  Status Skip(size_t n) {
+    if (remaining() < n) return Status::Corruption("skip past end");
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Status SeekTo(size_t pos) {
+    if (pos > data_.size()) return Status::Corruption("seek past end");
+    pos_ = pos;
+    return Status::OK();
+  }
+
+ private:
+  ByteSpan data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace pocs

@@ -1,0 +1,45 @@
+// Minimal leveled logging. Defaults to WARN so library users are not
+// spammed; benches and examples raise it explicitly.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace pocs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace detail {
+std::mutex& LogMutex();
+std::string_view LevelName(LogLevel level);
+}  // namespace detail
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << detail::LevelName(level) << " " << file << ":" << line
+            << "] ";
+  }
+  ~LogMessage() {
+    if (level_ >= GetLogLevel()) {
+      std::lock_guard lock(detail::LogMutex());
+      std::cerr << stream_.str() << "\n";
+    }
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace pocs
+
+#define POCS_LOG(level)                                                 \
+  ::pocs::LogMessage(::pocs::LogLevel::k##level, __FILE_NAME__, __LINE__) \
+      .stream()

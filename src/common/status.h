@@ -1,0 +1,161 @@
+// Status / Result error-handling primitives used across the code base.
+//
+// We deliberately avoid exceptions on hot paths (operator pipelines, codec
+// inner loops) and instead thread Status/Result values, following the
+// style of large columnar systems. Construction of an error Status
+// allocates; the OK status does not.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace pocs {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kCorruption,
+  kIOError,
+  kUnavailable,
+  kCancelled,
+};
+
+std::string_view to_string(StatusCode code);
+
+// A cheap, movable status word. OK is represented by a null state pointer so
+// that the common success path costs one pointer test.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_unique<State>(State{code, std::move(message)})) {}
+
+  Status(const Status& other)
+      : state_(other.state_ ? std::make_unique<State>(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+// Result<T> — either a value or an error Status. Accessing the value of an
+// error result aborts (programming error), mirroring the contract of
+// absl::StatusOr in debug builds.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : data_(std::move(status)) {
+    if (std::get<Status>(data_).ok()) {
+      data_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(data_);
+  }
+
+  T& value() & { return std::get<T>(data_); }
+  const T& value() const& { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    return ok() ? value() : static_cast<T>(std::forward<U>(fallback));
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace pocs
+
+// Propagation macros. POCS_RETURN_NOT_OK for Status-returning callees;
+// POCS_ASSIGN_OR_RETURN for Result-returning callees.
+#define POCS_RETURN_NOT_OK(expr)                  \
+  do {                                            \
+    ::pocs::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+#define POCS_CONCAT_IMPL(a, b) a##b
+#define POCS_CONCAT(a, b) POCS_CONCAT_IMPL(a, b)
+
+#define POCS_ASSIGN_OR_RETURN(lhs, expr)                        \
+  auto POCS_CONCAT(_res_, __LINE__) = (expr);                   \
+  if (!POCS_CONCAT(_res_, __LINE__).ok())                       \
+    return POCS_CONCAT(_res_, __LINE__).status();               \
+  lhs = std::move(POCS_CONCAT(_res_, __LINE__)).value()

@@ -1,0 +1,32 @@
+// Wall-clock stopwatch used for instrumenting real compute time. Network
+// time is modelled separately by netsim's virtual clock; see DESIGN.md §4.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace pocs {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed wall time in nanoseconds / microseconds / seconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+  int64_t ElapsedMicros() const { return ElapsedNanos() / 1000; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pocs

@@ -1,0 +1,48 @@
+// Compression codecs for the Parquet-lite storage format.
+//
+// The paper evaluates Snappy, GZip, and Zstd (Fig. 6). We implement three
+// from-scratch codecs occupying the same relative speed/ratio points:
+//   kFastLz      — Snappy stand-in : greedy LZ77, small window, no entropy
+//                  stage; fastest, lowest ratio.
+//   kDeflateLite — GZip stand-in   : greedy LZ77, medium window, canonical
+//                  Huffman entropy stage; slowest of the three per byte.
+//   kZsLite      — Zstd stand-in   : lazy-matching LZ77, large window,
+//                  canonical Huffman entropy stage; best ratio.
+// The Fig. 6 reproduction depends on ratio ordering (fastlz < deflate-lite
+// <= zs-lite on float-heavy data), not on absolute throughput.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "common/buffer.h"
+#include "common/status.h"
+
+namespace pocs::compress {
+
+enum class CodecType : uint8_t {
+  kNone = 0,
+  kFastLz = 1,
+  kDeflateLite = 2,
+  kZsLite = 3,
+};
+
+std::string_view CodecName(CodecType type);
+Result<CodecType> CodecFromName(std::string_view name);
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+  virtual CodecType type() const = 0;
+
+  // Compress `input`; output is self-contained (includes original size).
+  virtual Bytes Compress(ByteSpan input) const = 0;
+
+  // Decompress a buffer produced by Compress of the same codec.
+  virtual Result<Bytes> Decompress(ByteSpan input) const = 0;
+};
+
+// Codec instances are stateless singletons.
+const Codec& GetCodec(CodecType type);
+
+}  // namespace pocs::compress

@@ -1,0 +1,16 @@
+#include "connector/spi.h"
+
+namespace pocs::connector {
+
+std::string_view PushedOperatorKindName(PushedOperator::Kind kind) {
+  switch (kind) {
+    case PushedOperator::Kind::kFilter: return "filter";
+    case PushedOperator::Kind::kProject: return "project";
+    case PushedOperator::Kind::kPartialAggregation: return "aggregation";
+    case PushedOperator::Kind::kPartialTopN: return "topn";
+    case PushedOperator::Kind::kPartialLimit: return "limit";
+  }
+  return "?";
+}
+
+}  // namespace pocs::connector

@@ -1,0 +1,169 @@
+// Connector Service Provider Interface — the engine-side contract every
+// storage connector implements, mirroring the Presto SPI surfaces the
+// paper builds on (§3.4): ConnectorMetadata (table handles), the split
+// manager, the ConnectorPlanOptimizer hook (local optimizer), the
+// PageSourceProvider, and the EventListener for pushdown monitoring.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "columnar/batch.h"
+#include "metastore/metastore.h"
+#include "substrait/expr.h"
+#include "substrait/rel.h"
+
+namespace pocs::connector {
+
+// Resolved reference to a table inside a connector's catalog.
+struct TableHandle {
+  std::string connector_id;
+  metastore::TableInfo info;
+};
+
+// Unit of parallel scan work: one data object of the table.
+struct Split {
+  std::string bucket;
+  std::string object;
+};
+
+// One operator absorbed into the table scan by the local optimizer, in
+// execution order. This is the "modified TableScan operator which
+// encapsulates the pushdown operators" of §4.
+struct PushedOperator {
+  enum class Kind : uint8_t {
+    kFilter,
+    kProject,
+    kPartialAggregation,  // grouped partial aggregation (merge at compute)
+    kPartialTopN,         // per-split top-N candidates (merge at compute)
+    kPartialLimit,        // per-split row cap (merge limit at compute)
+  };
+  Kind kind = Kind::kFilter;
+
+  substrait::Expression predicate;  // kFilter
+
+  std::vector<substrait::Expression> expressions;  // kProject
+  std::vector<std::string> output_names;
+
+  std::vector<int> group_keys;  // kPartialAggregation (input indices)
+  std::vector<substrait::AggregateSpec> aggregates;  // already partial specs
+
+  std::vector<substrait::SortField> sort_fields;  // kPartialTopN
+  int64_t limit = -1;
+};
+
+std::string_view PushedOperatorKindName(PushedOperator::Kind kind);
+
+// Everything the page source must execute at (or near) storage for one
+// scan: column pruning plus the absorbed operator pipeline.
+struct ScanSpec {
+  std::vector<int> columns;  // indices into the table schema; empty = all
+  std::vector<PushedOperator> operators;
+  // Column projection applied AFTER the pushed operators: indices into
+  // the pushed pipeline's output that the residual plan actually needs.
+  // Empty = all. This is how a filter-only pushdown avoids shipping the
+  // predicate columns back (S3 Select's SELECT-list behaviour).
+  std::vector<int> result_columns;
+  // Schema of the pages the source returns (after pushed operators and
+  // the result-column projection).
+  columnar::SchemaPtr output_schema;
+
+  bool HasOperator(PushedOperator::Kind kind) const {
+    for (const auto& op : operators) {
+      if (op.kind == kind) return true;
+    }
+    return false;
+  }
+};
+
+// Per-source transfer/compute accounting the engine folds into the
+// query's simulated timing (DESIGN.md §4).
+struct PageSourceStats {
+  uint64_t bytes_received = 0;        // data movement storage → compute
+  uint64_t bytes_sent = 0;            // request/plan bytes compute → storage
+  uint64_t rows_received = 0;
+  uint64_t row_groups_total = 0;      // chunks considered by the scan
+  uint64_t row_groups_skipped = 0;    // pruned via min/max statistics
+  double transfer_seconds = 0;        // modelled network time
+  double storage_compute_seconds = 0; // reported by storage, cpu-scaled
+  double media_read_seconds = 0;      // modelled storage-media read time
+  double ir_generation_seconds = 0;   // plan/SQL→IR translation (connector)
+  double decode_seconds = 0;          // result → page conversion at compute
+};
+
+// Streams pages (record batches) for one split, with pushed operators
+// already applied by whatever the connector talks to.
+class PageSource {
+ public:
+  virtual ~PageSource() = default;
+  virtual columnar::SchemaPtr schema() const = 0;
+  // nullptr at end of stream.
+  virtual Result<columnar::RecordBatchPtr> Next() = 0;
+  virtual const PageSourceStats& stats() const = 0;
+};
+
+// What a connector is allowed to absorb into the scan. The engine's local
+// optimizer pass asks before offering each node.
+struct PushdownCapabilities {
+  bool filter = false;
+  bool projection = false;       // expression projection
+  bool aggregation = false;
+  bool topn = false;
+};
+
+// Decision record for one offered operator (feeds the EventListener and
+// the pushdown history; see §4 "Pushdown Monitoring").
+struct PushdownDecision {
+  PushedOperator::Kind kind;
+  bool accepted = false;
+  double estimated_selectivity = 1.0;  // estimated output/input ratio
+  std::string reason;                  // human-readable justification
+};
+
+class Connector {
+ public:
+  virtual ~Connector() = default;
+  virtual std::string id() const = 0;
+
+  // -- ConnectorMetadata ----------------------------------------------------
+  virtual Result<TableHandle> GetTableHandle(const std::string& schema_name,
+                                             const std::string& table) = 0;
+
+  // -- ConnectorSplitManager --------------------------------------------------
+  virtual Result<std::vector<Split>> GetSplits(const TableHandle& table) = 0;
+
+  // -- ConnectorPlanOptimizer -------------------------------------------------
+  // Operator pushdown is negotiated node by node: the engine walks the
+  // plan bottom-up and offers each candidate; the connector accepts by
+  // appending to the ScanSpec. `decisions` records accept/reject with the
+  // estimated selectivity (monitoring).
+  virtual PushdownCapabilities capabilities() const = 0;
+  virtual Result<bool> OfferPushdown(const TableHandle& table,
+                                     const PushedOperator& op,
+                                     ScanSpec* spec,
+                                     PushdownDecision* decision) = 0;
+
+  // -- PageSourceProvider -----------------------------------------------------
+  virtual Result<std::unique_ptr<PageSource>> CreatePageSource(
+      const TableHandle& table, const Split& split, const ScanSpec& spec) = 0;
+};
+
+// Runtime query events (Presto's EventListener).
+struct QueryEvent {
+  std::string query_id;
+  std::string connector_id;
+  std::vector<PushdownDecision> decisions;
+  uint64_t bytes_from_storage = 0;
+  uint64_t rows_from_storage = 0;
+  double execution_seconds = 0;
+};
+
+class EventListener {
+ public:
+  virtual ~EventListener() = default;
+  virtual void QueryCompleted(const QueryEvent& event) = 0;
+};
+
+}  // namespace pocs::connector

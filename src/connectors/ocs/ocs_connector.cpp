@@ -1,0 +1,263 @@
+#include "connectors/ocs/ocs_connector.h"
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "connectors/ocs/sql_reconstruction.h"
+#include "connectors/ocs/translator.h"
+
+namespace pocs::connectors {
+
+using columnar::Field;
+using columnar::MakeSchema;
+using columnar::RecordBatchPtr;
+using columnar::SchemaPtr;
+using connector::PageSourceStats;
+using connector::PushedOperator;
+using connector::ScanSpec;
+using connector::Split;
+using connector::TableHandle;
+
+Result<TableHandle> OcsConnector::GetTableHandle(
+    const std::string& schema_name, const std::string& table) {
+  POCS_ASSIGN_OR_RETURN(metastore::TableInfo info,
+                        metastore_->GetTable(schema_name, table));
+  TableHandle handle;
+  handle.connector_id = id_;
+  handle.info = std::move(info);
+  return handle;
+}
+
+Result<std::vector<Split>> OcsConnector::GetSplits(const TableHandle& table) {
+  std::vector<Split> splits;
+  for (const std::string& object : table.info.objects) {
+    splits.push_back({table.info.bucket, object});
+  }
+  return splits;
+}
+
+namespace {
+
+// Projected table schema for a scan spec (statistics lookups by name).
+SchemaPtr ProjectedSchema(const TableHandle& table, const ScanSpec& spec) {
+  if (spec.columns.empty()) return table.info.schema;
+  std::vector<Field> fields;
+  for (int c : spec.columns) fields.push_back(table.info.schema->field(c));
+  return MakeSchema(std::move(fields));
+}
+
+// Average value width in bytes (rough, for projection size ratios).
+double SchemaRowWidth(const columnar::Schema& schema) {
+  double width = 0;
+  for (const Field& f : schema.fields()) {
+    size_t w = columnar::TypeWidth(f.type);
+    width += w == 0 ? 16.0 : static_cast<double>(w);
+  }
+  return width;
+}
+
+}  // namespace
+
+Result<bool> OcsConnector::OfferPushdown(
+    const TableHandle& table, const PushedOperator& op, ScanSpec* spec,
+    connector::PushdownDecision* decision) {
+  decision->kind = op.kind;
+  SelectivityAnalyzer analyzer(table.info, config_.selectivity);
+  SchemaPtr scan_schema = ProjectedSchema(table, *spec);
+
+  // Replay the already-absorbed pipeline to estimate the operator's input
+  // row count (the Selectivity Analyzer's traversal state).
+  double rows = static_cast<double>(table.info.row_count);
+  bool have_agg = false;
+  for (const PushedOperator& prior : spec->operators) {
+    switch (prior.kind) {
+      case PushedOperator::Kind::kFilter:
+        rows *= analyzer.EstimateFilterSelectivity(prior.predicate,
+                                                   *scan_schema);
+        break;
+      case PushedOperator::Kind::kPartialAggregation:
+        rows *= analyzer.EstimateAggregationSelectivity(
+            prior.group_keys, *spec->output_schema, rows);
+        have_agg = true;
+        break;
+      case PushedOperator::Kind::kPartialTopN:
+      case PushedOperator::Kind::kPartialLimit:
+        rows = std::min(rows, static_cast<double>(prior.limit));
+        break;
+      case PushedOperator::Kind::kProject:
+        break;
+    }
+  }
+
+  double selectivity = 1.0;  // estimated output/input (rows or bytes)
+  bool capable = true;
+  std::string incapable_reason;
+
+  switch (op.kind) {
+    case PushedOperator::Kind::kFilter:
+      if (!config_.pushdown_filter) {
+        capable = false;
+        incapable_reason = "filter pushdown disabled";
+        break;
+      }
+      selectivity =
+          analyzer.EstimateFilterSelectivity(op.predicate, *spec->output_schema);
+      break;
+    case PushedOperator::Kind::kProject: {
+      if (!config_.pushdown_projection) {
+        capable = false;
+        incapable_reason = "expression projection pushdown disabled";
+        break;
+      }
+      double in_width = SchemaRowWidth(*spec->output_schema);
+      double out_width = 0;
+      for (const auto& e : op.expressions) {
+        size_t w = columnar::TypeWidth(e.type);
+        out_width += w == 0 ? 16.0 : static_cast<double>(w);
+      }
+      selectivity = in_width > 0 ? out_width / in_width : 1.0;
+      break;
+    }
+    case PushedOperator::Kind::kPartialAggregation:
+      if (!config_.pushdown_aggregation) {
+        capable = false;
+        incapable_reason = "aggregation pushdown disabled";
+        break;
+      }
+      selectivity = analyzer.EstimateAggregationSelectivity(
+          op.group_keys, *spec->output_schema, rows);
+      break;
+    case PushedOperator::Kind::kPartialTopN:
+    case PushedOperator::Kind::kPartialLimit:
+      if (!config_.pushdown_topn) {
+        capable = false;
+        incapable_reason = "top-N/limit pushdown disabled";
+        break;
+      }
+      if (have_agg && !config_.assume_split_disjoint_groups) {
+        capable = false;
+        incapable_reason =
+            "top-N/limit above aggregation requires split-disjoint group keys";
+        break;
+      }
+      selectivity = analyzer.EstimateTopNSelectivity(op.limit, rows);
+      break;
+  }
+
+  decision->estimated_selectivity = selectivity;
+  if (!capable) {
+    decision->accepted = false;
+    decision->reason = incapable_reason;
+    return false;
+  }
+  const double reduction = 1.0 - selectivity;
+  if (reduction < config_.min_reduction) {
+    decision->accepted = false;
+    decision->reason =
+        "estimated reduction " + std::to_string(reduction) +
+        " below threshold " + std::to_string(config_.min_reduction);
+    return false;
+  }
+
+  // Operator Extractor: record the operator (with its conditions) in the
+  // connector's scan metadata and advance the spec's output schema.
+  spec->operators.push_back(op);
+  switch (op.kind) {
+    case PushedOperator::Kind::kFilter:
+    case PushedOperator::Kind::kPartialTopN:
+    case PushedOperator::Kind::kPartialLimit:
+      break;  // schema unchanged
+    case PushedOperator::Kind::kProject: {
+      std::vector<Field> fields;
+      for (size_t i = 0; i < op.expressions.size(); ++i) {
+        fields.push_back({op.output_names[i], op.expressions[i].type});
+      }
+      spec->output_schema = MakeSchema(std::move(fields));
+      break;
+    }
+    case PushedOperator::Kind::kPartialAggregation: {
+      std::vector<Field> fields;
+      for (int k : op.group_keys) {
+        fields.push_back(spec->output_schema->field(k));
+      }
+      for (const auto& agg : op.aggregates) {
+        fields.push_back({agg.output_name, agg.OutputType()});
+      }
+      spec->output_schema = MakeSchema(std::move(fields));
+      break;
+    }
+  }
+  decision->accepted = true;
+  decision->reason = "estimated selectivity " + std::to_string(selectivity);
+  return true;
+}
+
+namespace {
+
+class OcsPageSource final : public connector::PageSource {
+ public:
+  OcsPageSource(SchemaPtr schema, std::shared_ptr<columnar::Table> table,
+                PageSourceStats stats)
+      : schema_(std::move(schema)), table_(std::move(table)), stats_(stats) {}
+
+  SchemaPtr schema() const override { return schema_; }
+  Result<RecordBatchPtr> Next() override {
+    if (next_ >= table_->batches().size()) return RecordBatchPtr{};
+    return table_->batches()[next_++];
+  }
+  const PageSourceStats& stats() const override { return stats_; }
+
+ private:
+  SchemaPtr schema_;
+  std::shared_ptr<columnar::Table> table_;
+  PageSourceStats stats_;
+  size_t next_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<connector::PageSource>> OcsConnector::CreatePageSource(
+    const TableHandle& table, const Split& split, const ScanSpec& spec) {
+  PageSourceStats stats;
+
+  // §4: reconstruct the pushdown operators into a SQL statement (logged,
+  // auditable) and translate into the storage-executable Substrait plan
+  // (timed: Table 3's "Substrait IR Generation" row).
+  Stopwatch ir_timer;
+  if (GetLogLevel() <= LogLevel::kDebug) {
+    auto sql = ReconstructSql(table, spec);
+    if (sql.ok()) {
+      POCS_LOG(Debug) << "pushdown SQL for " << split.object << ": " << *sql;
+    }
+  }
+  POCS_ASSIGN_OR_RETURN(substrait::Plan plan,
+                        TranslateScanSpec(table, split, spec));
+  stats.ir_generation_seconds = ir_timer.ElapsedSeconds();
+
+  objectstore::TransferInfo info;
+  POCS_ASSIGN_OR_RETURN(ocs::OcsResult result,
+                        client_.ExecutePlan(plan, &info));
+  stats.bytes_received = info.bytes_received;
+  stats.bytes_sent = info.bytes_sent;
+  stats.transfer_seconds = info.transfer_seconds;
+  stats.storage_compute_seconds = result.stats.storage_compute_seconds;
+  stats.media_read_seconds = result.stats.media_read_seconds;
+  stats.row_groups_total = result.stats.row_groups_total;
+  stats.row_groups_skipped = result.stats.row_groups_skipped;
+
+  Stopwatch decode_timer;
+  POCS_ASSIGN_OR_RETURN(auto decoded, ocs::OcsClient::DecodeTable(result));
+  stats.decode_seconds = decode_timer.ElapsedSeconds();
+  stats.rows_received = decoded->num_rows();
+
+  SchemaPtr schema = spec.output_schema ? spec.output_schema
+                                        : decoded->schema();
+  if (!decoded->schema()->Equals(*schema)) {
+    return Status::Internal("ocs: result schema mismatch: got " +
+                            decoded->schema()->ToString() + ", want " +
+                            schema->ToString());
+  }
+  return std::unique_ptr<connector::PageSource>(
+      new OcsPageSource(schema, std::move(decoded), stats));
+}
+
+}  // namespace pocs::connectors

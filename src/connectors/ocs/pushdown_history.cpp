@@ -1,0 +1,47 @@
+#include "connectors/ocs/pushdown_history.h"
+
+namespace pocs::connectors {
+
+void PushdownHistory::QueryCompleted(const connector::QueryEvent& event) {
+  std::lock_guard lock(mu_);
+  events_.push_back(event);
+  while (events_.size() > window_) events_.pop_front();
+  Recompute();
+}
+
+void PushdownHistory::Recompute() {
+  per_kind_.clear();
+  total_bytes_ = 0;
+  for (const auto& event : events_) {
+    for (const auto& decision : event.decisions) {
+      PushdownKindStats& stats = per_kind_[decision.kind];
+      ++stats.offered;
+      if (decision.accepted) ++stats.accepted;
+    }
+    total_bytes_ += static_cast<double>(event.bytes_from_storage);
+  }
+}
+
+PushdownKindStats PushdownHistory::StatsFor(
+    connector::PushedOperator::Kind kind) const {
+  std::lock_guard lock(mu_);
+  auto it = per_kind_.find(kind);
+  return it == per_kind_.end() ? PushdownKindStats{} : it->second;
+}
+
+double PushdownHistory::AverageBytesFromStorage() const {
+  std::lock_guard lock(mu_);
+  return events_.empty() ? 0.0 : total_bytes_ / events_.size();
+}
+
+size_t PushdownHistory::window_size() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+std::vector<connector::QueryEvent> PushdownHistory::Snapshot() const {
+  std::lock_guard lock(mu_);
+  return {events_.begin(), events_.end()};
+}
+
+}  // namespace pocs::connectors

@@ -1,0 +1,47 @@
+// Pushdown monitoring — §4 "Pushdown Monitoring and Auxiliary
+// Components": an EventListener that collects runtime statistics and a
+// sliding-window history of recent executions (per-operator accept rates,
+// bytes moved) that can inform future pushdown decisions.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <mutex>
+
+#include "connector/spi.h"
+
+namespace pocs::connectors {
+
+struct PushdownKindStats {
+  uint64_t offered = 0;
+  uint64_t accepted = 0;
+  double accept_rate() const {
+    return offered == 0 ? 0.0
+                        : static_cast<double>(accepted) /
+                              static_cast<double>(offered);
+  }
+};
+
+class PushdownHistory final : public connector::EventListener {
+ public:
+  explicit PushdownHistory(size_t window = 128) : window_(window) {}
+
+  void QueryCompleted(const connector::QueryEvent& event) override;
+
+  // Aggregates over the current window.
+  PushdownKindStats StatsFor(connector::PushedOperator::Kind kind) const;
+  double AverageBytesFromStorage() const;
+  size_t window_size() const;
+  std::vector<connector::QueryEvent> Snapshot() const;
+
+ private:
+  void Recompute();  // callers hold mu_
+
+  size_t window_;
+  mutable std::mutex mu_;
+  std::deque<connector::QueryEvent> events_;
+  std::map<connector::PushedOperator::Kind, PushdownKindStats> per_kind_;
+  double total_bytes_ = 0;
+};
+
+}  // namespace pocs::connectors

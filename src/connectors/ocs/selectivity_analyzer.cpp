@@ -1,0 +1,139 @@
+#include "connectors/ocs/selectivity_analyzer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pocs::connectors {
+
+using columnar::Datum;
+using format::ColumnStats;
+using substrait::Expression;
+using substrait::ExprKind;
+using substrait::ScalarFunc;
+
+namespace {
+
+// CDF of the assumed value distribution over [min, max] evaluated at x.
+double Cdf(double x, double min, double max, ValueDistribution dist) {
+  if (max <= min) return x >= max ? 1.0 : 0.0;
+  if (x <= min) return 0.0;
+  if (x >= max) return 1.0;
+  if (dist == ValueDistribution::kUniform) {
+    return (x - min) / (max - min);
+  }
+  // Normal with mean at the midpoint and the range covering ±3σ.
+  double mu = (min + max) / 2.0;
+  double sigma = (max - min) / 6.0;
+  return 0.5 * (1.0 + std::erf((x - mu) / (sigma * std::sqrt(2.0))));
+}
+
+}  // namespace
+
+double SelectivityAnalyzer::ComparisonSelectivity(
+    const ColumnStats& stats, ScalarFunc op, const Datum& literal) const {
+  if (stats.min.is_null() || stats.max.is_null() || literal.is_null()) {
+    return 1.0;
+  }
+  // Equality/inequality via NDV.
+  if (op == ScalarFunc::kEq) {
+    return stats.ndv > 0 ? 1.0 / static_cast<double>(stats.ndv) : 1.0;
+  }
+  if (op == ScalarFunc::kNe) {
+    return stats.ndv > 0 ? 1.0 - 1.0 / static_cast<double>(stats.ndv) : 1.0;
+  }
+  if (literal.type() == columnar::TypeKind::kString) return 1.0;
+  double min = stats.min.AsDouble();
+  double max = stats.max.AsDouble();
+  double x = literal.AsDouble();
+  double cdf = Cdf(x, min, max, config_.distribution);
+  switch (op) {
+    case ScalarFunc::kLt:
+    case ScalarFunc::kLe:
+      return cdf;
+    case ScalarFunc::kGt:
+    case ScalarFunc::kGe:
+      return 1.0 - cdf;
+    default:
+      return 1.0;
+  }
+}
+
+double SelectivityAnalyzer::EstimateFilterSelectivity(
+    const Expression& predicate, const columnar::Schema& input_schema) const {
+  if (predicate.kind != ExprKind::kCall) return 1.0;
+  if (predicate.func == ScalarFunc::kAnd) {
+    // Independence assumption: conjuncts multiply.
+    return EstimateFilterSelectivity(predicate.args[0], input_schema) *
+           EstimateFilterSelectivity(predicate.args[1], input_schema);
+  }
+  if (predicate.func == ScalarFunc::kOr) {
+    double a = EstimateFilterSelectivity(predicate.args[0], input_schema);
+    double b = EstimateFilterSelectivity(predicate.args[1], input_schema);
+    return std::min(1.0, a + b - a * b);
+  }
+  if (predicate.func == ScalarFunc::kNot) {
+    return 1.0 - EstimateFilterSelectivity(predicate.args[0], input_schema);
+  }
+  if (!substrait::IsComparison(predicate.func)) return 1.0;
+  const Expression* field = nullptr;
+  const Expression* literal = nullptr;
+  ScalarFunc op = predicate.func;
+  if (predicate.args[0].kind == ExprKind::kFieldRef &&
+      predicate.args[1].kind == ExprKind::kLiteral) {
+    field = &predicate.args[0];
+    literal = &predicate.args[1];
+  } else if (predicate.args[1].kind == ExprKind::kFieldRef &&
+             predicate.args[0].kind == ExprKind::kLiteral) {
+    field = &predicate.args[1];
+    literal = &predicate.args[0];
+    switch (op) {
+      case ScalarFunc::kLt: op = ScalarFunc::kGt; break;
+      case ScalarFunc::kLe: op = ScalarFunc::kGe; break;
+      case ScalarFunc::kGt: op = ScalarFunc::kLt; break;
+      case ScalarFunc::kGe: op = ScalarFunc::kLe; break;
+      default: break;
+    }
+  } else {
+    return 1.0;  // unknown shape: conservative
+  }
+  if (field->field_index < 0 ||
+      static_cast<size_t>(field->field_index) >= input_schema.num_fields()) {
+    return 1.0;
+  }
+  const ColumnStats* stats =
+      table_.StatsFor(input_schema.field(field->field_index).name);
+  if (!stats) return 1.0;
+  return ComparisonSelectivity(*stats, op, literal->literal);
+}
+
+double SelectivityAnalyzer::EstimateAggregationSelectivity(
+    const std::vector<int>& group_keys, const columnar::Schema& input_schema,
+    double input_rows) const {
+  if (input_rows <= 0) return 1.0;
+  if (group_keys.empty()) return 1.0 / input_rows;  // global aggregate: 1 row
+  double groups = 1.0;
+  for (int key : group_keys) {
+    if (key < 0 || static_cast<size_t>(key) >= input_schema.num_fields()) {
+      return 1.0;
+    }
+    const ColumnStats* stats =
+        table_.StatsFor(input_schema.field(key).name);
+    if (!stats || stats->ndv == 0) {
+      // Unknown key cardinality: assume no reduction (conservative).
+      return 1.0;
+    }
+    groups *= static_cast<double>(stats->ndv);
+    // A capped NDV means "high cardinality" — treat as at least the cap.
+    if (stats->ndv_capped) groups = std::max(groups, input_rows);
+  }
+  groups = std::min(groups, input_rows);
+  return groups / input_rows;
+}
+
+double SelectivityAnalyzer::EstimateTopNSelectivity(int64_t limit,
+                                                    double input_rows) const {
+  if (input_rows <= 0 || limit < 0) return 1.0;
+  return std::min(1.0, static_cast<double>(limit) / input_rows);
+}
+
+}  // namespace pocs::connectors

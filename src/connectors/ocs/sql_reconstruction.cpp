@@ -1,0 +1,178 @@
+#include "connectors/ocs/sql_reconstruction.h"
+
+#include <sstream>
+
+namespace pocs::connectors {
+
+using columnar::SchemaPtr;
+using connector::PushedOperator;
+using connector::ScanSpec;
+using connector::TableHandle;
+using substrait::AggFunc;
+using substrait::AggregateSpec;
+
+namespace {
+
+// SQL aggregate call text, e.g. `sum(quantity) AS "q$sum"`.
+std::string AggregateSql(const AggregateSpec& agg,
+                         const columnar::Schema& input) {
+  std::ostringstream os;
+  switch (agg.func) {
+    case AggFunc::kSum: os << "sum("; break;
+    case AggFunc::kMin: os << "min("; break;
+    case AggFunc::kMax: os << "max("; break;
+    case AggFunc::kAvg: os << "avg("; break;
+    case AggFunc::kCount: os << "count("; break;
+    case AggFunc::kCountStar: os << "count(*"; break;
+  }
+  if (agg.func != AggFunc::kCountStar) {
+    os << agg.argument.ToString(&input);
+  }
+  os << ") AS " << agg.output_name;
+  return os.str();
+}
+
+}  // namespace
+
+Result<std::string> ReconstructSql(const TableHandle& table,
+                                   const ScanSpec& spec) {
+  SchemaPtr current;
+  {
+    // Scan schema after column pruning.
+    if (spec.columns.empty()) {
+      current = table.info.schema;
+    } else {
+      std::vector<columnar::Field> fields;
+      for (int c : spec.columns) {
+        fields.push_back(table.info.schema->field(c));
+      }
+      current = columnar::MakeSchema(std::move(fields));
+    }
+  }
+
+  std::string select_list;
+  std::string where_clause;
+  std::string group_by;
+  std::string order_by;
+  std::string limit_clause;
+  // After a partial aggregation, top-N sort fields reference the ORIGINAL
+  // aggregation output (an AVG's sum/count pair fuses to one column);
+  // this holds those original column names.
+  std::vector<std::string> original_names;
+
+  for (const PushedOperator& op : spec.operators) {
+    switch (op.kind) {
+      case PushedOperator::Kind::kFilter: {
+        std::string pred = op.predicate.ToString(current.get());
+        if (where_clause.empty()) {
+          where_clause = pred;
+        } else {
+          where_clause = "(" + where_clause + " AND " + pred + ")";
+        }
+        break;
+      }
+      case PushedOperator::Kind::kProject: {
+        std::ostringstream os;
+        std::vector<columnar::Field> fields;
+        for (size_t i = 0; i < op.expressions.size(); ++i) {
+          if (i) os << ", ";
+          os << op.expressions[i].ToString(current.get()) << " AS "
+             << op.output_names[i];
+          fields.push_back({op.output_names[i], op.expressions[i].type});
+        }
+        select_list = os.str();
+        current = columnar::MakeSchema(std::move(fields));
+        break;
+      }
+      case PushedOperator::Kind::kPartialAggregation: {
+        std::ostringstream os;
+        std::vector<columnar::Field> fields;
+        for (size_t k = 0; k < op.group_keys.size(); ++k) {
+          if (k) os << ", ";
+          const auto& field = current->field(op.group_keys[k]);
+          os << field.name;
+          fields.push_back(field);
+          if (!group_by.empty()) group_by += ", ";
+          group_by += field.name;
+        }
+        for (size_t a = 0; a < op.aggregates.size(); ++a) {
+          if (a || !op.group_keys.empty()) os << ", ";
+          os << AggregateSql(op.aggregates[a], *current);
+          fields.push_back(
+              {op.aggregates[a].output_name, op.aggregates[a].OutputType()});
+        }
+        select_list = os.str();
+        current = columnar::MakeSchema(std::move(fields));
+        // Fuse avg's $sum/$cnt pairs back into their base names.
+        original_names.clear();
+        for (size_t c = 0; c < op.group_keys.size(); ++c) {
+          original_names.push_back(current->field(c).name);
+        }
+        for (size_t c = op.group_keys.size(); c < current->num_fields();
+             ++c) {
+          const std::string& name = current->field(c).name;
+          if (name.ends_with("$sum") && c + 1 < current->num_fields() &&
+              current->field(c + 1).name.ends_with("$cnt")) {
+            original_names.push_back(name.substr(0, name.size() - 4));
+            ++c;  // skip the $cnt column
+          } else if (name.size() > 2 && name.ends_with("$p")) {
+            original_names.push_back(name.substr(0, name.size() - 2));
+          } else {
+            original_names.push_back(name);
+          }
+        }
+        break;
+      }
+      case PushedOperator::Kind::kPartialTopN: {
+        std::ostringstream os;
+        for (size_t s = 0; s < op.sort_fields.size(); ++s) {
+          if (s) os << ", ";
+          const auto& sf = op.sort_fields[s];
+          const size_t field_count = original_names.empty()
+                                         ? current->num_fields()
+                                         : original_names.size();
+          if (sf.field < 0 || static_cast<size_t>(sf.field) >= field_count) {
+            return Status::InvalidArgument("sql: sort field out of range");
+          }
+          os << (original_names.empty() ? current->field(sf.field).name
+                                        : original_names[sf.field])
+             << (sf.ascending ? "" : " DESC");
+        }
+        order_by = os.str();
+        limit_clause = std::to_string(op.limit);
+        break;
+      }
+      case PushedOperator::Kind::kPartialLimit:
+        limit_clause = std::to_string(op.limit);
+        break;
+    }
+  }
+
+  if (select_list.empty()) {
+    // No projection/aggregation pushed: list the (result) columns.
+    std::ostringstream os;
+    const std::vector<int>* result = &spec.result_columns;
+    if (result->empty()) {
+      for (size_t c = 0; c < current->num_fields(); ++c) {
+        if (c) os << ", ";
+        os << current->field(c).name;
+      }
+    } else {
+      for (size_t i = 0; i < result->size(); ++i) {
+        if (i) os << ", ";
+        os << current->field((*result)[i]).name;
+      }
+    }
+    select_list = os.str();
+  }
+
+  std::ostringstream sql;
+  sql << "SELECT " << select_list << " FROM " << table.info.table_name;
+  if (!where_clause.empty()) sql << " WHERE " << where_clause;
+  if (!group_by.empty()) sql << " GROUP BY " << group_by;
+  if (!order_by.empty()) sql << " ORDER BY " << order_by;
+  if (!limit_clause.empty()) sql << " LIMIT " << limit_clause;
+  return sql.str();
+}
+
+}  // namespace pocs::connectors

@@ -1,0 +1,23 @@
+// SQL reconstruction — §4 "Page Source Provider": "The translation
+// process extracts pushdown operators and reconstructs them into SQL
+// statements, combining filters with predicates, aggregations with
+// grouping keys and functions, and sorts with ordering criteria."
+//
+// The reconstructed statement is the human-auditable form of what the
+// connector ships to storage: it is logged, surfaced in monitoring, and
+// round-trips through the repo's own SQL parser (tested), mirroring the
+// paper's SQL→Substrait pipeline.
+#pragma once
+
+#include <string>
+
+#include "connector/spi.h"
+
+namespace pocs::connectors {
+
+// Reconstruct the pushdown pipeline of `spec` against `table` as a SQL
+// SELECT statement.
+Result<std::string> ReconstructSql(const connector::TableHandle& table,
+                                   const connector::ScanSpec& spec);
+
+}  // namespace pocs::connectors

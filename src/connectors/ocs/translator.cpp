@@ -1,0 +1,209 @@
+#include "connectors/ocs/translator.h"
+
+namespace pocs::connectors {
+
+using columnar::SchemaPtr;
+using columnar::TypeKind;
+using connector::PushedOperator;
+using connector::ScanSpec;
+using connector::Split;
+using connector::TableHandle;
+using substrait::AggFunc;
+using substrait::AggregateSpec;
+using substrait::Expression;
+using substrait::Plan;
+using substrait::Rel;
+using substrait::RelKind;
+using substrait::ScalarFunc;
+
+namespace {
+
+// Expressions over the partial-aggregation output schema that reproduce
+// each column of the *original* aggregation output (keys + finalized
+// aggregates). Used to rebuild top-N sort keys.
+std::vector<Expression> FinalizedColumnExprs(
+    const PushedOperator& agg_op, const columnar::Schema& partial_schema) {
+  std::vector<Expression> exprs;
+  const size_t n_keys = agg_op.group_keys.size();
+  for (size_t k = 0; k < n_keys; ++k) {
+    exprs.push_back(Expression::FieldRef(
+        static_cast<int>(k), partial_schema.field(k).type));
+  }
+  // Partial specs: AVG appears as <name>$sum, <name>$cnt pairs; others as
+  // single columns. Walk and fuse.
+  size_t col = n_keys;
+  while (col < partial_schema.num_fields()) {
+    const std::string& name = partial_schema.field(col).name;
+    if (name.size() > 4 && name.ends_with("$sum") &&
+        col + 1 < partial_schema.num_fields() &&
+        partial_schema.field(col + 1).name.ends_with("$cnt")) {
+      Expression sum = Expression::FieldRef(static_cast<int>(col),
+                                            partial_schema.field(col).type);
+      Expression cnt = Expression::FieldRef(
+          static_cast<int>(col + 1), partial_schema.field(col + 1).type);
+      exprs.push_back(Expression::Call(ScalarFunc::kDivide, {sum, cnt},
+                                       TypeKind::kFloat64));
+      col += 2;
+    } else {
+      exprs.push_back(Expression::FieldRef(static_cast<int>(col),
+                                           partial_schema.field(col).type));
+      ++col;
+    }
+  }
+  return exprs;
+}
+
+}  // namespace
+
+Result<Plan> TranslateScanSpec(const TableHandle& table, const Split& split,
+                               const ScanSpec& spec) {
+  auto read = std::make_unique<Rel>();
+  read->kind = RelKind::kRead;
+  read->bucket = split.bucket;
+  read->object = split.object;
+  read->base_schema = table.info.schema;
+  read->read_columns = spec.columns;
+
+  std::unique_ptr<Rel> chain = std::move(read);
+  POCS_ASSIGN_OR_RETURN(SchemaPtr current, substrait::OutputSchema(*chain));
+
+  const PushedOperator* last_agg = nullptr;
+  for (const PushedOperator& op : spec.operators) {
+    switch (op.kind) {
+      case PushedOperator::Kind::kFilter: {
+        auto filter = std::make_unique<Rel>();
+        filter->kind = RelKind::kFilter;
+        filter->predicate = op.predicate;
+        filter->input = std::move(chain);
+        chain = std::move(filter);
+        break;
+      }
+      case PushedOperator::Kind::kProject: {
+        auto project = std::make_unique<Rel>();
+        project->kind = RelKind::kProject;
+        project->expressions = op.expressions;
+        project->output_names = op.output_names;
+        project->input = std::move(chain);
+        chain = std::move(project);
+        break;
+      }
+      case PushedOperator::Kind::kPartialAggregation: {
+        auto agg = std::make_unique<Rel>();
+        agg->kind = RelKind::kAggregate;
+        agg->group_keys = op.group_keys;
+        agg->aggregates = op.aggregates;  // partial specs
+        agg->input = std::move(chain);
+        chain = std::move(agg);
+        last_agg = &op;
+        break;
+      }
+      case PushedOperator::Kind::kPartialLimit: {
+        if (op.limit < 0) {
+          return Status::InvalidArgument("limit pushdown without a limit");
+        }
+        auto fetch = std::make_unique<Rel>();
+        fetch->kind = RelKind::kFetch;
+        fetch->offset = 0;
+        fetch->count = op.limit;
+        fetch->input = std::move(chain);
+        chain = std::move(fetch);
+        break;
+      }
+      case PushedOperator::Kind::kPartialTopN: {
+        if (op.limit < 0) {
+          return Status::InvalidArgument("topn pushdown without a limit");
+        }
+        if (!last_agg) {
+          // Plain row-stream top-N: sort keys reference the current schema.
+          auto sort = std::make_unique<Rel>();
+          sort->kind = RelKind::kSort;
+          sort->sort_fields = op.sort_fields;
+          sort->input = std::move(chain);
+          auto fetch = std::make_unique<Rel>();
+          fetch->kind = RelKind::kFetch;
+          fetch->offset = 0;
+          fetch->count = op.limit;
+          fetch->input = std::move(sort);
+          chain = std::move(fetch);
+          break;
+        }
+        // Top-N above a partial aggregation: sort keys reference the
+        // ORIGINAL aggregation output; rebuild them over the partial
+        // schema, sort/fetch, then drop the auxiliary columns.
+        POCS_ASSIGN_OR_RETURN(SchemaPtr partial,
+                              substrait::OutputSchema(*chain));
+        std::vector<Expression> finalized =
+            FinalizedColumnExprs(*last_agg, *partial);
+
+        auto aux = std::make_unique<Rel>();
+        aux->kind = RelKind::kProject;
+        // Pass all partial columns through, then append the sort keys.
+        for (size_t c = 0; c < partial->num_fields(); ++c) {
+          aux->expressions.push_back(Expression::FieldRef(
+              static_cast<int>(c), partial->field(c).type));
+          aux->output_names.push_back(partial->field(c).name);
+        }
+        std::vector<substrait::SortField> aux_sorts;
+        for (const substrait::SortField& sf : op.sort_fields) {
+          if (sf.field < 0 ||
+              static_cast<size_t>(sf.field) >= finalized.size()) {
+            return Status::InvalidArgument("topn sort key out of range");
+          }
+          int aux_col = static_cast<int>(aux->expressions.size());
+          aux->expressions.push_back(finalized[sf.field]);
+          aux->output_names.push_back("$sort" + std::to_string(aux_col));
+          aux_sorts.push_back({aux_col, sf.ascending, sf.nulls_first});
+        }
+        aux->input = std::move(chain);
+
+        auto sort = std::make_unique<Rel>();
+        sort->kind = RelKind::kSort;
+        sort->sort_fields = aux_sorts;
+        sort->input = std::move(aux);
+
+        auto fetch = std::make_unique<Rel>();
+        fetch->kind = RelKind::kFetch;
+        fetch->offset = 0;
+        fetch->count = op.limit;
+        fetch->input = std::move(sort);
+
+        // Drop the auxiliary sort columns again.
+        auto drop = std::make_unique<Rel>();
+        drop->kind = RelKind::kProject;
+        for (size_t c = 0; c < partial->num_fields(); ++c) {
+          drop->expressions.push_back(Expression::FieldRef(
+              static_cast<int>(c), partial->field(c).type));
+          drop->output_names.push_back(partial->field(c).name);
+        }
+        drop->input = std::move(fetch);
+        chain = std::move(drop);
+        break;
+      }
+    }
+    POCS_ASSIGN_OR_RETURN(current, substrait::OutputSchema(*chain));
+  }
+
+  // Result-column projection: return only what the compute side needs
+  // (drops e.g. filter-only predicate columns).
+  if (!spec.result_columns.empty()) {
+    auto project = std::make_unique<Rel>();
+    project->kind = RelKind::kProject;
+    for (int c : spec.result_columns) {
+      if (c < 0 || static_cast<size_t>(c) >= current->num_fields()) {
+        return Status::InvalidArgument("result column out of range");
+      }
+      project->expressions.push_back(
+          Expression::FieldRef(c, current->field(c).type));
+      project->output_names.push_back(current->field(c).name);
+    }
+    project->input = std::move(chain);
+    chain = std::move(project);
+  }
+
+  Plan plan;
+  plan.root = std::move(chain);
+  POCS_RETURN_NOT_OK(substrait::ValidatePlan(plan));
+  return plan;
+}
+
+}  // namespace pocs::connectors

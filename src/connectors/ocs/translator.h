@@ -1,0 +1,30 @@
+// Translation of an absorbed scan pipeline (ScanSpec) into a Substrait-IR
+// plan for OCS — §4 "Page Source Provider": "reconstructs the pushdown
+// target operators and their associated conditions ... translated into
+// Substrait IR".
+//
+// Mapping:
+//   columns                → ReadRel with column selection
+//   kFilter                → FilterRel
+//   kProject               → ProjectRel
+//   kPartialAggregation    → AggregateRel (partial specs: the storage
+//                            returns mergeable partial results)
+//   kPartialTopN           → SortRel + FetchRel; when it follows an
+//                            aggregation, sort keys that reference
+//                            original aggregate outputs are rebuilt as
+//                            expressions over the partial columns (AVG →
+//                            sum/count), via an auxiliary ProjectRel that
+//                            is dropped again after the fetch.
+#pragma once
+
+#include "connector/spi.h"
+#include "substrait/rel.h"
+
+namespace pocs::connectors {
+
+// Build the storage-executable plan for one split.
+Result<substrait::Plan> TranslateScanSpec(const connector::TableHandle& table,
+                                          const connector::Split& split,
+                                          const connector::ScanSpec& spec);
+
+}  // namespace pocs::connectors

@@ -1,0 +1,529 @@
+#include "engine/analyzer.h"
+
+#include <map>
+#include <set>
+
+#include "engine/two_phase.h"
+#include "substrait/rel.h"
+
+namespace pocs::engine {
+
+using columnar::Datum;
+using columnar::Field;
+using columnar::MakeSchema;
+using columnar::Schema;
+using columnar::SchemaPtr;
+using columnar::TypeKind;
+using sql::AstExpr;
+using sql::AstExprKind;
+using substrait::AggFunc;
+using substrait::AggregateSpec;
+using substrait::Expression;
+using substrait::ExprKind;
+using substrait::ScalarFunc;
+
+namespace {
+
+Result<ScalarFunc> LowerBinaryOp(sql::BinaryOp op) {
+  switch (op) {
+    case sql::BinaryOp::kAdd: return ScalarFunc::kAdd;
+    case sql::BinaryOp::kSub: return ScalarFunc::kSubtract;
+    case sql::BinaryOp::kMul: return ScalarFunc::kMultiply;
+    case sql::BinaryOp::kDiv: return ScalarFunc::kDivide;
+    case sql::BinaryOp::kMod: return ScalarFunc::kModulo;
+    case sql::BinaryOp::kEq: return ScalarFunc::kEq;
+    case sql::BinaryOp::kNe: return ScalarFunc::kNe;
+    case sql::BinaryOp::kLt: return ScalarFunc::kLt;
+    case sql::BinaryOp::kLe: return ScalarFunc::kLe;
+    case sql::BinaryOp::kGt: return ScalarFunc::kGt;
+    case sql::BinaryOp::kGe: return ScalarFunc::kGe;
+    case sql::BinaryOp::kAnd: return ScalarFunc::kAnd;
+    case sql::BinaryOp::kOr: return ScalarFunc::kOr;
+  }
+  return Status::Internal("unknown binary op");
+}
+
+bool IsIntegerish(TypeKind t) {
+  return t == TypeKind::kInt32 || t == TypeKind::kInt64 ||
+         t == TypeKind::kDate32 || t == TypeKind::kBool;
+}
+
+// AVG/SUM/... at the top level of a SELECT item.
+Result<std::optional<AggFunc>> AggFuncFromName(const std::string& name) {
+  if (name == "sum") return std::optional(AggFunc::kSum);
+  if (name == "min") return std::optional(AggFunc::kMin);
+  if (name == "max") return std::optional(AggFunc::kMax);
+  if (name == "avg") return std::optional(AggFunc::kAvg);
+  if (name == "count") return std::optional(AggFunc::kCount);
+  return std::optional<AggFunc>();
+}
+
+bool ContainsAggregate(const AstExpr& e) {
+  if (e.kind == AstExprKind::kFuncCall) {
+    auto f = AggFuncFromName(e.name);
+    if (f.ok() && f.value().has_value()) return true;
+  }
+  for (const auto& arg : e.args) {
+    if (ContainsAggregate(*arg)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Expression> LowerExpression(const AstExpr& ast, const Schema& schema) {
+  switch (ast.kind) {
+    case AstExprKind::kColumnRef: {
+      int idx = schema.FieldIndex(ast.name);
+      if (idx < 0) {
+        return Status::InvalidArgument("column '" + ast.name +
+                                       "' not found in " + schema.ToString());
+      }
+      return Expression::FieldRef(idx, schema.field(idx).type);
+    }
+    case AstExprKind::kIntLiteral:
+      return Expression::Literal(Datum::Int64(ast.int_value));
+    case AstExprKind::kFloatLiteral:
+      return Expression::Literal(Datum::Float64(ast.float_value));
+    case AstExprKind::kStringLiteral:
+      return Expression::Literal(Datum::String(ast.str_value));
+    case AstExprKind::kDateLiteral:
+      return Expression::Literal(
+          Datum::Date32(static_cast<int32_t>(ast.int_value)));
+    case AstExprKind::kIntervalLiteral:
+      return Status::InvalidArgument(
+          "INTERVAL literal only valid in date arithmetic");
+    case AstExprKind::kStarLiteral:
+      return Status::InvalidArgument("'*' only valid inside COUNT(*)");
+    case AstExprKind::kUnary: {
+      POCS_ASSIGN_OR_RETURN(Expression arg,
+                            LowerExpression(*ast.args[0], schema));
+      if (ast.unary_op == sql::UnaryOp::kNot) {
+        if (arg.type != TypeKind::kBool) {
+          return Status::InvalidArgument("NOT expects a boolean");
+        }
+        return Expression::Call(ScalarFunc::kNot, {std::move(arg)},
+                                TypeKind::kBool);
+      }
+      if (!columnar::IsNumeric(arg.type)) {
+        return Status::InvalidArgument("unary '-' expects a number");
+      }
+      TypeKind out = arg.type == TypeKind::kFloat64 ? TypeKind::kFloat64
+                                                    : TypeKind::kInt64;
+      // Constant-fold negated literals (keeps filter conditions simple).
+      if (arg.kind == ExprKind::kLiteral && !arg.literal.is_null()) {
+        if (out == TypeKind::kFloat64) {
+          return Expression::Literal(Datum::Float64(-arg.literal.AsDouble()));
+        }
+        return Expression::Literal(Datum::Int64(-arg.literal.AsInt64()));
+      }
+      return Expression::Call(ScalarFunc::kNegate, {std::move(arg)}, out);
+    }
+    case AstExprKind::kBinary: {
+      // Date ± INTERVAL handled specially (incl. constant folding).
+      const bool is_add = ast.binary_op == sql::BinaryOp::kAdd;
+      const bool is_sub = ast.binary_op == sql::BinaryOp::kSub;
+      if ((is_add || is_sub) &&
+          ast.args[1]->kind == AstExprKind::kIntervalLiteral) {
+        POCS_ASSIGN_OR_RETURN(Expression lhs,
+                              LowerExpression(*ast.args[0], schema));
+        if (lhs.type != TypeKind::kDate32) {
+          return Status::InvalidArgument("INTERVAL arithmetic needs a date");
+        }
+        int64_t days = ast.args[1]->int_value * (is_sub ? -1 : 1);
+        if (lhs.kind == ExprKind::kLiteral) {
+          return Expression::Literal(Datum::Date32(
+              static_cast<int32_t>(lhs.literal.AsInt64() + days)));
+        }
+        return Expression::Call(
+            ScalarFunc::kAdd,
+            {std::move(lhs),
+             Expression::Literal(Datum::Date32(static_cast<int32_t>(days)))},
+            TypeKind::kDate32);
+      }
+      POCS_ASSIGN_OR_RETURN(Expression lhs,
+                            LowerExpression(*ast.args[0], schema));
+      POCS_ASSIGN_OR_RETURN(Expression rhs,
+                            LowerExpression(*ast.args[1], schema));
+      POCS_ASSIGN_OR_RETURN(ScalarFunc func, LowerBinaryOp(ast.binary_op));
+      if (substrait::IsComparison(func)) {
+        bool both_string = lhs.type == TypeKind::kString &&
+                           rhs.type == TypeKind::kString;
+        bool both_numeric =
+            columnar::IsNumeric(lhs.type) && columnar::IsNumeric(rhs.type);
+        if (!both_string && !both_numeric) {
+          return Status::InvalidArgument("incomparable types in " +
+                                         ast.ToString());
+        }
+        return Expression::Call(func, {std::move(lhs), std::move(rhs)},
+                                TypeKind::kBool);
+      }
+      if (substrait::IsLogical(func)) {
+        if (lhs.type != TypeKind::kBool || rhs.type != TypeKind::kBool) {
+          return Status::InvalidArgument("AND/OR expect booleans");
+        }
+        return Expression::Call(func, {std::move(lhs), std::move(rhs)},
+                                TypeKind::kBool);
+      }
+      // Arithmetic.
+      if (!columnar::IsNumeric(lhs.type) || !columnar::IsNumeric(rhs.type)) {
+        return Status::InvalidArgument("arithmetic expects numbers in " +
+                                       ast.ToString());
+      }
+      TypeKind out = (IsIntegerish(lhs.type) && IsIntegerish(rhs.type))
+                         ? TypeKind::kInt64
+                         : TypeKind::kFloat64;
+      if (func == ScalarFunc::kDivide && out == TypeKind::kInt64) {
+        // Follow SQL integer division (Presto semantics).
+        out = TypeKind::kInt64;
+      }
+      return Expression::Call(func, {std::move(lhs), std::move(rhs)}, out);
+    }
+    case AstExprKind::kFuncCall: {
+      if (ast.name == "$is_null" || ast.name == "$is_not_null") {
+        POCS_ASSIGN_OR_RETURN(Expression arg,
+                              LowerExpression(*ast.args[0], schema));
+        Expression is_null = Expression::Call(
+            ScalarFunc::kIsNull, {std::move(arg)}, TypeKind::kBool);
+        if (ast.name == "$is_not_null") {
+          return Expression::Call(ScalarFunc::kNot, {std::move(is_null)},
+                                  TypeKind::kBool);
+        }
+        return is_null;
+      }
+      return Status::InvalidArgument("function '" + ast.name +
+                                     "' not supported in scalar context");
+    }
+  }
+  return Status::Internal("unknown AST expr kind");
+}
+
+namespace {
+
+struct AggItem {
+  AggregateSpec spec;     // argument lowered against the scan schema
+  std::string out_name;   // final output column name
+};
+
+// Generated output name for an unaliased item.
+std::string DefaultName(const AstExpr& e, size_t index) {
+  if (e.kind == AstExprKind::kColumnRef) return e.name;
+  if (e.kind == AstExprKind::kFuncCall) {
+    return e.name + "_" + std::to_string(index);
+  }
+  return "_col" + std::to_string(index);
+}
+
+bool IsTrivialFieldRef(const Expression& e) {
+  return e.kind == ExprKind::kFieldRef;
+}
+
+}  // namespace
+
+Result<PlanNodePtr> AnalyzeQuery(const sql::Query& query,
+                                 const connector::TableHandle& table) {
+  const SchemaPtr& scan_schema = table.info.schema;
+  if (!scan_schema) return Status::InvalidArgument("table has no schema");
+
+  // ---- TableScan ----------------------------------------------------------
+  auto scan = std::make_shared<PlanNode>();
+  scan->kind = NodeKind::kTableScan;
+  scan->table = table;
+  scan->output_schema = scan_schema;
+  PlanNodePtr chain = scan;
+
+  // ---- Filter -------------------------------------------------------------
+  if (query.where) {
+    POCS_ASSIGN_OR_RETURN(Expression predicate,
+                          LowerExpression(*query.where, *scan_schema));
+    if (predicate.type != TypeKind::kBool) {
+      return Status::InvalidArgument("WHERE must be boolean");
+    }
+    auto filter = std::make_shared<PlanNode>();
+    filter->kind = NodeKind::kFilter;
+    filter->input = chain;
+    filter->predicate = std::move(predicate);
+    filter->output_schema = scan_schema;
+    chain = filter;
+  }
+
+  // ---- classify SELECT items ---------------------------------------------
+  bool has_aggregates = false;
+  for (const auto& item : query.items) {
+    if (ContainsAggregate(*item.expr)) has_aggregates = true;
+  }
+  if (!has_aggregates && !query.group_by.empty()) {
+    return Status::InvalidArgument("GROUP BY without aggregates unsupported");
+  }
+  if (!has_aggregates && query.having) {
+    return Status::InvalidArgument("HAVING requires aggregation");
+  }
+
+  // Output schema the ORDER BY / final project resolve against, plus the
+  // expressions that produce each output column from `chain`'s schema.
+  std::vector<std::string> out_names;
+  std::vector<Expression> out_exprs;   // over the chain's output schema
+  SchemaPtr pre_output_schema;         // schema out_exprs are rooted in
+
+  if (has_aggregates) {
+    // Lower group keys and aggregate arguments against the scan schema.
+    std::vector<Expression> key_exprs;
+    for (const auto& key_ast : query.group_by) {
+      POCS_ASSIGN_OR_RETURN(Expression key,
+                            LowerExpression(*key_ast, *scan_schema));
+      key_exprs.push_back(std::move(key));
+    }
+    std::vector<AggItem> agg_items;
+    // SELECT items must each be an aggregate call or a group key.
+    struct OutputSource {
+      bool is_key;
+      size_t index;  // into key_exprs or agg_items
+    };
+    std::vector<OutputSource> item_sources;
+    for (size_t i = 0; i < query.items.size(); ++i) {
+      const AstExpr& e = *query.items[i].expr;
+      std::string name = query.items[i].alias.value_or(DefaultName(e, i));
+      if (e.kind == AstExprKind::kFuncCall) {
+        POCS_ASSIGN_OR_RETURN(auto maybe_func, AggFuncFromName(e.name));
+        if (!maybe_func) {
+          return Status::InvalidArgument("unknown function '" + e.name + "'");
+        }
+        AggItem item;
+        item.spec.func = *maybe_func;
+        item.out_name = name;
+        item.spec.output_name = name;
+        if (e.args.size() == 1 &&
+            e.args[0]->kind == AstExprKind::kStarLiteral) {
+          if (item.spec.func != AggFunc::kCount) {
+            return Status::InvalidArgument("'*' only valid in COUNT(*)");
+          }
+          item.spec.func = AggFunc::kCountStar;
+        } else if (e.args.size() == 1) {
+          POCS_ASSIGN_OR_RETURN(item.spec.argument,
+                                LowerExpression(*e.args[0], *scan_schema));
+        } else {
+          return Status::InvalidArgument("aggregate '" + e.name +
+                                         "' expects one argument");
+        }
+        item_sources.push_back({false, agg_items.size()});
+        agg_items.push_back(std::move(item));
+      } else {
+        // Must match a group key (textual match on the lowered form).
+        POCS_ASSIGN_OR_RETURN(Expression lowered,
+                              LowerExpression(e, *scan_schema));
+        bool matched = false;
+        for (size_t k = 0; k < key_exprs.size(); ++k) {
+          if (key_exprs[k].ToString(scan_schema.get()) ==
+              lowered.ToString(scan_schema.get())) {
+            item_sources.push_back({true, k});
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) {
+          return Status::InvalidArgument(
+              "'" + e.ToString() + "' must appear in GROUP BY");
+        }
+        out_names.push_back(name);  // placeholder; rebuilt below
+        out_names.pop_back();
+      }
+    }
+
+    // Decide whether a pre-aggregation Project is needed: any non-trivial
+    // group key or aggregate argument (paper Table 2 plan shapes).
+    bool needs_project = false;
+    for (const Expression& k : key_exprs) {
+      if (!IsTrivialFieldRef(k)) needs_project = true;
+    }
+    for (const AggItem& a : agg_items) {
+      if (a.spec.func != AggFunc::kCountStar &&
+          !IsTrivialFieldRef(a.spec.argument)) {
+        needs_project = true;
+      }
+    }
+
+    std::vector<int> group_key_indices;
+    std::vector<AggregateSpec> agg_specs;
+    SchemaPtr agg_input_schema = chain->output_schema;
+
+    if (needs_project) {
+      // Project computes keys first, then aggregate arguments.
+      auto project = std::make_shared<PlanNode>();
+      project->kind = NodeKind::kProject;
+      project->input = chain;
+      std::vector<Field> fields;
+      for (size_t k = 0; k < key_exprs.size(); ++k) {
+        project->expressions.push_back(key_exprs[k]);
+        std::string name = "$key" + std::to_string(k);
+        if (key_exprs[k].kind == ExprKind::kFieldRef) {
+          name = scan_schema->field(key_exprs[k].field_index).name;
+        }
+        project->output_names.push_back(name);
+        fields.push_back({name, key_exprs[k].type});
+        group_key_indices.push_back(static_cast<int>(k));
+      }
+      size_t arg_col = key_exprs.size();
+      for (AggItem& a : agg_items) {
+        AggregateSpec spec = a.spec;
+        if (a.spec.func != AggFunc::kCountStar) {
+          project->expressions.push_back(a.spec.argument);
+          std::string name = "$arg" + std::to_string(arg_col);
+          project->output_names.push_back(name);
+          fields.push_back({name, a.spec.argument.type});
+          spec.argument = Expression::FieldRef(static_cast<int>(arg_col),
+                                               a.spec.argument.type);
+          ++arg_col;
+        }
+        agg_specs.push_back(std::move(spec));
+      }
+      project->output_schema = MakeSchema(std::move(fields));
+      agg_input_schema = project->output_schema;
+      chain = project;
+    } else {
+      for (const Expression& k : key_exprs) {
+        group_key_indices.push_back(k.field_index);
+      }
+      for (const AggItem& a : agg_items) agg_specs.push_back(a.spec);
+    }
+
+    auto agg = std::make_shared<PlanNode>();
+    agg->kind = NodeKind::kAggregation;
+    agg->input = chain;
+    agg->group_keys = group_key_indices;
+    agg->aggregates = agg_specs;
+    std::vector<Field> agg_fields;
+    for (int k : agg->group_keys) {
+      agg_fields.push_back(agg_input_schema->field(k));
+    }
+    for (const AggregateSpec& spec : agg_specs) {
+      agg_fields.push_back({spec.output_name, spec.OutputType()});
+    }
+    agg->output_schema = MakeSchema(std::move(agg_fields));
+    chain = agg;
+    pre_output_schema = agg->output_schema;
+
+    // HAVING: a filter over the aggregation output (group keys and SELECT
+    // aliases), always residual — never pushed below the aggregation.
+    if (query.having) {
+      POCS_ASSIGN_OR_RETURN(Expression having,
+                            LowerExpression(*query.having,
+                                            *pre_output_schema));
+      if (having.type != TypeKind::kBool) {
+        return Status::InvalidArgument("HAVING must be boolean");
+      }
+      auto having_filter = std::make_shared<PlanNode>();
+      having_filter->kind = NodeKind::kFilter;
+      having_filter->input = chain;
+      having_filter->predicate = std::move(having);
+      having_filter->output_schema = pre_output_schema;
+      chain = having_filter;
+    }
+
+    // Output columns in SELECT order.
+    out_names.clear();
+    for (size_t i = 0; i < query.items.size(); ++i) {
+      const auto& src = item_sources[i];
+      std::string name = query.items[i].alias.value_or(
+          DefaultName(*query.items[i].expr, i));
+      int col;
+      if (src.is_key) {
+        col = static_cast<int>(src.index);
+      } else {
+        col = static_cast<int>(agg->group_keys.size() + src.index);
+      }
+      out_exprs.push_back(
+          Expression::FieldRef(col, pre_output_schema->field(col).type));
+      out_names.push_back(name);
+    }
+  } else {
+    // Non-aggregate query: outputs are expressions over the chain schema.
+    pre_output_schema = chain->output_schema;
+    for (size_t i = 0; i < query.items.size(); ++i) {
+      const AstExpr& e = *query.items[i].expr;
+      if (e.kind == AstExprKind::kStarLiteral) {
+        for (size_t c = 0; c < pre_output_schema->num_fields(); ++c) {
+          out_exprs.push_back(Expression::FieldRef(
+              static_cast<int>(c), pre_output_schema->field(c).type));
+          out_names.push_back(pre_output_schema->field(c).name);
+        }
+        continue;
+      }
+      POCS_ASSIGN_OR_RETURN(Expression lowered,
+                            LowerExpression(e, *pre_output_schema));
+      out_exprs.push_back(std::move(lowered));
+      out_names.push_back(
+          query.items[i].alias.value_or(DefaultName(e, i)));
+    }
+  }
+
+  // ---- ORDER BY / LIMIT ---------------------------------------------------
+  // Sort fields resolve against the pre-output schema (agg output for
+  // aggregate queries, scan/filter schema otherwise), falling back to
+  // SELECT aliases.
+  std::vector<substrait::SortField> sort_fields;
+  for (const auto& order : query.order_by) {
+    int col = -1;
+    if (order.expr->kind == AstExprKind::kColumnRef) {
+      col = pre_output_schema->FieldIndex(order.expr->name);
+      if (col < 0) {
+        // Try SELECT aliases: alias i maps to out_exprs[i], which must be
+        // a plain field ref for sorting below the output project.
+        for (size_t i = 0; i < out_names.size(); ++i) {
+          if (out_names[i] == order.expr->name &&
+              out_exprs[i].kind == ExprKind::kFieldRef) {
+            col = out_exprs[i].field_index;
+            break;
+          }
+        }
+      }
+    }
+    if (col < 0) {
+      return Status::InvalidArgument("cannot resolve ORDER BY '" +
+                                     order.expr->ToString() + "'");
+    }
+    sort_fields.push_back({col, order.ascending, true});
+  }
+
+  if (!sort_fields.empty() && query.limit) {
+    auto topn = std::make_shared<PlanNode>();
+    topn->kind = NodeKind::kTopN;
+    topn->input = chain;
+    topn->sort_fields = sort_fields;
+    topn->limit = *query.limit;
+    topn->output_schema = chain->output_schema;
+    chain = topn;
+  } else if (!sort_fields.empty()) {
+    auto sort = std::make_shared<PlanNode>();
+    sort->kind = NodeKind::kSort;
+    sort->input = chain;
+    sort->sort_fields = sort_fields;
+    sort->output_schema = chain->output_schema;
+    chain = sort;
+  } else if (query.limit) {
+    auto limit = std::make_shared<PlanNode>();
+    limit->kind = NodeKind::kLimit;
+    limit->input = chain;
+    limit->limit = *query.limit;
+    limit->output_schema = chain->output_schema;
+    chain = limit;
+  }
+
+  // ---- Output project -----------------------------------------------------
+  auto output = std::make_shared<PlanNode>();
+  output->kind = NodeKind::kProject;
+  output->input = chain;
+  output->expressions = out_exprs;
+  output->output_names = out_names;
+  output->identity_project = true;
+  for (const Expression& e : out_exprs) {
+    if (e.kind != ExprKind::kFieldRef) output->identity_project = false;
+  }
+  std::vector<Field> out_fields;
+  for (size_t i = 0; i < out_exprs.size(); ++i) {
+    out_fields.push_back({out_names[i], out_exprs[i].type});
+  }
+  output->output_schema = MakeSchema(std::move(out_fields));
+  return output;
+}
+
+}  // namespace pocs::engine

@@ -1,0 +1,26 @@
+// Semantic analysis and logical planning (paper Fig. 3 step 2): resolves
+// the query against a table handle's schema, lowers AST expressions into
+// IR expressions, and builds the logical plan chain
+//   TableScan → Filter? → Project? → Aggregation? → (TopN|Sort)? → Limit?
+//   → OutputProject
+// The pre-aggregation Project is inserted only when a group key or an
+// aggregate argument is a non-trivial expression — reproducing the plan
+// shapes of the paper's Table 2 (Laghos has no Project node, Deep Water
+// and TPC-H Q1 do).
+#pragma once
+
+#include "connector/spi.h"
+#include "engine/plan.h"
+#include "sql/ast.h"
+
+namespace pocs::engine {
+
+Result<PlanNodePtr> AnalyzeQuery(const sql::Query& query,
+                                 const connector::TableHandle& table);
+
+// Lower a scalar AST expression against a schema (exposed for tests and
+// the connectors' condition handling).
+Result<substrait::Expression> LowerExpression(const sql::AstExpr& ast,
+                                              const columnar::Schema& schema);
+
+}  // namespace pocs::engine

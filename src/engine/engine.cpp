@@ -1,0 +1,369 @@
+#include "engine/engine.h"
+
+#include <atomic>
+
+#include "common/stopwatch.h"
+#include "engine/analyzer.h"
+#include "engine/optimizer.h"
+#include "engine/two_phase.h"
+#include "exec/hash_aggregator.h"
+#include "exec/sorter.h"
+#include "sql/parser.h"
+#include "substrait/eval.h"
+
+namespace pocs::engine {
+
+using columnar::RecordBatchPtr;
+using columnar::SchemaPtr;
+using columnar::Table;
+using connector::PageSourceStats;
+using substrait::Expression;
+
+QueryEngine::QueryEngine(EngineConfig config) : config_(config) {
+  pool_ = std::make_unique<ThreadPool>(config_.worker_threads);
+}
+
+void QueryEngine::RegisterConnector(
+    std::shared_ptr<connector::Connector> connector) {
+  connectors_[connector->id()] = std::move(connector);
+}
+
+connector::Connector* QueryEngine::GetConnector(const std::string& id) const {
+  auto it = connectors_.find(id);
+  return it == connectors_.end() ? nullptr : it->second.get();
+}
+
+void QueryEngine::AddEventListener(
+    std::shared_ptr<connector::EventListener> listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+namespace {
+
+struct SplitOutput {
+  std::shared_ptr<Table> data;
+  PageSourceStats stats;
+  double compute_seconds = 0;  // residual compute-side work, measured
+  Status status;
+};
+
+Result<RecordBatchPtr> ApplyProjectNode(const PlanNode& node,
+                                        const columnar::RecordBatch& batch) {
+  std::vector<columnar::ColumnPtr> cols;
+  for (const Expression& e : node.expressions) {
+    POCS_ASSIGN_OR_RETURN(columnar::ColumnPtr col,
+                          substrait::Evaluate(e, batch));
+    cols.push_back(std::move(col));
+  }
+  return columnar::MakeBatch(node.output_schema, std::move(cols));
+}
+
+}  // namespace
+
+Result<QueryResult> QueryEngine::Execute(const std::string& sql,
+                                         const std::string& catalog) {
+  Stopwatch total_timer;
+  QueryResult result;
+  QueryMetrics& metrics = result.metrics;
+
+  connector::Connector* conn = GetConnector(catalog);
+  if (!conn) return Status::NotFound("no connector '" + catalog + "'");
+
+  // ---- parse ---------------------------------------------------------------
+  Stopwatch parse_timer;
+  POCS_ASSIGN_OR_RETURN(sql::Query query, sql::ParseQuery(sql));
+  metrics.others += parse_timer.ElapsedSeconds();
+
+  // ---- analyze + optimize ---------------------------------------------------
+  Stopwatch plan_timer;
+  std::string schema_name =
+      query.schema_name.empty() ? "default" : query.schema_name;
+  POCS_ASSIGN_OR_RETURN(connector::TableHandle table,
+                        conn->GetTableHandle(schema_name, query.table_name));
+  POCS_ASSIGN_OR_RETURN(PlanNodePtr plan, AnalyzeQuery(query, table));
+  POCS_RETURN_NOT_OK(PruneColumns(plan));
+  result.logical_plan = PlanChainToString(*plan);
+
+  POCS_ASSIGN_OR_RETURN(LocalOptimizerResult local,
+                        RunConnectorOptimizer(plan, *conn));
+  plan = local.plan;
+  metrics.pushdown_decisions = local.decisions;
+  result.optimized_plan = PlanChainToString(*plan);
+  metrics.logical_plan_analysis = plan_timer.ElapsedSeconds();
+
+  // ---- classify the executable chain ---------------------------------------
+  std::vector<PlanNode*> chain;
+  for (PlanNode* n = plan.get(); n; n = n->input.get()) chain.push_back(n);
+  std::reverse(chain.begin(), chain.end());
+  if (chain.empty() || chain[0]->kind != NodeKind::kTableScan) {
+    return Status::Internal("optimized plan lost its scan");
+  }
+  PlanNode* scan = chain[0];
+
+  size_t idx = 1;
+  std::vector<PlanNode*> stream_nodes;  // per-split filters/projects
+  while (idx < chain.size() &&
+         (chain[idx]->kind == NodeKind::kFilter ||
+          (chain[idx]->kind == NodeKind::kProject &&
+           !chain[idx]->identity_project))) {
+    stream_nodes.push_back(chain[idx]);
+    ++idx;
+  }
+  PlanNode* agg_node = nullptr;
+  if (idx < chain.size() && chain[idx]->kind == NodeKind::kAggregation) {
+    agg_node = chain[idx];
+    ++idx;
+  }
+  const size_t merge_from = idx;  // merge-side nodes: chain[idx..)
+
+  // Schema flowing into the per-split accumulation.
+  SchemaPtr stream_schema = stream_nodes.empty()
+                                ? scan->scan_spec.output_schema
+                                : stream_nodes.back()->output_schema;
+  if (!stream_schema) stream_schema = scan->output_schema;
+
+  // ---- split generation ------------------------------------------------------
+  POCS_ASSIGN_OR_RETURN(std::vector<connector::Split> splits,
+                        conn->GetSplits(table));
+  metrics.splits = splits.size();
+
+  // ---- per-split execution (parallel, real work) -----------------------------
+  std::vector<SplitOutput> outputs(splits.size());
+  const connector::ScanSpec& spec = scan->scan_spec;
+  const bool partial_agg_here =
+      agg_node && agg_node->agg_step == AggregationStep::kSingle;
+
+  pool_->ParallelFor(splits.size(), [&](size_t s) {
+    SplitOutput& out = outputs[s];
+    auto source_or = conn->CreatePageSource(table, splits[s], spec);
+    if (!source_or.ok()) {
+      out.status = source_or.status();
+      return;
+    }
+    auto source = std::move(source_or).value();
+    Stopwatch compute_timer;
+    double compute = 0;
+
+    std::unique_ptr<exec::HashAggregator> partial;
+    if (partial_agg_here) {
+      partial = std::make_unique<exec::HashAggregator>(
+          stream_schema, agg_node->group_keys,
+          PartialAggSpecs(agg_node->aggregates));
+    }
+    auto collected = std::make_shared<Table>(
+        partial ? partial->output_schema() : stream_schema);
+
+    while (true) {
+      auto batch_or = source->Next();
+      if (!batch_or.ok()) {
+        out.status = batch_or.status();
+        return;
+      }
+      RecordBatchPtr batch = std::move(batch_or).value();
+      if (!batch) break;
+      compute_timer.Restart();
+      for (PlanNode* node : stream_nodes) {
+        if (node->kind == NodeKind::kFilter) {
+          auto filtered = substrait::FilterBatch(node->predicate, *batch);
+          if (!filtered.ok()) {
+            out.status = filtered.status();
+            return;
+          }
+          batch = *filtered;
+        } else {
+          auto projected = ApplyProjectNode(*node, *batch);
+          if (!projected.ok()) {
+            out.status = projected.status();
+            return;
+          }
+          batch = *projected;
+        }
+        if (batch->num_rows() == 0) break;
+      }
+      if (batch->num_rows() > 0) {
+        if (partial) {
+          Status st = partial->Consume(*batch);
+          if (!st.ok()) {
+            out.status = st;
+            return;
+          }
+        } else {
+          collected->AppendBatch(batch);
+        }
+      }
+      compute += compute_timer.ElapsedSeconds();
+    }
+    if (partial) {
+      compute_timer.Restart();
+      auto final_batch = partial->Finish();
+      if (!final_batch.ok()) {
+        out.status = final_batch.status();
+        return;
+      }
+      collected->AppendBatch(*final_batch);
+      compute += compute_timer.ElapsedSeconds();
+    }
+    out.data = collected;
+    out.stats = source->stats();
+    out.compute_seconds = compute;
+  });
+
+  SplitStageTotals totals;
+  double residual_compute = 0;
+  for (SplitOutput& out : outputs) {
+    POCS_RETURN_NOT_OK(out.status);
+    totals.bytes_moved += out.stats.bytes_received + out.stats.bytes_sent;
+    totals.messages += 2;  // request + response per split
+    totals.storage_compute_seconds += out.stats.storage_compute_seconds;
+    totals.media_read_seconds += out.stats.media_read_seconds;
+    totals.compute_seconds += out.compute_seconds + out.stats.decode_seconds;
+    metrics.bytes_from_storage += out.stats.bytes_received;
+    metrics.bytes_to_storage += out.stats.bytes_sent;
+    metrics.rows_from_storage += out.stats.rows_received;
+    metrics.ir_generation += out.stats.ir_generation_seconds;
+    metrics.storage_compute_seconds += out.stats.storage_compute_seconds;
+    metrics.row_groups_total += out.stats.row_groups_total;
+    metrics.row_groups_skipped += out.stats.row_groups_skipped;
+    residual_compute += out.compute_seconds + out.stats.decode_seconds;
+  }
+  totals.splits = splits.size();
+
+  // Simulated stage times (DESIGN.md §4): transfer/storage roofline for the
+  // scan stage; compute-side work accounted under post-scan execution.
+  {
+    SplitStageTotals transfer_only = totals;
+    transfer_only.compute_seconds = 0;
+    metrics.pushdown_and_transfer =
+        SplitStageSeconds(transfer_only, config_.time_model);
+    metrics.post_scan_execution +=
+        residual_compute /
+        static_cast<double>(std::max<size_t>(config_.worker_threads, 1));
+  }
+
+  // ---- merge stage (single-threaded, real work) ------------------------------
+  Stopwatch merge_timer;
+  SchemaPtr merged_schema =
+      outputs.empty()
+          ? (partial_agg_here || (agg_node && agg_node->agg_step ==
+                                                  AggregationStep::kFinal)
+                 ? PartialOutputSchema(*stream_schema, agg_node->group_keys,
+                                       agg_node->aggregates)
+                 : stream_schema)
+          : outputs[0].data->schema();
+  auto merged = std::make_shared<Table>(merged_schema);
+  for (SplitOutput& out : outputs) {
+    for (const auto& batch : out.data->batches()) merged->AppendBatch(batch);
+  }
+
+  std::shared_ptr<Table> current = merged;
+  if (agg_node) {
+    const size_t n_keys = agg_node->group_keys.size();
+    exec::HashAggregator final_agg(
+        current->schema(),
+        [&] {
+          std::vector<int> keys(n_keys);
+          for (size_t k = 0; k < n_keys; ++k) keys[k] = static_cast<int>(k);
+          return keys;
+        }(),
+        FinalAggSpecs(agg_node->aggregates, n_keys));
+    for (const auto& batch : current->batches()) {
+      POCS_RETURN_NOT_OK(final_agg.Consume(*batch));
+    }
+    POCS_ASSIGN_OR_RETURN(RecordBatchPtr final_batch, final_agg.Finish());
+    // Finalize: recover original aggregate outputs (AVG = sum/count).
+    std::vector<Expression> finalize_exprs;
+    std::vector<std::string> finalize_names;
+    FinalizeProjection(agg_node->aggregates, n_keys,
+                       *final_batch->schema(), &finalize_exprs,
+                       &finalize_names);
+    std::vector<columnar::ColumnPtr> cols;
+    for (const Expression& e : finalize_exprs) {
+      POCS_ASSIGN_OR_RETURN(columnar::ColumnPtr col,
+                            substrait::Evaluate(e, *final_batch));
+      cols.push_back(std::move(col));
+    }
+    RecordBatchPtr finalized =
+        columnar::MakeBatch(agg_node->output_schema, std::move(cols));
+    current = std::make_shared<Table>(finalized->schema());
+    current->AppendBatch(std::move(finalized));
+  }
+
+  for (size_t i = merge_from; i < chain.size(); ++i) {
+    PlanNode* node = chain[i];
+    switch (node->kind) {
+      case NodeKind::kSort: {
+        POCS_ASSIGN_OR_RETURN(RecordBatchPtr sorted,
+                              exec::SortTable(*current, node->sort_fields));
+        current = std::make_shared<Table>(sorted->schema());
+        current->AppendBatch(std::move(sorted));
+        break;
+      }
+      case NodeKind::kTopN: {
+        POCS_ASSIGN_OR_RETURN(RecordBatchPtr sorted,
+                              exec::SortTable(*current, node->sort_fields));
+        columnar::SelectionVector head;
+        for (uint32_t r = 0;
+             r < std::min<uint64_t>(sorted->num_rows(), node->limit); ++r) {
+          head.push_back(r);
+        }
+        RecordBatchPtr top = columnar::TakeBatch(*sorted, head);
+        current = std::make_shared<Table>(top->schema());
+        current->AppendBatch(std::move(top));
+        break;
+      }
+      case NodeKind::kLimit: {
+        POCS_ASSIGN_OR_RETURN(current,
+                              exec::FetchTable(*current, 0, node->limit));
+        break;
+      }
+      case NodeKind::kProject: {
+        auto next = std::make_shared<Table>(node->output_schema);
+        for (const auto& batch : current->batches()) {
+          POCS_ASSIGN_OR_RETURN(RecordBatchPtr projected,
+                                ApplyProjectNode(*node, *batch));
+          next->AppendBatch(std::move(projected));
+        }
+        current = next;
+        break;
+      }
+      case NodeKind::kFilter: {
+        auto next = std::make_shared<Table>(current->schema());
+        for (const auto& batch : current->batches()) {
+          POCS_ASSIGN_OR_RETURN(RecordBatchPtr filtered,
+                                substrait::FilterBatch(node->predicate, *batch));
+          if (filtered->num_rows() > 0) next->AppendBatch(std::move(filtered));
+        }
+        current = next;
+        break;
+      }
+      default:
+        return Status::Internal("unexpected merge-stage node");
+    }
+  }
+  metrics.post_scan_execution += merge_timer.ElapsedSeconds();
+
+  result.table = current->Combine();
+  metrics.others += std::max(
+      0.0, total_timer.ElapsedSeconds() -
+               (metrics.logical_plan_analysis + metrics.ir_generation +
+                residual_compute + metrics.storage_compute_seconds +
+                metrics.others));
+  metrics.total = metrics.others + metrics.logical_plan_analysis +
+                  metrics.ir_generation + metrics.pushdown_and_transfer +
+                  metrics.post_scan_execution;
+
+  // ---- events ----------------------------------------------------------------
+  if (!listeners_.empty()) {
+    connector::QueryEvent event;
+    event.query_id = "q" + std::to_string(next_query_id_++);
+    event.connector_id = catalog;
+    event.decisions = metrics.pushdown_decisions;
+    event.bytes_from_storage = metrics.bytes_from_storage;
+    event.rows_from_storage = metrics.rows_from_storage;
+    event.execution_seconds = metrics.total;
+    for (const auto& listener : listeners_) listener->QueryCompleted(event);
+  }
+  return result;
+}
+
+}  // namespace pocs::engine

@@ -1,0 +1,399 @@
+#include "engine/optimizer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "engine/two_phase.h"
+
+namespace pocs::engine {
+
+using columnar::Field;
+using columnar::MakeSchema;
+using columnar::SchemaPtr;
+using substrait::Expression;
+using substrait::ExprKind;
+
+namespace {
+
+void CollectExprColumns(const Expression& e, std::set<int>* used) {
+  std::vector<int> refs;
+  e.CollectFieldRefs(&refs);
+  used->insert(refs.begin(), refs.end());
+}
+
+void RemapExpr(Expression* e, const std::vector<int>& old_to_new) {
+  if (e->kind == ExprKind::kFieldRef) {
+    e->field_index = old_to_new[e->field_index];
+    return;
+  }
+  for (Expression& arg : e->args) RemapExpr(&arg, old_to_new);
+}
+
+}  // namespace
+
+Status PruneColumns(const PlanNodePtr& root) {
+  // Walk down to the scan, recording the nodes that reference the scan
+  // schema: consecutive filters above the scan, then the first
+  // schema-changing node (project or aggregation), or — in plans with
+  // neither — sort/topn/limit and the output project.
+  std::vector<PlanNode*> chain;
+  for (PlanNode* n = root.get(); n != nullptr; n = n->input.get()) {
+    chain.push_back(n);
+  }
+  std::reverse(chain.begin(), chain.end());
+  if (chain.empty() || chain[0]->kind != NodeKind::kTableScan) {
+    return Status::InvalidArgument("plan must start with a table scan");
+  }
+  PlanNode* scan = chain[0];
+  const SchemaPtr& table_schema = scan->table.info.schema;
+
+  std::set<int> used;
+  size_t i = 1;
+  for (; i < chain.size(); ++i) {
+    PlanNode* n = chain[i];
+    if (n->kind == NodeKind::kFilter) {
+      CollectExprColumns(n->predicate, &used);
+      continue;
+    }
+    if (n->kind == NodeKind::kProject) {
+      for (const Expression& e : n->expressions) CollectExprColumns(e, &used);
+      break;
+    }
+    if (n->kind == NodeKind::kAggregation) {
+      for (int k : n->group_keys) used.insert(k);
+      for (const auto& agg : n->aggregates) {
+        if (agg.func != substrait::AggFunc::kCountStar) {
+          CollectExprColumns(agg.argument, &used);
+        }
+      }
+      break;
+    }
+    // Sort/TopN/Limit preserve the scan schema; record sort columns and
+    // keep walking to the output project.
+    if (n->kind == NodeKind::kSort || n->kind == NodeKind::kTopN) {
+      for (const auto& sf : n->sort_fields) used.insert(sf.field);
+      continue;
+    }
+    if (n->kind == NodeKind::kLimit) continue;
+    break;
+  }
+  const size_t boundary = i;  // first node NOT referencing the scan schema
+
+  if (used.empty()) {
+    // Degenerate (e.g. SELECT COUNT(*)): keep one narrow column so scans
+    // still produce row counts.
+    int narrowest = 0;
+    size_t best = SIZE_MAX;
+    for (size_t c = 0; c < table_schema->num_fields(); ++c) {
+      size_t width = columnar::TypeWidth(table_schema->field(c).type);
+      if (width == 0) width = 16;
+      if (width < best) {
+        best = width;
+        narrowest = static_cast<int>(c);
+      }
+    }
+    used.insert(narrowest);
+  }
+  if (used.size() == table_schema->num_fields()) return Status::OK();
+
+  // Build the pruned schema and the remap table.
+  std::vector<int> columns(used.begin(), used.end());
+  std::vector<int> old_to_new(table_schema->num_fields(), -1);
+  std::vector<Field> fields;
+  for (size_t n = 0; n < columns.size(); ++n) {
+    old_to_new[columns[n]] = static_cast<int>(n);
+    fields.push_back(table_schema->field(columns[n]));
+  }
+  SchemaPtr pruned = MakeSchema(std::move(fields));
+
+  scan->scan_spec.columns = columns;
+  scan->output_schema = pruned;
+
+  for (size_t n = 1; n < boundary; ++n) {
+    PlanNode* node = chain[n];
+    switch (node->kind) {
+      case NodeKind::kFilter:
+        RemapExpr(&node->predicate, old_to_new);
+        node->output_schema = pruned;
+        break;
+      case NodeKind::kSort:
+      case NodeKind::kTopN:
+        for (auto& sf : node->sort_fields) sf.field = old_to_new[sf.field];
+        node->output_schema = pruned;
+        break;
+      case NodeKind::kLimit:
+        node->output_schema = pruned;
+        break;
+      default:
+        break;
+    }
+  }
+  if (boundary < chain.size()) {
+    PlanNode* node = chain[boundary];
+    if (node->kind == NodeKind::kProject) {
+      for (Expression& e : node->expressions) RemapExpr(&e, old_to_new);
+    } else if (node->kind == NodeKind::kAggregation) {
+      for (int& k : node->group_keys) k = old_to_new[k];
+      for (auto& agg : node->aggregates) {
+        if (agg.func != substrait::AggFunc::kCountStar) {
+          RemapExpr(&agg.argument, old_to_new);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// After pushdown negotiation, trim the columns the pushed pipeline sends
+// back to what the residual plan actually uses, remapping residual-node
+// references. Only meaningful when the absorbed pipeline preserves the
+// scan schema (filter and/or raw-row top-N); project/aggregation outputs
+// are already exact.
+void TrimResultColumns(const PlanNodePtr& scan,
+                       const std::vector<PlanNodePtr>& residual_above_scan) {
+  connector::ScanSpec& spec = scan->scan_spec;
+  if (spec.operators.empty()) return;
+  for (const auto& op : spec.operators) {
+    if (op.kind == connector::PushedOperator::Kind::kProject ||
+        op.kind == connector::PushedOperator::Kind::kPartialAggregation) {
+      return;  // output schema already minimal
+    }
+  }
+  const columnar::SchemaPtr schema = spec.output_schema;
+  if (!schema) return;
+
+  // Collect the scan-schema columns the residual chain references, using
+  // the same boundary rule as PruneColumns.
+  std::set<int> used;
+  size_t i = 0;
+  for (; i < residual_above_scan.size(); ++i) {
+    PlanNode* n = residual_above_scan[i].get();
+    if (n->kind == NodeKind::kFilter) {
+      CollectExprColumns(n->predicate, &used);
+      continue;
+    }
+    if (n->kind == NodeKind::kProject) {
+      for (const Expression& e : n->expressions) CollectExprColumns(e, &used);
+      break;
+    }
+    if (n->kind == NodeKind::kAggregation) {
+      for (int k : n->group_keys) used.insert(k);
+      for (const auto& agg : n->aggregates) {
+        if (agg.func != substrait::AggFunc::kCountStar) {
+          CollectExprColumns(agg.argument, &used);
+        }
+      }
+      break;
+    }
+    if (n->kind == NodeKind::kSort || n->kind == NodeKind::kTopN) {
+      for (const auto& sf : n->sort_fields) used.insert(sf.field);
+      continue;
+    }
+    if (n->kind == NodeKind::kLimit) continue;
+    break;
+  }
+  const size_t boundary = i;
+  if (used.empty() || used.size() >= schema->num_fields()) return;
+
+  std::vector<int> keep(used.begin(), used.end());
+  std::vector<int> old_to_new(schema->num_fields(), -1);
+  std::vector<columnar::Field> fields;
+  for (size_t n = 0; n < keep.size(); ++n) {
+    old_to_new[keep[n]] = static_cast<int>(n);
+    fields.push_back(schema->field(keep[n]));
+  }
+  columnar::SchemaPtr trimmed = columnar::MakeSchema(std::move(fields));
+
+  spec.result_columns = keep;
+  spec.output_schema = trimmed;
+  scan->output_schema = trimmed;
+
+  for (size_t n = 0; n < boundary; ++n) {
+    PlanNode* node = residual_above_scan[n].get();
+    switch (node->kind) {
+      case NodeKind::kFilter:
+        RemapExpr(&node->predicate, old_to_new);
+        node->output_schema = trimmed;
+        break;
+      case NodeKind::kSort:
+      case NodeKind::kTopN:
+        for (auto& sf : node->sort_fields) sf.field = old_to_new[sf.field];
+        node->output_schema = trimmed;
+        break;
+      case NodeKind::kLimit:
+        node->output_schema = trimmed;
+        break;
+      default:
+        break;
+    }
+  }
+  if (boundary < residual_above_scan.size()) {
+    PlanNode* node = residual_above_scan[boundary].get();
+    if (node->kind == NodeKind::kProject) {
+      for (Expression& e : node->expressions) RemapExpr(&e, old_to_new);
+    } else if (node->kind == NodeKind::kAggregation) {
+      for (int& k : node->group_keys) k = old_to_new[k];
+      for (auto& agg : node->aggregates) {
+        if (agg.func != substrait::AggFunc::kCountStar) {
+          RemapExpr(&agg.argument, old_to_new);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<LocalOptimizerResult> RunConnectorOptimizer(
+    PlanNodePtr root, connector::Connector& connector) {
+  LocalOptimizerResult result;
+
+  // Bottom-up: collect the chain, then offer nodes directly above the
+  // scan one at a time. A rejected node stops the walk (operators cannot
+  // be reordered across an unpushed one).
+  std::vector<PlanNodePtr> chain;  // top → bottom
+  for (PlanNodePtr n = root; n; n = n->input) chain.push_back(n);
+  std::reverse(chain.begin(), chain.end());  // bottom → top
+  if (chain.empty() || chain[0]->kind != NodeKind::kTableScan) {
+    return Status::InvalidArgument("plan must start with a table scan");
+  }
+  PlanNodePtr scan = chain[0];
+  connector::ScanSpec& spec = scan->scan_spec;
+  if (!spec.output_schema) spec.output_schema = scan->output_schema;
+
+  size_t absorbed = 0;  // nodes above the scan absorbed into the spec
+  bool agg_absorbed = false;
+  bool keep_topn = false;  // absorbed a TopN that must stay for the merge
+  for (size_t i = 1; i < chain.size(); ++i) {
+    PlanNode& node = *chain[i];
+    connector::PushedOperator op;
+    bool offerable = true;
+    switch (node.kind) {
+      case NodeKind::kFilter:
+        op.kind = connector::PushedOperator::Kind::kFilter;
+        op.predicate = node.predicate;
+        break;
+      case NodeKind::kProject:
+        if (node.identity_project) {
+          offerable = false;  // output projects stay compute-side (free)
+          break;
+        }
+        op.kind = connector::PushedOperator::Kind::kProject;
+        op.expressions = node.expressions;
+        op.output_names = node.output_names;
+        break;
+      case NodeKind::kAggregation: {
+        op.kind = connector::PushedOperator::Kind::kPartialAggregation;
+        op.group_keys = node.group_keys;
+        // The connector receives the PARTIAL decomposition: storage
+        // returns partial results that the engine's final step merges.
+        op.aggregates = PartialAggSpecs(node.aggregates);
+        break;
+      }
+      case NodeKind::kTopN: {
+        op.kind = connector::PushedOperator::Kind::kPartialTopN;
+        op.sort_fields = node.sort_fields;
+        op.limit = node.limit;
+        break;
+      }
+      case NodeKind::kLimit: {
+        op.kind = connector::PushedOperator::Kind::kPartialLimit;
+        op.limit = node.limit;
+        break;
+      }
+      default:
+        offerable = false;
+        break;
+    }
+    if (!offerable) break;
+
+    connector::PushdownDecision decision;
+    decision.kind = op.kind;
+    POCS_ASSIGN_OR_RETURN(bool accepted,
+                          connector.OfferPushdown(scan->table, op, &spec,
+                                                  &decision));
+    result.decisions.push_back(decision);
+    if (!accepted) break;
+
+    if (node.kind == NodeKind::kAggregation) {
+      agg_absorbed = true;
+      // Partial results come from storage: the page source output is the
+      // canonical partial schema.
+      ++absorbed;
+      break;  // the aggregation node itself stays (final step); only a
+              // TopN directly above may still be offered
+    }
+    if (node.kind == NodeKind::kTopN || node.kind == NodeKind::kLimit) {
+      // Partial top-N / limit: storage bounds each split's rows; the node
+      // stays in the plan for the final merge.
+      keep_topn = true;
+      ++absorbed;
+      break;
+    }
+    ++absorbed;
+  }
+
+  // A TopN/Limit directly above an absorbed aggregation may additionally
+  // be offered (the storage can bound each split's candidate set).
+  if (agg_absorbed && absorbed + 1 < chain.size()) {
+    PlanNode& above = *chain[absorbed + 1];
+    if (above.kind == NodeKind::kTopN || above.kind == NodeKind::kLimit) {
+      connector::PushedOperator op;
+      op.kind = above.kind == NodeKind::kTopN
+                    ? connector::PushedOperator::Kind::kPartialTopN
+                    : connector::PushedOperator::Kind::kPartialLimit;
+      op.sort_fields = above.sort_fields;
+      op.limit = above.limit;
+      connector::PushdownDecision decision;
+      decision.kind = op.kind;
+      POCS_ASSIGN_OR_RETURN(bool accepted,
+                            connector.OfferPushdown(scan->table, op, &spec,
+                                                    &decision));
+      (void)accepted;  // the TopN node stays either way (merge re-sort)
+      result.decisions.push_back(decision);
+    }
+  }
+
+  // Rewrite the plan: drop fully absorbed Filter/Project nodes; an
+  // absorbed Aggregation becomes a final-step node over the scan; an
+  // absorbed TopN stays for the merge re-sort.
+  if (absorbed > 0) {
+    size_t keep_from = 1 + absorbed;  // first chain index kept above scan
+    PlanNodePtr bottom = scan;
+    if (agg_absorbed) {
+      // chain[absorbed] is the aggregation node: keep it as kFinal.
+      PlanNodePtr agg = chain[absorbed];
+      agg->agg_step = AggregationStep::kFinal;
+      agg->input = scan;
+      bottom = agg;
+    } else if (keep_topn) {
+      PlanNodePtr topn = chain[absorbed];
+      topn->input = scan;
+      bottom = topn;
+    }
+    if (keep_from >= chain.size()) {
+      result.plan = bottom;
+    } else {
+      chain[keep_from]->input = bottom;
+      result.plan = chain.back();
+    }
+  } else {
+    result.plan = root;
+  }
+
+  // Trim the returned columns to what the residual plan needs.
+  {
+    std::vector<PlanNodePtr> residual;
+    for (PlanNodePtr n = result.plan; n && n->kind != NodeKind::kTableScan;
+         n = n->input) {
+      residual.push_back(n);
+    }
+    std::reverse(residual.begin(), residual.end());
+    TrimResultColumns(scan, residual);
+  }
+  return result;
+}
+
+}  // namespace pocs::engine

@@ -1,0 +1,35 @@
+// Plan optimization (paper Fig. 3 steps 3–4).
+//
+// Global optimizer: rule-based passes that do not depend on the storage
+// backend — projection (column) pruning into the scan, which is the
+// engine-side half of "selective column retrieval".
+//
+// Connector-specific optimization: the engine walks the plan bottom-up
+// from the scan and offers each directly-absorbable operator to the
+// connector through the SPI's OfferPushdown (the ConnectorPlanOptimizer
+// hook). Accepted Filter/Project nodes are removed from the plan (fully
+// delegated); an accepted Aggregation stays as a final-step merge node; an
+// accepted TopN stays for the compute-side merge re-sort.
+#pragma once
+
+#include <memory>
+
+#include "connector/spi.h"
+#include "engine/plan.h"
+
+namespace pocs::engine {
+
+// Column pruning: restrict the scan to columns the plan actually uses and
+// remap all field references below the first schema-changing node.
+Status PruneColumns(const PlanNodePtr& root);
+
+struct LocalOptimizerResult {
+  PlanNodePtr plan;  // possibly rewritten
+  std::vector<connector::PushdownDecision> decisions;
+};
+
+// Run the connector's pushdown negotiation over the plan.
+Result<LocalOptimizerResult> RunConnectorOptimizer(
+    PlanNodePtr root, connector::Connector& connector);
+
+}  // namespace pocs::engine

@@ -1,0 +1,56 @@
+#include "engine/plan.h"
+
+#include <sstream>
+
+namespace pocs::engine {
+
+std::string_view NodeKindName(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kTableScan: return "TableScan";
+    case NodeKind::kFilter: return "Filter";
+    case NodeKind::kProject: return "Project";
+    case NodeKind::kAggregation: return "Aggregation";
+    case NodeKind::kSort: return "Sort";
+    case NodeKind::kTopN: return "TopN";
+    case NodeKind::kLimit: return "Limit";
+  }
+  return "?";
+}
+
+std::string PlanChainToString(const PlanNode& root) {
+  std::vector<const PlanNode*> chain;
+  for (const PlanNode* n = &root; n != nullptr; n = n->input.get()) {
+    chain.push_back(n);
+  }
+  std::ostringstream os;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (it != chain.rbegin()) os << " -> ";
+    os << NodeKindName((*it)->kind);
+    if ((*it)->kind == NodeKind::kProject && (*it)->identity_project) {
+      os << "(identity)";
+    }
+    if ((*it)->kind == NodeKind::kTableScan &&
+        !(*it)->scan_spec.operators.empty()) {
+      os << "[pushed:";
+      for (size_t i = 0; i < (*it)->scan_spec.operators.size(); ++i) {
+        if (i) os << ",";
+        os << connector::PushedOperatorKindName(
+            (*it)->scan_spec.operators[i].kind);
+      }
+      os << "]";
+    }
+  }
+  return os.str();
+}
+
+PlanNode* FindScan(PlanNode& root) {
+  PlanNode* n = &root;
+  while (n->input) n = n->input.get();
+  return n->kind == NodeKind::kTableScan ? n : nullptr;
+}
+
+const PlanNode* FindScan(const PlanNode& root) {
+  return FindScan(const_cast<PlanNode&>(root));
+}
+
+}  // namespace pocs::engine

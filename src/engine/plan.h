@@ -1,0 +1,79 @@
+// Logical plan tree of the minipresto engine (paper Fig. 3 step 2). Plans
+// for the paper's workload class are linear single-table pipelines:
+//   TableScan → Filter? → Project? → Aggregation? → (Sort|TopN)? → Limit?
+//   → OutputProject?
+// Expressions are substrait::Expression from the start, so the
+// connector's plan→IR translation is a faithful (and measurable) step
+// rather than a format change.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/types.h"
+#include "connector/spi.h"
+#include "substrait/expr.h"
+#include "substrait/rel.h"
+
+namespace pocs::engine {
+
+enum class NodeKind : uint8_t {
+  kTableScan,
+  kFilter,
+  kProject,
+  kAggregation,
+  kSort,
+  kTopN,
+  kLimit,
+};
+
+std::string_view NodeKindName(NodeKind kind);
+
+// Execution step of an aggregation node. The analyzer emits kSingle; the
+// physical layer splits it into per-split partial + merge-side final.
+// When a connector pushes the partial half into storage, the node in the
+// plan becomes kFinal (the storage returns partial results).
+enum class AggregationStep : uint8_t { kSingle, kFinal };
+
+struct PlanNode;
+using PlanNodePtr = std::shared_ptr<PlanNode>;
+
+struct PlanNode {
+  NodeKind kind = NodeKind::kTableScan;
+  PlanNodePtr input;  // null for kTableScan
+  columnar::SchemaPtr output_schema;
+
+  // -- kTableScan
+  connector::TableHandle table;
+  connector::ScanSpec scan_spec;  // columns + operators absorbed by the
+                                  // connector's local optimizer
+
+  // -- kFilter
+  substrait::Expression predicate;
+
+  // -- kProject
+  std::vector<substrait::Expression> expressions;
+  std::vector<std::string> output_names;
+  bool identity_project = false;  // pure column reorder/rename (free)
+
+  // -- kAggregation
+  std::vector<int> group_keys;  // indices into input schema
+  std::vector<substrait::AggregateSpec> aggregates;
+  AggregationStep agg_step = AggregationStep::kSingle;
+
+  // -- kSort / kTopN
+  std::vector<substrait::SortField> sort_fields;
+
+  // -- kTopN / kLimit
+  int64_t limit = -1;
+};
+
+// Pipeline description, e.g. "TableScan -> Filter -> Aggregation -> TopN".
+std::string PlanChainToString(const PlanNode& root);
+
+// The scan node at the bottom of the chain (nullptr if malformed).
+PlanNode* FindScan(PlanNode& root);
+const PlanNode* FindScan(const PlanNode& root);
+
+}  // namespace pocs::engine

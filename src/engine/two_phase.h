@@ -1,0 +1,44 @@
+// Canonical two-phase (partial/final) decomposition of aggregations.
+//
+// Distributed execution computes aggregates per split (partial) and
+// merges at the coordinator (final) — and the paper's aggregation
+// pushdown ships exactly the partial half to OCS ("workers ... adjust
+// their subsequent processing logic to handle these partially computed
+// results", §3.4 step 2). Both the in-engine partial aggregator and the
+// Presto-OCS connector derive the partial plan from this one helper, so
+// the partial-result schema is identical whichever side computes it:
+//   AVG(x)   → partial SUM(x), COUNT(x);  final SUM, SUM;  finalize sum/cnt
+//   SUM(x)   → partial SUM(x);            final SUM;       finalize ref
+//   COUNT(x) → partial COUNT(x);          final SUM;       finalize ref
+//   COUNT(*) → partial COUNT(*);          final SUM;       finalize ref
+//   MIN/MAX  → partial MIN/MAX;           final MIN/MAX;   finalize ref
+#pragma once
+
+#include "columnar/types.h"
+#include "substrait/expr.h"
+
+namespace pocs::engine {
+
+// Partial aggregate specs for the original list (arguments reference the
+// aggregation's input schema).
+std::vector<substrait::AggregateSpec> PartialAggSpecs(
+    const std::vector<substrait::AggregateSpec>& aggregates);
+
+// Schema of partial results: group-key fields followed by partial columns.
+columnar::SchemaPtr PartialOutputSchema(
+    const columnar::Schema& input_schema, const std::vector<int>& group_keys,
+    const std::vector<substrait::AggregateSpec>& aggregates);
+
+// Final (merge) specs over the partial schema; group keys are the first
+// `n_keys` columns of the partial schema.
+std::vector<substrait::AggregateSpec> FinalAggSpecs(
+    const std::vector<substrait::AggregateSpec>& aggregates, size_t n_keys);
+
+// Projection applied after the final aggregation to recover the original
+// output columns (keys passed through; AVG computed as sum/count).
+void FinalizeProjection(const std::vector<substrait::AggregateSpec>& aggregates,
+                        size_t n_keys, const columnar::Schema& final_schema,
+                        std::vector<substrait::Expression>* expressions,
+                        std::vector<std::string>* names);
+
+}  // namespace pocs::engine

@@ -1,0 +1,221 @@
+#include "exec/hash_aggregator.h"
+
+#include "columnar/kernels.h"
+#include "substrait/eval.h"
+#include "substrait/rel.h"
+
+namespace pocs::exec {
+
+using columnar::Column;
+using columnar::ColumnPtr;
+using columnar::Datum;
+using columnar::Field;
+using columnar::MakeColumn;
+using columnar::MakeSchema;
+using columnar::RecordBatch;
+using columnar::RecordBatchPtr;
+using columnar::TypeKind;
+using substrait::AggFunc;
+using substrait::AggregateSpec;
+
+HashAggregator::HashAggregator(columnar::SchemaPtr input_schema,
+                               std::vector<int> group_keys,
+                               std::vector<AggregateSpec> aggregates)
+    : input_schema_(std::move(input_schema)),
+      group_keys_(std::move(group_keys)),
+      aggregates_(std::move(aggregates)) {
+  std::vector<Field> fields;
+  for (int key : group_keys_) {
+    fields.push_back(input_schema_->field(key));
+    key_store_.push_back(MakeColumn(input_schema_->field(key).type));
+  }
+  for (const AggregateSpec& agg : aggregates_) {
+    fields.push_back({agg.output_name, agg.OutputType()});
+  }
+  output_schema_ = MakeSchema(std::move(fields));
+}
+
+Result<uint32_t> HashAggregator::GroupFor(
+    const std::vector<ColumnPtr>& keys, size_t row, uint64_t hash) {
+  std::vector<uint32_t>& bucket = groups_[hash];
+  for (uint32_t group : bucket) {
+    bool equal = true;
+    for (size_t k = 0; k < keys.size(); ++k) {
+      const Column& stored = *key_store_[k];
+      const Column& incoming = *keys[k];
+      const bool sn = stored.IsNull(group);
+      const bool in = incoming.IsNull(row);
+      if (sn != in) {
+        equal = false;
+        break;
+      }
+      if (sn) continue;
+      bool cell_equal = false;
+      switch (stored.type()) {
+        case TypeKind::kBool:
+          cell_equal = stored.GetBool(group) == incoming.GetBool(row);
+          break;
+        case TypeKind::kInt32:
+        case TypeKind::kDate32:
+          cell_equal = stored.GetInt32(group) == incoming.GetInt32(row);
+          break;
+        case TypeKind::kInt64:
+          cell_equal = stored.GetInt64(group) == incoming.GetInt64(row);
+          break;
+        case TypeKind::kFloat64:
+          cell_equal = stored.GetFloat64(group) == incoming.GetFloat64(row);
+          break;
+        case TypeKind::kString:
+          cell_equal = stored.GetString(group) == incoming.GetString(row);
+          break;
+      }
+      if (!cell_equal) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) return group;
+  }
+  // New group.
+  const uint32_t group = static_cast<uint32_t>(group_count_++);
+  bucket.push_back(group);
+  for (size_t k = 0; k < keys.size(); ++k) {
+    key_store_[k]->AppendFrom(*keys[k], row);
+  }
+  states_.resize(group_count_ * aggregates_.size());
+  for (size_t a = 0; a < aggregates_.size(); ++a) {
+    states_[group * aggregates_.size() + a].extreme =
+        Datum::Null(aggregates_[a].func == AggFunc::kCountStar
+                        ? TypeKind::kInt64
+                        : aggregates_[a].argument.type);
+  }
+  return group;
+}
+
+Status HashAggregator::Consume(const RecordBatch& batch) {
+  if (finished_) return Status::Internal("aggregator already finished");
+  const size_t n = batch.num_rows();
+  if (n == 0) return Status::OK();
+
+  // Evaluate aggregate arguments once per batch (vectorized).
+  std::vector<ColumnPtr> arg_cols(aggregates_.size());
+  for (size_t a = 0; a < aggregates_.size(); ++a) {
+    if (aggregates_[a].func == AggFunc::kCountStar) continue;
+    POCS_ASSIGN_OR_RETURN(arg_cols[a],
+                          substrait::Evaluate(aggregates_[a].argument, batch));
+  }
+
+  std::vector<ColumnPtr> keys;
+  for (int k : group_keys_) keys.push_back(batch.column(k));
+  std::vector<uint64_t> hashes;
+  if (!keys.empty()) {
+    columnar::HashRows(keys, &hashes);
+  } else {
+    hashes.assign(n, 0);  // global aggregate: single group
+  }
+
+  const size_t n_aggs = aggregates_.size();
+  for (size_t row = 0; row < n; ++row) {
+    POCS_ASSIGN_OR_RETURN(uint32_t group, GroupFor(keys, row, hashes[row]));
+    for (size_t a = 0; a < n_aggs; ++a) {
+      AggState& state = states_[group * n_aggs + a];
+      const AggregateSpec& agg = aggregates_[a];
+      if (agg.func == AggFunc::kCountStar) {
+        ++state.count;
+        continue;
+      }
+      const Column& arg = *arg_cols[a];
+      if (arg.IsNull(row)) continue;
+      switch (agg.func) {
+        case AggFunc::kCount:
+          ++state.count;
+          break;
+        case AggFunc::kSum:
+        case AggFunc::kAvg:
+          ++state.count;
+          state.sum += arg.AsDouble(row);
+          if (arg.type() != TypeKind::kFloat64) {
+            state.isum += arg.GetDatum(row).AsInt64();
+          }
+          break;
+        case AggFunc::kMin: {
+          Datum v = arg.GetDatum(row);
+          if (state.extreme.is_null() || v.Compare(state.extreme) < 0) {
+            state.extreme = std::move(v);
+          }
+          break;
+        }
+        case AggFunc::kMax: {
+          Datum v = arg.GetDatum(row);
+          if (state.extreme.is_null() || v.Compare(state.extreme) > 0) {
+            state.extreme = std::move(v);
+          }
+          break;
+        }
+        case AggFunc::kCountStar:
+          break;  // handled above
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<RecordBatchPtr> HashAggregator::Finish() {
+  if (finished_) return Status::Internal("aggregator already finished");
+  finished_ = true;
+
+  // SQL semantics: a global aggregate (no GROUP BY) over zero rows still
+  // produces one row.
+  if (group_keys_.empty() && group_count_ == 0) {
+    states_.resize(aggregates_.size());
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      states_[a].extreme = Datum::Null(
+          aggregates_[a].func == AggFunc::kCountStar
+              ? TypeKind::kInt64
+              : aggregates_[a].argument.type);
+    }
+    group_count_ = 1;
+  }
+
+  std::vector<ColumnPtr> out;
+  for (auto& key_col : key_store_) out.push_back(key_col);
+
+  const size_t n_aggs = aggregates_.size();
+  for (size_t a = 0; a < n_aggs; ++a) {
+    const AggregateSpec& agg = aggregates_[a];
+    auto col = MakeColumn(agg.OutputType());
+    for (size_t g = 0; g < group_count_; ++g) {
+      const AggState& state = states_[g * n_aggs + a];
+      switch (agg.func) {
+        case AggFunc::kCount:
+        case AggFunc::kCountStar:
+          col->AppendInt64(state.count);
+          break;
+        case AggFunc::kSum:
+          if (state.count == 0) {
+            col->AppendNull();
+          } else if (agg.OutputType() == TypeKind::kInt64) {
+            col->AppendInt64(state.isum);
+          } else {
+            col->AppendFloat64(state.sum);
+          }
+          break;
+        case AggFunc::kAvg:
+          if (state.count == 0) {
+            col->AppendNull();
+          } else {
+            col->AppendFloat64(state.sum / static_cast<double>(state.count));
+          }
+          break;
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+          col->AppendDatum(state.extreme);
+          break;
+      }
+    }
+    out.push_back(std::move(col));
+  }
+  return columnar::MakeBatch(output_schema_, std::move(out));
+}
+
+}  // namespace pocs::exec

@@ -1,0 +1,59 @@
+// Vectorized hash aggregation shared by the OCS embedded engine and the
+// compute engine's AggregationOperator. Consumes batches, maintains one
+// accumulator row per distinct group-key tuple, and produces a final
+// batch of keys + aggregate results.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "columnar/batch.h"
+#include "substrait/expr.h"
+
+namespace pocs::exec {
+
+class HashAggregator {
+ public:
+  // group_keys: column indices into the input schema.
+  HashAggregator(columnar::SchemaPtr input_schema, std::vector<int> group_keys,
+                 std::vector<substrait::AggregateSpec> aggregates);
+
+  Status Consume(const columnar::RecordBatch& batch);
+
+  // Output schema: group key fields followed by aggregate outputs.
+  columnar::SchemaPtr output_schema() const { return output_schema_; }
+  size_t num_groups() const { return group_count_; }
+
+  // Produces the result batch; the aggregator is spent afterwards.
+  // With no group keys and zero input rows, emits SQL's global-aggregate
+  // single row (COUNT = 0, other aggregates NULL).
+  Result<columnar::RecordBatchPtr> Finish();
+
+ private:
+  struct AggState {
+    double sum = 0;
+    int64_t isum = 0;
+    int64_t count = 0;  // non-null inputs (rows for CountStar)
+    columnar::Datum extreme;  // running min/max
+  };
+
+  // Index of the group for key-row `row` of `keys`, creating it if new.
+  Result<uint32_t> GroupFor(const std::vector<columnar::ColumnPtr>& keys,
+                            size_t row, uint64_t hash);
+
+  columnar::SchemaPtr input_schema_;
+  std::vector<int> group_keys_;
+  std::vector<substrait::AggregateSpec> aggregates_;
+  columnar::SchemaPtr output_schema_;
+
+  // Accumulated distinct key tuples, one builder column per key.
+  std::vector<std::shared_ptr<columnar::Column>> key_store_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> groups_;  // hash→ids
+  // states_[group * n_aggs + agg]
+  std::vector<AggState> states_;
+  size_t group_count_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace pocs::exec

@@ -1,0 +1,203 @@
+#include "exec/plan_executor.h"
+
+#include <vector>
+
+#include "exec/hash_aggregator.h"
+#include "exec/sorter.h"
+#include "substrait/eval.h"
+
+namespace pocs::exec {
+
+using columnar::RecordBatch;
+using columnar::RecordBatchPtr;
+using columnar::Table;
+using substrait::Rel;
+using substrait::RelKind;
+
+namespace {
+
+// Flatten the chain: chain[0] is the Read, chain.back() is the root.
+Status FlattenChain(const Rel& root, std::vector<const Rel*>* chain) {
+  for (const Rel* r = &root; r != nullptr; r = r->input.get()) {
+    chain->push_back(r);
+    if (r->kind == RelKind::kRead && r->input) {
+      return Status::InvalidArgument("read rel has an input");
+    }
+  }
+  std::reverse(chain->begin(), chain->end());
+  if ((*chain)[0]->kind != RelKind::kRead) {
+    return Status::InvalidArgument("rel chain must bottom out at a Read");
+  }
+  return Status::OK();
+}
+
+Result<RecordBatchPtr> ApplyProject(const Rel& rel, const RecordBatch& batch,
+                                    const columnar::SchemaPtr& out_schema) {
+  std::vector<columnar::ColumnPtr> cols;
+  cols.reserve(rel.expressions.size());
+  for (const substrait::Expression& e : rel.expressions) {
+    POCS_ASSIGN_OR_RETURN(columnar::ColumnPtr col,
+                          substrait::Evaluate(e, batch));
+    cols.push_back(std::move(col));
+  }
+  return columnar::MakeBatch(out_schema, std::move(cols));
+}
+
+}  // namespace
+
+Result<std::shared_ptr<Table>> ExecuteRel(const Rel& root,
+                                          const ScanFactory& scan_factory,
+                                          ExecStats* stats) {
+  std::vector<const Rel*> chain;
+  POCS_RETURN_NOT_OK(FlattenChain(root, &chain));
+
+  POCS_ASSIGN_OR_RETURN(std::unique_ptr<BatchSource> source,
+                        scan_factory(*chain[0]));
+
+  // Identify the streamable prefix above the read: filters and projects.
+  // The first blocking operator (aggregate/sort/fetch) splits the chain.
+  size_t blocking = 1;
+  while (blocking < chain.size() &&
+         (chain[blocking]->kind == RelKind::kFilter ||
+          chain[blocking]->kind == RelKind::kProject)) {
+    ++blocking;
+  }
+
+  // Precompute output schemas for projects in the streaming prefix.
+  std::vector<columnar::SchemaPtr> prefix_schemas(chain.size());
+  for (size_t i = 1; i < blocking; ++i) {
+    POCS_ASSIGN_OR_RETURN(prefix_schemas[i],
+                          substrait::OutputSchema(*chain[i]));
+  }
+
+  // If the first blocking op is an aggregate or a sort+fetch pair we can
+  // stream into an accumulator. Otherwise we materialize.
+  std::unique_ptr<HashAggregator> aggregator;
+  std::unique_ptr<TopNAccumulator> topn;
+  size_t consumed_blocking = 0;  // how many blocking rels the streaming
+                                 // accumulators absorb
+
+  if (blocking < chain.size() && chain[blocking]->kind == RelKind::kAggregate) {
+    POCS_ASSIGN_OR_RETURN(columnar::SchemaPtr agg_input,
+                          substrait::OutputSchema(
+                              blocking > 1 ? *chain[blocking - 1] : *chain[0]));
+    aggregator = std::make_unique<HashAggregator>(
+        agg_input, chain[blocking]->group_keys, chain[blocking]->aggregates);
+    consumed_blocking = 1;
+  } else if (blocking + 1 < chain.size() &&
+             chain[blocking]->kind == RelKind::kSort &&
+             chain[blocking + 1]->kind == RelKind::kFetch &&
+             chain[blocking + 1]->offset == 0 &&
+             chain[blocking + 1]->count >= 0) {
+    POCS_ASSIGN_OR_RETURN(columnar::SchemaPtr sort_input,
+                          substrait::OutputSchema(
+                              blocking > 1 ? *chain[blocking - 1] : *chain[0]));
+    topn = std::make_unique<TopNAccumulator>(
+        sort_input, chain[blocking]->sort_fields,
+        static_cast<size_t>(chain[blocking + 1]->count));
+    consumed_blocking = 2;
+  }
+
+  auto intermediate = std::make_shared<Table>(
+      prefix_schemas.empty() || blocking == 1 ? source->schema()
+                                              : prefix_schemas[blocking - 1]);
+
+  // ---- streaming phase ---------------------------------------------------
+  while (true) {
+    POCS_ASSIGN_OR_RETURN(RecordBatchPtr batch, source->Next());
+    if (!batch) break;
+    if (stats) {
+      stats->rows_scanned += batch->num_rows();
+      ++stats->batches_scanned;
+    }
+    for (size_t i = 1; i < blocking && batch; ++i) {
+      const Rel& rel = *chain[i];
+      if (rel.kind == RelKind::kFilter) {
+        POCS_ASSIGN_OR_RETURN(batch,
+                              substrait::FilterBatch(rel.predicate, *batch));
+      } else {
+        POCS_ASSIGN_OR_RETURN(batch,
+                              ApplyProject(rel, *batch, prefix_schemas[i]));
+      }
+      if (batch->num_rows() == 0) batch = nullptr;
+    }
+    if (!batch) continue;
+    if (aggregator) {
+      POCS_RETURN_NOT_OK(aggregator->Consume(*batch));
+    } else if (topn) {
+      POCS_RETURN_NOT_OK(topn->Consume(*batch));
+    } else {
+      intermediate->AppendBatch(std::move(batch));
+    }
+  }
+
+  std::shared_ptr<Table> current;
+  if (aggregator) {
+    POCS_ASSIGN_OR_RETURN(RecordBatchPtr result, aggregator->Finish());
+    current = std::make_shared<Table>(result->schema());
+    current->AppendBatch(std::move(result));
+  } else if (topn) {
+    POCS_ASSIGN_OR_RETURN(RecordBatchPtr result, topn->Finish());
+    current = std::make_shared<Table>(result->schema());
+    current->AppendBatch(std::move(result));
+  } else {
+    current = intermediate;
+  }
+
+  // ---- materialized phase: remaining blocking operators ------------------
+  for (size_t i = blocking + consumed_blocking; i < chain.size(); ++i) {
+    const Rel& rel = *chain[i];
+    switch (rel.kind) {
+      case RelKind::kFilter: {
+        auto next = std::make_shared<Table>(current->schema());
+        for (const RecordBatchPtr& b : current->batches()) {
+          POCS_ASSIGN_OR_RETURN(RecordBatchPtr filtered,
+                                substrait::FilterBatch(rel.predicate, *b));
+          if (filtered->num_rows() > 0) next->AppendBatch(std::move(filtered));
+        }
+        current = next;
+        break;
+      }
+      case RelKind::kProject: {
+        POCS_ASSIGN_OR_RETURN(columnar::SchemaPtr out_schema,
+                              substrait::OutputSchema(rel));
+        auto next = std::make_shared<Table>(out_schema);
+        for (const RecordBatchPtr& b : current->batches()) {
+          POCS_ASSIGN_OR_RETURN(RecordBatchPtr projected,
+                                ApplyProject(rel, *b, out_schema));
+          next->AppendBatch(std::move(projected));
+        }
+        current = next;
+        break;
+      }
+      case RelKind::kAggregate: {
+        HashAggregator agg(current->schema(), rel.group_keys, rel.aggregates);
+        for (const RecordBatchPtr& b : current->batches()) {
+          POCS_RETURN_NOT_OK(agg.Consume(*b));
+        }
+        POCS_ASSIGN_OR_RETURN(RecordBatchPtr result, agg.Finish());
+        current = std::make_shared<Table>(result->schema());
+        current->AppendBatch(std::move(result));
+        break;
+      }
+      case RelKind::kSort: {
+        POCS_ASSIGN_OR_RETURN(RecordBatchPtr sorted,
+                              SortTable(*current, rel.sort_fields));
+        current = std::make_shared<Table>(sorted->schema());
+        current->AppendBatch(std::move(sorted));
+        break;
+      }
+      case RelKind::kFetch: {
+        POCS_ASSIGN_OR_RETURN(current,
+                              FetchTable(*current, rel.offset, rel.count));
+        break;
+      }
+      case RelKind::kRead:
+        return Status::Internal("read rel above the leaf");
+    }
+  }
+  if (stats) stats->rows_output = current->num_rows();
+  return current;
+}
+
+}  // namespace pocs::exec

@@ -1,0 +1,58 @@
+// Executes a linear IR relation chain (Read → … → root) against an
+// abstract batch source. This is the execution core of the OCS embedded
+// engine, and doubles as the reference executor in equivalence tests.
+//
+// Streaming where possible: Filter and Project are applied per batch;
+// Aggregate, Sort, and Fetch materialize. A Fetch directly above a Sort
+// fuses into bounded top-N (the paper's ORDER BY + LIMIT operator).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "columnar/batch.h"
+#include "substrait/rel.h"
+
+namespace pocs::exec {
+
+// Pull-based source of scan batches for one Read relation.
+class BatchSource {
+ public:
+  virtual ~BatchSource() = default;
+  virtual columnar::SchemaPtr schema() const = 0;
+  // nullptr at end of stream.
+  virtual Result<columnar::RecordBatchPtr> Next() = 0;
+};
+
+using ScanFactory = std::function<Result<std::unique_ptr<BatchSource>>(
+    const substrait::Rel& read)>;
+
+struct ExecStats {
+  uint64_t rows_scanned = 0;
+  uint64_t rows_output = 0;
+  uint64_t batches_scanned = 0;
+};
+
+// Execute the chain rooted at `root`; every Read leaf is resolved through
+// `scan_factory`.
+Result<std::shared_ptr<columnar::Table>> ExecuteRel(
+    const substrait::Rel& root, const ScanFactory& scan_factory,
+    ExecStats* stats = nullptr);
+
+// An in-memory BatchSource over an existing table (tests, reference runs).
+class TableSource : public BatchSource {
+ public:
+  explicit TableSource(std::shared_ptr<const columnar::Table> table)
+      : table_(std::move(table)) {}
+  columnar::SchemaPtr schema() const override { return table_->schema(); }
+  Result<columnar::RecordBatchPtr> Next() override {
+    if (next_ >= table_->batches().size()) return columnar::RecordBatchPtr{};
+    return table_->batches()[next_++];
+  }
+
+ private:
+  std::shared_ptr<const columnar::Table> table_;
+  size_t next_ = 0;
+};
+
+}  // namespace pocs::exec

@@ -1,0 +1,95 @@
+#include "exec/sorter.h"
+
+namespace pocs::exec {
+
+using columnar::RecordBatch;
+using columnar::RecordBatchPtr;
+using columnar::SortKey;
+using columnar::Table;
+
+std::vector<SortKey> ToSortKeys(
+    const std::vector<substrait::SortField>& fields) {
+  std::vector<SortKey> keys;
+  keys.reserve(fields.size());
+  for (const auto& f : fields) {
+    keys.push_back({f.field, f.ascending, f.nulls_first});
+  }
+  return keys;
+}
+
+Result<RecordBatchPtr> SortTable(
+    const Table& table, const std::vector<substrait::SortField>& fields) {
+  RecordBatchPtr combined = table.Combine();
+  auto indices = columnar::SortIndices(*combined, ToSortKeys(fields));
+  return columnar::TakeBatch(*combined, indices);
+}
+
+TopNAccumulator::TopNAccumulator(columnar::SchemaPtr schema,
+                                 std::vector<substrait::SortField> fields,
+                                 size_t n)
+    : schema_(schema),
+      fields_(std::move(fields)),
+      limit_(n),
+      buffer_(schema) {}
+
+Status TopNAccumulator::Consume(const RecordBatch& batch) {
+  if (!batch.schema()->Equals(*schema_)) {
+    return Status::InvalidArgument("topn: schema mismatch");
+  }
+  buffer_.AppendBatch(
+      std::make_shared<const RecordBatch>(batch.schema(), batch.columns()));
+  buffered_rows_ += batch.num_rows();
+  if (buffered_rows_ > 2 * limit_ + 1024) Truncate();
+  return Status::OK();
+}
+
+void TopNAccumulator::Truncate() {
+  RecordBatchPtr combined = buffer_.Combine();
+  auto indices = columnar::SortIndices(*combined, ToSortKeys(fields_));
+  if (indices.size() > limit_) indices.resize(limit_);
+  RecordBatchPtr best = columnar::TakeBatch(*combined, indices);
+  buffer_ = Table(schema_);
+  buffer_.AppendBatch(best);
+  buffered_rows_ = best->num_rows();
+}
+
+Result<RecordBatchPtr> TopNAccumulator::Finish() {
+  Truncate();
+  return buffer_.Combine();
+}
+
+Result<std::shared_ptr<Table>> FetchTable(const Table& table, int64_t offset,
+                                          int64_t count) {
+  auto out = std::make_shared<Table>(table.schema());
+  if (count == 0) return out;
+  int64_t skip = offset;
+  int64_t remaining = count;  // -1 = unlimited
+  for (const RecordBatchPtr& batch : table.batches()) {
+    int64_t n = static_cast<int64_t>(batch->num_rows());
+    if (skip >= n) {
+      skip -= n;
+      continue;
+    }
+    int64_t start = skip;
+    skip = 0;
+    int64_t take = n - start;
+    if (remaining >= 0) take = std::min(take, remaining);
+    if (take <= 0) break;
+    if (start == 0 && take == n) {
+      out->AppendBatch(batch);
+    } else {
+      columnar::SelectionVector sel;
+      for (int64_t i = start; i < start + take; ++i) {
+        sel.push_back(static_cast<uint32_t>(i));
+      }
+      out->AppendBatch(columnar::TakeBatch(*batch, sel));
+    }
+    if (remaining >= 0) {
+      remaining -= take;
+      if (remaining == 0) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace pocs::exec

@@ -1,0 +1,49 @@
+// Blocking sort, bounded top-N, and fetch (offset/limit) primitives,
+// shared by the OCS embedded engine and the compute engine operators.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "columnar/batch.h"
+#include "columnar/kernels.h"
+#include "substrait/rel.h"
+
+namespace pocs::exec {
+
+// Convert IR sort fields to kernel sort keys.
+std::vector<columnar::SortKey> ToSortKeys(
+    const std::vector<substrait::SortField>& fields);
+
+// Full materializing sort of a table.
+Result<columnar::RecordBatchPtr> SortTable(
+    const columnar::Table& table,
+    const std::vector<substrait::SortField>& fields);
+
+// Streaming top-N: consumes batches, keeps only the N best rows under the
+// sort order (re-truncating whenever the buffer doubles), and produces a
+// sorted batch of at most N rows. This is the data-reducing operator the
+// paper pushes down as ORDER BY + LIMIT.
+class TopNAccumulator {
+ public:
+  TopNAccumulator(columnar::SchemaPtr schema,
+                  std::vector<substrait::SortField> fields, size_t n);
+
+  Status Consume(const columnar::RecordBatch& batch);
+  Result<columnar::RecordBatchPtr> Finish();
+
+ private:
+  void Truncate();
+
+  columnar::SchemaPtr schema_;
+  std::vector<substrait::SortField> fields_;
+  size_t limit_;
+  columnar::Table buffer_;
+  size_t buffered_rows_ = 0;
+};
+
+// OFFSET/LIMIT over a table (count < 0 = unlimited).
+Result<std::shared_ptr<columnar::Table>> FetchTable(
+    const columnar::Table& table, int64_t offset, int64_t count);
+
+}  // namespace pocs::exec

@@ -1,0 +1,119 @@
+#include "format/encoding.h"
+
+#include <map>
+
+#include "columnar/ipc.h"
+
+namespace pocs::format {
+
+using columnar::Column;
+using columnar::ColumnPtr;
+using columnar::MakeBatch;
+using columnar::MakeColumn;
+using columnar::TypeKind;
+
+std::optional<Bytes> DictionaryEncodeString(const Column& col) {
+  if (col.type() != TypeKind::kString) return std::nullopt;
+  // Build the dictionary (insertion order = code order).
+  std::map<std::string_view, uint8_t> dict;
+  std::vector<std::string_view> values;
+  for (size_t i = 0; i < col.length(); ++i) {
+    if (col.IsNull(i)) continue;
+    std::string_view v = col.GetString(i);
+    if (dict.contains(v)) continue;
+    if (values.size() >= 255) return std::nullopt;  // too many distincts
+    dict.emplace(v, static_cast<uint8_t>(values.size()));
+    values.push_back(v);
+  }
+  BufferWriter out(col.length() + 64);
+  out.WriteU8(static_cast<uint8_t>(PageEncoding::kDictionary));
+  out.WriteVarint(values.size());
+  for (std::string_view v : values) out.WriteString(v);
+  out.WriteVarint(col.length());
+  out.WriteVarint(col.null_count());
+  if (col.null_count() > 0) {
+    out.WriteBytes(col.validity().data(), col.validity().size());
+  }
+  for (size_t i = 0; i < col.length(); ++i) {
+    out.WriteU8(col.IsNull(i) ? 0 : dict.at(col.GetString(i)));
+  }
+  return std::move(out).Take();
+}
+
+Bytes EncodePage(const Column& col, const columnar::Field& field) {
+  // Plain form: IPC batch of the single column.
+  auto field_schema = columnar::MakeSchema({field});
+  auto shared = std::make_shared<Column>(col);
+  Bytes ipc = columnar::ipc::SerializeBatch(
+      *MakeBatch(field_schema, {std::move(shared)}));
+  BufferWriter plain(ipc.size() + 1);
+  plain.WriteU8(static_cast<uint8_t>(PageEncoding::kPlain));
+  plain.WriteBytes(ipc.data(), ipc.size());
+  Bytes plain_bytes = std::move(plain).Take();
+
+  if (auto dictionary = DictionaryEncodeString(col);
+      dictionary && dictionary->size() < plain_bytes.size()) {
+    return std::move(*dictionary);
+  }
+  return plain_bytes;
+}
+
+Result<ColumnPtr> DecodePage(ByteSpan payload, const columnar::Field& field,
+                             size_t expected_rows) {
+  BufferReader in(payload);
+  POCS_ASSIGN_OR_RETURN(uint8_t enc, in.ReadU8());
+  if (enc == static_cast<uint8_t>(PageEncoding::kPlain)) {
+    POCS_ASSIGN_OR_RETURN(ByteSpan ipc, in.ReadSpan(in.remaining()));
+    POCS_ASSIGN_OR_RETURN(columnar::RecordBatchPtr batch,
+                          columnar::ipc::DeserializeBatch(ipc));
+    if (batch->num_columns() != 1 || batch->num_rows() != expected_rows) {
+      return Status::Corruption("page: plain shape mismatch");
+    }
+    if (batch->column(0)->type() != field.type) {
+      return Status::Corruption("page: plain type mismatch");
+    }
+    return batch->column(0);
+  }
+  if (enc != static_cast<uint8_t>(PageEncoding::kDictionary)) {
+    return Status::Corruption("page: unknown encoding");
+  }
+  if (field.type != TypeKind::kString) {
+    return Status::Corruption("page: dictionary on non-string column");
+  }
+  POCS_ASSIGN_OR_RETURN(uint64_t n_dict, in.ReadVarint());
+  if (n_dict > 255) return Status::Corruption("page: dictionary too large");
+  std::vector<std::string> dict;
+  dict.reserve(n_dict);
+  for (uint64_t i = 0; i < n_dict; ++i) {
+    POCS_ASSIGN_OR_RETURN(std::string v, in.ReadString());
+    dict.push_back(std::move(v));
+  }
+  POCS_ASSIGN_OR_RETURN(uint64_t n_rows, in.ReadVarint());
+  if (n_rows != expected_rows) {
+    return Status::Corruption("page: dictionary row count mismatch");
+  }
+  POCS_ASSIGN_OR_RETURN(uint64_t null_count, in.ReadVarint());
+  std::vector<uint8_t> validity;
+  if (null_count > 0) {
+    if (null_count > n_rows) return Status::Corruption("page: bad nulls");
+    validity.resize(n_rows);
+    POCS_RETURN_NOT_OK(in.ReadBytes(validity.data(), n_rows));
+  }
+  auto col = MakeColumn(TypeKind::kString);
+  col->Reserve(n_rows);
+  for (uint64_t i = 0; i < n_rows; ++i) {
+    POCS_ASSIGN_OR_RETURN(uint8_t code, in.ReadU8());
+    if (!validity.empty() && validity[i] == 0) {
+      col->AppendNull();
+      continue;
+    }
+    if (code >= dict.size()) {
+      return Status::Corruption("page: dictionary code out of range");
+    }
+    col->AppendString(dict[code]);
+  }
+  if (!in.exhausted()) return Status::Corruption("page: trailing bytes");
+  return ColumnPtr(col);
+}
+
+}  // namespace pocs::format

@@ -1,0 +1,38 @@
+// Data-page encodings for Parquet-lite chunks. Mirrors Parquet's two
+// workhorse encodings:
+//   kPlain      — the column's IPC serialization as-is;
+//   kDictionary — low-cardinality string columns stored as a distinct-
+//                 value dictionary plus one code byte per row (chosen
+//                 automatically when it is smaller).
+// The encoding byte leads the (pre-compression) chunk payload, so codecs
+// compress the encoded form — dictionary + codec compose, as in Parquet.
+#pragma once
+
+#include <optional>
+
+#include "columnar/column.h"
+#include "common/buffer.h"
+
+namespace pocs::format {
+
+enum class PageEncoding : uint8_t {
+  kPlain = 0,
+  kDictionary = 1,
+};
+
+// Encode a single-column page: picks the smaller of plain and (for
+// eligible string columns) dictionary encoding. The returned buffer is
+// self-describing (leading encoding byte).
+Bytes EncodePage(const columnar::Column& col,
+                 const columnar::Field& field);
+
+// Decode a page produced by EncodePage.
+Result<columnar::ColumnPtr> DecodePage(ByteSpan payload,
+                                       const columnar::Field& field,
+                                       size_t expected_rows);
+
+// Exposed for tests: dictionary-encode a string column, or nullopt when
+// ineligible (non-string, >255 distinct values).
+std::optional<Bytes> DictionaryEncodeString(const columnar::Column& col);
+
+}  // namespace pocs::format

@@ -1,0 +1,111 @@
+// Parquet-lite: the columnar storage file format objects are stored in.
+//
+// Mirrors the structural features of Apache Parquet that the paper's
+// pipeline depends on: row groups, per-column chunks with min/max/NDV
+// statistics (chunk skipping), pluggable compression per file, and a
+// self-describing footer. Files are byte buffers — the object store is
+// the only persistence layer, as in the paper's S3/OCS setup.
+//
+// Layout:
+//   file   := magic(u32 'PQL1') chunk_data... footer footer_len(u32)
+//             magic(u32 'PQL1')
+//   chunk  := codec-compressed single-column IPC batch
+//   footer := schema  codec:u8  n_groups:varint
+//             group*  { n_rows:varint  chunk* { offset:varint len:varint
+//                                               stats } }
+//             file-level stats per column
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "columnar/batch.h"
+#include "compress/codec.h"
+#include "format/stats.h"
+
+namespace pocs::format {
+
+constexpr uint32_t kParquetLiteMagic = 0x314C5150;  // 'PQL1'
+
+struct WriterOptions {
+  compress::CodecType codec = compress::CodecType::kNone;
+  size_t rows_per_group = 64 * 1024;
+};
+
+struct ChunkMeta {
+  uint64_t offset = 0;  // absolute file offset of the compressed chunk
+  uint64_t length = 0;  // compressed byte length
+  ColumnStats stats;
+};
+
+struct RowGroupMeta {
+  uint64_t num_rows = 0;
+  std::vector<ChunkMeta> chunks;  // one per schema field
+};
+
+struct FileMeta {
+  columnar::SchemaPtr schema;
+  compress::CodecType codec = compress::CodecType::kNone;
+  uint64_t num_rows = 0;
+  std::vector<RowGroupMeta> row_groups;
+  std::vector<ColumnStats> column_stats;  // file-level, one per field
+};
+
+// Streaming writer: append batches, then Finish() to obtain file bytes.
+class FileWriter {
+ public:
+  FileWriter(columnar::SchemaPtr schema, WriterOptions options);
+
+  Status WriteBatch(const columnar::RecordBatch& batch);
+  // Flushes pending rows and writes the footer. Writer is then spent.
+  Result<Bytes> Finish();
+
+ private:
+  Status FlushGroup();
+
+  columnar::SchemaPtr schema_;
+  WriterOptions options_;
+  BufferWriter out_;
+  FileMeta meta_;
+  std::vector<std::shared_ptr<columnar::Column>> pending_;
+  std::vector<StatsCollector> file_stats_;
+  size_t pending_rows_ = 0;
+  bool finished_ = false;
+};
+
+// Reader over a complete in-memory file. Column projection and row-group
+// selection are first-class so storage-side execution reads only what a
+// query needs (the paper's §2.2 selective-retrieval property).
+class FileReader {
+ public:
+  static Result<std::shared_ptr<FileReader>> Open(Bytes file);
+
+  const FileMeta& meta() const { return meta_; }
+  const columnar::SchemaPtr& schema() const { return meta_.schema; }
+  size_t num_row_groups() const { return meta_.row_groups.size(); }
+
+  // Read one row group, materializing only `column_indices` (all if empty).
+  // The returned batch's schema is the projected schema.
+  Result<columnar::RecordBatchPtr> ReadRowGroup(
+      size_t group, const std::vector<int>& column_indices = {}) const;
+
+  // Read the whole file (projected), as a table of per-group batches.
+  Result<std::shared_ptr<columnar::Table>> ReadAll(
+      const std::vector<int>& column_indices = {}) const;
+
+  // Bytes that a range-read of just these columns in this group would
+  // fetch — used for transfer accounting in filter-only pushdown paths.
+  uint64_t ChunkBytes(size_t group, const std::vector<int>& columns) const;
+
+ private:
+  FileReader(Bytes file, FileMeta meta)
+      : file_(std::move(file)), meta_(std::move(meta)) {}
+
+  Bytes file_;
+  FileMeta meta_;
+};
+
+// Parse only the footer of a file (cheap metadata access for planners).
+Result<FileMeta> ReadFooter(ByteSpan file);
+
+}  // namespace pocs::format

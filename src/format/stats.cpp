@@ -1,0 +1,73 @@
+#include "format/stats.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace pocs::format {
+
+using columnar::Datum;
+
+void ColumnStats::Merge(const ColumnStats& other) {
+  if (min.is_null() || (!other.min.is_null() && other.min.Compare(min) < 0)) {
+    min = other.min;
+  }
+  if (max.is_null() || (!other.max.is_null() && other.max.Compare(max) > 0)) {
+    max = other.max;
+  }
+  row_count += other.row_count;
+  null_count += other.null_count;
+  // NDV union upper bound; per-chunk NDVs can overlap, so this
+  // overestimates — acceptable for the pushdown estimator which only
+  // needs order of magnitude.
+  ndv = std::min<uint64_t>(ndv + other.ndv, row_count);
+  ndv_capped = ndv_capped || other.ndv_capped;
+}
+
+void ColumnStats::Serialize(BufferWriter* out) const {
+  columnar::ipc::WriteDatum(min, out);
+  columnar::ipc::WriteDatum(max, out);
+  out->WriteVarint(row_count);
+  out->WriteVarint(null_count);
+  out->WriteVarint(ndv);
+  out->WriteU8(ndv_capped ? 1 : 0);
+}
+
+Result<ColumnStats> ColumnStats::Deserialize(BufferReader* in) {
+  ColumnStats s;
+  POCS_ASSIGN_OR_RETURN(s.min, columnar::ipc::ReadDatum(in));
+  POCS_ASSIGN_OR_RETURN(s.max, columnar::ipc::ReadDatum(in));
+  POCS_ASSIGN_OR_RETURN(s.row_count, in->ReadVarint());
+  POCS_ASSIGN_OR_RETURN(s.null_count, in->ReadVarint());
+  POCS_ASSIGN_OR_RETURN(s.ndv, in->ReadVarint());
+  POCS_ASSIGN_OR_RETURN(uint8_t capped, in->ReadU8());
+  s.ndv_capped = capped != 0;
+  return s;
+}
+
+void StatsCollector::Update(const columnar::Column& col) {
+  using columnar::TypeKind;
+  stats_.row_count += col.length();
+  for (size_t i = 0; i < col.length(); ++i) {
+    if (col.IsNull(i)) {
+      ++stats_.null_count;
+      continue;
+    }
+    Datum v = col.GetDatum(i);
+    if (stats_.min.is_null() || v.Compare(stats_.min) < 0) stats_.min = v;
+    if (stats_.max.is_null() || v.Compare(stats_.max) > 0) stats_.max = v;
+    if (!stats_.ndv_capped) {
+      uint64_t h;
+      switch (type_) {
+        case TypeKind::kString: h = HashString(col.GetString(i)); break;
+        case TypeKind::kFloat64: h = HashValue(col.GetFloat64(i)); break;
+        default: h = HashValue(v.AsInt64()); break;
+      }
+      distinct_.insert(h);
+      if (distinct_.size() >= kNdvCap) stats_.ndv_capped = true;
+    }
+  }
+  stats_.ndv = distinct_.size();
+}
+
+}  // namespace pocs::format

@@ -1,0 +1,73 @@
+#include "metastore/metastore.h"
+
+namespace pocs::metastore {
+
+Status Metastore::CreateSchema(const std::string& name) {
+  std::lock_guard lock(mu_);
+  if (schemas_.contains(name)) {
+    return Status::AlreadyExists("schema " + name);
+  }
+  schemas_[name];
+  return Status::OK();
+}
+
+bool Metastore::HasSchema(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  return schemas_.contains(name);
+}
+
+Status Metastore::RegisterTable(TableInfo info) {
+  if (!info.schema) return Status::InvalidArgument("table has no schema");
+  if (info.column_stats.size() != info.schema->num_fields()) {
+    return Status::InvalidArgument(
+        "table stats count does not match schema (" +
+        std::to_string(info.column_stats.size()) + " vs " +
+        std::to_string(info.schema->num_fields()) + ")");
+  }
+  std::lock_guard lock(mu_);
+  auto it = schemas_.find(info.schema_name);
+  if (it == schemas_.end()) {
+    return Status::NotFound("schema " + info.schema_name);
+  }
+  if (it->second.contains(info.table_name)) {
+    return Status::AlreadyExists("table " + info.table_name);
+  }
+  std::string name = info.table_name;
+  it->second.emplace(std::move(name), std::move(info));
+  return Status::OK();
+}
+
+Status Metastore::DropTable(const std::string& schema_name,
+                            const std::string& table_name) {
+  std::lock_guard lock(mu_);
+  auto it = schemas_.find(schema_name);
+  if (it == schemas_.end()) return Status::NotFound("schema " + schema_name);
+  if (it->second.erase(table_name) == 0) {
+    return Status::NotFound("table " + table_name);
+  }
+  return Status::OK();
+}
+
+Result<TableInfo> Metastore::GetTable(const std::string& schema_name,
+                                      const std::string& table_name) const {
+  std::lock_guard lock(mu_);
+  auto it = schemas_.find(schema_name);
+  if (it == schemas_.end()) return Status::NotFound("schema " + schema_name);
+  auto tit = it->second.find(table_name);
+  if (tit == it->second.end()) {
+    return Status::NotFound("table " + schema_name + "." + table_name);
+  }
+  return tit->second;
+}
+
+Result<std::vector<std::string>> Metastore::ListTables(
+    const std::string& schema_name) const {
+  std::lock_guard lock(mu_);
+  auto it = schemas_.find(schema_name);
+  if (it == schemas_.end()) return Status::NotFound("schema " + schema_name);
+  std::vector<std::string> names;
+  for (const auto& [name, info] : it->second) names.push_back(name);
+  return names;
+}
+
+}  // namespace pocs::metastore

@@ -1,0 +1,62 @@
+// Hive-metastore-lite: the catalog of schemas, tables, their object
+// layout, and column statistics. In the paper this is Apache Hive 3.0 —
+// the connector's Selectivity Analyzer reads min/max, NDV, and row counts
+// from here to size up pushdown candidates (§4 "Local Optimizer").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "columnar/types.h"
+#include "common/status.h"
+#include "format/stats.h"
+
+namespace pocs::metastore {
+
+struct TableInfo {
+  std::string schema_name;
+  std::string table_name;
+  columnar::SchemaPtr schema;
+
+  // Physical layout: the table's data objects in the object store.
+  std::string bucket;
+  std::vector<std::string> objects;
+
+  // Table-level statistics (merged over all objects at registration).
+  uint64_t row_count = 0;
+  uint64_t total_bytes = 0;  // on-storage (possibly compressed) footprint
+  std::vector<format::ColumnStats> column_stats;  // one per schema field
+
+  // Stats for a column by name; nullptr if unknown.
+  const format::ColumnStats* StatsFor(std::string_view column) const {
+    if (!schema) return nullptr;
+    int idx = schema->FieldIndex(column);
+    if (idx < 0 || static_cast<size_t>(idx) >= column_stats.size()) {
+      return nullptr;
+    }
+    return &column_stats[idx];
+  }
+};
+
+class Metastore {
+ public:
+  Status CreateSchema(const std::string& name);
+  bool HasSchema(const std::string& name) const;
+
+  Status RegisterTable(TableInfo info);
+  Status DropTable(const std::string& schema_name,
+                   const std::string& table_name);
+  Result<TableInfo> GetTable(const std::string& schema_name,
+                             const std::string& table_name) const;
+  Result<std::vector<std::string>> ListTables(
+      const std::string& schema_name) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::map<std::string, TableInfo>> schemas_;
+};
+
+}  // namespace pocs::metastore

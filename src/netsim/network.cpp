@@ -1,0 +1,41 @@
+#include "netsim/network.h"
+
+namespace pocs::netsim {
+
+double Network::Transfer(NodeId from, NodeId to, uint64_t bytes,
+                         uint64_t messages) {
+  if (from == to) return 0.0;
+  std::lock_guard lock(mu_);
+  LinkConfig link = LinkFor(from, to);
+  double seconds = static_cast<double>(bytes) / link.bandwidth_bytes_per_sec +
+                   static_cast<double>(messages) * link.latency_sec;
+  FlowStats& flow = flows_[Key(from, to)];
+  flow.bytes += bytes;
+  flow.messages += messages;
+  flow.seconds += seconds;
+  return seconds;
+}
+
+FlowStats Network::FlowBetween(NodeId a, NodeId b) const {
+  std::lock_guard lock(mu_);
+  auto it = flows_.find(Key(a, b));
+  return it == flows_.end() ? FlowStats{} : it->second;
+}
+
+FlowStats Network::Total() const {
+  std::lock_guard lock(mu_);
+  FlowStats total;
+  for (const auto& [key, flow] : flows_) {
+    total.bytes += flow.bytes;
+    total.messages += flow.messages;
+    total.seconds += flow.seconds;
+  }
+  return total;
+}
+
+void Network::ResetCounters() {
+  std::lock_guard lock(mu_);
+  flows_.clear();
+}
+
+}  // namespace pocs::netsim

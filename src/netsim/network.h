@@ -1,0 +1,93 @@
+// Simulated cluster network.
+//
+// The paper's testbed interconnects compute, OCS-frontend, and storage
+// nodes over 10 GbE (Table 1). We model each directed flow's transfer
+// time as  bytes / bandwidth + messages * latency  and account every byte
+// crossing a link. Compute time in this repo is real (measured); network
+// time is modelled — DESIGN.md §4 explains how the two compose into the
+// reported execution times.
+//
+// Thread-safe: workers transfer concurrently during query execution.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pocs::netsim {
+
+using NodeId = uint32_t;
+
+struct LinkConfig {
+  double bandwidth_bytes_per_sec = 1.25e9;  // 10 GbE
+  double latency_sec = 100e-6;              // per message round
+};
+
+// Default cluster parameterization from the paper's Table 1.
+inline LinkConfig TenGbE() { return LinkConfig{1.25e9, 100e-6}; }
+
+// Effective application-level throughput of an S3-style object path.
+// The paper's own end-to-end numbers (24 GB moved in 2710 s at baseline)
+// imply an effective per-query rate of O(10 MB/s) through the full
+// request/HTTP/parse stack despite the 10 GbE wire; we default the
+// testbed to a 40 MB/s effective link so scaled-down datasets sit in the
+// same transfer-vs-compute regime as the paper's testbed (DESIGN.md §4).
+inline LinkConfig EffectiveS3() { return LinkConfig{40e6, 500e-6}; }
+
+struct FlowStats {
+  uint64_t bytes = 0;
+  uint64_t messages = 0;
+  double seconds = 0;
+};
+
+class Network {
+ public:
+  explicit Network(LinkConfig default_link = TenGbE())
+      : default_link_(default_link) {}
+
+  NodeId AddNode(std::string name) {
+    std::lock_guard lock(mu_);
+    nodes_.push_back(std::move(name));
+    return static_cast<NodeId>(nodes_.size() - 1);
+  }
+
+  const std::string& NodeName(NodeId id) const { return nodes_[id]; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+  // Override the link between a specific node pair (undirected).
+  void SetLink(NodeId a, NodeId b, LinkConfig link) {
+    std::lock_guard lock(mu_);
+    links_[Key(a, b)] = link;
+  }
+
+  // Charge a transfer; returns the modelled wall seconds it would take.
+  // A node talking to itself is free (local I/O is part of compute time).
+  double Transfer(NodeId from, NodeId to, uint64_t bytes,
+                  uint64_t messages = 1);
+
+  FlowStats FlowBetween(NodeId a, NodeId b) const;
+  FlowStats Total() const;
+  void ResetCounters();
+
+ private:
+  static uint64_t Key(NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    return (uint64_t{a} << 32) | b;
+  }
+  LinkConfig LinkFor(NodeId a, NodeId b) const {
+    auto it = links_.find(Key(a, b));
+    return it == links_.end() ? default_link_ : it->second;
+  }
+
+  mutable std::mutex mu_;
+  LinkConfig default_link_;
+  std::vector<std::string> nodes_;
+  std::map<uint64_t, LinkConfig> links_;
+  std::map<uint64_t, FlowStats> flows_;
+};
+
+}  // namespace pocs::netsim

@@ -1,0 +1,107 @@
+#include "objectstore/object_store.h"
+
+namespace pocs::objectstore {
+
+Status ObjectStore::CreateBucket(const std::string& bucket) {
+  std::lock_guard lock(mu_);
+  if (buckets_.contains(bucket)) {
+    return Status::AlreadyExists("bucket " + bucket);
+  }
+  buckets_[bucket];
+  return Status::OK();
+}
+
+Status ObjectStore::DeleteBucket(const std::string& bucket) {
+  std::lock_guard lock(mu_);
+  auto it = buckets_.find(bucket);
+  if (it == buckets_.end()) return Status::NotFound("bucket " + bucket);
+  if (!it->second.empty()) {
+    return Status::InvalidArgument("bucket " + bucket + " not empty");
+  }
+  buckets_.erase(it);
+  return Status::OK();
+}
+
+bool ObjectStore::HasBucket(const std::string& bucket) const {
+  std::lock_guard lock(mu_);
+  return buckets_.contains(bucket);
+}
+
+Status ObjectStore::Put(const std::string& bucket, const std::string& key,
+                        Bytes data) {
+  std::lock_guard lock(mu_);
+  auto it = buckets_.find(bucket);
+  if (it == buckets_.end()) return Status::NotFound("bucket " + bucket);
+  it->second[key] = std::make_shared<const Bytes>(std::move(data));
+  return Status::OK();
+}
+
+Status ObjectStore::Delete(const std::string& bucket, const std::string& key) {
+  std::lock_guard lock(mu_);
+  auto it = buckets_.find(bucket);
+  if (it == buckets_.end()) return Status::NotFound("bucket " + bucket);
+  if (it->second.erase(key) == 0) {
+    return Status::NotFound("object " + bucket + "/" + key);
+  }
+  return Status::OK();
+}
+
+Result<ObjectData> ObjectStore::Get(const std::string& bucket,
+                                    const std::string& key) const {
+  std::lock_guard lock(mu_);
+  auto bit = buckets_.find(bucket);
+  if (bit == buckets_.end()) return Status::NotFound("bucket " + bucket);
+  auto oit = bit->second.find(key);
+  if (oit == bit->second.end()) {
+    return Status::NotFound("object " + bucket + "/" + key);
+  }
+  return oit->second;
+}
+
+Result<Bytes> ObjectStore::GetRange(const std::string& bucket,
+                                    const std::string& key, uint64_t offset,
+                                    uint64_t length) const {
+  POCS_ASSIGN_OR_RETURN(ObjectData data, Get(bucket, key));
+  if (offset > data->size() || offset + length > data->size()) {
+    return Status::OutOfRange("range [" + std::to_string(offset) + ", +" +
+                              std::to_string(length) + ") beyond object of " +
+                              std::to_string(data->size()) + " bytes");
+  }
+  return Bytes(data->begin() + offset, data->begin() + offset + length);
+}
+
+Result<uint64_t> ObjectStore::Size(const std::string& bucket,
+                                   const std::string& key) const {
+  POCS_ASSIGN_OR_RETURN(ObjectData data, Get(bucket, key));
+  return data->size();
+}
+
+Result<std::vector<std::string>> ObjectStore::List(
+    const std::string& bucket, const std::string& prefix) const {
+  std::lock_guard lock(mu_);
+  auto bit = buckets_.find(bucket);
+  if (bit == buckets_.end()) return Status::NotFound("bucket " + bucket);
+  std::vector<std::string> keys;
+  for (const auto& [key, data] : bit->second) {
+    if (key.starts_with(prefix)) keys.push_back(key);
+  }
+  return keys;
+}
+
+uint64_t ObjectStore::TotalBytes() const {
+  std::lock_guard lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [bucket, objects] : buckets_) {
+    for (const auto& [key, data] : objects) total += data->size();
+  }
+  return total;
+}
+
+size_t ObjectStore::ObjectCount() const {
+  std::lock_guard lock(mu_);
+  size_t n = 0;
+  for (const auto& [bucket, objects] : buckets_) n += objects.size();
+  return n;
+}
+
+}  // namespace pocs::objectstore

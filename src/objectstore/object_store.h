@@ -1,0 +1,48 @@
+// In-memory bucket/object store — the S3/MinIO stand-in. Flat
+// bucket/key namespace, whole-object and range GETs, immutable objects
+// (PUT replaces). Data lives on the storage node that owns the store;
+// remote access goes through the RPC service in service.h.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/status.h"
+
+namespace pocs::objectstore {
+
+using ObjectData = std::shared_ptr<const Bytes>;
+
+class ObjectStore {
+ public:
+  Status CreateBucket(const std::string& bucket);
+  Status DeleteBucket(const std::string& bucket);  // must be empty
+  bool HasBucket(const std::string& bucket) const;
+
+  Status Put(const std::string& bucket, const std::string& key, Bytes data);
+  Status Delete(const std::string& bucket, const std::string& key);
+
+  Result<ObjectData> Get(const std::string& bucket,
+                         const std::string& key) const;
+  Result<Bytes> GetRange(const std::string& bucket, const std::string& key,
+                         uint64_t offset, uint64_t length) const;
+  Result<uint64_t> Size(const std::string& bucket,
+                        const std::string& key) const;
+
+  // Keys in `bucket` starting with `prefix`, sorted.
+  Result<std::vector<std::string>> List(const std::string& bucket,
+                                        const std::string& prefix = "") const;
+
+  uint64_t TotalBytes() const;
+  size_t ObjectCount() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::map<std::string, ObjectData>> buckets_;
+};
+
+}  // namespace pocs::objectstore

@@ -1,0 +1,221 @@
+#include "objectstore/service.h"
+
+#include "columnar/ipc.h"
+
+namespace pocs::objectstore {
+
+void EncodeSelectRequest(const SelectRequest& request, BufferWriter* out) {
+  out->WriteString(request.bucket);
+  out->WriteString(request.key);
+  out->WriteVarint(request.columns.size());
+  for (const std::string& c : request.columns) out->WriteString(c);
+  out->WriteVarint(request.predicates.size());
+  for (const SelectPredicate& p : request.predicates) {
+    out->WriteString(p.column);
+    out->WriteU8(static_cast<uint8_t>(p.op));
+    columnar::ipc::WriteDatum(p.literal, out);
+  }
+}
+
+Result<SelectRequest> DecodeSelectRequest(BufferReader* in) {
+  SelectRequest request;
+  POCS_ASSIGN_OR_RETURN(request.bucket, in->ReadString());
+  POCS_ASSIGN_OR_RETURN(request.key, in->ReadString());
+  POCS_ASSIGN_OR_RETURN(uint64_t n_cols, in->ReadVarint());
+  for (uint64_t i = 0; i < n_cols; ++i) {
+    POCS_ASSIGN_OR_RETURN(std::string c, in->ReadString());
+    request.columns.push_back(std::move(c));
+  }
+  POCS_ASSIGN_OR_RETURN(uint64_t n_preds, in->ReadVarint());
+  for (uint64_t i = 0; i < n_preds; ++i) {
+    SelectPredicate p;
+    POCS_ASSIGN_OR_RETURN(p.column, in->ReadString());
+    POCS_ASSIGN_OR_RETURN(uint8_t op, in->ReadU8());
+    if (op > static_cast<uint8_t>(columnar::CompareOp::kGe)) {
+      return Status::Corruption("select: bad compare op");
+    }
+    p.op = static_cast<columnar::CompareOp>(op);
+    POCS_ASSIGN_OR_RETURN(p.literal, columnar::ipc::ReadDatum(in));
+    request.predicates.push_back(std::move(p));
+  }
+  return request;
+}
+
+namespace {
+
+void EncodeSelectStats(const SelectStats& stats, BufferWriter* out) {
+  out->WriteVarint(stats.rows_scanned);
+  out->WriteVarint(stats.rows_returned);
+  out->WriteVarint(stats.groups_total);
+  out->WriteVarint(stats.groups_skipped);
+  out->WriteVarint(stats.object_bytes_read);
+}
+
+Result<SelectStats> DecodeSelectStats(BufferReader* in) {
+  SelectStats stats;
+  POCS_ASSIGN_OR_RETURN(stats.rows_scanned, in->ReadVarint());
+  POCS_ASSIGN_OR_RETURN(stats.rows_returned, in->ReadVarint());
+  POCS_ASSIGN_OR_RETURN(stats.groups_total, in->ReadVarint());
+  POCS_ASSIGN_OR_RETURN(stats.groups_skipped, in->ReadVarint());
+  POCS_ASSIGN_OR_RETURN(stats.object_bytes_read, in->ReadVarint());
+  return stats;
+}
+
+}  // namespace
+
+void RegisterStorageService(const std::shared_ptr<ObjectStore>& store,
+                            rpc::Server* server) {
+  server->RegisterMethod("Get", [store](ByteSpan req) -> Result<Bytes> {
+    BufferReader in(req);
+    POCS_ASSIGN_OR_RETURN(std::string bucket, in.ReadString());
+    POCS_ASSIGN_OR_RETURN(std::string key, in.ReadString());
+    POCS_ASSIGN_OR_RETURN(ObjectData data, store->Get(bucket, key));
+    return *data;  // copy: the response crosses the "network"
+  });
+
+  server->RegisterMethod("GetRange", [store](ByteSpan req) -> Result<Bytes> {
+    BufferReader in(req);
+    POCS_ASSIGN_OR_RETURN(std::string bucket, in.ReadString());
+    POCS_ASSIGN_OR_RETURN(std::string key, in.ReadString());
+    POCS_ASSIGN_OR_RETURN(uint64_t offset, in.ReadVarint());
+    POCS_ASSIGN_OR_RETURN(uint64_t length, in.ReadVarint());
+    return store->GetRange(bucket, key, offset, length);
+  });
+
+  server->RegisterMethod("Size", [store](ByteSpan req) -> Result<Bytes> {
+    BufferReader in(req);
+    POCS_ASSIGN_OR_RETURN(std::string bucket, in.ReadString());
+    POCS_ASSIGN_OR_RETURN(std::string key, in.ReadString());
+    POCS_ASSIGN_OR_RETURN(uint64_t size, store->Size(bucket, key));
+    BufferWriter out;
+    out.WriteVarint(size);
+    return std::move(out).Take();
+  });
+
+  server->RegisterMethod("List", [store](ByteSpan req) -> Result<Bytes> {
+    BufferReader in(req);
+    POCS_ASSIGN_OR_RETURN(std::string bucket, in.ReadString());
+    POCS_ASSIGN_OR_RETURN(std::string prefix, in.ReadString());
+    POCS_ASSIGN_OR_RETURN(auto keys, store->List(bucket, prefix));
+    BufferWriter out;
+    out.WriteVarint(keys.size());
+    for (const std::string& k : keys) out.WriteString(k);
+    return std::move(out).Take();
+  });
+
+  server->RegisterMethod("Put", [store](ByteSpan req) -> Result<Bytes> {
+    BufferReader in(req);
+    POCS_ASSIGN_OR_RETURN(std::string bucket, in.ReadString());
+    POCS_ASSIGN_OR_RETURN(std::string key, in.ReadString());
+    POCS_ASSIGN_OR_RETURN(uint64_t n, in.ReadVarint());
+    POCS_ASSIGN_OR_RETURN(ByteSpan data, in.ReadSpan(n));
+    if (!store->HasBucket(bucket)) {
+      // Auto-create: mirrors permissive dev-mode object stores.
+      POCS_RETURN_NOT_OK(store->CreateBucket(bucket));
+    }
+    POCS_RETURN_NOT_OK(store->Put(bucket, key, Bytes(data.begin(), data.end())));
+    return Bytes{};
+  });
+
+  server->RegisterMethod("Select", [store](ByteSpan req) -> Result<Bytes> {
+    BufferReader in(req);
+    POCS_ASSIGN_OR_RETURN(SelectRequest request, DecodeSelectRequest(&in));
+    POCS_ASSIGN_OR_RETURN(SelectResponse response,
+                          ExecuteSelect(*store, request));
+    BufferWriter out;
+    EncodeSelectStats(response.stats, &out);
+    out.WriteString(response.csv);
+    return std::move(out).Take();
+  });
+}
+
+namespace {
+
+void FillInfo(const rpc::CallResult& call, TransferInfo* info) {
+  if (!info) return;
+  info->bytes_sent += call.request_bytes;
+  info->bytes_received += call.response_bytes;
+  info->transfer_seconds += call.transfer_seconds;
+}
+
+}  // namespace
+
+Result<Bytes> StorageClient::Get(const std::string& bucket,
+                                 const std::string& key,
+                                 TransferInfo* info) const {
+  BufferWriter req;
+  req.WriteString(bucket);
+  req.WriteString(key);
+  POCS_ASSIGN_OR_RETURN(rpc::CallResult call, channel_.Call("Get", req.span()));
+  FillInfo(call, info);
+  return std::move(call.response);
+}
+
+Result<Bytes> StorageClient::GetRange(const std::string& bucket,
+                                      const std::string& key, uint64_t offset,
+                                      uint64_t length,
+                                      TransferInfo* info) const {
+  BufferWriter req;
+  req.WriteString(bucket);
+  req.WriteString(key);
+  req.WriteVarint(offset);
+  req.WriteVarint(length);
+  POCS_ASSIGN_OR_RETURN(rpc::CallResult call,
+                        channel_.Call("GetRange", req.span()));
+  FillInfo(call, info);
+  return std::move(call.response);
+}
+
+Result<uint64_t> StorageClient::Size(const std::string& bucket,
+                                     const std::string& key) const {
+  BufferWriter req;
+  req.WriteString(bucket);
+  req.WriteString(key);
+  POCS_ASSIGN_OR_RETURN(rpc::CallResult call, channel_.Call("Size", req.span()));
+  BufferReader in(call.response.data(), call.response.size());
+  return in.ReadVarint();
+}
+
+Result<std::vector<std::string>> StorageClient::List(
+    const std::string& bucket, const std::string& prefix) const {
+  BufferWriter req;
+  req.WriteString(bucket);
+  req.WriteString(prefix);
+  POCS_ASSIGN_OR_RETURN(rpc::CallResult call, channel_.Call("List", req.span()));
+  BufferReader in(call.response.data(), call.response.size());
+  POCS_ASSIGN_OR_RETURN(uint64_t n, in.ReadVarint());
+  std::vector<std::string> keys;
+  for (uint64_t i = 0; i < n; ++i) {
+    POCS_ASSIGN_OR_RETURN(std::string k, in.ReadString());
+    keys.push_back(std::move(k));
+  }
+  return keys;
+}
+
+Status StorageClient::Put(const std::string& bucket, const std::string& key,
+                          ByteSpan data) const {
+  BufferWriter req;
+  req.WriteString(bucket);
+  req.WriteString(key);
+  req.WriteVarint(data.size());
+  req.WriteBytes(data);
+  POCS_ASSIGN_OR_RETURN(rpc::CallResult call, channel_.Call("Put", req.span()));
+  (void)call;
+  return Status::OK();
+}
+
+Result<SelectResponse> StorageClient::Select(const SelectRequest& request,
+                                             TransferInfo* info) const {
+  BufferWriter req;
+  EncodeSelectRequest(request, &req);
+  POCS_ASSIGN_OR_RETURN(rpc::CallResult call,
+                        channel_.Call("Select", req.span()));
+  FillInfo(call, info);
+  BufferReader in(call.response.data(), call.response.size());
+  SelectResponse response;
+  POCS_ASSIGN_OR_RETURN(response.stats, DecodeSelectStats(&in));
+  POCS_ASSIGN_OR_RETURN(response.csv, in.ReadString());
+  return response;
+}
+
+}  // namespace pocs::objectstore

@@ -1,0 +1,54 @@
+// RPC binding for the object store: server-side method registration and a
+// typed client. This is how compute-side connectors talk to remote
+// storage — every byte of every response is charged to the simulated
+// network by the underlying rpc::Channel.
+#pragma once
+
+#include <memory>
+
+#include "objectstore/object_store.h"
+#include "objectstore/select.h"
+#include "rpc/rpc.h"
+
+namespace pocs::objectstore {
+
+// Registers Get/GetRange/Size/List/Put/Select methods on `server`,
+// backed by `store` (which must outlive the server).
+void RegisterStorageService(const std::shared_ptr<ObjectStore>& store,
+                            rpc::Server* server);
+
+// Typed client over an rpc::Channel. Each call reports the bytes moved
+// and modelled transfer time via the returned TransferInfo.
+struct TransferInfo {
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  double transfer_seconds = 0;
+};
+
+class StorageClient {
+ public:
+  explicit StorageClient(rpc::Channel channel) : channel_(std::move(channel)) {}
+
+  Result<Bytes> Get(const std::string& bucket, const std::string& key,
+                    TransferInfo* info = nullptr) const;
+  Result<Bytes> GetRange(const std::string& bucket, const std::string& key,
+                         uint64_t offset, uint64_t length,
+                         TransferInfo* info = nullptr) const;
+  Result<uint64_t> Size(const std::string& bucket,
+                        const std::string& key) const;
+  Result<std::vector<std::string>> List(const std::string& bucket,
+                                        const std::string& prefix = "") const;
+  Status Put(const std::string& bucket, const std::string& key,
+             ByteSpan data) const;
+  Result<SelectResponse> Select(const SelectRequest& request,
+                                TransferInfo* info = nullptr) const;
+
+ private:
+  rpc::Channel channel_;
+};
+
+// Wire helpers shared with tests.
+void EncodeSelectRequest(const SelectRequest& request, BufferWriter* out);
+Result<SelectRequest> DecodeSelectRequest(BufferReader* in);
+
+}  // namespace pocs::objectstore

@@ -1,0 +1,44 @@
+// Compute-side client for OCS: serializes IR plans, calls the frontend's
+// ExecutePlan over the simulated network, and decodes Arrow results.
+#pragma once
+
+#include "columnar/ipc.h"
+#include "objectstore/service.h"
+#include "ocs/storage_node.h"
+#include "rpc/rpc.h"
+#include "substrait/serialize.h"
+
+namespace pocs::ocs {
+
+class OcsClient {
+ public:
+  explicit OcsClient(rpc::Channel channel) : channel_(std::move(channel)) {}
+
+  // Ship the plan, execute in storage, return stats + the decoded table.
+  Result<OcsResult> ExecutePlan(const substrait::Plan& plan,
+                                objectstore::TransferInfo* info = nullptr) const {
+    Bytes request = substrait::SerializePlan(plan);
+    POCS_ASSIGN_OR_RETURN(
+        rpc::CallResult call,
+        channel_.Call("ExecutePlan", ByteSpan(request.data(), request.size())));
+    if (info) {
+      info->bytes_sent += call.request_bytes;
+      info->bytes_received += call.response_bytes;
+      info->transfer_seconds += call.transfer_seconds;
+    }
+    BufferReader in(call.response.data(), call.response.size());
+    return DecodeOcsResult(&in);
+  }
+
+  // Decode the Arrow payload of a result.
+  static Result<std::shared_ptr<columnar::Table>> DecodeTable(
+      const OcsResult& result) {
+    return columnar::ipc::DeserializeTable(
+        ByteSpan(result.arrow_ipc.data(), result.arrow_ipc.size()));
+  }
+
+ private:
+  rpc::Channel channel_;
+};
+
+}  // namespace pocs::ocs

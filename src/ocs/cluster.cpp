@@ -1,0 +1,149 @@
+#include "ocs/cluster.h"
+
+#include <mutex>
+
+#include "substrait/serialize.h"
+
+namespace pocs::ocs {
+
+namespace {
+std::mutex g_placement_mu;  // guards placement_/next_node_ across handlers
+}  // namespace
+
+OcsCluster::OcsCluster(std::shared_ptr<netsim::Network> net,
+                       ClusterConfig config)
+    : net_(std::move(net)), config_(config) {
+  frontend_node_ = net_->AddNode("ocs-frontend");
+  frontend_server_ =
+      std::make_shared<rpc::Server>(frontend_node_, "ocs-frontend");
+
+  for (size_t i = 0; i < std::max<size_t>(config_.num_storage_nodes, 1);
+       ++i) {
+    netsim::NodeId node = net_->AddNode("ocs-storage-" + std::to_string(i));
+    net_->SetLink(frontend_node_, node, config_.link);
+    auto store = std::make_shared<objectstore::ObjectStore>();
+    storage_nodes_.push_back(
+        std::make_unique<StorageNode>(store, config_.storage));
+    auto server = std::make_shared<rpc::Server>(
+        node, "ocs-storage-" + std::to_string(i));
+    storage_nodes_.back()->RegisterService(server.get());
+    storage_servers_.push_back(server);
+    storage_channels_.push_back(
+        std::make_unique<rpc::Channel>(net_, frontend_node_, server));
+  }
+
+  // Frontend methods: ExecutePlan routes by the plan's read target; the
+  // plain object-store methods route by the (bucket, key) prefix of their
+  // request encoding (all start with bucket/key strings).
+  frontend_server_->RegisterMethod(
+      "ExecutePlan", [this](ByteSpan req) -> Result<Bytes> {
+        POCS_ASSIGN_OR_RETURN(substrait::Plan plan,
+                              substrait::DeserializePlan(req));
+        const substrait::Rel* read = plan.root.get();
+        while (read->input) read = read->input.get();
+        return Forward("ExecutePlan", read->bucket, read->object, req);
+      });
+
+  for (const char* method : {"Get", "GetRange", "Size", "Select"}) {
+    frontend_server_->RegisterMethod(
+        method, [this, method](ByteSpan req) -> Result<Bytes> {
+          BufferReader in(req);
+          POCS_ASSIGN_OR_RETURN(std::string bucket, in.ReadString());
+          POCS_ASSIGN_OR_RETURN(std::string key, in.ReadString());
+          return Forward(method, bucket, key, req);
+        });
+  }
+
+  frontend_server_->RegisterMethod(
+      "List", [this](ByteSpan req) -> Result<Bytes> {
+        // Fan out to all storage nodes and merge sorted key lists.
+        std::vector<std::string> all;
+        for (const auto& channel : storage_channels_) {
+          auto call = channel->Call("List", req);
+          if (!call.ok()) {
+            if (call.status().code() == StatusCode::kNotFound) continue;
+            return call.status();
+          }
+          BufferReader in(call->response.data(), call->response.size());
+          POCS_ASSIGN_OR_RETURN(uint64_t n, in.ReadVarint());
+          for (uint64_t i = 0; i < n; ++i) {
+            POCS_ASSIGN_OR_RETURN(std::string k, in.ReadString());
+            all.push_back(std::move(k));
+          }
+        }
+        std::sort(all.begin(), all.end());
+        BufferWriter out;
+        out.WriteVarint(all.size());
+        for (const std::string& k : all) out.WriteString(k);
+        return std::move(out).Take();
+      });
+
+  frontend_server_->RegisterMethod(
+      "Put", [this](ByteSpan req) -> Result<Bytes> {
+        BufferReader in(req);
+        POCS_ASSIGN_OR_RETURN(std::string bucket, in.ReadString());
+        POCS_ASSIGN_OR_RETURN(std::string key, in.ReadString());
+        size_t node;
+        {
+          std::lock_guard lock(g_placement_mu);
+          auto it = placement_.find(bucket + "/" + key);
+          if (it != placement_.end()) {
+            node = it->second;
+          } else {
+            node = next_node_++ % storage_nodes_.size();
+            placement_[bucket + "/" + key] = node;
+          }
+        }
+        POCS_ASSIGN_OR_RETURN(rpc::CallResult call,
+                              storage_channels_[node]->Call("Put", req));
+        return std::move(call.response);
+      });
+}
+
+Status OcsCluster::PutObject(const std::string& bucket, const std::string& key,
+                             Bytes data) {
+  size_t node;
+  {
+    std::lock_guard lock(g_placement_mu);
+    auto it = placement_.find(bucket + "/" + key);
+    if (it != placement_.end()) {
+      node = it->second;
+    } else {
+      node = next_node_++ % storage_nodes_.size();
+      placement_[bucket + "/" + key] = node;
+    }
+  }
+  auto& store = *storage_nodes_[node]->store();
+  if (!store.HasBucket(bucket)) POCS_RETURN_NOT_OK(store.CreateBucket(bucket));
+  return store.Put(bucket, key, std::move(data));
+}
+
+Result<size_t> OcsCluster::NodeForObject(const std::string& bucket,
+                                         const std::string& key) const {
+  std::lock_guard lock(g_placement_mu);
+  auto it = placement_.find(bucket + "/" + key);
+  if (it == placement_.end()) {
+    return Status::NotFound("ocs: no placement for " + bucket + "/" + key);
+  }
+  return it->second;
+}
+
+Result<Bytes> OcsCluster::Forward(const std::string& method,
+                                  const std::string& bucket,
+                                  const std::string& key,
+                                  ByteSpan request) const {
+  POCS_ASSIGN_OR_RETURN(size_t node, NodeForObject(bucket, key));
+  POCS_ASSIGN_OR_RETURN(rpc::CallResult call,
+                        storage_channels_[node]->Call(method, request));
+  return std::move(call.response);
+}
+
+uint64_t OcsCluster::TotalStoredBytes() const {
+  uint64_t total = 0;
+  for (const auto& node : storage_nodes_) {
+    total += node->store()->TotalBytes();
+  }
+  return total;
+}
+
+}  // namespace pocs::ocs

@@ -1,0 +1,66 @@
+// OCS cluster wiring: a frontend node plus one or more storage nodes on
+// the simulated network (the paper's hierarchical OCS design, §5.1). The
+// frontend exposes the unified endpoint: it parses incoming IR plans,
+// resolves which storage node holds the target object, forwards the plan,
+// and relays the Arrow result — charging frontend↔storage traffic to the
+// network on the way.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "netsim/network.h"
+#include "ocs/storage_node.h"
+#include "rpc/rpc.h"
+
+namespace pocs::ocs {
+
+struct ClusterConfig {
+  size_t num_storage_nodes = 1;
+  StorageNodeConfig storage;
+  netsim::LinkConfig link = netsim::TenGbE();
+};
+
+class OcsCluster {
+ public:
+  OcsCluster(std::shared_ptr<netsim::Network> net, ClusterConfig config);
+
+  // Ingest: place an object on a storage node (round-robin by call order)
+  // and record the placement in the frontend's registry.
+  Status PutObject(const std::string& bucket, const std::string& key,
+                   Bytes data);
+
+  // The frontend's RPC server — compute-side clients connect here for
+  // both "ExecutePlan" and object-store methods (which the frontend
+  // proxies to the owning storage node).
+  const std::shared_ptr<rpc::Server>& frontend_server() const {
+    return frontend_server_;
+  }
+  netsim::NodeId frontend_node() const { return frontend_node_; }
+
+  size_t num_storage_nodes() const { return storage_nodes_.size(); }
+  const StorageNode& storage_node(size_t i) const { return *storage_nodes_[i]; }
+
+  // Total on-storage footprint across nodes.
+  uint64_t TotalStoredBytes() const;
+
+ private:
+  Result<size_t> NodeForObject(const std::string& bucket,
+                               const std::string& key) const;
+  // Forward a raw RPC to the owning node, charging the internal hop.
+  Result<Bytes> Forward(const std::string& method, const std::string& bucket,
+                        const std::string& key, ByteSpan request) const;
+
+  std::shared_ptr<netsim::Network> net_;
+  ClusterConfig config_;
+  netsim::NodeId frontend_node_;
+  std::shared_ptr<rpc::Server> frontend_server_;
+  std::vector<std::unique_ptr<StorageNode>> storage_nodes_;
+  std::vector<std::shared_ptr<rpc::Server>> storage_servers_;
+  std::vector<std::unique_ptr<rpc::Channel>> storage_channels_;
+  std::map<std::string, size_t> placement_;  // "bucket/key" -> node index
+  size_t next_node_ = 0;
+};
+
+}  // namespace pocs::ocs

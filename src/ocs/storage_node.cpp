@@ -1,0 +1,225 @@
+#include "ocs/storage_node.h"
+
+#include "columnar/ipc.h"
+#include "common/stopwatch.h"
+#include "format/parquet_lite.h"
+#include "objectstore/select.h"
+#include "objectstore/service.h"
+
+namespace pocs::ocs {
+
+using columnar::RecordBatchPtr;
+using substrait::Expression;
+using substrait::ExprKind;
+using substrait::Rel;
+using substrait::RelKind;
+using substrait::ScalarFunc;
+
+namespace {
+
+// Collect conjunctive (field <cmp> literal) terms from a predicate for
+// statistics-based row-group pruning. Non-decomposable sub-expressions
+// are ignored (pruning stays conservative).
+void CollectPruningTerms(const Expression& expr,
+                         const columnar::Schema& scan_schema,
+                         std::vector<objectstore::SelectPredicate>* out) {
+  if (expr.kind != ExprKind::kCall) return;
+  if (expr.func == ScalarFunc::kAnd) {
+    for (const Expression& arg : expr.args) {
+      CollectPruningTerms(arg, scan_schema, out);
+    }
+    return;
+  }
+  if (!substrait::IsComparison(expr.func) || expr.args.size() != 2) return;
+  const Expression* field = nullptr;
+  const Expression* literal = nullptr;
+  bool flipped = false;
+  if (expr.args[0].kind == ExprKind::kFieldRef &&
+      expr.args[1].kind == ExprKind::kLiteral) {
+    field = &expr.args[0];
+    literal = &expr.args[1];
+  } else if (expr.args[1].kind == ExprKind::kFieldRef &&
+             expr.args[0].kind == ExprKind::kLiteral) {
+    field = &expr.args[1];
+    literal = &expr.args[0];
+    flipped = true;
+  } else {
+    return;
+  }
+  if (field->field_index < 0 ||
+      static_cast<size_t>(field->field_index) >= scan_schema.num_fields()) {
+    return;
+  }
+  columnar::CompareOp op;
+  switch (expr.func) {
+    case ScalarFunc::kEq: op = columnar::CompareOp::kEq; break;
+    case ScalarFunc::kNe: op = columnar::CompareOp::kNe; break;
+    case ScalarFunc::kLt: op = columnar::CompareOp::kLt; break;
+    case ScalarFunc::kLe: op = columnar::CompareOp::kLe; break;
+    case ScalarFunc::kGt: op = columnar::CompareOp::kGt; break;
+    case ScalarFunc::kGe: op = columnar::CompareOp::kGe; break;
+    default: return;
+  }
+  if (flipped) {
+    // literal <op> field  ≡  field <flipped-op> literal
+    switch (op) {
+      case columnar::CompareOp::kLt: op = columnar::CompareOp::kGt; break;
+      case columnar::CompareOp::kLe: op = columnar::CompareOp::kGe; break;
+      case columnar::CompareOp::kGt: op = columnar::CompareOp::kLt; break;
+      case columnar::CompareOp::kGe: op = columnar::CompareOp::kLe; break;
+      default: break;
+    }
+  }
+  out->push_back({scan_schema.field(field->field_index).name, op,
+                  literal->literal});
+}
+
+// BatchSource over a local Parquet-lite object with projection and
+// statistics-based row-group pruning.
+class ParquetObjectSource : public exec::BatchSource {
+ public:
+  ParquetObjectSource(std::shared_ptr<format::FileReader> reader,
+                      std::vector<int> columns, columnar::SchemaPtr schema,
+                      std::vector<objectstore::SelectPredicate> pruning,
+                      OcsExecStats* stats)
+      : reader_(std::move(reader)),
+        columns_(std::move(columns)),
+        schema_(std::move(schema)),
+        pruning_(std::move(pruning)),
+        stats_(stats) {}
+
+  columnar::SchemaPtr schema() const override { return schema_; }
+
+  Result<RecordBatchPtr> Next() override {
+    while (group_ < reader_->num_row_groups()) {
+      const size_t g = group_++;
+      bool may_match = true;
+      for (const auto& pred : pruning_) {
+        int idx = reader_->schema()->FieldIndex(pred.column);
+        if (idx < 0) continue;
+        const auto& chunk_stats =
+            reader_->meta().row_groups[g].chunks[idx].stats;
+        if (!objectstore::ChunkMayMatch(chunk_stats, pred)) {
+          may_match = false;
+          break;
+        }
+      }
+      if (!may_match) {
+        ++stats_->row_groups_skipped;
+        continue;
+      }
+      stats_->object_bytes_read += reader_->ChunkBytes(g, columns_);
+      return reader_->ReadRowGroup(g, columns_);
+    }
+    return RecordBatchPtr{};
+  }
+
+ private:
+  std::shared_ptr<format::FileReader> reader_;
+  std::vector<int> columns_;
+  columnar::SchemaPtr schema_;
+  std::vector<objectstore::SelectPredicate> pruning_;
+  OcsExecStats* stats_;
+  size_t group_ = 0;
+};
+
+}  // namespace
+
+Result<OcsResult> StorageNode::ExecutePlan(const substrait::Plan& plan) const {
+  POCS_RETURN_NOT_OK(substrait::ValidatePlan(plan));
+  Stopwatch timer;
+  OcsResult result;
+
+  // Locate the read leaf and, if a filter sits directly above it, derive
+  // pruning terms against the scan schema.
+  const Rel* read = plan.root.get();
+  const Rel* above_read = nullptr;
+  while (read->input) {
+    above_read = read;
+    read = read->input.get();
+  }
+  if (read->kind != RelKind::kRead) {
+    return Status::InvalidArgument("ocs: plan must scan a named object");
+  }
+
+  exec::ScanFactory factory =
+      [this, above_read,
+       &result](const Rel& r) -> Result<std::unique_ptr<exec::BatchSource>> {
+    POCS_ASSIGN_OR_RETURN(objectstore::ObjectData object,
+                          store_->Get(r.bucket, r.object));
+    POCS_ASSIGN_OR_RETURN(auto reader, format::FileReader::Open(*object));
+    if (!reader->schema()->Equals(*r.base_schema)) {
+      return Status::InvalidArgument("ocs: plan schema != object schema");
+    }
+    POCS_ASSIGN_OR_RETURN(columnar::SchemaPtr scan_schema,
+                          substrait::OutputSchema(r));
+    std::vector<objectstore::SelectPredicate> pruning;
+    if (above_read && above_read->kind == RelKind::kFilter) {
+      CollectPruningTerms(above_read->predicate, *scan_schema, &pruning);
+    }
+    result.stats.row_groups_total += reader->num_row_groups();
+    return std::unique_ptr<exec::BatchSource>(new ParquetObjectSource(
+        std::move(reader), r.read_columns, std::move(scan_schema),
+        std::move(pruning), &result.stats));
+  };
+
+  exec::ExecStats exec_stats;
+  POCS_ASSIGN_OR_RETURN(auto table,
+                        exec::ExecuteRel(*plan.root, factory, &exec_stats));
+  result.stats.rows_scanned = exec_stats.rows_scanned;
+  result.stats.rows_output = exec_stats.rows_output;
+  result.arrow_ipc = columnar::ipc::SerializeTable(*table);
+  result.stats.storage_compute_seconds =
+      timer.ElapsedSeconds() * config_.cpu_slowdown;
+  result.stats.media_read_seconds =
+      static_cast<double>(result.stats.object_bytes_read) /
+      config_.media_read_bandwidth;
+  return result;
+}
+
+void EncodeOcsResult(const OcsResult& result, BufferWriter* out) {
+  out->WriteVarint(result.stats.rows_scanned);
+  out->WriteVarint(result.stats.rows_output);
+  out->WriteVarint(result.stats.object_bytes_read);
+  out->WriteVarint(result.stats.row_groups_total);
+  out->WriteVarint(result.stats.row_groups_skipped);
+  out->WriteLE<double>(result.stats.storage_compute_seconds);
+  out->WriteLE<double>(result.stats.media_read_seconds);
+  out->WriteVarint(result.arrow_ipc.size());
+  out->WriteBytes(result.arrow_ipc.data(), result.arrow_ipc.size());
+}
+
+Result<OcsResult> DecodeOcsResult(BufferReader* in) {
+  OcsResult result;
+  POCS_ASSIGN_OR_RETURN(result.stats.rows_scanned, in->ReadVarint());
+  POCS_ASSIGN_OR_RETURN(result.stats.rows_output, in->ReadVarint());
+  POCS_ASSIGN_OR_RETURN(result.stats.object_bytes_read, in->ReadVarint());
+  POCS_ASSIGN_OR_RETURN(result.stats.row_groups_total, in->ReadVarint());
+  POCS_ASSIGN_OR_RETURN(result.stats.row_groups_skipped, in->ReadVarint());
+  POCS_ASSIGN_OR_RETURN(result.stats.storage_compute_seconds,
+                        in->ReadLE<double>());
+  POCS_ASSIGN_OR_RETURN(result.stats.media_read_seconds, in->ReadLE<double>());
+  POCS_ASSIGN_OR_RETURN(uint64_t n, in->ReadVarint());
+  POCS_ASSIGN_OR_RETURN(ByteSpan ipc, in->ReadSpan(n));
+  result.arrow_ipc.assign(ipc.begin(), ipc.end());
+  return result;
+}
+
+void StorageNode::RegisterService(rpc::Server* server) const {
+  // OCS nodes also expose the plain object-store interface: the same data
+  // serves both the filter-only (S3 Select) path and the OCS path, as in
+  // the paper's comparison setup.
+  objectstore::RegisterStorageService(store_, server);
+
+  const StorageNode* node = this;
+  server->RegisterMethod("ExecutePlan", [node](ByteSpan req) -> Result<Bytes> {
+    POCS_ASSIGN_OR_RETURN(substrait::Plan plan,
+                          substrait::DeserializePlan(req));
+    POCS_ASSIGN_OR_RETURN(OcsResult result, node->ExecutePlan(plan));
+    BufferWriter out;
+    EncodeOcsResult(result, &out);
+    return std::move(out).Take();
+  });
+}
+
+}  // namespace pocs::ocs

@@ -1,0 +1,93 @@
+// Framed request/response RPC over the simulated network — the role gRPC
+// plays in the paper (Presto worker → OCS frontend → storage node).
+//
+// Services register named methods; clients hold a Channel bound to a
+// (client node, server node) pair. Every call charges the request and
+// response payloads to the netsim link and reports the modelled transfer
+// time alongside the response, so callers can fold it into their stage
+// timings.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/buffer.h"
+#include "common/status.h"
+#include "netsim/network.h"
+
+namespace pocs::rpc {
+
+using Handler = std::function<Result<Bytes>(ByteSpan request)>;
+
+// A named bundle of methods living on one simulated node.
+class Server {
+ public:
+  Server(netsim::NodeId node, std::string name)
+      : node_(node), name_(std::move(name)) {}
+
+  netsim::NodeId node() const { return node_; }
+  const std::string& name() const { return name_; }
+
+  void RegisterMethod(std::string method, Handler handler) {
+    std::lock_guard lock(mu_);
+    methods_[std::move(method)] = std::move(handler);
+  }
+
+  Result<Bytes> Dispatch(const std::string& method, ByteSpan request) const {
+    Handler handler;
+    {
+      std::lock_guard lock(mu_);
+      auto it = methods_.find(method);
+      if (it == methods_.end()) {
+        return Status::NotFound("rpc: no method '" + method + "' on " + name_);
+      }
+      handler = it->second;
+    }
+    return handler(request);
+  }
+
+ private:
+  netsim::NodeId node_;
+  std::string name_;
+  mutable std::mutex mu_;
+  std::map<std::string, Handler> methods_;
+};
+
+struct CallResult {
+  Bytes response;
+  uint64_t request_bytes = 0;
+  uint64_t response_bytes = 0;
+  double transfer_seconds = 0;  // modelled network time for this call
+};
+
+// Client-side endpoint bound to a server across the simulated network.
+class Channel {
+ public:
+  Channel(std::shared_ptr<netsim::Network> net, netsim::NodeId client,
+          std::shared_ptr<const Server> server)
+      : net_(std::move(net)), client_(client), server_(std::move(server)) {}
+
+  Result<CallResult> Call(const std::string& method, ByteSpan request) const {
+    CallResult out;
+    out.request_bytes = request.size();
+    out.transfer_seconds +=
+        net_->Transfer(client_, server_->node(), request.size());
+    POCS_ASSIGN_OR_RETURN(out.response, server_->Dispatch(method, request));
+    out.response_bytes = out.response.size();
+    out.transfer_seconds +=
+        net_->Transfer(server_->node(), client_, out.response.size());
+    return out;
+  }
+
+  netsim::NodeId server_node() const { return server_->node(); }
+
+ private:
+  std::shared_ptr<netsim::Network> net_;
+  netsim::NodeId client_;
+  std::shared_ptr<const Server> server_;
+};
+
+}  // namespace pocs::rpc

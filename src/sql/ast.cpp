@@ -1,0 +1,112 @@
+#include "sql/ast.h"
+
+#include <sstream>
+
+#include "columnar/types.h"
+
+namespace pocs::sql {
+
+namespace {
+
+std::string_view BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string AstExpr::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case AstExprKind::kColumnRef:
+      os << name;
+      break;
+    case AstExprKind::kIntLiteral:
+      os << int_value;
+      break;
+    case AstExprKind::kFloatLiteral:
+      os << float_value;
+      break;
+    case AstExprKind::kStringLiteral:
+      os << "'" << str_value << "'";
+      break;
+    case AstExprKind::kDateLiteral: {
+      int y, m, d;
+      columnar::CivilFromDays(static_cast<int32_t>(int_value), &y, &m, &d);
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+      os << "DATE '" << buf << "'";
+      break;
+    }
+    case AstExprKind::kIntervalLiteral:
+      os << "INTERVAL '" << int_value << "' DAY";
+      break;
+    case AstExprKind::kStarLiteral:
+      os << "*";
+      break;
+    case AstExprKind::kBinary:
+      os << "(" << args[0]->ToString() << " " << BinaryOpName(binary_op) << " "
+         << args[1]->ToString() << ")";
+      break;
+    case AstExprKind::kUnary:
+      os << (unary_op == UnaryOp::kNot ? "NOT " : "-") << args[0]->ToString();
+      break;
+    case AstExprKind::kFuncCall:
+      os << name << "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i) os << ", ";
+        os << args[i]->ToString();
+      }
+      os << ")";
+      break;
+  }
+  return os.str();
+}
+
+std::string Query::ToString() const {
+  std::ostringstream os;
+  os << "SELECT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i) os << ", ";
+    os << items[i].expr->ToString();
+    if (items[i].alias) os << " AS " << *items[i].alias;
+  }
+  os << " FROM ";
+  if (!schema_name.empty()) os << schema_name << ".";
+  os << table_name;
+  if (where) os << " WHERE " << where->ToString();
+  if (!group_by.empty()) {
+    os << " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i) os << ", ";
+      os << group_by[i]->ToString();
+    }
+  }
+  if (having) os << " HAVING " << having->ToString();
+  if (!order_by.empty()) {
+    os << " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i) os << ", ";
+      os << order_by[i].expr->ToString();
+      if (!order_by[i].ascending) os << " DESC";
+    }
+  }
+  if (limit) os << " LIMIT " << *limit;
+  return os.str();
+}
+
+}  // namespace pocs::sql

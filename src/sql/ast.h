@@ -1,0 +1,87 @@
+// SQL abstract syntax tree — the output of parsing, input to the engine's
+// analyzer/planner (paper Fig. 3 steps 1–2). Covers the dialect the
+// paper's workloads need: single-table SELECT with expressions, aggregate
+// functions, WHERE (AND/OR/NOT, comparisons, BETWEEN), GROUP BY,
+// ORDER BY ... [ASC|DESC], LIMIT, date literals, and INTERVAL arithmetic.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pocs::sql {
+
+enum class AstExprKind : uint8_t {
+  kColumnRef,
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,
+  kDateLiteral,      // value: days since epoch in int_value
+  kIntervalLiteral,  // value: days in int_value
+  kStarLiteral,      // the '*' inside COUNT(*)
+  kBinary,
+  kUnary,
+  kFuncCall,
+};
+
+enum class BinaryOp : uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+enum class UnaryOp : uint8_t { kNot, kNegate };
+
+struct AstExpr {
+  AstExprKind kind = AstExprKind::kIntLiteral;
+
+  std::string name;       // kColumnRef / kFuncCall (lower-cased func name)
+  int64_t int_value = 0;  // kIntLiteral / kDateLiteral / kIntervalLiteral
+  double float_value = 0; // kFloatLiteral
+  std::string str_value;  // kStringLiteral
+
+  BinaryOp binary_op = BinaryOp::kAdd;
+  UnaryOp unary_op = UnaryOp::kNot;
+  std::vector<std::unique_ptr<AstExpr>> args;  // operands / call args
+
+  std::string ToString() const;
+};
+
+using AstExprPtr = std::unique_ptr<AstExpr>;
+
+struct SelectItem {
+  AstExprPtr expr;
+  std::optional<std::string> alias;
+};
+
+struct OrderItem {
+  AstExprPtr expr;  // usually a column ref or alias
+  bool ascending = true;
+};
+
+struct Query {
+  std::vector<SelectItem> items;
+  std::string schema_name;  // empty = default schema
+  std::string table_name;
+  AstExprPtr where;  // may be null
+  std::vector<AstExprPtr> group_by;
+  // HAVING predicate; may only reference group keys and SELECT aliases.
+  AstExprPtr having;
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+
+  std::string ToString() const;
+};
+
+}  // namespace pocs::sql

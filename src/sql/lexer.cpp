@@ -1,0 +1,111 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace pocs::sql {
+
+Result<std::vector<Token>> Lex(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- comment to end of line
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      // '$' is allowed inside identifiers (system/derived columns, e.g.
+      // the connector's partial-aggregate aliases like "e$sum").
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_' || sql[i] == '$')) {
+        ++i;
+      }
+      token.kind = TokenKind::kIdentifier;
+      token.raw = std::string(sql.substr(start, i - start));
+      token.text = token.raw;
+      for (char& ch : token.text) {
+        ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        is_float = true;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      token.kind = is_float ? TokenKind::kFloat : TokenKind::kInteger;
+      token.raw = std::string(sql.substr(start, i - start));
+      token.text = token.raw;
+    } else if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            value += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value += sql[i++];
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(token.offset));
+      }
+      token.kind = TokenKind::kString;
+      token.text = value;
+      token.raw = value;
+    } else {
+      // operators and punctuation; two-char first
+      std::string_view rest = sql.substr(i);
+      std::string op;
+      if (rest.starts_with("<>") || rest.starts_with("<=") ||
+          rest.starts_with(">=") || rest.starts_with("!=")) {
+        op = std::string(rest.substr(0, 2));
+        if (op == "!=") op = "<>";
+        i += 2;
+      } else if (std::string_view("=<>+-*/%(),.;").find(c) !=
+                 std::string_view::npos) {
+        op = std::string(1, c);
+        ++i;
+      } else {
+        return Status::InvalidArgument("unexpected character '" +
+                                       std::string(1, c) + "' at offset " +
+                                       std::to_string(i));
+      }
+      token.kind = TokenKind::kOperator;
+      token.text = op;
+      token.raw = op;
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace pocs::sql

@@ -1,0 +1,32 @@
+// SQL lexer: case-insensitive keywords, identifiers, numeric and string
+// literals, operators. Produces a flat token stream for the recursive-
+// descent parser.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pocs::sql {
+
+enum class TokenKind : uint8_t {
+  kIdentifier,  // includes keywords; parser matches text case-insensitively
+  kInteger,
+  kFloat,
+  kString,   // 'quoted'
+  kOperator, // = <> < <= > >= + - * / % ( ) , . ;
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    // normalized: identifiers lower-cased, ops verbatim
+  std::string raw;     // original spelling (for error messages / strings)
+  size_t offset = 0;   // byte offset in the input
+};
+
+Result<std::vector<Token>> Lex(std::string_view sql);
+
+}  // namespace pocs::sql

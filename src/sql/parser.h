@@ -1,0 +1,16 @@
+// Recursive-descent SQL parser (paper Fig. 3 step 1: SQL → AST).
+#pragma once
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace pocs::sql {
+
+// Parse a single SELECT statement (optional trailing ';').
+Result<Query> ParseQuery(std::string_view sql);
+
+// Parse a standalone scalar/boolean expression (used in tests and by the
+// connector's condition reconstruction round-trip tests).
+Result<AstExprPtr> ParseExpression(std::string_view sql);
+
+}  // namespace pocs::sql

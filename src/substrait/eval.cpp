@@ -1,0 +1,259 @@
+#include "substrait/eval.h"
+
+#include <cmath>
+
+#include "columnar/kernels.h"
+
+namespace pocs::substrait {
+
+using columnar::Column;
+using columnar::ColumnPtr;
+using columnar::Datum;
+using columnar::MakeColumn;
+using columnar::RecordBatch;
+using columnar::RecordBatchPtr;
+using columnar::SelectionVector;
+using columnar::TypeKind;
+
+namespace {
+
+// A constant column: the literal repeated n times. Only materialized when
+// a literal survives to the top of a call tree; binary ops special-case
+// literal operands instead.
+ColumnPtr ConstantColumn(const Datum& value, size_t n) {
+  auto col = MakeColumn(value.type());
+  col->Reserve(n);
+  for (size_t i = 0; i < n; ++i) col->AppendDatum(value);
+  return col;
+}
+
+bool IsIntegerType(TypeKind t) {
+  return t == TypeKind::kInt32 || t == TypeKind::kInt64 ||
+         t == TypeKind::kDate32 || t == TypeKind::kBool;
+}
+
+Result<ColumnPtr> EvalArithmetic(const Expression& expr, ColumnPtr lhs,
+                                 ColumnPtr rhs) {
+  const size_t n = lhs->length();
+  auto out = MakeColumn(expr.type);
+  out->Reserve(n);
+  const bool int_math = expr.type != TypeKind::kFloat64 &&
+                        IsIntegerType(lhs->type()) &&
+                        IsIntegerType(rhs->type());
+  for (size_t i = 0; i < n; ++i) {
+    if (lhs->IsNull(i) || rhs->IsNull(i)) {
+      out->AppendNull();
+      continue;
+    }
+    if (int_math) {
+      int64_t a = lhs->GetDatum(i).AsInt64();
+      int64_t b = rhs->GetDatum(i).AsInt64();
+      int64_t v = 0;
+      switch (expr.func) {
+        case ScalarFunc::kAdd: v = a + b; break;
+        case ScalarFunc::kSubtract: v = a - b; break;
+        case ScalarFunc::kMultiply: v = a * b; break;
+        case ScalarFunc::kDivide:
+        case ScalarFunc::kModulo:
+          if (b == 0) {
+            out->AppendNull();  // SQL engines raise; we degrade to NULL
+            continue;
+          }
+          v = expr.func == ScalarFunc::kDivide ? a / b : a % b;
+          break;
+        default:
+          return Status::Internal("not arithmetic");
+      }
+      if (expr.type == TypeKind::kInt64) {
+        out->AppendInt64(v);
+      } else {
+        out->AppendInt32(static_cast<int32_t>(v));
+      }
+    } else {
+      double a = lhs->AsDouble(i);
+      double b = rhs->AsDouble(i);
+      double v = 0;
+      switch (expr.func) {
+        case ScalarFunc::kAdd: v = a + b; break;
+        case ScalarFunc::kSubtract: v = a - b; break;
+        case ScalarFunc::kMultiply: v = a * b; break;
+        case ScalarFunc::kDivide:
+          if (b == 0) {
+            out->AppendNull();
+            continue;
+          }
+          v = a / b;
+          break;
+        case ScalarFunc::kModulo:
+          if (b == 0) {
+            out->AppendNull();
+            continue;
+          }
+          v = std::fmod(a, b);
+          break;
+        default:
+          return Status::Internal("not arithmetic");
+      }
+      out->AppendFloat64(v);
+    }
+  }
+  return ColumnPtr(out);
+}
+
+Result<ColumnPtr> EvalComparison(const Expression& expr, ColumnPtr lhs,
+                                 ColumnPtr rhs) {
+  const size_t n = lhs->length();
+  auto out = MakeColumn(TypeKind::kBool);
+  out->Reserve(n);
+  const bool strings = lhs->type() == TypeKind::kString;
+  for (size_t i = 0; i < n; ++i) {
+    if (lhs->IsNull(i) || rhs->IsNull(i)) {
+      out->AppendNull();
+      continue;
+    }
+    int cmp;
+    if (strings) {
+      auto a = lhs->GetString(i);
+      auto b = rhs->GetString(i);
+      cmp = a < b ? -1 : (a == b ? 0 : 1);
+    } else {
+      double a = lhs->AsDouble(i);
+      double b = rhs->AsDouble(i);
+      cmp = a < b ? -1 : (a == b ? 0 : 1);
+    }
+    bool v = false;
+    switch (expr.func) {
+      case ScalarFunc::kEq: v = cmp == 0; break;
+      case ScalarFunc::kNe: v = cmp != 0; break;
+      case ScalarFunc::kLt: v = cmp < 0; break;
+      case ScalarFunc::kLe: v = cmp <= 0; break;
+      case ScalarFunc::kGt: v = cmp > 0; break;
+      case ScalarFunc::kGe: v = cmp >= 0; break;
+      default:
+        return Status::Internal("not comparison");
+    }
+    out->AppendBool(v);
+  }
+  return ColumnPtr(out);
+}
+
+// Kleene AND/OR over nullable booleans.
+Result<ColumnPtr> EvalLogicalBinary(const Expression& expr, ColumnPtr lhs,
+                                    ColumnPtr rhs) {
+  const size_t n = lhs->length();
+  auto out = MakeColumn(TypeKind::kBool);
+  out->Reserve(n);
+  const bool is_and = expr.func == ScalarFunc::kAnd;
+  for (size_t i = 0; i < n; ++i) {
+    const bool ln = lhs->IsNull(i);
+    const bool rn = rhs->IsNull(i);
+    const bool lv = !ln && lhs->GetBool(i);
+    const bool rv = !rn && rhs->GetBool(i);
+    if (is_and) {
+      if ((!ln && !lv) || (!rn && !rv)) {
+        out->AppendBool(false);
+      } else if (ln || rn) {
+        out->AppendNull();
+      } else {
+        out->AppendBool(true);
+      }
+    } else {
+      if ((!ln && lv) || (!rn && rv)) {
+        out->AppendBool(true);
+      } else if (ln || rn) {
+        out->AppendNull();
+      } else {
+        out->AppendBool(false);
+      }
+    }
+  }
+  return ColumnPtr(out);
+}
+
+}  // namespace
+
+Result<ColumnPtr> Evaluate(const Expression& expr, const RecordBatch& input) {
+  switch (expr.kind) {
+    case ExprKind::kFieldRef:
+      if (expr.field_index < 0 ||
+          static_cast<size_t>(expr.field_index) >= input.num_columns()) {
+        return Status::InvalidArgument("eval: field ref out of range");
+      }
+      return input.column(expr.field_index);
+
+    case ExprKind::kLiteral:
+      return ConstantColumn(expr.literal, input.num_rows());
+
+    case ExprKind::kCall: {
+      if (expr.func == ScalarFunc::kNot || expr.func == ScalarFunc::kNegate ||
+          expr.func == ScalarFunc::kIsNull) {
+        if (expr.args.size() != 1) {
+          return Status::InvalidArgument("eval: unary arity");
+        }
+        POCS_ASSIGN_OR_RETURN(ColumnPtr arg, Evaluate(expr.args[0], input));
+        auto out = MakeColumn(expr.type);
+        out->Reserve(arg->length());
+        if (expr.func == ScalarFunc::kIsNull) {
+          // Never null-propagating: IS NULL maps null→true, value→false.
+          for (size_t i = 0; i < arg->length(); ++i) {
+            out->AppendBool(arg->IsNull(i));
+          }
+          return ColumnPtr(out);
+        }
+        for (size_t i = 0; i < arg->length(); ++i) {
+          if (arg->IsNull(i)) {
+            out->AppendNull();
+            continue;
+          }
+          if (expr.func == ScalarFunc::kNot) {
+            out->AppendBool(!arg->GetBool(i));
+          } else if (expr.type == TypeKind::kFloat64) {
+            out->AppendFloat64(-arg->AsDouble(i));
+          } else if (expr.type == TypeKind::kInt64) {
+            out->AppendInt64(-arg->GetDatum(i).AsInt64());
+          } else {
+            out->AppendInt32(static_cast<int32_t>(-arg->GetDatum(i).AsInt64()));
+          }
+        }
+        return ColumnPtr(out);
+      }
+      if (expr.args.size() != 2) {
+        return Status::InvalidArgument("eval: binary arity");
+      }
+      POCS_ASSIGN_OR_RETURN(ColumnPtr lhs, Evaluate(expr.args[0], input));
+      POCS_ASSIGN_OR_RETURN(ColumnPtr rhs, Evaluate(expr.args[1], input));
+      if (lhs->length() != rhs->length()) {
+        return Status::Internal("eval: operand length mismatch");
+      }
+      if (IsArithmetic(expr.func)) return EvalArithmetic(expr, lhs, rhs);
+      if (IsComparison(expr.func)) return EvalComparison(expr, lhs, rhs);
+      if (IsLogical(expr.func)) return EvalLogicalBinary(expr, lhs, rhs);
+      return Status::Unimplemented("eval: func");
+    }
+  }
+  return Status::Internal("eval: unknown expr kind");
+}
+
+Result<SelectionVector> FilterSelection(const Expression& predicate,
+                                        const RecordBatch& input) {
+  if (predicate.type != TypeKind::kBool) {
+    return Status::InvalidArgument("filter predicate must be boolean");
+  }
+  POCS_ASSIGN_OR_RETURN(ColumnPtr mask, Evaluate(predicate, input));
+  SelectionVector sel;
+  sel.reserve(mask->length());
+  for (size_t i = 0; i < mask->length(); ++i) {
+    if (!mask->IsNull(i) && mask->GetBool(i)) {
+      sel.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return sel;
+}
+
+Result<RecordBatchPtr> FilterBatch(const Expression& predicate,
+                                   const RecordBatch& input) {
+  POCS_ASSIGN_OR_RETURN(SelectionVector sel, FilterSelection(predicate, input));
+  return columnar::TakeBatch(input, sel);
+}
+
+}  // namespace pocs::substrait

@@ -1,0 +1,33 @@
+// Vectorized evaluation of IR expressions over record batches. Shared by
+// the OCS embedded engine (storage-side execution) and the compute
+// engine's filter/project operators, guaranteeing both sides agree on
+// expression semantics (null propagation, numeric promotion, Kleene
+// logic) — the property the paper relies on when splitting a plan
+// between storage and compute.
+#pragma once
+
+#include "columnar/batch.h"
+#include "columnar/kernels.h"
+#include "substrait/expr.h"
+
+namespace pocs::substrait {
+
+// Evaluate `expr` against every row of `input`; the result column has
+// expr.type and input.num_rows() entries.
+//
+// Semantics: arithmetic and comparisons propagate nulls (any null operand
+// -> null result); integer division/modulo by zero -> null; AND/OR use
+// three-valued Kleene logic; NOT(null) = null.
+Result<columnar::ColumnPtr> Evaluate(const Expression& expr,
+                                     const columnar::RecordBatch& input);
+
+// Evaluate a boolean predicate and keep the rows where it is TRUE
+// (null and false rows are dropped, SQL WHERE semantics).
+Result<columnar::RecordBatchPtr> FilterBatch(
+    const Expression& predicate, const columnar::RecordBatch& input);
+
+// Rows of `input` where `predicate` is TRUE, as a selection vector.
+Result<columnar::SelectionVector> FilterSelection(
+    const Expression& predicate, const columnar::RecordBatch& input);
+
+}  // namespace pocs::substrait

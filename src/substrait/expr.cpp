@@ -1,0 +1,122 @@
+#include "substrait/expr.h"
+
+#include <sstream>
+
+namespace pocs::substrait {
+
+std::string_view ScalarFuncName(ScalarFunc func) {
+  switch (func) {
+    case ScalarFunc::kAdd: return "+";
+    case ScalarFunc::kSubtract: return "-";
+    case ScalarFunc::kMultiply: return "*";
+    case ScalarFunc::kDivide: return "/";
+    case ScalarFunc::kModulo: return "%";
+    case ScalarFunc::kEq: return "=";
+    case ScalarFunc::kNe: return "<>";
+    case ScalarFunc::kLt: return "<";
+    case ScalarFunc::kLe: return "<=";
+    case ScalarFunc::kGt: return ">";
+    case ScalarFunc::kGe: return ">=";
+    case ScalarFunc::kAnd: return "AND";
+    case ScalarFunc::kOr: return "OR";
+    case ScalarFunc::kNot: return "NOT";
+    case ScalarFunc::kNegate: return "-";
+    case ScalarFunc::kIsNull: return "IS NULL";
+  }
+  return "?";
+}
+
+bool IsComparison(ScalarFunc func) {
+  switch (func) {
+    case ScalarFunc::kEq:
+    case ScalarFunc::kNe:
+    case ScalarFunc::kLt:
+    case ScalarFunc::kLe:
+    case ScalarFunc::kGt:
+    case ScalarFunc::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsArithmetic(ScalarFunc func) {
+  switch (func) {
+    case ScalarFunc::kAdd:
+    case ScalarFunc::kSubtract:
+    case ScalarFunc::kMultiply:
+    case ScalarFunc::kDivide:
+    case ScalarFunc::kModulo:
+    case ScalarFunc::kNegate:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsLogical(ScalarFunc func) {
+  return func == ScalarFunc::kAnd || func == ScalarFunc::kOr ||
+         func == ScalarFunc::kNot;
+}
+
+columnar::TypeKind Expression::PromoteNumeric(columnar::TypeKind a,
+                                              columnar::TypeKind b) {
+  using columnar::TypeKind;
+  if (a == TypeKind::kFloat64 || b == TypeKind::kFloat64) {
+    return TypeKind::kFloat64;
+  }
+  return TypeKind::kInt64;
+}
+
+std::string Expression::ToString(const columnar::Schema* input) const {
+  switch (kind) {
+    case ExprKind::kFieldRef:
+      if (input && field_index >= 0 &&
+          static_cast<size_t>(field_index) < input->num_fields()) {
+        return input->field(field_index).name;
+      }
+      return "$" + std::to_string(field_index);
+    case ExprKind::kLiteral:
+      return literal.ToString();
+    case ExprKind::kCall: {
+      std::ostringstream os;
+      if (args.size() == 1) {
+        os << ScalarFuncName(func) << "(" << args[0].ToString(input) << ")";
+      } else if (args.size() == 2) {
+        os << "(" << args[0].ToString(input) << " " << ScalarFuncName(func)
+           << " " << args[1].ToString(input) << ")";
+      } else {
+        os << ScalarFuncName(func) << "(";
+        for (size_t i = 0; i < args.size(); ++i) {
+          if (i) os << ", ";
+          os << args[i].ToString(input);
+        }
+        os << ")";
+      }
+      return os.str();
+    }
+  }
+  return "?";
+}
+
+void Expression::CollectFieldRefs(std::vector<int>* out) const {
+  if (kind == ExprKind::kFieldRef) {
+    out->push_back(field_index);
+    return;
+  }
+  for (const Expression& arg : args) arg.CollectFieldRefs(out);
+}
+
+std::string_view AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kSum: return "SUM";
+    case AggFunc::kMin: return "MIN";
+    case AggFunc::kMax: return "MAX";
+    case AggFunc::kAvg: return "AVG";
+    case AggFunc::kCount: return "COUNT";
+    case AggFunc::kCountStar: return "COUNT(*)";
+  }
+  return "?";
+}
+
+}  // namespace pocs::substrait

@@ -1,0 +1,83 @@
+// Relational operators of the plan IR, mirroring Substrait's relation set
+// that OCS supports (§2.3 of the paper): ReadRel (named-table scan with
+// column selection), FilterRel, ProjectRel, AggregateRel, SortRel, and
+// FetchRel (limit). A Plan is a single linear pipeline rooted at a read —
+// exactly the shape the Presto-OCS connector pushes down (joins and other
+// multi-input operators are residual, executed compute-side).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "columnar/types.h"
+#include "substrait/expr.h"
+
+namespace pocs::substrait {
+
+enum class RelKind : uint8_t {
+  kRead = 0,
+  kFilter = 1,
+  kProject = 2,
+  kAggregate = 3,
+  kSort = 4,
+  kFetch = 5,
+};
+
+std::string_view RelKindName(RelKind kind);
+
+struct SortField {
+  int field = 0;  // index into input schema
+  bool ascending = true;
+  bool nulls_first = true;
+};
+
+struct Rel {
+  RelKind kind = RelKind::kRead;
+  std::unique_ptr<Rel> input;  // null iff kind == kRead
+
+  // -- kRead: named table = (bucket, object key) in the object store.
+  std::string bucket;
+  std::string object;
+  std::shared_ptr<const columnar::Schema> base_schema;
+  std::vector<int> read_columns;  // projection at scan; empty = all
+
+  // -- kFilter
+  Expression predicate;
+
+  // -- kProject: output columns are exactly `expressions` (no passthrough).
+  std::vector<Expression> expressions;
+  std::vector<std::string> output_names;
+
+  // -- kAggregate
+  std::vector<int> group_keys;  // indices into input schema
+  std::vector<AggregateSpec> aggregates;
+
+  // -- kSort
+  std::vector<SortField> sort_fields;
+
+  // -- kFetch
+  int64_t offset = 0;
+  int64_t count = -1;  // -1 = unlimited
+};
+
+struct Plan {
+  uint32_t version = 1;
+  std::unique_ptr<Rel> root;
+};
+
+// The schema a relation produces. Errors on malformed trees (bad field
+// indices, missing input, type mismatches) — doubles as the validator.
+Result<columnar::SchemaPtr> OutputSchema(const Rel& rel);
+
+// Convenience: validate the whole plan.
+Status ValidatePlan(const Plan& plan);
+
+// Pipeline description like "Read(laghos/f0) -> Filter -> Aggregate".
+std::string PlanToString(const Plan& plan);
+
+// Deep copy (Rel owns its input uniquely).
+std::unique_ptr<Rel> CloneRel(const Rel& rel);
+
+}  // namespace pocs::substrait

@@ -1,0 +1,230 @@
+#include "substrait/serialize.h"
+
+#include "columnar/ipc.h"
+
+namespace pocs::substrait {
+
+namespace {
+constexpr uint32_t kMagic = 0x54534253;  // 'SBST'
+constexpr int kMaxDepth = 64;            // expression nesting bound
+constexpr int kMaxPipeline = 256;        // relation chain bound
+}  // namespace
+
+void WriteExpression(const Expression& expr, BufferWriter* out) {
+  out->WriteU8(static_cast<uint8_t>(expr.kind));
+  out->WriteU8(static_cast<uint8_t>(expr.type));
+  switch (expr.kind) {
+    case ExprKind::kFieldRef:
+      out->WriteSVarint(expr.field_index);
+      break;
+    case ExprKind::kLiteral:
+      columnar::ipc::WriteDatum(expr.literal, out);
+      break;
+    case ExprKind::kCall:
+      out->WriteU8(static_cast<uint8_t>(expr.func));
+      out->WriteVarint(expr.args.size());
+      for (const Expression& arg : expr.args) WriteExpression(arg, out);
+      break;
+  }
+}
+
+Result<Expression> ReadExpression(BufferReader* in, int depth) {
+  if (depth > kMaxDepth) return Status::Corruption("expr: nesting too deep");
+  Expression expr;
+  POCS_ASSIGN_OR_RETURN(uint8_t kind, in->ReadU8());
+  if (kind > static_cast<uint8_t>(ExprKind::kCall)) {
+    return Status::Corruption("expr: bad kind");
+  }
+  expr.kind = static_cast<ExprKind>(kind);
+  POCS_ASSIGN_OR_RETURN(uint8_t type, in->ReadU8());
+  if (type > static_cast<uint8_t>(columnar::TypeKind::kDate32)) {
+    return Status::Corruption("expr: bad type");
+  }
+  expr.type = static_cast<columnar::TypeKind>(type);
+  switch (expr.kind) {
+    case ExprKind::kFieldRef: {
+      POCS_ASSIGN_OR_RETURN(int64_t idx, in->ReadSVarint());
+      expr.field_index = static_cast<int>(idx);
+      break;
+    }
+    case ExprKind::kLiteral: {
+      POCS_ASSIGN_OR_RETURN(expr.literal, columnar::ipc::ReadDatum(in));
+      break;
+    }
+    case ExprKind::kCall: {
+      POCS_ASSIGN_OR_RETURN(uint8_t func, in->ReadU8());
+      if (func > static_cast<uint8_t>(ScalarFunc::kIsNull)) {
+        return Status::Corruption("expr: bad func");
+      }
+      expr.func = static_cast<ScalarFunc>(func);
+      POCS_ASSIGN_OR_RETURN(uint64_t n_args, in->ReadVarint());
+      if (n_args > 16) return Status::Corruption("expr: too many args");
+      for (uint64_t i = 0; i < n_args; ++i) {
+        POCS_ASSIGN_OR_RETURN(Expression arg, ReadExpression(in, depth + 1));
+        expr.args.push_back(std::move(arg));
+      }
+      break;
+    }
+  }
+  return expr;
+}
+
+namespace {
+
+void WriteRel(const Rel& rel, BufferWriter* out) {
+  out->WriteU8(static_cast<uint8_t>(rel.kind));
+  out->WriteU8(rel.input ? 1 : 0);
+  if (rel.input) WriteRel(*rel.input, out);
+  switch (rel.kind) {
+    case RelKind::kRead:
+      out->WriteString(rel.bucket);
+      out->WriteString(rel.object);
+      columnar::ipc::WriteSchema(*rel.base_schema, out);
+      out->WriteVarint(rel.read_columns.size());
+      for (int c : rel.read_columns) out->WriteSVarint(c);
+      break;
+    case RelKind::kFilter:
+      WriteExpression(rel.predicate, out);
+      break;
+    case RelKind::kProject:
+      out->WriteVarint(rel.expressions.size());
+      for (size_t i = 0; i < rel.expressions.size(); ++i) {
+        WriteExpression(rel.expressions[i], out);
+        out->WriteString(rel.output_names[i]);
+      }
+      break;
+    case RelKind::kAggregate:
+      out->WriteVarint(rel.group_keys.size());
+      for (int k : rel.group_keys) out->WriteSVarint(k);
+      out->WriteVarint(rel.aggregates.size());
+      for (const AggregateSpec& agg : rel.aggregates) {
+        out->WriteU8(static_cast<uint8_t>(agg.func));
+        WriteExpression(agg.argument, out);
+        out->WriteString(agg.output_name);
+      }
+      break;
+    case RelKind::kSort:
+      out->WriteVarint(rel.sort_fields.size());
+      for (const SortField& sf : rel.sort_fields) {
+        out->WriteSVarint(sf.field);
+        out->WriteU8(sf.ascending ? 1 : 0);
+        out->WriteU8(sf.nulls_first ? 1 : 0);
+      }
+      break;
+    case RelKind::kFetch:
+      out->WriteSVarint(rel.offset);
+      out->WriteSVarint(rel.count);
+      break;
+  }
+}
+
+Result<std::unique_ptr<Rel>> ReadRel(BufferReader* in, int depth) {
+  if (depth > kMaxPipeline) return Status::Corruption("rel: chain too long");
+  auto rel = std::make_unique<Rel>();
+  POCS_ASSIGN_OR_RETURN(uint8_t kind, in->ReadU8());
+  if (kind > static_cast<uint8_t>(RelKind::kFetch)) {
+    return Status::Corruption("rel: bad kind");
+  }
+  rel->kind = static_cast<RelKind>(kind);
+  POCS_ASSIGN_OR_RETURN(uint8_t has_input, in->ReadU8());
+  if (has_input) {
+    POCS_ASSIGN_OR_RETURN(rel->input, ReadRel(in, depth + 1));
+  }
+  switch (rel->kind) {
+    case RelKind::kRead: {
+      POCS_ASSIGN_OR_RETURN(rel->bucket, in->ReadString());
+      POCS_ASSIGN_OR_RETURN(rel->object, in->ReadString());
+      POCS_ASSIGN_OR_RETURN(rel->base_schema, columnar::ipc::ReadSchema(in));
+      POCS_ASSIGN_OR_RETURN(uint64_t n, in->ReadVarint());
+      if (n > 10000) return Status::Corruption("rel: too many read columns");
+      for (uint64_t i = 0; i < n; ++i) {
+        POCS_ASSIGN_OR_RETURN(int64_t c, in->ReadSVarint());
+        rel->read_columns.push_back(static_cast<int>(c));
+      }
+      break;
+    }
+    case RelKind::kFilter: {
+      POCS_ASSIGN_OR_RETURN(rel->predicate, ReadExpression(in));
+      break;
+    }
+    case RelKind::kProject: {
+      POCS_ASSIGN_OR_RETURN(uint64_t n, in->ReadVarint());
+      if (n > 10000) return Status::Corruption("rel: too many projections");
+      for (uint64_t i = 0; i < n; ++i) {
+        POCS_ASSIGN_OR_RETURN(Expression e, ReadExpression(in));
+        rel->expressions.push_back(std::move(e));
+        POCS_ASSIGN_OR_RETURN(std::string name, in->ReadString());
+        rel->output_names.push_back(std::move(name));
+      }
+      break;
+    }
+    case RelKind::kAggregate: {
+      POCS_ASSIGN_OR_RETURN(uint64_t n_keys, in->ReadVarint());
+      if (n_keys > 1000) return Status::Corruption("rel: too many group keys");
+      for (uint64_t i = 0; i < n_keys; ++i) {
+        POCS_ASSIGN_OR_RETURN(int64_t k, in->ReadSVarint());
+        rel->group_keys.push_back(static_cast<int>(k));
+      }
+      POCS_ASSIGN_OR_RETURN(uint64_t n_aggs, in->ReadVarint());
+      if (n_aggs > 1000) return Status::Corruption("rel: too many aggregates");
+      for (uint64_t i = 0; i < n_aggs; ++i) {
+        AggregateSpec agg;
+        POCS_ASSIGN_OR_RETURN(uint8_t func, in->ReadU8());
+        if (func > static_cast<uint8_t>(AggFunc::kCountStar)) {
+          return Status::Corruption("rel: bad agg func");
+        }
+        agg.func = static_cast<AggFunc>(func);
+        POCS_ASSIGN_OR_RETURN(agg.argument, ReadExpression(in));
+        POCS_ASSIGN_OR_RETURN(agg.output_name, in->ReadString());
+        rel->aggregates.push_back(std::move(agg));
+      }
+      break;
+    }
+    case RelKind::kSort: {
+      POCS_ASSIGN_OR_RETURN(uint64_t n, in->ReadVarint());
+      if (n > 1000) return Status::Corruption("rel: too many sort fields");
+      for (uint64_t i = 0; i < n; ++i) {
+        SortField sf;
+        POCS_ASSIGN_OR_RETURN(int64_t f, in->ReadSVarint());
+        sf.field = static_cast<int>(f);
+        POCS_ASSIGN_OR_RETURN(uint8_t asc, in->ReadU8());
+        sf.ascending = asc != 0;
+        POCS_ASSIGN_OR_RETURN(uint8_t nf, in->ReadU8());
+        sf.nulls_first = nf != 0;
+        rel->sort_fields.push_back(sf);
+      }
+      break;
+    }
+    case RelKind::kFetch: {
+      POCS_ASSIGN_OR_RETURN(rel->offset, in->ReadSVarint());
+      POCS_ASSIGN_OR_RETURN(rel->count, in->ReadSVarint());
+      break;
+    }
+  }
+  return rel;
+}
+
+}  // namespace
+
+Bytes SerializePlan(const Plan& plan) {
+  BufferWriter out;
+  out.WriteLE<uint32_t>(kMagic);
+  out.WriteVarint(plan.version);
+  WriteRel(*plan.root, &out);
+  return std::move(out).Take();
+}
+
+Result<Plan> DeserializePlan(ByteSpan data) {
+  BufferReader in(data);
+  POCS_ASSIGN_OR_RETURN(uint32_t magic, in.ReadLE<uint32_t>());
+  if (magic != kMagic) return Status::Corruption("plan: bad magic");
+  Plan plan;
+  POCS_ASSIGN_OR_RETURN(uint64_t version, in.ReadVarint());
+  plan.version = static_cast<uint32_t>(version);
+  POCS_ASSIGN_OR_RETURN(plan.root, ReadRel(&in, 0));
+  if (!in.exhausted()) return Status::Corruption("plan: trailing bytes");
+  POCS_RETURN_NOT_OK(ValidatePlan(plan));
+  return plan;
+}
+
+}  // namespace pocs::substrait

@@ -1,0 +1,19 @@
+// Binary wire format for plans — the role protobuf-serialized Substrait
+// plays in the paper (§4: "The completed Substrait plan is serialized
+// using Protocol Buffers and transmitted to OCS via gRPC"). Varint-based,
+// self-delimiting, with strict bounds checks on parse.
+#pragma once
+
+#include "common/buffer.h"
+#include "substrait/rel.h"
+
+namespace pocs::substrait {
+
+Bytes SerializePlan(const Plan& plan);
+Result<Plan> DeserializePlan(ByteSpan data);
+
+// Expression-level helpers (used by plan serialization and tests).
+void WriteExpression(const Expression& expr, BufferWriter* out);
+Result<Expression> ReadExpression(BufferReader* in, int depth = 0);
+
+}  // namespace pocs::substrait

@@ -1,0 +1,43 @@
+#include "workloads/dataset.h"
+
+namespace pocs::workloads {
+
+DatasetBuilder::DatasetBuilder(std::string schema_name, std::string table_name,
+                               std::string bucket,
+                               columnar::SchemaPtr schema) {
+  dataset_.info.schema_name = std::move(schema_name);
+  dataset_.info.table_name = std::move(table_name);
+  dataset_.info.bucket = std::move(bucket);
+  dataset_.info.schema = std::move(schema);
+}
+
+Status DatasetBuilder::AddFile(
+    const std::string& key,
+    const std::vector<columnar::RecordBatchPtr>& batches,
+    const format::WriterOptions& options) {
+  format::FileWriter writer(dataset_.info.schema, options);
+  for (const auto& batch : batches) {
+    POCS_RETURN_NOT_OK(writer.WriteBatch(*batch));
+  }
+  POCS_ASSIGN_OR_RETURN(Bytes file, writer.Finish());
+  POCS_ASSIGN_OR_RETURN(format::FileMeta meta,
+                        format::ReadFooter(ByteSpan(file.data(), file.size())));
+
+  dataset_.info.objects.push_back(key);
+  dataset_.info.row_count += meta.num_rows;
+  dataset_.info.total_bytes += file.size();
+  if (first_file_) {
+    dataset_.info.column_stats = meta.column_stats;
+    first_file_ = false;
+  } else {
+    for (size_t c = 0; c < meta.column_stats.size(); ++c) {
+      dataset_.info.column_stats[c].Merge(meta.column_stats[c]);
+    }
+  }
+  dataset_.files.emplace_back(key, std::move(file));
+  return Status::OK();
+}
+
+GeneratedDataset DatasetBuilder::Finish() { return std::move(dataset_); }
+
+}  // namespace pocs::workloads

@@ -1,0 +1,36 @@
+// Deep Water Asteroid Impact-like dataset generator (paper §5.1).
+//
+// The real dataset: 64 Parquet files (one per simulation timestep) from
+// the LANL deep-water asteroid-impact run, 4 columns × 27 M rows per
+// file, ~30 GB. We generate the same shape at configurable scale:
+//   * rowid   — global row index (the query derives a grid coordinate
+//               from it: (rowid % (500*500)) / 500);
+//   * v02     — water-fraction-like variable, distributed so the paper's
+//               filter `v02 > 0.1` keeps ≈18 % of rows (30 → 5.37 GB);
+//   * timestep — constant per file (one snapshot per object), so GROUP BY
+//               timestep yields one group per file and group keys never
+//               span splits;
+//   * v03     — a second state variable (padding to 4 columns).
+#pragma once
+
+#include "compress/codec.h"
+#include "workloads/dataset.h"
+
+namespace pocs::workloads {
+
+struct DeepWaterConfig {
+  size_t num_files = 8;
+  size_t rows_per_file = 1 << 16;
+  size_t rows_per_group = 1 << 14;
+  compress::CodecType codec = compress::CodecType::kNone;
+  uint64_t seed = 20160913;
+};
+
+columnar::SchemaPtr DeepWaterSchema();
+
+Result<GeneratedDataset> GenerateDeepWater(const DeepWaterConfig& config);
+
+// The paper's Deep Water query (Table 2).
+std::string DeepWaterQuery(const std::string& table = "deepwater");
+
+}  // namespace pocs::workloads

@@ -1,0 +1,80 @@
+#include "workloads/laghos.h"
+
+#include <random>
+
+namespace pocs::workloads {
+
+using columnar::MakeBatch;
+using columnar::MakeColumn;
+using columnar::MakeSchema;
+using columnar::TypeKind;
+
+columnar::SchemaPtr LaghosSchema() {
+  return MakeSchema({{"vertex_id", TypeKind::kInt64},
+                     {"x", TypeKind::kFloat64},
+                     {"y", TypeKind::kFloat64},
+                     {"z", TypeKind::kFloat64},
+                     {"e", TypeKind::kFloat64},
+                     {"rho", TypeKind::kFloat64},
+                     {"p", TypeKind::kFloat64},
+                     {"vx", TypeKind::kFloat64},
+                     {"vy", TypeKind::kFloat64},
+                     {"vz", TypeKind::kFloat64}});
+}
+
+Result<GeneratedDataset> GenerateLaghos(const LaghosConfig& config) {
+  auto schema = LaghosSchema();
+  DatasetBuilder builder("default", "laghos", "hpc", schema);
+  format::WriterOptions options;
+  options.codec = config.codec;
+  options.rows_per_group = config.rows_per_group;
+
+  std::mt19937_64 rng(config.seed);
+  std::uniform_real_distribution<double> coord(0.0, 4.0);
+  std::uniform_real_distribution<double> energy(0.0, 1000.0);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  for (size_t f = 0; f < config.num_files; ++f) {
+    auto vertex_id = MakeColumn(TypeKind::kInt64);
+    auto x = MakeColumn(TypeKind::kFloat64);
+    auto y = MakeColumn(TypeKind::kFloat64);
+    auto z = MakeColumn(TypeKind::kFloat64);
+    auto e = MakeColumn(TypeKind::kFloat64);
+    auto rho = MakeColumn(TypeKind::kFloat64);
+    auto p = MakeColumn(TypeKind::kFloat64);
+    auto vx = MakeColumn(TypeKind::kFloat64);
+    auto vy = MakeColumn(TypeKind::kFloat64);
+    auto vz = MakeColumn(TypeKind::kFloat64);
+    const int64_t vertex_base = static_cast<int64_t>(
+        f * config.rows_per_file / std::max<size_t>(config.rows_per_vertex, 1));
+    for (size_t r = 0; r < config.rows_per_file; ++r) {
+      vertex_id->AppendInt64(
+          vertex_base +
+          static_cast<int64_t>(r / std::max<size_t>(config.rows_per_vertex, 1)));
+      x->AppendFloat64(coord(rng));
+      y->AppendFloat64(coord(rng));
+      z->AppendFloat64(coord(rng));
+      e->AppendFloat64(energy(rng));
+      rho->AppendFloat64(unit(rng) * 10.0);
+      p->AppendFloat64(unit(rng) * 101325.0);
+      vx->AppendFloat64(unit(rng) * 2.0 - 1.0);
+      vy->AppendFloat64(unit(rng) * 2.0 - 1.0);
+      vz->AppendFloat64(unit(rng) * 2.0 - 1.0);
+    }
+    auto batch = MakeBatch(
+        schema, {vertex_id, x, y, z, e, rho, p, vx, vy, vz});
+    POCS_RETURN_NOT_OK(builder.AddFile(
+        "laghos/part-" + std::to_string(f), {batch}, options));
+  }
+  return builder.Finish();
+}
+
+std::string LaghosQuery(const std::string& table, int64_t limit) {
+  return "SELECT min(vertex_id) AS vid, min(x), min(y), min(z), avg(e) AS e "
+         "FROM " + table +
+         " WHERE x BETWEEN 0.8 AND 3.2 AND y BETWEEN 0.8 AND 3.2 "
+         "AND z BETWEEN 0.8 AND 3.2 "
+         "GROUP BY vertex_id ORDER BY e LIMIT " + std::to_string(limit);
+}
+
+}  // namespace pocs::workloads

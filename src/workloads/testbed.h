@@ -1,0 +1,80 @@
+// Testbed: wires the whole paper setup in-process (Table 1 / Fig. 4).
+//
+//   compute node ──10GbE──> OCS frontend ──10GbE──> OCS storage node(s)
+//
+// One dataset, three access paths registered as engine catalogs:
+//   "hive_raw" — Hive connector, no pushdown (whole-object GETs);
+//   "hive"     — Hive connector, S3-Select filter+projection pushdown;
+//   "ocs"      — Presto-OCS connector, full operator pushdown.
+// All three read the same objects from the same storage nodes through the
+// same frontend, so comparisons differ only in where operators run.
+#pragma once
+
+#include <memory>
+
+#include "connectors/hive/hive_connector.h"
+#include "connectors/ocs/ocs_connector.h"
+#include "connectors/ocs/pushdown_history.h"
+#include "engine/engine.h"
+#include "metastore/metastore.h"
+#include "netsim/network.h"
+#include "ocs/cluster.h"
+#include "workloads/dataset.h"
+
+namespace pocs::workloads {
+
+struct TestbedConfig {
+  ocs::ClusterConfig cluster;
+  engine::EngineConfig engine;
+  connectors::HiveConnectorConfig hive;
+  connectors::OcsConnectorConfig ocs_connector;
+
+  TestbedConfig() {
+    // Default to the effective application-level S3 regime (see
+    // netsim::EffectiveS3 and DESIGN.md §4) so scaled-down datasets
+    // reproduce the paper's transfer-vs-compute balance.
+    cluster.link = netsim::EffectiveS3();
+    engine.time_model.network_bandwidth_bytes_per_sec =
+        cluster.link.bandwidth_bytes_per_sec;
+    engine.time_model.network_latency_sec = cluster.link.latency_sec;
+  }
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config = {});
+
+  // Upload a generated dataset's objects to the OCS cluster and register
+  // its table in the metastore. Consumes the dataset's file bytes.
+  Status Ingest(GeneratedDataset dataset);
+
+  engine::QueryEngine& engine() { return *engine_; }
+  netsim::Network& network() { return *net_; }
+  ocs::OcsCluster& cluster() { return *cluster_; }
+  metastore::Metastore& metastore() { return *metastore_; }
+  connectors::PushdownHistory& history() { return *history_; }
+  const TestbedConfig& config() const { return config_; }
+
+  // Register an additional Presto-OCS catalog with a custom connector
+  // configuration (used by the progressive-pushdown and ablation benches).
+  void RegisterOcsCatalog(const std::string& name,
+                          const connectors::OcsConnectorConfig& config);
+
+  // Convenience: run SQL on a catalog and return result + metrics.
+  Result<engine::QueryResult> Run(const std::string& sql,
+                                  const std::string& catalog) {
+    net_->ResetCounters();
+    return engine_->Execute(sql, catalog);
+  }
+
+ private:
+  TestbedConfig config_;
+  std::shared_ptr<netsim::Network> net_;
+  std::unique_ptr<ocs::OcsCluster> cluster_;
+  std::shared_ptr<metastore::Metastore> metastore_;
+  std::unique_ptr<engine::QueryEngine> engine_;
+  std::shared_ptr<connectors::PushdownHistory> history_;
+  netsim::NodeId compute_node_;
+};
+
+}  // namespace pocs::workloads

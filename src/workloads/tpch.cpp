@@ -1,0 +1,139 @@
+#include "workloads/tpch.h"
+
+#include <random>
+
+namespace pocs::workloads {
+
+using columnar::DaysFromCivil;
+using columnar::MakeBatch;
+using columnar::MakeColumn;
+using columnar::MakeSchema;
+using columnar::TypeKind;
+
+columnar::SchemaPtr LineitemSchema() {
+  return MakeSchema({{"orderkey", TypeKind::kInt64},
+                     {"partkey", TypeKind::kInt64},
+                     {"suppkey", TypeKind::kInt64},
+                     {"linenumber", TypeKind::kInt32},
+                     {"quantity", TypeKind::kFloat64},
+                     {"extendedprice", TypeKind::kFloat64},
+                     {"discount", TypeKind::kFloat64},
+                     {"tax", TypeKind::kFloat64},
+                     {"returnflag", TypeKind::kString},
+                     {"linestatus", TypeKind::kString},
+                     {"shipdate", TypeKind::kDate32},
+                     {"commitdate", TypeKind::kDate32},
+                     {"receiptdate", TypeKind::kDate32}});
+}
+
+Result<GeneratedDataset> GenerateLineitem(const TpchConfig& config) {
+  auto schema = LineitemSchema();
+  DatasetBuilder builder("default", "lineitem", "tpch", schema);
+  format::WriterOptions options;
+  options.codec = config.codec;
+  options.rows_per_group = config.rows_per_group;
+
+  std::mt19937_64 rng(config.seed);
+  // dbgen: orderdate ∈ [STARTDATE, ENDDATE − 151 days]; shipdate =
+  // orderdate + 1..121, so the latest shipdate is ~1998-12-01 and Q1's
+  // 1998-09-02 cutoff keeps ~98–99% of rows.
+  const int32_t start_date = DaysFromCivil(1992, 1, 1);
+  const int32_t end_order_date = DaysFromCivil(1998, 12, 31) - 151;
+  const int32_t currentdate = DaysFromCivil(1995, 6, 17);  // TPC-H constant
+
+  std::uniform_int_distribution<int32_t> orderdate_dist(start_date,
+                                                        end_order_date);
+  std::uniform_int_distribution<int> ship_delta(1, 121);
+  std::uniform_int_distribution<int> commit_delta(30, 90);
+  std::uniform_int_distribution<int> receipt_delta(1, 30);
+  std::uniform_int_distribution<int> quantity_dist(1, 50);
+  std::uniform_int_distribution<int64_t> partkey_dist(1, 200000);
+  std::uniform_int_distribution<int> discount_dist(0, 10);
+  std::uniform_int_distribution<int> tax_dist(0, 8);
+  std::uniform_int_distribution<int> coin(0, 1);
+
+  int64_t orderkey = 1;
+  for (size_t f = 0; f < config.num_files; ++f) {
+    auto orderkey_col = MakeColumn(TypeKind::kInt64);
+    auto partkey_col = MakeColumn(TypeKind::kInt64);
+    auto suppkey_col = MakeColumn(TypeKind::kInt64);
+    auto linenumber = MakeColumn(TypeKind::kInt32);
+    auto quantity = MakeColumn(TypeKind::kFloat64);
+    auto extendedprice = MakeColumn(TypeKind::kFloat64);
+    auto discount = MakeColumn(TypeKind::kFloat64);
+    auto tax = MakeColumn(TypeKind::kFloat64);
+    auto returnflag = MakeColumn(TypeKind::kString);
+    auto linestatus = MakeColumn(TypeKind::kString);
+    auto shipdate = MakeColumn(TypeKind::kDate32);
+    auto commitdate = MakeColumn(TypeKind::kDate32);
+    auto receiptdate = MakeColumn(TypeKind::kDate32);
+
+    size_t rows = 0;
+    while (rows < config.rows_per_file) {
+      // One "order": 1..7 lineitems sharing an orderdate.
+      int32_t orderdate = orderdate_dist(rng);
+      int lines = 1 + static_cast<int>(rng() % 7);
+      for (int l = 1; l <= lines && rows < config.rows_per_file; ++l, ++rows) {
+        int64_t partkey = partkey_dist(rng);
+        int qty = quantity_dist(rng);
+        // dbgen: extendedprice = quantity * part retail price.
+        double retail =
+            90000.0 + (partkey % 20000) / 2.0 + 100.0 * (partkey % 1000);
+        double price = qty * retail / 1000.0;
+        int32_t ship = orderdate + ship_delta(rng);
+        int32_t commit = orderdate + commit_delta(rng);
+        int32_t receipt = ship + receipt_delta(rng);
+
+        orderkey_col->AppendInt64(orderkey);
+        partkey_col->AppendInt64(partkey);
+        suppkey_col->AppendInt64(partkey % 1000 + 1);
+        linenumber->AppendInt32(l);
+        quantity->AppendFloat64(qty);
+        extendedprice->AppendFloat64(price);
+        discount->AppendFloat64(discount_dist(rng) / 100.0);
+        tax->AppendFloat64(tax_dist(rng) / 100.0);
+        returnflag->AppendString(
+            receipt <= currentdate ? (coin(rng) ? "R" : "A") : "N");
+        linestatus->AppendString(ship > currentdate ? "O" : "F");
+        shipdate->AppendInt32(ship);
+        commitdate->AppendInt32(commit);
+        receiptdate->AppendInt32(receipt);
+      }
+      ++orderkey;
+    }
+    auto batch = MakeBatch(
+        schema, {orderkey_col, partkey_col, suppkey_col, linenumber, quantity,
+                 extendedprice, discount, tax, returnflag, linestatus,
+                 shipdate, commitdate, receiptdate});
+    POCS_RETURN_NOT_OK(builder.AddFile(
+        "lineitem/part-" + std::to_string(f), {batch}, options));
+  }
+  return builder.Finish();
+}
+
+std::string TpchQ1(const std::string& table) {
+  return "SELECT returnflag, linestatus, "
+         "SUM(quantity) AS sum_qty, "
+         "SUM(extendedprice) AS sum_base_price, "
+         "SUM(extendedprice * (1 - discount)) AS sum_disc_price, "
+         "SUM(extendedprice * (1 - discount) * (1 + tax)) AS sum_charge, "
+         "AVG(quantity) AS avg_qty, "
+         "AVG(extendedprice) AS avg_price, "
+         "AVG(discount) AS avg_disc, "
+         "COUNT(*) AS count_order "
+         "FROM " + table +
+         " WHERE shipdate <= DATE '1998-12-01' - INTERVAL '90' DAY "
+         "GROUP BY returnflag, linestatus "
+         "ORDER BY returnflag, linestatus";
+}
+
+std::string TpchQ6(const std::string& table) {
+  return "SELECT SUM(extendedprice * discount) AS revenue "
+         "FROM " + table +
+         " WHERE shipdate >= DATE '1994-01-01' "
+         "AND shipdate < DATE '1995-01-01' "
+         "AND discount BETWEEN 0.05 AND 0.07 "
+         "AND quantity < 24";
+}
+
+}  // namespace pocs::workloads

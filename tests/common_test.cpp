@@ -1,0 +1,231 @@
+// Unit tests for the common module: Status/Result, buffers, varints,
+// hashing, thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <random>
+
+#include "common/buffer.h"
+#include "common/hash.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+
+namespace pocs {
+namespace {
+
+TEST(StatusTest, OkIsDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing object");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing object");
+  EXPECT_EQ(s.ToString(), "NotFound: missing object");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::Corruption("bad page");
+  Status t = s;
+  EXPECT_EQ(t.code(), StatusCode::kCorruption);
+  EXPECT_EQ(t.message(), "bad page");
+  EXPECT_EQ(s.message(), "bad page");
+}
+
+TEST(StatusTest, MoveLeavesSourceOk) {
+  Status s = Status::IOError("disk");
+  Status t = std::move(s);
+  EXPECT_EQ(t.code(), StatusCode::kIOError);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 7);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  POCS_ASSIGN_OR_RETURN(int h, Half(x));
+  POCS_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3, odd
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+TEST(BufferTest, FixedWidthRoundtrip) {
+  BufferWriter w;
+  w.WriteLE<uint32_t>(0xdeadbeef);
+  w.WriteLE<int64_t>(-123456789012345LL);
+  w.WriteLE<double>(3.14159);
+  w.WriteU8(7);
+
+  BufferReader r(w.span());
+  EXPECT_EQ(*r.ReadLE<uint32_t>(), 0xdeadbeefu);
+  EXPECT_EQ(*r.ReadLE<int64_t>(), -123456789012345LL);
+  EXPECT_DOUBLE_EQ(*r.ReadLE<double>(), 3.14159);
+  EXPECT_EQ(*r.ReadU8(), 7);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BufferTest, VarintRoundtripEdgeValues) {
+  const uint64_t values[] = {0,    1,    127,   128,   16383, 16384,
+                             1u << 20, 1ull << 35, std::numeric_limits<uint64_t>::max()};
+  BufferWriter w;
+  for (uint64_t v : values) w.WriteVarint(v);
+  BufferReader r(w.span());
+  for (uint64_t v : values) EXPECT_EQ(*r.ReadVarint(), v);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BufferTest, SignedVarintRoundtrip) {
+  const int64_t values[] = {0, -1, 1, -64, 63, -65, 1000000, -1000000,
+                            std::numeric_limits<int64_t>::min(),
+                            std::numeric_limits<int64_t>::max()};
+  BufferWriter w;
+  for (int64_t v : values) w.WriteSVarint(v);
+  BufferReader r(w.span());
+  for (int64_t v : values) EXPECT_EQ(*r.ReadSVarint(), v);
+}
+
+TEST(BufferTest, StringRoundtrip) {
+  BufferWriter w;
+  w.WriteString("");
+  w.WriteString("hello");
+  w.WriteString(std::string(1000, 'x'));
+  BufferReader r(w.span());
+  EXPECT_EQ(*r.ReadString(), "");
+  EXPECT_EQ(*r.ReadString(), "hello");
+  EXPECT_EQ(r.ReadString()->size(), 1000u);
+}
+
+TEST(BufferTest, UnderflowIsCorruption) {
+  BufferWriter w;
+  w.WriteLE<uint32_t>(1);
+  BufferReader r(w.span());
+  EXPECT_TRUE(r.ReadLE<uint64_t>().status().code() == StatusCode::kCorruption);
+}
+
+TEST(BufferTest, TruncatedVarintIsCorruption) {
+  Bytes data = {0x80, 0x80};  // continuation bits with no terminator
+  BufferReader r(ByteSpan(data.data(), data.size()));
+  EXPECT_EQ(r.ReadVarint().status().code(), StatusCode::kCorruption);
+}
+
+TEST(BufferTest, TruncatedStringIsCorruption) {
+  BufferWriter w;
+  w.WriteVarint(100);  // claims 100 bytes, provides none
+  BufferReader r(w.span());
+  EXPECT_EQ(r.ReadString().status().code(), StatusCode::kCorruption);
+}
+
+TEST(BufferTest, PatchLE) {
+  BufferWriter w;
+  w.WriteLE<uint32_t>(0);
+  w.WriteLE<uint32_t>(42);
+  w.PatchLE<uint32_t>(0, 99);
+  BufferReader r(w.span());
+  EXPECT_EQ(*r.ReadLE<uint32_t>(), 99u);
+  EXPECT_EQ(*r.ReadLE<uint32_t>(), 42u);
+}
+
+TEST(HashTest, DeterministicAndSpread) {
+  uint64_t h1 = HashString("hello");
+  uint64_t h2 = HashString("hello");
+  uint64_t h3 = HashString("hellp");
+  EXPECT_EQ(h1, h2);
+  EXPECT_NE(h1, h3);
+  EXPECT_NE(HashString("", 1), HashString("", 2));
+}
+
+TEST(HashTest, SeedChangesValue) {
+  EXPECT_NE(HashString("abc", 0), HashString("abc", 1));
+}
+
+TEST(HashTest, BytesMatchString) {
+  std::string s = "some payload";
+  EXPECT_EQ(HashBytes(s.data(), s.size()), HashString(s));
+}
+
+TEST(HashTest, LowCollisionOnSequentialInts) {
+  std::vector<uint64_t> hashes;
+  for (int64_t i = 0; i < 10000; ++i) hashes.push_back(HashValue(i));
+  std::sort(hashes.begin(), hashes.end());
+  EXPECT_EQ(std::adjacent_find(hashes.begin(), hashes.end()), hashes.end());
+}
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  auto fut = pool.Submit([] { return 21 * 2; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(100, [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndOne) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL(); });
+  int count = 0;
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPoolTest, ManyTasksComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 1000; ++i) {
+    futs.push_back(pool.Submit([&sum, i] { sum += i; }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(sum.load(), 499500);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  double x = 0;
+  for (int i = 0; i < 100000; ++i) x += i;
+  EXPECT_GT(x, 0);
+  EXPECT_GT(sw.ElapsedNanos(), 0);
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace pocs

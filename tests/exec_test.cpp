@@ -1,0 +1,379 @@
+// Tests for the shared execution primitives: hash aggregation, sort /
+// top-N / fetch, and the plan-chain executor (including the fused
+// streaming paths).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "exec/hash_aggregator.h"
+#include "exec/plan_executor.h"
+#include "exec/sorter.h"
+#include "substrait/eval.h"
+
+namespace pocs::exec {
+namespace {
+
+using columnar::Datum;
+using columnar::MakeBatch;
+using columnar::MakeColumn;
+using columnar::MakeSchema;
+using columnar::RecordBatchPtr;
+using columnar::Table;
+using columnar::TypeKind;
+using substrait::AggFunc;
+using substrait::AggregateSpec;
+using substrait::Expression;
+using substrait::Rel;
+using substrait::RelKind;
+using substrait::ScalarFunc;
+
+columnar::SchemaPtr KVSchema() {
+  return MakeSchema({{"k", TypeKind::kString}, {"v", TypeKind::kFloat64}});
+}
+
+RecordBatchPtr KVBatch(const std::vector<std::pair<std::string, double>>& rows,
+                       const std::vector<size_t>& null_rows = {}) {
+  auto k = MakeColumn(TypeKind::kString);
+  auto v = MakeColumn(TypeKind::kFloat64);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    k->AppendString(rows[i].first);
+    if (std::find(null_rows.begin(), null_rows.end(), i) != null_rows.end()) {
+      v->AppendNull();
+    } else {
+      v->AppendFloat64(rows[i].second);
+    }
+  }
+  return MakeBatch(KVSchema(), {k, v});
+}
+
+TEST(HashAggregatorTest, GroupedSumAvgCount) {
+  HashAggregator agg(
+      KVSchema(), {0},
+      {{AggFunc::kSum, Expression::FieldRef(1, TypeKind::kFloat64), "sum_v"},
+       {AggFunc::kAvg, Expression::FieldRef(1, TypeKind::kFloat64), "avg_v"},
+       {AggFunc::kCountStar, {}, "cnt"}});
+  ASSERT_TRUE(agg.Consume(*KVBatch({{"a", 1}, {"b", 10}, {"a", 3}})).ok());
+  ASSERT_TRUE(agg.Consume(*KVBatch({{"b", 20}, {"a", 2}})).ok());
+  auto result = agg.Finish();
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ((*result)->num_rows(), 2u);
+  // Group order = first-seen: a then b.
+  EXPECT_EQ((*result)->column(0)->GetString(0), "a");
+  EXPECT_DOUBLE_EQ((*result)->column(1)->GetFloat64(0), 6.0);
+  EXPECT_DOUBLE_EQ((*result)->column(2)->GetFloat64(0), 2.0);
+  EXPECT_EQ((*result)->column(3)->GetInt64(0), 3);
+  EXPECT_EQ((*result)->column(0)->GetString(1), "b");
+  EXPECT_DOUBLE_EQ((*result)->column(1)->GetFloat64(1), 30.0);
+}
+
+TEST(HashAggregatorTest, NullArgumentsSkipped) {
+  HashAggregator agg(
+      KVSchema(), {0},
+      {{AggFunc::kSum, Expression::FieldRef(1, TypeKind::kFloat64), "s"},
+       {AggFunc::kCount, Expression::FieldRef(1, TypeKind::kFloat64), "c"},
+       {AggFunc::kCountStar, {}, "cs"}});
+  // a: values 5, null → SUM 5, COUNT 1, COUNT(*) 2.
+  ASSERT_TRUE(agg.Consume(*KVBatch({{"a", 5}, {"a", 99}}, {1})).ok());
+  auto result = agg.Finish();
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ((*result)->column(1)->GetFloat64(0), 5.0);
+  EXPECT_EQ((*result)->column(2)->GetInt64(0), 1);
+  EXPECT_EQ((*result)->column(3)->GetInt64(0), 2);
+}
+
+TEST(HashAggregatorTest, MinMaxOverStringsAndDoubles) {
+  HashAggregator agg(
+      KVSchema(), {},
+      {{AggFunc::kMin, Expression::FieldRef(0, TypeKind::kString), "min_k"},
+       {AggFunc::kMax, Expression::FieldRef(1, TypeKind::kFloat64), "max_v"}});
+  ASSERT_TRUE(agg.Consume(*KVBatch({{"pear", 3}, {"apple", 9}, {"fig", 1}})).ok());
+  auto result = agg.Finish();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ((*result)->num_rows(), 1u);
+  EXPECT_EQ((*result)->column(0)->GetString(0), "apple");
+  EXPECT_DOUBLE_EQ((*result)->column(1)->GetFloat64(0), 9.0);
+}
+
+TEST(HashAggregatorTest, GlobalAggregateOverZeroRows) {
+  HashAggregator agg(
+      KVSchema(), {},
+      {{AggFunc::kCountStar, {}, "c"},
+       {AggFunc::kSum, Expression::FieldRef(1, TypeKind::kFloat64), "s"}});
+  auto result = agg.Finish();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ((*result)->num_rows(), 1u);  // SQL: one row even with no input
+  EXPECT_EQ((*result)->column(0)->GetInt64(0), 0);
+  EXPECT_TRUE((*result)->column(1)->IsNull(0));
+}
+
+TEST(HashAggregatorTest, GroupedAggregateOverZeroRowsIsEmpty) {
+  HashAggregator agg(
+      KVSchema(), {0},
+      {{AggFunc::kCountStar, {}, "c"}});
+  auto result = agg.Finish();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_rows(), 0u);  // grouped: no groups, no rows
+}
+
+TEST(HashAggregatorTest, IntegerSumStaysExact) {
+  auto schema = MakeSchema({{"n", TypeKind::kInt64}});
+  auto col = MakeColumn(TypeKind::kInt64);
+  // Values whose double sum would lose precision.
+  col->AppendInt64((int64_t{1} << 53) + 1);
+  col->AppendInt64(1);
+  HashAggregator agg(schema, {},
+                     {{AggFunc::kSum,
+                       Expression::FieldRef(0, TypeKind::kInt64), "s"}});
+  ASSERT_TRUE(agg.Consume(*MakeBatch(schema, {col})).ok());
+  auto result = agg.Finish();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->column(0)->GetInt64(0), (int64_t{1} << 53) + 2);
+}
+
+TEST(HashAggregatorTest, ManyGroupsSurviveRehash) {
+  auto schema = MakeSchema({{"g", TypeKind::kInt64}, {"v", TypeKind::kFloat64}});
+  HashAggregator agg(schema, {0},
+                     {{AggFunc::kSum,
+                       Expression::FieldRef(1, TypeKind::kFloat64), "s"}});
+  // 10k groups, each appearing twice.
+  for (int pass = 0; pass < 2; ++pass) {
+    auto g = MakeColumn(TypeKind::kInt64);
+    auto v = MakeColumn(TypeKind::kFloat64);
+    for (int i = 0; i < 10000; ++i) {
+      g->AppendInt64(i);
+      v->AppendFloat64(1.0);
+    }
+    ASSERT_TRUE(agg.Consume(*MakeBatch(schema, {g, v})).ok());
+  }
+  auto result = agg.Finish();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ((*result)->num_rows(), 10000u);
+  for (size_t i = 0; i < 10000; ++i) {
+    EXPECT_DOUBLE_EQ((*result)->column(1)->GetFloat64(i), 2.0);
+  }
+}
+
+TEST(SorterTest, SortTableMultiBatch) {
+  Table table(KVSchema());
+  table.AppendBatch(KVBatch({{"c", 3}, {"a", 1}}));
+  table.AppendBatch(KVBatch({{"b", 2}}));
+  auto sorted = SortTable(table, {{0, true, true}});
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ((*sorted)->column(0)->GetString(0), "a");
+  EXPECT_EQ((*sorted)->column(0)->GetString(1), "b");
+  EXPECT_EQ((*sorted)->column(0)->GetString(2), "c");
+}
+
+TEST(TopNTest, KeepsBestNAcrossManyBatches) {
+  TopNAccumulator topn(KVSchema(), {{1, true, true}}, 3);  // 3 smallest v
+  std::mt19937 rng(11);
+  std::vector<double> all;
+  for (int b = 0; b < 50; ++b) {
+    std::vector<std::pair<std::string, double>> rows;
+    for (int i = 0; i < 100; ++i) {
+      double v = std::uniform_real_distribution<>(0, 1000)(rng);
+      rows.push_back({"x", v});
+      all.push_back(v);
+    }
+    ASSERT_TRUE(topn.Consume(*KVBatch(rows)).ok());
+  }
+  auto result = topn.Finish();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ((*result)->num_rows(), 3u);
+  std::sort(all.begin(), all.end());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ((*result)->column(1)->GetFloat64(i), all[i]);
+  }
+}
+
+TEST(TopNTest, FewerRowsThanLimit) {
+  TopNAccumulator topn(KVSchema(), {{1, false, true}}, 100);
+  ASSERT_TRUE(topn.Consume(*KVBatch({{"a", 1}, {"b", 2}})).ok());
+  auto result = topn.Finish();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ((*result)->column(1)->GetFloat64(0), 2.0);  // desc
+}
+
+TEST(FetchTest, OffsetAndLimitAcrossBatches) {
+  Table table(KVSchema());
+  table.AppendBatch(KVBatch({{"a", 0}, {"b", 1}, {"c", 2}}));
+  table.AppendBatch(KVBatch({{"d", 3}, {"e", 4}}));
+  auto out = FetchTable(table, 2, 2);
+  ASSERT_TRUE(out.ok());
+  auto combined = (*out)->Combine();
+  ASSERT_EQ(combined->num_rows(), 2u);
+  EXPECT_EQ(combined->column(0)->GetString(0), "c");
+  EXPECT_EQ(combined->column(0)->GetString(1), "d");
+  // Unlimited.
+  out = FetchTable(table, 1, -1);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->num_rows(), 4u);
+  // Zero count.
+  out = FetchTable(table, 0, 0);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->num_rows(), 0u);
+  // Offset past end.
+  out = FetchTable(table, 100, 5);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->num_rows(), 0u);
+}
+
+// ---- plan executor --------------------------------------------------------
+
+std::shared_ptr<Table> SourceTable() {
+  auto table = std::make_shared<Table>(KVSchema());
+  table->AppendBatch(KVBatch({{"a", 1}, {"b", 5}, {"a", 3}}));
+  table->AppendBatch(KVBatch({{"c", 7}, {"b", 9}, {"a", 11}}));
+  return table;
+}
+
+ScanFactory TableFactory(std::shared_ptr<Table> table) {
+  return [table](const Rel&) -> Result<std::unique_ptr<BatchSource>> {
+    return std::unique_ptr<BatchSource>(new TableSource(table));
+  };
+}
+
+std::unique_ptr<Rel> ReadRel() {
+  auto read = std::make_unique<Rel>();
+  read->kind = RelKind::kRead;
+  read->bucket = "b";
+  read->object = "o";
+  read->base_schema = KVSchema();
+  return read;
+}
+
+TEST(PlanExecutorTest, ScanOnly) {
+  ExecStats stats;
+  auto result = ExecuteRel(*ReadRel(), TableFactory(SourceTable()), &stats);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ((*result)->num_rows(), 6u);
+  EXPECT_EQ(stats.rows_scanned, 6u);
+  EXPECT_EQ(stats.batches_scanned, 2u);
+}
+
+TEST(PlanExecutorTest, FilterProjectStreaming) {
+  auto filter = std::make_unique<Rel>();
+  filter->kind = RelKind::kFilter;
+  filter->input = ReadRel();
+  filter->predicate = Expression::Call(
+      ScalarFunc::kGt,
+      {Expression::FieldRef(1, TypeKind::kFloat64),
+       Expression::Literal(Datum::Float64(4.0))},
+      TypeKind::kBool);
+  auto project = std::make_unique<Rel>();
+  project->kind = RelKind::kProject;
+  project->input = std::move(filter);
+  project->expressions = {Expression::Call(
+      ScalarFunc::kMultiply,
+      {Expression::FieldRef(1, TypeKind::kFloat64),
+       Expression::Literal(Datum::Float64(2.0))},
+      TypeKind::kFloat64)};
+  project->output_names = {"v2"};
+
+  auto result = ExecuteRel(*project, TableFactory(SourceTable()));
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto combined = (*result)->Combine();
+  ASSERT_EQ(combined->num_rows(), 4u);  // v in {5,7,9,11}
+  EXPECT_DOUBLE_EQ(combined->column(0)->GetFloat64(0), 10.0);
+  EXPECT_DOUBLE_EQ(combined->column(0)->GetFloat64(3), 22.0);
+}
+
+TEST(PlanExecutorTest, StreamingAggregate) {
+  auto agg = std::make_unique<Rel>();
+  agg->kind = RelKind::kAggregate;
+  agg->input = ReadRel();
+  agg->group_keys = {0};
+  agg->aggregates = {
+      {AggFunc::kSum, Expression::FieldRef(1, TypeKind::kFloat64), "sum_v"}};
+  ExecStats stats;
+  auto result = ExecuteRel(*agg, TableFactory(SourceTable()), &stats);
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto combined = (*result)->Combine();
+  ASSERT_EQ(combined->num_rows(), 3u);
+  EXPECT_EQ(stats.rows_output, 3u);
+  // a: 1+3+11=15, b: 5+9=14, c: 7
+  EXPECT_EQ(combined->column(0)->GetString(0), "a");
+  EXPECT_DOUBLE_EQ(combined->column(1)->GetFloat64(0), 15.0);
+}
+
+TEST(PlanExecutorTest, SortPlusFetchFusesToTopN) {
+  auto sort = std::make_unique<Rel>();
+  sort->kind = RelKind::kSort;
+  sort->input = ReadRel();
+  sort->sort_fields = {{1, false, true}};  // by v desc
+  auto fetch = std::make_unique<Rel>();
+  fetch->kind = RelKind::kFetch;
+  fetch->input = std::move(sort);
+  fetch->count = 2;
+  auto result = ExecuteRel(*fetch, TableFactory(SourceTable()));
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto combined = (*result)->Combine();
+  ASSERT_EQ(combined->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(combined->column(1)->GetFloat64(0), 11.0);
+  EXPECT_DOUBLE_EQ(combined->column(1)->GetFloat64(1), 9.0);
+}
+
+TEST(PlanExecutorTest, FullChainFilterAggSortFetch) {
+  // Filter v > 1 -> group by k sum v -> sort by sum desc -> limit 2.
+  auto filter = std::make_unique<Rel>();
+  filter->kind = RelKind::kFilter;
+  filter->input = ReadRel();
+  filter->predicate = Expression::Call(
+      ScalarFunc::kGt,
+      {Expression::FieldRef(1, TypeKind::kFloat64),
+       Expression::Literal(Datum::Float64(1.0))},
+      TypeKind::kBool);
+  auto agg = std::make_unique<Rel>();
+  agg->kind = RelKind::kAggregate;
+  agg->input = std::move(filter);
+  agg->group_keys = {0};
+  agg->aggregates = {
+      {AggFunc::kSum, Expression::FieldRef(1, TypeKind::kFloat64), "sum_v"}};
+  auto sort = std::make_unique<Rel>();
+  sort->kind = RelKind::kSort;
+  sort->input = std::move(agg);
+  sort->sort_fields = {{1, false, true}};
+  auto fetch = std::make_unique<Rel>();
+  fetch->kind = RelKind::kFetch;
+  fetch->input = std::move(sort);
+  fetch->count = 2;
+
+  auto result = ExecuteRel(*fetch, TableFactory(SourceTable()));
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto combined = (*result)->Combine();
+  ASSERT_EQ(combined->num_rows(), 2u);
+  // sums: a=14 (3+11), b=14 (5+9), c=7 → top2 = a,b (stable for ties)
+  double s0 = combined->column(1)->GetFloat64(0);
+  double s1 = combined->column(1)->GetFloat64(1);
+  EXPECT_DOUBLE_EQ(s0, 14.0);
+  EXPECT_DOUBLE_EQ(s1, 14.0);
+}
+
+TEST(PlanExecutorTest, FetchWithOffsetMaterializes) {
+  auto sort = std::make_unique<Rel>();
+  sort->kind = RelKind::kSort;
+  sort->input = ReadRel();
+  sort->sort_fields = {{1, true, true}};
+  auto fetch = std::make_unique<Rel>();
+  fetch->kind = RelKind::kFetch;
+  fetch->input = std::move(sort);
+  fetch->offset = 1;
+  fetch->count = 2;
+  auto result = ExecuteRel(*fetch, TableFactory(SourceTable()));
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto combined = (*result)->Combine();
+  ASSERT_EQ(combined->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(combined->column(1)->GetFloat64(0), 3.0);
+  EXPECT_DOUBLE_EQ(combined->column(1)->GetFloat64(1), 5.0);
+}
+
+TEST(PlanExecutorTest, MalformedChainRejected) {
+  auto filter = std::make_unique<Rel>();
+  filter->kind = RelKind::kFilter;  // no input
+  auto result = ExecuteRel(*filter, TableFactory(SourceTable()));
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace pocs::exec

@@ -1,0 +1,120 @@
+// Tests for the simulated network and the RPC layer on top of it.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "netsim/network.h"
+#include "rpc/rpc.h"
+
+namespace pocs {
+namespace {
+
+TEST(NetworkTest, TransferTimeModel) {
+  netsim::Network net(netsim::LinkConfig{1e9, 1e-3});
+  auto a = net.AddNode("compute");
+  auto b = net.AddNode("storage");
+  // 1 GB/s + 1 ms latency: 1e9 bytes should take ~1.001 s.
+  double t = net.Transfer(a, b, 1'000'000'000, 1);
+  EXPECT_NEAR(t, 1.001, 1e-9);
+}
+
+TEST(NetworkTest, LocalTransferIsFree) {
+  netsim::Network net;
+  auto a = net.AddNode("n");
+  EXPECT_EQ(net.Transfer(a, a, 1 << 30), 0.0);
+  EXPECT_EQ(net.Total().bytes, 0u);
+}
+
+TEST(NetworkTest, CountersAccumulatePerFlow) {
+  netsim::Network net;
+  auto a = net.AddNode("a");
+  auto b = net.AddNode("b");
+  auto c = net.AddNode("c");
+  net.Transfer(a, b, 100);
+  net.Transfer(b, a, 50);  // same undirected flow
+  net.Transfer(a, c, 7);
+  EXPECT_EQ(net.FlowBetween(a, b).bytes, 150u);
+  EXPECT_EQ(net.FlowBetween(a, c).bytes, 7u);
+  EXPECT_EQ(net.FlowBetween(b, c).bytes, 0u);
+  EXPECT_EQ(net.Total().bytes, 157u);
+  net.ResetCounters();
+  EXPECT_EQ(net.Total().bytes, 0u);
+}
+
+TEST(NetworkTest, PerLinkOverride) {
+  netsim::Network net(netsim::LinkConfig{1e9, 0});
+  auto a = net.AddNode("a");
+  auto b = net.AddNode("b");
+  auto c = net.AddNode("c");
+  net.SetLink(a, c, netsim::LinkConfig{2e9, 0});
+  EXPECT_NEAR(net.Transfer(a, b, 1e9, 0), 1.0, 1e-9);
+  EXPECT_NEAR(net.Transfer(a, c, 1e9, 0), 0.5, 1e-9);
+}
+
+TEST(NetworkTest, TenGbEDefaults) {
+  auto link = netsim::TenGbE();
+  EXPECT_NEAR(link.bandwidth_bytes_per_sec, 1.25e9, 1);
+}
+
+TEST(NetworkTest, ConcurrentTransfersAreAccounted) {
+  netsim::Network net;
+  auto a = net.AddNode("a");
+  auto b = net.AddNode("b");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) net.Transfer(a, b, 10);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(net.Total().bytes, 80000u);
+  EXPECT_EQ(net.Total().messages, 8000u);
+}
+
+TEST(RpcTest, CallRoundtripChargesNetwork) {
+  auto net = std::make_shared<netsim::Network>(netsim::LinkConfig{1e9, 0});
+  auto client_node = net->AddNode("client");
+  auto server_node = net->AddNode("server");
+  auto server = std::make_shared<rpc::Server>(server_node, "echo-service");
+  server->RegisterMethod("Echo", [](ByteSpan req) -> Result<Bytes> {
+    return Bytes(req.begin(), req.end());
+  });
+  rpc::Channel channel(net, client_node, server);
+
+  Bytes req = {1, 2, 3, 4};
+  auto result = channel.Call("Echo", ByteSpan(req.data(), req.size()));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->response, req);
+  EXPECT_EQ(result->request_bytes, 4u);
+  EXPECT_EQ(result->response_bytes, 4u);
+  EXPECT_EQ(net->Total().bytes, 8u);
+  EXPECT_GT(result->transfer_seconds, 0.0);
+}
+
+TEST(RpcTest, UnknownMethodIsNotFound) {
+  auto net = std::make_shared<netsim::Network>();
+  auto c = net->AddNode("c");
+  auto s = net->AddNode("s");
+  auto server = std::make_shared<rpc::Server>(s, "svc");
+  rpc::Channel channel(net, c, server);
+  auto result = channel.Call("Nope", ByteSpan());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RpcTest, HandlerErrorPropagates) {
+  auto net = std::make_shared<netsim::Network>();
+  auto c = net->AddNode("c");
+  auto s = net->AddNode("s");
+  auto server = std::make_shared<rpc::Server>(s, "svc");
+  server->RegisterMethod("Fail", [](ByteSpan) -> Result<Bytes> {
+    return Status::Internal("boom");
+  });
+  rpc::Channel channel(net, c, server);
+  auto result = channel.Call("Fail", ByteSpan());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().message(), "boom");
+}
+
+}  // namespace
+}  // namespace pocs

@@ -1,0 +1,305 @@
+// Tests for the object store, the S3-Select-style storage-side select
+// (operator scope, CSV roundtrip, chunk pruning), and the RPC service.
+#include <gtest/gtest.h>
+
+#include "format/parquet_lite.h"
+#include "objectstore/object_store.h"
+#include "objectstore/select.h"
+#include "objectstore/service.h"
+
+namespace pocs::objectstore {
+namespace {
+
+using columnar::CompareOp;
+using columnar::Datum;
+using columnar::MakeBatch;
+using columnar::MakeColumn;
+using columnar::MakeSchema;
+using columnar::TypeKind;
+
+TEST(ObjectStoreTest, BucketLifecycle) {
+  ObjectStore store;
+  EXPECT_TRUE(store.CreateBucket("data").ok());
+  EXPECT_TRUE(store.HasBucket("data"));
+  EXPECT_EQ(store.CreateBucket("data").code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(store.DeleteBucket("data").ok());
+  EXPECT_FALSE(store.HasBucket("data"));
+  EXPECT_EQ(store.DeleteBucket("data").code(), StatusCode::kNotFound);
+}
+
+TEST(ObjectStoreTest, PutGetDelete) {
+  ObjectStore store;
+  ASSERT_TRUE(store.CreateBucket("b").ok());
+  ASSERT_TRUE(store.Put("b", "k", Bytes{1, 2, 3}).ok());
+  auto data = store.Get("b", "k");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(**data, (Bytes{1, 2, 3}));
+  EXPECT_EQ(*store.Size("b", "k"), 3u);
+  EXPECT_TRUE(store.Delete("b", "k").ok());
+  EXPECT_EQ(store.Get("b", "k").status().code(), StatusCode::kNotFound);
+}
+
+TEST(ObjectStoreTest, NonEmptyBucketNotDeletable) {
+  ObjectStore store;
+  ASSERT_TRUE(store.CreateBucket("b").ok());
+  ASSERT_TRUE(store.Put("b", "k", Bytes{1}).ok());
+  EXPECT_FALSE(store.DeleteBucket("b").ok());
+}
+
+TEST(ObjectStoreTest, RangeReads) {
+  ObjectStore store;
+  ASSERT_TRUE(store.CreateBucket("b").ok());
+  ASSERT_TRUE(store.Put("b", "k", Bytes{0, 1, 2, 3, 4, 5}).ok());
+  EXPECT_EQ(*store.GetRange("b", "k", 2, 3), (Bytes{2, 3, 4}));
+  EXPECT_EQ(*store.GetRange("b", "k", 0, 0), Bytes{});
+  EXPECT_FALSE(store.GetRange("b", "k", 4, 3).ok());
+  EXPECT_FALSE(store.GetRange("b", "k", 7, 0).ok());
+}
+
+TEST(ObjectStoreTest, ListWithPrefix) {
+  ObjectStore store;
+  ASSERT_TRUE(store.CreateBucket("b").ok());
+  ASSERT_TRUE(store.Put("b", "laghos/part-0", Bytes{1}).ok());
+  ASSERT_TRUE(store.Put("b", "laghos/part-1", Bytes{1}).ok());
+  ASSERT_TRUE(store.Put("b", "tpch/lineitem-0", Bytes{1}).ok());
+  auto keys = store.List("b", "laghos/");
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(*keys, (std::vector<std::string>{"laghos/part-0", "laghos/part-1"}));
+  EXPECT_EQ(store.List("b")->size(), 3u);
+  EXPECT_EQ(store.ObjectCount(), 3u);
+}
+
+// ---- Select -------------------------------------------------------------
+
+// Writes a parquet-lite object with columns (x float64, grp string, n int64)
+// and 2 row groups of 100 rows each: x = row * 0.1, grp cycles a..d.
+void PutTestObject(ObjectStore* store) {
+  ASSERT_TRUE(store->CreateBucket("data").ok());
+  auto schema = MakeSchema({{"x", TypeKind::kFloat64},
+                            {"grp", TypeKind::kString},
+                            {"n", TypeKind::kInt64}});
+  format::WriterOptions options;
+  options.rows_per_group = 100;
+  format::FileWriter writer(schema, options);
+  auto x = MakeColumn(TypeKind::kFloat64);
+  auto grp = MakeColumn(TypeKind::kString);
+  auto n = MakeColumn(TypeKind::kInt64);
+  for (int i = 0; i < 200; ++i) {
+    x->AppendFloat64(i * 0.1);
+    grp->AppendString(std::string(1, static_cast<char>('a' + i % 4)));
+    n->AppendInt64(i);
+  }
+  ASSERT_TRUE(writer.WriteBatch(*MakeBatch(schema, {x, grp, n})).ok());
+  auto file = writer.Finish();
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(store->Put("data", "obj", *file).ok());
+}
+
+TEST(SelectTest, FilterAndProject) {
+  ObjectStore store;
+  PutTestObject(&store);
+  SelectRequest request;
+  request.bucket = "data";
+  request.key = "obj";
+  request.columns = {"n", "grp"};
+  request.predicates = {{"x", CompareOp::kLt, Datum::Float64(0.35)}};
+  auto response = ExecuteSelect(store, request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  // Rows 0..3 match (x = 0.0, 0.1, 0.2, 0.3).
+  EXPECT_EQ(response->stats.rows_returned, 4u);
+  EXPECT_EQ(response->csv,
+            "n,grp\n0,a\n1,b\n2,c\n3,d\n");
+  // Second row group (x >= 10.0) must be pruned by statistics.
+  EXPECT_EQ(response->stats.groups_skipped, 1u);
+  EXPECT_EQ(response->stats.rows_scanned, 100u);
+}
+
+TEST(SelectTest, NoPredicatesReturnsEverything) {
+  ObjectStore store;
+  PutTestObject(&store);
+  SelectRequest request{.bucket = "data", .key = "obj", .columns = {"n"},
+                        .predicates = {}};
+  auto response = ExecuteSelect(store, request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->stats.rows_returned, 200u);
+}
+
+TEST(SelectTest, ConjunctivePredicates) {
+  ObjectStore store;
+  PutTestObject(&store);
+  SelectRequest request;
+  request.bucket = "data";
+  request.key = "obj";
+  request.columns = {"n"};
+  request.predicates = {{"x", CompareOp::kGe, Datum::Float64(0.95)},
+                        {"grp", CompareOp::kEq, Datum::String("b")}};
+  auto response = ExecuteSelect(store, request);
+  ASSERT_TRUE(response.ok());
+  // x >= 0.95 → rows 10..199; grp == "b" → n % 4 == 1 → 13, 17, ..., 197.
+  EXPECT_EQ(response->stats.rows_returned, 47u);
+}
+
+TEST(SelectTest, UnknownColumnRejected) {
+  ObjectStore store;
+  PutTestObject(&store);
+  SelectRequest request{.bucket = "data", .key = "obj",
+                        .columns = {"nope"}, .predicates = {}};
+  EXPECT_FALSE(ExecuteSelect(store, request).ok());
+  request.columns = {};
+  request.predicates = {{"nope", CompareOp::kEq, Datum::Int64(0)}};
+  EXPECT_FALSE(ExecuteSelect(store, request).ok());
+}
+
+TEST(SelectTest, CsvRoundtripPreservesDoubles) {
+  ObjectStore store;
+  PutTestObject(&store);
+  SelectRequest request{.bucket = "data", .key = "obj",
+                        .columns = {"x", "n"}, .predicates = {}};
+  auto response = ExecuteSelect(store, request);
+  ASSERT_TRUE(response.ok());
+  auto schema = MakeSchema({{"x", TypeKind::kFloat64}, {"n", TypeKind::kInt64}});
+  auto batch = ParseSelectCsv(response->csv, schema);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  ASSERT_EQ((*batch)->num_rows(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_DOUBLE_EQ((*batch)->column(0)->GetFloat64(i), i * 0.1);
+    EXPECT_EQ((*batch)->column(1)->GetInt64(i), i);
+  }
+}
+
+TEST(SelectTest, CsvParserRejectsGarbage) {
+  auto schema = MakeSchema({{"x", TypeKind::kFloat64}});
+  EXPECT_FALSE(ParseSelectCsv("x\nnot_a_number\n", schema).ok());
+  EXPECT_FALSE(ParseSelectCsv("", schema).ok());
+  // Wrong column count in header.
+  EXPECT_FALSE(ParseSelectCsv("a,b\n1,2\n", schema).ok());
+}
+
+TEST(SelectTest, NullCellsRoundtrip) {
+  ObjectStore store;
+  ASSERT_TRUE(store.CreateBucket("b").ok());
+  auto schema = MakeSchema({{"v", TypeKind::kFloat64}});
+  format::FileWriter writer(schema, {});
+  auto v = MakeColumn(TypeKind::kFloat64);
+  v->AppendFloat64(1.5);
+  v->AppendNull();
+  v->AppendFloat64(2.5);
+  ASSERT_TRUE(writer.WriteBatch(*MakeBatch(schema, {v})).ok());
+  auto file = writer.Finish();
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(store.Put("b", "k", *file).ok());
+  SelectRequest request{.bucket = "b", .key = "k", .columns = {},
+                        .predicates = {}};
+  auto response = ExecuteSelect(store, request);
+  ASSERT_TRUE(response.ok());
+  auto batch = ParseSelectCsv(response->csv, schema);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_FALSE((*batch)->column(0)->IsNull(0));
+  EXPECT_TRUE((*batch)->column(0)->IsNull(1));
+  EXPECT_DOUBLE_EQ((*batch)->column(0)->GetFloat64(2), 2.5);
+}
+
+TEST(ChunkMayMatchTest, PruningLogic) {
+  format::ColumnStats stats;
+  stats.min = Datum::Float64(10.0);
+  stats.max = Datum::Float64(20.0);
+  EXPECT_TRUE(ChunkMayMatch(stats, {"c", CompareOp::kGe, Datum::Float64(15.0)}));
+  EXPECT_FALSE(ChunkMayMatch(stats, {"c", CompareOp::kGt, Datum::Float64(20.0)}));
+  EXPECT_TRUE(ChunkMayMatch(stats, {"c", CompareOp::kGe, Datum::Float64(20.0)}));
+  EXPECT_FALSE(ChunkMayMatch(stats, {"c", CompareOp::kLt, Datum::Float64(10.0)}));
+  EXPECT_TRUE(ChunkMayMatch(stats, {"c", CompareOp::kEq, Datum::Float64(10.0)}));
+  EXPECT_FALSE(ChunkMayMatch(stats, {"c", CompareOp::kEq, Datum::Float64(9.0)}));
+  EXPECT_TRUE(ChunkMayMatch(stats, {"c", CompareOp::kNe, Datum::Float64(15.0)}));
+  // Degenerate chunk (min == max == literal) is prunable for !=.
+  format::ColumnStats constant;
+  constant.min = Datum::Int64(5);
+  constant.max = Datum::Int64(5);
+  EXPECT_FALSE(ChunkMayMatch(constant, {"c", CompareOp::kNe, Datum::Int64(5)}));
+  // All-null chunk never matches a comparison.
+  format::ColumnStats nulls;
+  EXPECT_FALSE(ChunkMayMatch(nulls, {"c", CompareOp::kEq, Datum::Int64(1)}));
+}
+
+// ---- RPC service ---------------------------------------------------------
+
+struct ServiceFixture : ::testing::Test {
+  void SetUp() override {
+    net = std::make_shared<netsim::Network>(netsim::LinkConfig{1e9, 1e-4});
+    auto compute = net->AddNode("compute");
+    auto storage = net->AddNode("storage");
+    store = std::make_shared<ObjectStore>();
+    server = std::make_shared<rpc::Server>(storage, "objectstore");
+    RegisterStorageService(store, server.get());
+    client = std::make_unique<StorageClient>(rpc::Channel(net, compute, server));
+  }
+  std::shared_ptr<netsim::Network> net;
+  std::shared_ptr<ObjectStore> store;
+  std::shared_ptr<rpc::Server> server;
+  std::unique_ptr<StorageClient> client;
+};
+
+TEST_F(ServiceFixture, PutGetThroughRpc) {
+  Bytes payload = {9, 8, 7};
+  ASSERT_TRUE(client->Put("b", "k", ByteSpan(payload.data(), payload.size())).ok());
+  auto data = client->Get("b", "k");
+  ASSERT_TRUE(data.ok()) << data.status();
+  EXPECT_EQ(*data, payload);
+  EXPECT_GT(net->Total().bytes, 6u);  // request + response framing
+}
+
+TEST_F(ServiceFixture, ListAndSizeThroughRpc) {
+  ASSERT_TRUE(client->Put("b", "a1", ByteSpan()).ok());
+  ASSERT_TRUE(client->Put("b", "a2", ByteSpan()).ok());
+  auto keys = client->List("b", "a");
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(keys->size(), 2u);
+  EXPECT_EQ(*client->Size("b", "a1"), 0u);
+}
+
+TEST_F(ServiceFixture, SelectThroughRpcChargesOnlyResults) {
+  PutTestObject(store.get());
+  net->ResetCounters();
+
+  SelectRequest request;
+  request.bucket = "data";
+  request.key = "obj";
+  request.columns = {"n"};
+  request.predicates = {{"x", CompareOp::kLt, Datum::Float64(0.15)}};
+  TransferInfo info;
+  auto response = client->Select(request, &info);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->stats.rows_returned, 2u);
+  // Only the tiny CSV crossed the network, not the object.
+  uint64_t object_size = *store->Size("data", "obj");
+  EXPECT_LT(net->Total().bytes, object_size / 10);
+  EXPECT_GT(info.bytes_received, 0u);
+  EXPECT_GT(info.transfer_seconds, 0.0);
+}
+
+TEST_F(ServiceFixture, GetMissingObjectErrors) {
+  EXPECT_FALSE(client->Get("nope", "k").ok());
+}
+
+TEST(SelectWireTest, RequestEncodeDecode) {
+  SelectRequest request;
+  request.bucket = "data";
+  request.key = "obj/part-7";
+  request.columns = {"a", "b"};
+  request.predicates = {{"x", CompareOp::kLe, Datum::Float64(3.2)},
+                        {"s", CompareOp::kEq, Datum::String("N")}};
+  BufferWriter w;
+  EncodeSelectRequest(request, &w);
+  BufferReader r(w.span());
+  auto rt = DecodeSelectRequest(&r);
+  ASSERT_TRUE(rt.ok());
+  EXPECT_EQ(rt->bucket, "data");
+  EXPECT_EQ(rt->key, "obj/part-7");
+  EXPECT_EQ(rt->columns, request.columns);
+  ASSERT_EQ(rt->predicates.size(), 2u);
+  EXPECT_EQ(rt->predicates[0].op, CompareOp::kLe);
+  EXPECT_DOUBLE_EQ(rt->predicates[0].literal.float64_value(), 3.2);
+  EXPECT_EQ(rt->predicates[1].literal.string_value(), "N");
+}
+
+}  // namespace
+}  // namespace pocs::objectstore
