@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rowgroups.dir/ablation_rowgroups.cpp.o"
+  "CMakeFiles/ablation_rowgroups.dir/ablation_rowgroups.cpp.o.d"
+  "ablation_rowgroups"
+  "ablation_rowgroups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rowgroups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

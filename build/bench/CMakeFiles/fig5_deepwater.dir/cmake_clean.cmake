@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_deepwater.dir/fig5_deepwater.cpp.o"
+  "CMakeFiles/fig5_deepwater.dir/fig5_deepwater.cpp.o.d"
+  "fig5_deepwater"
+  "fig5_deepwater.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_deepwater.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_laghos.dir/fig5_laghos.cpp.o"
+  "CMakeFiles/fig5_laghos.dir/fig5_laghos.cpp.o.d"
+  "fig5_laghos"
+  "fig5_laghos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_laghos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

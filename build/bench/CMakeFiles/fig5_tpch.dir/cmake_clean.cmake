@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_tpch.dir/fig5_tpch.cpp.o"
+  "CMakeFiles/fig5_tpch.dir/fig5_tpch.cpp.o.d"
+  "fig5_tpch"
+  "fig5_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

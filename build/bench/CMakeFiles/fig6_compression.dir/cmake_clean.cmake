@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_compression.dir/fig6_compression.cpp.o"
+  "CMakeFiles/fig6_compression.dir/fig6_compression.cpp.o.d"
+  "fig6_compression"
+  "fig6_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

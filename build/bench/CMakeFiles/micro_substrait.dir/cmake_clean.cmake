@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_substrait.dir/micro_substrait.cpp.o"
+  "CMakeFiles/micro_substrait.dir/micro_substrait.cpp.o.d"
+  "micro_substrait"
+  "micro_substrait.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_substrait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for micro_substrait.
+# This may be replaced when dependencies are built.

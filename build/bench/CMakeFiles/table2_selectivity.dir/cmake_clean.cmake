@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_selectivity.dir/table2_selectivity.cpp.o"
+  "CMakeFiles/table2_selectivity.dir/table2_selectivity.cpp.o.d"
+  "table2_selectivity"
+  "table2_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

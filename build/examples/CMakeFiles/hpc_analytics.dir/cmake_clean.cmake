@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_analytics.dir/hpc_analytics.cpp.o"
+  "CMakeFiles/hpc_analytics.dir/hpc_analytics.cpp.o.d"
+  "hpc_analytics"
+  "hpc_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

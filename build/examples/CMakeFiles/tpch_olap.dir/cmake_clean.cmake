@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_olap.dir/tpch_olap.cpp.o"
+  "CMakeFiles/tpch_olap.dir/tpch_olap.cpp.o.d"
+  "tpch_olap"
+  "tpch_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

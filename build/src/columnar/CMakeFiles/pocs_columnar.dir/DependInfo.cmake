@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/columnar/batch.cpp" "src/columnar/CMakeFiles/pocs_columnar.dir/batch.cpp.o" "gcc" "src/columnar/CMakeFiles/pocs_columnar.dir/batch.cpp.o.d"
+  "/root/repo/src/columnar/column.cpp" "src/columnar/CMakeFiles/pocs_columnar.dir/column.cpp.o" "gcc" "src/columnar/CMakeFiles/pocs_columnar.dir/column.cpp.o.d"
+  "/root/repo/src/columnar/ipc.cpp" "src/columnar/CMakeFiles/pocs_columnar.dir/ipc.cpp.o" "gcc" "src/columnar/CMakeFiles/pocs_columnar.dir/ipc.cpp.o.d"
+  "/root/repo/src/columnar/kernels.cpp" "src/columnar/CMakeFiles/pocs_columnar.dir/kernels.cpp.o" "gcc" "src/columnar/CMakeFiles/pocs_columnar.dir/kernels.cpp.o.d"
+  "/root/repo/src/columnar/types.cpp" "src/columnar/CMakeFiles/pocs_columnar.dir/types.cpp.o" "gcc" "src/columnar/CMakeFiles/pocs_columnar.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pocs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pocs_columnar.dir/batch.cpp.o"
+  "CMakeFiles/pocs_columnar.dir/batch.cpp.o.d"
+  "CMakeFiles/pocs_columnar.dir/column.cpp.o"
+  "CMakeFiles/pocs_columnar.dir/column.cpp.o.d"
+  "CMakeFiles/pocs_columnar.dir/ipc.cpp.o"
+  "CMakeFiles/pocs_columnar.dir/ipc.cpp.o.d"
+  "CMakeFiles/pocs_columnar.dir/kernels.cpp.o"
+  "CMakeFiles/pocs_columnar.dir/kernels.cpp.o.d"
+  "CMakeFiles/pocs_columnar.dir/types.cpp.o"
+  "CMakeFiles/pocs_columnar.dir/types.cpp.o.d"
+  "libpocs_columnar.a"
+  "libpocs_columnar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pocs_columnar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

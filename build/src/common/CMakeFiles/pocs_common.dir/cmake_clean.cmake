@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pocs_common.dir/logging.cpp.o"
+  "CMakeFiles/pocs_common.dir/logging.cpp.o.d"
+  "CMakeFiles/pocs_common.dir/status.cpp.o"
+  "CMakeFiles/pocs_common.dir/status.cpp.o.d"
+  "CMakeFiles/pocs_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/pocs_common.dir/thread_pool.cpp.o.d"
+  "libpocs_common.a"
+  "libpocs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pocs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pocs_compress.dir/codec.cpp.o"
+  "CMakeFiles/pocs_compress.dir/codec.cpp.o.d"
+  "CMakeFiles/pocs_compress.dir/huffman.cpp.o"
+  "CMakeFiles/pocs_compress.dir/huffman.cpp.o.d"
+  "CMakeFiles/pocs_compress.dir/lz77.cpp.o"
+  "CMakeFiles/pocs_compress.dir/lz77.cpp.o.d"
+  "libpocs_compress.a"
+  "libpocs_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pocs_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pocs_connector_spi.dir/spi.cpp.o"
+  "CMakeFiles/pocs_connector_spi.dir/spi.cpp.o.d"
+  "libpocs_connector_spi.a"
+  "libpocs_connector_spi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pocs_connector_spi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

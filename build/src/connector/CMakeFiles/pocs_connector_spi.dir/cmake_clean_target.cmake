@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpocs_connector_spi.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pocs_connectors.dir/hive/hive_connector.cpp.o"
+  "CMakeFiles/pocs_connectors.dir/hive/hive_connector.cpp.o.d"
+  "CMakeFiles/pocs_connectors.dir/ocs/ocs_connector.cpp.o"
+  "CMakeFiles/pocs_connectors.dir/ocs/ocs_connector.cpp.o.d"
+  "CMakeFiles/pocs_connectors.dir/ocs/pushdown_history.cpp.o"
+  "CMakeFiles/pocs_connectors.dir/ocs/pushdown_history.cpp.o.d"
+  "CMakeFiles/pocs_connectors.dir/ocs/selectivity_analyzer.cpp.o"
+  "CMakeFiles/pocs_connectors.dir/ocs/selectivity_analyzer.cpp.o.d"
+  "CMakeFiles/pocs_connectors.dir/ocs/sql_reconstruction.cpp.o"
+  "CMakeFiles/pocs_connectors.dir/ocs/sql_reconstruction.cpp.o.d"
+  "CMakeFiles/pocs_connectors.dir/ocs/translator.cpp.o"
+  "CMakeFiles/pocs_connectors.dir/ocs/translator.cpp.o.d"
+  "libpocs_connectors.a"
+  "libpocs_connectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pocs_connectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

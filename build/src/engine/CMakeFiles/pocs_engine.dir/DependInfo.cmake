@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/analyzer.cpp" "src/engine/CMakeFiles/pocs_engine.dir/analyzer.cpp.o" "gcc" "src/engine/CMakeFiles/pocs_engine.dir/analyzer.cpp.o.d"
+  "/root/repo/src/engine/engine.cpp" "src/engine/CMakeFiles/pocs_engine.dir/engine.cpp.o" "gcc" "src/engine/CMakeFiles/pocs_engine.dir/engine.cpp.o.d"
+  "/root/repo/src/engine/optimizer.cpp" "src/engine/CMakeFiles/pocs_engine.dir/optimizer.cpp.o" "gcc" "src/engine/CMakeFiles/pocs_engine.dir/optimizer.cpp.o.d"
+  "/root/repo/src/engine/plan.cpp" "src/engine/CMakeFiles/pocs_engine.dir/plan.cpp.o" "gcc" "src/engine/CMakeFiles/pocs_engine.dir/plan.cpp.o.d"
+  "/root/repo/src/engine/two_phase.cpp" "src/engine/CMakeFiles/pocs_engine.dir/two_phase.cpp.o" "gcc" "src/engine/CMakeFiles/pocs_engine.dir/two_phase.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/pocs_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/pocs_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/connector/CMakeFiles/pocs_connector_spi.dir/DependInfo.cmake"
+  "/root/repo/build/src/substrait/CMakeFiles/pocs_substrait.dir/DependInfo.cmake"
+  "/root/repo/build/src/metastore/CMakeFiles/pocs_metastore.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/pocs_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/pocs_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/pocs_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pocs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pocs_engine.dir/analyzer.cpp.o"
+  "CMakeFiles/pocs_engine.dir/analyzer.cpp.o.d"
+  "CMakeFiles/pocs_engine.dir/engine.cpp.o"
+  "CMakeFiles/pocs_engine.dir/engine.cpp.o.d"
+  "CMakeFiles/pocs_engine.dir/optimizer.cpp.o"
+  "CMakeFiles/pocs_engine.dir/optimizer.cpp.o.d"
+  "CMakeFiles/pocs_engine.dir/plan.cpp.o"
+  "CMakeFiles/pocs_engine.dir/plan.cpp.o.d"
+  "CMakeFiles/pocs_engine.dir/two_phase.cpp.o"
+  "CMakeFiles/pocs_engine.dir/two_phase.cpp.o.d"
+  "libpocs_engine.a"
+  "libpocs_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pocs_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

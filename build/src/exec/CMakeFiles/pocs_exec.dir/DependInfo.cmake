@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/hash_aggregator.cpp" "src/exec/CMakeFiles/pocs_exec.dir/hash_aggregator.cpp.o" "gcc" "src/exec/CMakeFiles/pocs_exec.dir/hash_aggregator.cpp.o.d"
+  "/root/repo/src/exec/plan_executor.cpp" "src/exec/CMakeFiles/pocs_exec.dir/plan_executor.cpp.o" "gcc" "src/exec/CMakeFiles/pocs_exec.dir/plan_executor.cpp.o.d"
+  "/root/repo/src/exec/sorter.cpp" "src/exec/CMakeFiles/pocs_exec.dir/sorter.cpp.o" "gcc" "src/exec/CMakeFiles/pocs_exec.dir/sorter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/substrait/CMakeFiles/pocs_substrait.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/pocs_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pocs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

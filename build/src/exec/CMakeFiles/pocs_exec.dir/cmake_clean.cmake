@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pocs_exec.dir/hash_aggregator.cpp.o"
+  "CMakeFiles/pocs_exec.dir/hash_aggregator.cpp.o.d"
+  "CMakeFiles/pocs_exec.dir/plan_executor.cpp.o"
+  "CMakeFiles/pocs_exec.dir/plan_executor.cpp.o.d"
+  "CMakeFiles/pocs_exec.dir/sorter.cpp.o"
+  "CMakeFiles/pocs_exec.dir/sorter.cpp.o.d"
+  "libpocs_exec.a"
+  "libpocs_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pocs_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

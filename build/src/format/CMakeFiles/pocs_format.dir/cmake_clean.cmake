@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pocs_format.dir/encoding.cpp.o"
+  "CMakeFiles/pocs_format.dir/encoding.cpp.o.d"
+  "CMakeFiles/pocs_format.dir/parquet_lite.cpp.o"
+  "CMakeFiles/pocs_format.dir/parquet_lite.cpp.o.d"
+  "CMakeFiles/pocs_format.dir/stats.cpp.o"
+  "CMakeFiles/pocs_format.dir/stats.cpp.o.d"
+  "libpocs_format.a"
+  "libpocs_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pocs_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

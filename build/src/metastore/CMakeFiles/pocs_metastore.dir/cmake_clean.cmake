@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pocs_metastore.dir/metastore.cpp.o"
+  "CMakeFiles/pocs_metastore.dir/metastore.cpp.o.d"
+  "libpocs_metastore.a"
+  "libpocs_metastore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pocs_metastore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

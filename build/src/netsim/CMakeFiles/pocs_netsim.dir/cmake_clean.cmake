@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pocs_netsim.dir/network.cpp.o"
+  "CMakeFiles/pocs_netsim.dir/network.cpp.o.d"
+  "libpocs_netsim.a"
+  "libpocs_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pocs_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objectstore/object_store.cpp" "src/objectstore/CMakeFiles/pocs_objectstore.dir/object_store.cpp.o" "gcc" "src/objectstore/CMakeFiles/pocs_objectstore.dir/object_store.cpp.o.d"
+  "/root/repo/src/objectstore/select.cpp" "src/objectstore/CMakeFiles/pocs_objectstore.dir/select.cpp.o" "gcc" "src/objectstore/CMakeFiles/pocs_objectstore.dir/select.cpp.o.d"
+  "/root/repo/src/objectstore/service.cpp" "src/objectstore/CMakeFiles/pocs_objectstore.dir/service.cpp.o" "gcc" "src/objectstore/CMakeFiles/pocs_objectstore.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/format/CMakeFiles/pocs_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/pocs_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/pocs_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/pocs_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pocs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pocs_objectstore.dir/object_store.cpp.o"
+  "CMakeFiles/pocs_objectstore.dir/object_store.cpp.o.d"
+  "CMakeFiles/pocs_objectstore.dir/select.cpp.o"
+  "CMakeFiles/pocs_objectstore.dir/select.cpp.o.d"
+  "CMakeFiles/pocs_objectstore.dir/service.cpp.o"
+  "CMakeFiles/pocs_objectstore.dir/service.cpp.o.d"
+  "libpocs_objectstore.a"
+  "libpocs_objectstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pocs_objectstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pocs_ocs.dir/cluster.cpp.o"
+  "CMakeFiles/pocs_ocs.dir/cluster.cpp.o.d"
+  "CMakeFiles/pocs_ocs.dir/storage_node.cpp.o"
+  "CMakeFiles/pocs_ocs.dir/storage_node.cpp.o.d"
+  "libpocs_ocs.a"
+  "libpocs_ocs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pocs_ocs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

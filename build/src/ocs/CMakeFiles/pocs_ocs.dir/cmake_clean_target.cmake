@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpocs_ocs.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pocs_sql.dir/ast.cpp.o"
+  "CMakeFiles/pocs_sql.dir/ast.cpp.o.d"
+  "CMakeFiles/pocs_sql.dir/lexer.cpp.o"
+  "CMakeFiles/pocs_sql.dir/lexer.cpp.o.d"
+  "CMakeFiles/pocs_sql.dir/parser.cpp.o"
+  "CMakeFiles/pocs_sql.dir/parser.cpp.o.d"
+  "libpocs_sql.a"
+  "libpocs_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pocs_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/substrait/eval.cpp" "src/substrait/CMakeFiles/pocs_substrait.dir/eval.cpp.o" "gcc" "src/substrait/CMakeFiles/pocs_substrait.dir/eval.cpp.o.d"
+  "/root/repo/src/substrait/expr.cpp" "src/substrait/CMakeFiles/pocs_substrait.dir/expr.cpp.o" "gcc" "src/substrait/CMakeFiles/pocs_substrait.dir/expr.cpp.o.d"
+  "/root/repo/src/substrait/rel.cpp" "src/substrait/CMakeFiles/pocs_substrait.dir/rel.cpp.o" "gcc" "src/substrait/CMakeFiles/pocs_substrait.dir/rel.cpp.o.d"
+  "/root/repo/src/substrait/serialize.cpp" "src/substrait/CMakeFiles/pocs_substrait.dir/serialize.cpp.o" "gcc" "src/substrait/CMakeFiles/pocs_substrait.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/columnar/CMakeFiles/pocs_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pocs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pocs_substrait.dir/eval.cpp.o"
+  "CMakeFiles/pocs_substrait.dir/eval.cpp.o.d"
+  "CMakeFiles/pocs_substrait.dir/expr.cpp.o"
+  "CMakeFiles/pocs_substrait.dir/expr.cpp.o.d"
+  "CMakeFiles/pocs_substrait.dir/rel.cpp.o"
+  "CMakeFiles/pocs_substrait.dir/rel.cpp.o.d"
+  "CMakeFiles/pocs_substrait.dir/serialize.cpp.o"
+  "CMakeFiles/pocs_substrait.dir/serialize.cpp.o.d"
+  "libpocs_substrait.a"
+  "libpocs_substrait.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pocs_substrait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pocs_substrait.
+# This may be replaced when dependencies are built.

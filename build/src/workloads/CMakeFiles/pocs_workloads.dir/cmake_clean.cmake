@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pocs_workloads.dir/dataset.cpp.o"
+  "CMakeFiles/pocs_workloads.dir/dataset.cpp.o.d"
+  "CMakeFiles/pocs_workloads.dir/deepwater.cpp.o"
+  "CMakeFiles/pocs_workloads.dir/deepwater.cpp.o.d"
+  "CMakeFiles/pocs_workloads.dir/laghos.cpp.o"
+  "CMakeFiles/pocs_workloads.dir/laghos.cpp.o.d"
+  "CMakeFiles/pocs_workloads.dir/testbed.cpp.o"
+  "CMakeFiles/pocs_workloads.dir/testbed.cpp.o.d"
+  "CMakeFiles/pocs_workloads.dir/tpch.cpp.o"
+  "CMakeFiles/pocs_workloads.dir/tpch.cpp.o.d"
+  "libpocs_workloads.a"
+  "libpocs_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pocs_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connectors_test.dir/connectors_test.cpp.o"
+  "CMakeFiles/connectors_test.dir/connectors_test.cpp.o.d"
+  "connectors_test"
+  "connectors_test.pdb"
+  "connectors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connectors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objectstore_test.dir/objectstore_test.cpp.o"
+  "CMakeFiles/objectstore_test.dir/objectstore_test.cpp.o.d"
+  "objectstore_test"
+  "objectstore_test.pdb"
+  "objectstore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objectstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

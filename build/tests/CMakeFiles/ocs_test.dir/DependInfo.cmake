@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ocs_test.cpp" "tests/CMakeFiles/ocs_test.dir/ocs_test.cpp.o" "gcc" "tests/CMakeFiles/ocs_test.dir/ocs_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ocs/CMakeFiles/pocs_ocs.dir/DependInfo.cmake"
+  "/root/repo/build/src/metastore/CMakeFiles/pocs_metastore.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/pocs_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/objectstore/CMakeFiles/pocs_objectstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/pocs_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/substrait/CMakeFiles/pocs_substrait.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/pocs_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/pocs_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/pocs_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pocs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

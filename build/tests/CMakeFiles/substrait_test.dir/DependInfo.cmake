@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/substrait_test.cpp" "tests/CMakeFiles/substrait_test.dir/substrait_test.cpp.o" "gcc" "tests/CMakeFiles/substrait_test.dir/substrait_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/substrait/CMakeFiles/pocs_substrait.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/pocs_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pocs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/substrait_test.dir/substrait_test.cpp.o"
+  "CMakeFiles/substrait_test.dir/substrait_test.cpp.o.d"
+  "substrait_test"
+  "substrait_test.pdb"
+  "substrait_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/substrait_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/columnar_test[1]_include.cmake")
+include("/root/repo/build/tests/compress_test[1]_include.cmake")
+include("/root/repo/build/tests/format_test[1]_include.cmake")
+include("/root/repo/build/tests/netsim_test[1]_include.cmake")
+include("/root/repo/build/tests/objectstore_test[1]_include.cmake")
+include("/root/repo/build/tests/substrait_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_test[1]_include.cmake")
+include("/root/repo/build/tests/ocs_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/connectors_test[1]_include.cmake")
+include("/root/repo/build/tests/equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
