@@ -14,8 +14,8 @@ namespace {
 using namespace pocs;
 
 workloads::Testbed* SharedTestbed() {
-  static workloads::Testbed* testbed = [] {
-    auto* t = new workloads::Testbed();
+  static std::unique_ptr<workloads::Testbed> testbed = [] {
+    auto t = std::make_unique<workloads::Testbed>();
     workloads::LaghosConfig config;
     config.num_files = 2;
     config.rows_per_file = 1 << 12;
@@ -23,7 +23,7 @@ workloads::Testbed* SharedTestbed() {
     if (!data.ok() || !t->Ingest(std::move(*data)).ok()) std::abort();
     return t;
   }();
-  return testbed;
+  return testbed.get();
 }
 
 void BM_ParseQuery(benchmark::State& state) {

@@ -9,6 +9,7 @@
 
 #include "columnar/column.h"
 #include "columnar/types.h"
+#include "common/check.h"
 
 namespace pocs::columnar {
 
@@ -25,7 +26,10 @@ class RecordBatch {
   const SchemaPtr& schema() const { return schema_; }
   size_t num_columns() const { return columns_.size(); }
   size_t num_rows() const { return num_rows_; }
-  const ColumnPtr& column(size_t i) const { return columns_[i]; }
+  const ColumnPtr& column(size_t i) const {
+    POCS_DCHECK_LT(i, columns_.size());
+    return columns_[i];
+  }
   const std::vector<ColumnPtr>& columns() const { return columns_; }
 
   // Column by field name; nullptr if absent.

@@ -31,35 +31,35 @@ void Column::AppendNull() {
 }
 
 void Column::AppendBool(bool v) {
-  assert(type_ == TypeKind::kBool);
+  POCS_DCHECK(type_ == TypeKind::kBool);
   MarkValid();
   bool_.push_back(v ? 1 : 0);
   ++length_;
 }
 
 void Column::AppendInt32(int32_t v) {
-  assert(type_ == TypeKind::kInt32 || type_ == TypeKind::kDate32);
+  POCS_DCHECK(type_ == TypeKind::kInt32 || type_ == TypeKind::kDate32);
   MarkValid();
   i32_.push_back(v);
   ++length_;
 }
 
 void Column::AppendInt64(int64_t v) {
-  assert(type_ == TypeKind::kInt64);
+  POCS_DCHECK(type_ == TypeKind::kInt64);
   MarkValid();
   i64_.push_back(v);
   ++length_;
 }
 
 void Column::AppendFloat64(double v) {
-  assert(type_ == TypeKind::kFloat64);
+  POCS_DCHECK(type_ == TypeKind::kFloat64);
   MarkValid();
   f64_.push_back(v);
   ++length_;
 }
 
 void Column::AppendString(std::string_view v) {
-  assert(type_ == TypeKind::kString);
+  POCS_DCHECK(type_ == TypeKind::kString);
   MarkValid();
   chars_.append(v);
   offsets_.push_back(static_cast<int32_t>(chars_.size()));
@@ -82,7 +82,8 @@ void Column::AppendDatum(const Datum& d) {
 }
 
 void Column::AppendFrom(const Column& src, size_t i) {
-  assert(src.type_ == type_);
+  POCS_DCHECK(src.type_ == type_);
+  POCS_DCHECK_LT(i, src.length_);
   if (src.IsNull(i)) {
     AppendNull();
     return;

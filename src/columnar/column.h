@@ -4,13 +4,13 @@
 // immutable from then on.
 #pragma once
 
-#include <cassert>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "columnar/types.h"
+#include "common/check.h"
 
 namespace pocs::columnar {
 
@@ -30,34 +30,43 @@ class Column {
   bool has_nulls() const { return null_count_ > 0; }
   size_t null_count() const { return null_count_; }
   bool IsNull(size_t i) const {
+    POCS_DCHECK_LT(i, length_);
     return !validity_.empty() && validity_[i] == 0;
   }
 
   // ---- typed accessors (caller must match type; checked in debug) -------
   bool GetBool(size_t i) const {
-    assert(type_ == TypeKind::kBool);
+    POCS_DCHECK(type_ == TypeKind::kBool);
+    POCS_DCHECK_LT(i, bool_.size());
     return bool_[i] != 0;
   }
   int32_t GetInt32(size_t i) const {
-    assert(type_ == TypeKind::kInt32 || type_ == TypeKind::kDate32);
+    POCS_DCHECK(type_ == TypeKind::kInt32 || type_ == TypeKind::kDate32);
+    POCS_DCHECK_LT(i, i32_.size());
     return i32_[i];
   }
   int64_t GetInt64(size_t i) const {
-    assert(type_ == TypeKind::kInt64);
+    POCS_DCHECK(type_ == TypeKind::kInt64);
+    POCS_DCHECK_LT(i, i64_.size());
     return i64_[i];
   }
   double GetFloat64(size_t i) const {
-    assert(type_ == TypeKind::kFloat64);
+    POCS_DCHECK(type_ == TypeKind::kFloat64);
+    POCS_DCHECK_LT(i, f64_.size());
     return f64_[i];
   }
   std::string_view GetString(size_t i) const {
-    assert(type_ == TypeKind::kString);
+    POCS_DCHECK(type_ == TypeKind::kString);
+    POCS_DCHECK_LT(i + 1, offsets_.size());
+    POCS_DCHECK_LE(static_cast<size_t>(offsets_[i + 1]), chars_.size());
+    POCS_DCHECK_LE(offsets_[i], offsets_[i + 1]);
     return std::string_view(chars_).substr(offsets_[i],
                                            offsets_[i + 1] - offsets_[i]);
   }
 
   // Value widened to double for numeric types (null → 0; check IsNull).
   double AsDouble(size_t i) const {
+    POCS_DCHECK_LT(i, length_);
     switch (type_) {
       case TypeKind::kBool: return bool_[i] ? 1.0 : 0.0;
       case TypeKind::kInt32:

@@ -11,6 +11,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 
 namespace pocs {
@@ -60,6 +61,7 @@ class BufferWriter {
   // Patch a previously written fixed-width little-endian value.
   template <typename T>
   void PatchLE(size_t offset, T value) {
+    POCS_DCHECK_LE(offset + sizeof(T), data_.size());
     std::memcpy(data_.data() + offset, &value, sizeof(T));
   }
 
@@ -89,7 +91,9 @@ class BufferReader {
       return Status::Corruption("buffer underflow: need " + std::to_string(n) +
                                 " bytes, have " + std::to_string(remaining()));
     }
-    std::memcpy(dst, data_.data() + pos_, n);
+    // n == 0 is a valid read (e.g. an empty column payload) where dst may
+    // be null; memcpy requires non-null pointers even for zero lengths.
+    if (n > 0) std::memcpy(dst, data_.data() + pos_, n);
     pos_ += n;
     return Status::OK();
   }

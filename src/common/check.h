@@ -1,0 +1,133 @@
+// Invariant-check macros (CHECK / DCHECK family).
+//
+// Policy (see DESIGN.md "Correctness tooling"):
+//   POCS_CHECK*   — always on, all build types. For invariants whose
+//                   violation would corrupt data or continue into UB:
+//                   API misuse that cannot be reported via Status (e.g.
+//                   Submit on a stopped ThreadPool) and internal
+//                   consistency the data plane relies on.
+//   POCS_DCHECK*  — debug builds only (compiled out under NDEBUG). For
+//                   hot-path bounds and type checks in columnar/, format/,
+//                   compress/, and substrait/ where the release-mode cost
+//                   is unacceptable but a debug+sanitizer CI run should
+//                   fail loudly at the first bad index.
+//
+// Untrusted input (wire bytes, files) must be rejected with Status, never
+// with CHECK: a CHECK failure is a bug in this repo, not bad input.
+//
+// Failure prints the expression, file:line, and optional streamed context
+// to stderr and calls std::abort(), so sanitizers and CI capture a stack.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace pocs::internal {
+
+// Accumulates streamed context for a failed check, then aborts in the
+// destructor. Usage: CheckFailure(...) << "extra context";
+class CheckFailure {
+ public:
+  CheckFailure(const char* condition, const char* file, int line) {
+    stream_ << "CHECK failed: " << condition << " at " << file << ":" << line;
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << " " << v;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows streamed context when a check is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace pocs::internal
+
+// Always-on checks ----------------------------------------------------------
+
+// The switch wrapper makes the macro a single statement immune to
+// dangling-else when used unbraced inside an if/else.
+#define POCS_CHECK(cond)                                        \
+  switch (0)                                                    \
+  case 0:                                                       \
+  default:                                                      \
+    if (cond) {                                                 \
+    } else /* NOLINT */                                         \
+      ::pocs::internal::CheckFailure(#cond, __FILE__, __LINE__)
+
+#define POCS_CHECK_OP(op, a, b) POCS_CHECK((a)op(b)) << "(" #a " " #op " " #b ")"
+
+#define POCS_CHECK_EQ(a, b) POCS_CHECK_OP(==, a, b)
+#define POCS_CHECK_NE(a, b) POCS_CHECK_OP(!=, a, b)
+#define POCS_CHECK_LT(a, b) POCS_CHECK_OP(<, a, b)
+#define POCS_CHECK_LE(a, b) POCS_CHECK_OP(<=, a, b)
+#define POCS_CHECK_GT(a, b) POCS_CHECK_OP(>, a, b)
+#define POCS_CHECK_GE(a, b) POCS_CHECK_OP(>=, a, b)
+
+// Debug-only checks ---------------------------------------------------------
+
+#ifndef NDEBUG
+#define POCS_DCHECK(cond) POCS_CHECK(cond)
+#define POCS_DCHECK_EQ(a, b) POCS_CHECK_EQ(a, b)
+#define POCS_DCHECK_NE(a, b) POCS_CHECK_NE(a, b)
+#define POCS_DCHECK_LT(a, b) POCS_CHECK_LT(a, b)
+#define POCS_DCHECK_LE(a, b) POCS_CHECK_LE(a, b)
+#define POCS_DCHECK_GT(a, b) POCS_CHECK_GT(a, b)
+#define POCS_DCHECK_GE(a, b) POCS_CHECK_GE(a, b)
+#else
+// `true || (cond)` keeps cond's variables referenced (no -Wunused in
+// release) without evaluating it; the whole statement folds away.
+#define POCS_DCHECK(cond)  \
+  switch (0)               \
+  case 0:                  \
+  default:                 \
+    if (true || (cond)) {  \
+    } else /* NOLINT */    \
+      ::pocs::internal::NullStream()
+#define POCS_DCHECK_EQ(a, b) POCS_DCHECK((a) == (b))
+#define POCS_DCHECK_NE(a, b) POCS_DCHECK((a) != (b))
+#define POCS_DCHECK_LT(a, b) POCS_DCHECK((a) < (b))
+#define POCS_DCHECK_LE(a, b) POCS_DCHECK((a) <= (b))
+#define POCS_DCHECK_GT(a, b) POCS_DCHECK((a) > (b))
+#define POCS_DCHECK_GE(a, b) POCS_DCHECK((a) >= (b))
+#endif
+
+// Pointer checks: evaluate to the pointer so they compose in initializers,
+// e.g.  member_(POCS_CHECK_NOTNULL(ptr)).
+namespace pocs::internal {
+
+template <typename T>
+T CheckNotNull(T&& ptr, const char* expr, const char* file, int line) {
+  if (ptr == nullptr) {
+    CheckFailure(expr, file, line) << "(must not be null)";
+  }
+  return std::forward<T>(ptr);
+}
+
+}  // namespace pocs::internal
+
+#define POCS_CHECK_NOTNULL(ptr) \
+  ::pocs::internal::CheckNotNull((ptr), #ptr " != nullptr", __FILE__, __LINE__)
+
+#ifndef NDEBUG
+#define POCS_DCHECK_NOTNULL(ptr) POCS_CHECK_NOTNULL(ptr)
+#else
+#define POCS_DCHECK_NOTNULL(ptr) (ptr)
+#endif

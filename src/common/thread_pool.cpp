@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
-#include <atomic>
+#include <exception>
+#include <utility>
 
 namespace pocs {
 
@@ -12,13 +13,20 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard lock(mu_);
+    if (stop_) return;
     stop_ = true;
   }
   cv_.notify_all();
-  for (auto& t : threads_) t.join();
+  // Workers only exit once the queue is empty, so every task enqueued
+  // before stop_ was set runs before the join below returns.
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -46,7 +54,18 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   for (size_t i = 0; i < n; ++i) {
     futs.push_back(Submit([&fn, i] { fn(i); }));
   }
-  for (auto& f : futs) f.get();
+  // Wait for ALL tasks before rethrowing: an early rethrow would return
+  // while queued tasks still reference `fn` (and the caller's captures)
+  // in a destroyed stack frame.
+  std::exception_ptr first_error;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace pocs

@@ -2,6 +2,13 @@
 // the engine's worker task execution and by the OCS storage nodes. Shared
 // queue keeps it simple; tasks here are coarse (per-split), so contention
 // on the queue mutex is negligible relative to task cost.
+//
+// Lifecycle: Submit/ParallelFor may be called from any thread until
+// Shutdown() (or the destructor) begins. Submitting after shutdown is a
+// caller bug and fails a POCS_CHECK — the alternative (silently dropping
+// the task) deadlocks whoever waits on the returned future. The
+// destructor drains deterministically: every task enqueued before the
+// destructor ran is executed before the worker threads are joined.
 #pragma once
 
 #include <condition_variable>
@@ -11,6 +18,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/check.h"
 
 namespace pocs {
 
@@ -22,7 +31,8 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Enqueue a task; returns a future for its result.
+  // Enqueue a task; returns a future for its result. CHECK-fails if the
+  // pool is already shut down.
   template <typename F>
   auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -30,6 +40,7 @@ class ThreadPool {
     std::future<R> fut = task->get_future();
     {
       std::lock_guard lock(mu_);
+      POCS_CHECK(!stop_) << "ThreadPool::Submit after Shutdown";
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -37,14 +48,26 @@ class ThreadPool {
   }
 
   // Run fn(i) for i in [0, n) across the pool and wait for completion.
+  // If any invocation throws, all n invocations still run to completion
+  // (so no task outlives the call holding references into its frame) and
+  // the first exception, in index order, is rethrown to the caller.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  // Drain the queue, run every enqueued task, and join the workers.
+  // Idempotent; implicitly called by the destructor.
+  void Shutdown();
+
+  bool stopped() const {
+    std::lock_guard lock(mu_);
+    return stop_;
+  }
 
   size_t num_threads() const { return threads_.size(); }
 
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> threads_;

@@ -6,6 +6,8 @@
 #include <queue>
 #include <vector>
 
+#include "common/check.h"
+
 namespace pocs::compress {
 
 namespace {
@@ -296,6 +298,9 @@ Result<Bytes> HuffmanDecode(ByteSpan input) {
       ++len;
       uint32_t offset = c - first_code[len];
       if (c >= first_code[len] && offset < count[len]) {
+        // first_index/count are built from the same lengths histogram, so
+        // the index is in range for any count-passing code.
+        POCS_DCHECK_LT(first_index[len] + offset, sorted_symbols.size());
         sym = sorted_symbols[first_index[len] + offset];
         break;
       }

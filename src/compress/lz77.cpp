@@ -4,6 +4,8 @@
 #include <cstring>
 #include <vector>
 
+#include "common/check.h"
+
 namespace pocs::compress {
 
 namespace {
@@ -149,7 +151,11 @@ std::vector<Sequence> ParseSequences(ByteSpan input, const Lz77Params& params) {
 
 // Copy a back-reference onto the tail of `out`. Non-overlapping matches
 // use one bulk copy; overlapping ones (RLE-style) replicate the period.
+// Callers must have validated offset/mlen against the stream (Status on
+// corrupt input); the DCHECKs pin that contract in debug builds.
 void AppendMatch(Bytes* out, uint64_t offset, uint64_t mlen) {
+  POCS_DCHECK_GT(offset, 0u);
+  POCS_DCHECK_LE(offset, out->size());
   const size_t old_size = out->size();
   out->resize(old_size + mlen);
   uint8_t* dst = out->data() + old_size;

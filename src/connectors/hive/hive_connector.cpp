@@ -246,8 +246,9 @@ Result<std::unique_ptr<connector::PageSource>> HiveConnector::CreatePageSource(
           static_cast<double>(object.size()) / config_.media_read_bandwidth;
       POCS_ASSIGN_OR_RETURN(auto reader,
                             format::FileReader::Open(std::move(object)));
-      return std::unique_ptr<connector::PageSource>(new RawGetPageSource(
-          std::move(reader), columns, projected, stats));
+      return std::unique_ptr<connector::PageSource>(
+          std::make_unique<RawGetPageSource>(std::move(reader), columns,
+                                             projected, stats));
     }
   }
 
@@ -294,7 +295,7 @@ Result<std::unique_ptr<connector::PageSource>> HiveConnector::CreatePageSource(
   stats.decode_seconds = decode.ElapsedSeconds();
   stats.rows_received = batch->num_rows();
   return std::unique_ptr<connector::PageSource>(
-      new SelectPageSource(projected, std::move(batch), stats));
+      std::make_unique<SelectPageSource>(projected, std::move(batch), stats));
 }
 
 }  // namespace pocs::connectors

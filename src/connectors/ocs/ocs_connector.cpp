@@ -257,7 +257,7 @@ Result<std::unique_ptr<connector::PageSource>> OcsConnector::CreatePageSource(
                             schema->ToString());
   }
   return std::unique_ptr<connector::PageSource>(
-      new OcsPageSource(schema, std::move(decoded), stats));
+      std::make_unique<OcsPageSource>(schema, std::move(decoded), stats));
 }
 
 }  // namespace pocs::connectors

@@ -1,6 +1,7 @@
 #include "format/parquet_lite.h"
 
 #include "columnar/ipc.h"
+#include "common/check.h"
 #include "format/encoding.h"
 
 namespace pocs::format {
@@ -124,7 +125,9 @@ Result<FileMeta> ReadFooter(ByteSpan file) {
   if (head_magic != kParquetLiteMagic || tail_magic != kParquetLiteMagic) {
     return Status::Corruption("parquet-lite: bad magic");
   }
-  if (footer_len + 8 > file.size()) {
+  // footer_len is attacker-controlled; the widened compare avoids the
+  // uint32 overflow a crafted footer_len near UINT32_MAX would cause.
+  if (uint64_t{footer_len} + 8 > file.size()) {
     return Status::Corruption("parquet-lite: bad footer length");
   }
   BufferReader in(file.subspan(file.size() - 8 - footer_len, footer_len));
@@ -145,7 +148,9 @@ Result<FileMeta> ReadFooter(ByteSpan file) {
       ChunkMeta chunk;
       POCS_ASSIGN_OR_RETURN(chunk.offset, in.ReadVarint());
       POCS_ASSIGN_OR_RETURN(chunk.length, in.ReadVarint());
-      if (chunk.offset + chunk.length > file.size()) {
+      // Overflow-safe bounds check on untrusted offsets.
+      if (chunk.offset > file.size() ||
+          chunk.length > file.size() - chunk.offset) {
         return Status::Corruption("parquet-lite: chunk out of bounds");
       }
       POCS_ASSIGN_OR_RETURN(chunk.stats, ColumnStats::Deserialize(&in));
@@ -163,8 +168,10 @@ Result<FileMeta> ReadFooter(ByteSpan file) {
 Result<std::shared_ptr<FileReader>> FileReader::Open(Bytes file) {
   POCS_ASSIGN_OR_RETURN(FileMeta meta,
                         ReadFooter(ByteSpan(file.data(), file.size())));
-  return std::shared_ptr<FileReader>(
-      new FileReader(std::move(file), std::move(meta)));
+  // Private constructor (callers must go through Open), so make_shared
+  // is unavailable.  pocs-lint: allow(naked-new)
+  auto* reader = new FileReader(std::move(file), std::move(meta));
+  return std::shared_ptr<FileReader>(reader);
 }
 
 Result<RecordBatchPtr> FileReader::ReadRowGroup(
@@ -187,7 +194,11 @@ Result<RecordBatchPtr> FileReader::ReadRowGroup(
     if (c < 0 || static_cast<size_t>(c) >= meta_.schema->num_fields()) {
       return Status::InvalidArgument("bad column index");
     }
+    // ReadFooter guarantees one chunk per schema field per row group and
+    // validated each chunk's byte range against the file.
+    POCS_DCHECK_LT(static_cast<size_t>(c), g.chunks.size());
     const ChunkMeta& chunk = g.chunks[c];
+    POCS_DCHECK_LE(chunk.offset + chunk.length, file_.size());
     ByteSpan raw(file_.data() + chunk.offset, chunk.length);
     POCS_ASSIGN_OR_RETURN(Bytes payload, codec.Decompress(raw));
     POCS_ASSIGN_OR_RETURN(

@@ -11,11 +11,12 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <string>
-#include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 
 namespace pocs::netsim {
@@ -55,8 +56,17 @@ class Network {
     return static_cast<NodeId>(nodes_.size() - 1);
   }
 
-  const std::string& NodeName(NodeId id) const { return nodes_[id]; }
-  size_t num_nodes() const { return nodes_.size(); }
+  // Names are append-only and stored in a deque, so the returned
+  // reference stays valid while other threads AddNode concurrently.
+  const std::string& NodeName(NodeId id) const {
+    std::lock_guard lock(mu_);
+    POCS_CHECK_LT(id, nodes_.size()) << "unknown node id";
+    return nodes_[id];
+  }
+  size_t num_nodes() const {
+    std::lock_guard lock(mu_);
+    return nodes_.size();
+  }
 
   // Override the link between a specific node pair (undirected).
   void SetLink(NodeId a, NodeId b, LinkConfig link) {
@@ -85,7 +95,7 @@ class Network {
 
   mutable std::mutex mu_;
   LinkConfig default_link_;
-  std::vector<std::string> nodes_;
+  std::deque<std::string> nodes_;  // deque: stable refs under growth
   std::map<uint64_t, LinkConfig> links_;
   std::map<uint64_t, FlowStats> flows_;
 };

@@ -6,10 +6,6 @@
 
 namespace pocs::ocs {
 
-namespace {
-std::mutex g_placement_mu;  // guards placement_/next_node_ across handlers
-}  // namespace
-
 OcsCluster::OcsCluster(std::shared_ptr<netsim::Network> net,
                        ClusterConfig config)
     : net_(std::move(net)), config_(config) {
@@ -83,36 +79,25 @@ OcsCluster::OcsCluster(std::shared_ptr<netsim::Network> net,
         BufferReader in(req);
         POCS_ASSIGN_OR_RETURN(std::string bucket, in.ReadString());
         POCS_ASSIGN_OR_RETURN(std::string key, in.ReadString());
-        size_t node;
-        {
-          std::lock_guard lock(g_placement_mu);
-          auto it = placement_.find(bucket + "/" + key);
-          if (it != placement_.end()) {
-            node = it->second;
-          } else {
-            node = next_node_++ % storage_nodes_.size();
-            placement_[bucket + "/" + key] = node;
-          }
-        }
+        size_t node = AssignNode(bucket, key);
         POCS_ASSIGN_OR_RETURN(rpc::CallResult call,
                               storage_channels_[node]->Call("Put", req));
         return std::move(call.response);
       });
 }
 
+size_t OcsCluster::AssignNode(const std::string& bucket,
+                              const std::string& key) {
+  std::lock_guard lock(placement_mu_);
+  auto [it, inserted] =
+      placement_.try_emplace(bucket + "/" + key, next_node_);
+  if (inserted) next_node_ = (next_node_ + 1) % storage_nodes_.size();
+  return it->second;
+}
+
 Status OcsCluster::PutObject(const std::string& bucket, const std::string& key,
                              Bytes data) {
-  size_t node;
-  {
-    std::lock_guard lock(g_placement_mu);
-    auto it = placement_.find(bucket + "/" + key);
-    if (it != placement_.end()) {
-      node = it->second;
-    } else {
-      node = next_node_++ % storage_nodes_.size();
-      placement_[bucket + "/" + key] = node;
-    }
-  }
+  size_t node = AssignNode(bucket, key);
   auto& store = *storage_nodes_[node]->store();
   if (!store.HasBucket(bucket)) POCS_RETURN_NOT_OK(store.CreateBucket(bucket));
   return store.Put(bucket, key, std::move(data));
@@ -120,7 +105,7 @@ Status OcsCluster::PutObject(const std::string& bucket, const std::string& key,
 
 Result<size_t> OcsCluster::NodeForObject(const std::string& bucket,
                                          const std::string& key) const {
-  std::lock_guard lock(g_placement_mu);
+  std::lock_guard lock(placement_mu_);
   auto it = placement_.find(bucket + "/" + key);
   if (it == placement_.end()) {
     return Status::NotFound("ocs: no placement for " + bucket + "/" + key);

@@ -8,6 +8,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "netsim/network.h"
@@ -48,6 +49,8 @@ class OcsCluster {
  private:
   Result<size_t> NodeForObject(const std::string& bucket,
                                const std::string& key) const;
+  // Existing placement if present, else assign round-robin and record it.
+  size_t AssignNode(const std::string& bucket, const std::string& key);
   // Forward a raw RPC to the owning node, charging the internal hop.
   Result<Bytes> Forward(const std::string& method, const std::string& bucket,
                         const std::string& key, ByteSpan request) const;
@@ -59,6 +62,10 @@ class OcsCluster {
   std::vector<std::unique_ptr<StorageNode>> storage_nodes_;
   std::vector<std::shared_ptr<rpc::Server>> storage_servers_;
   std::vector<std::unique_ptr<rpc::Channel>> storage_channels_;
+  // Placement registry, shared by ingest and the RPC handlers, which run
+  // on engine worker threads concurrently. Per-instance (was a global
+  // mutex, which serialized unrelated clusters against each other).
+  mutable std::mutex placement_mu_;
   std::map<std::string, size_t> placement_;  // "bucket/key" -> node index
   size_t next_node_ = 0;
 };

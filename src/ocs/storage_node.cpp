@@ -158,7 +158,7 @@ Result<OcsResult> StorageNode::ExecutePlan(const substrait::Plan& plan) const {
       CollectPruningTerms(above_read->predicate, *scan_schema, &pruning);
     }
     result.stats.row_groups_total += reader->num_row_groups();
-    return std::unique_ptr<exec::BatchSource>(new ParquetObjectSource(
+    return std::unique_ptr<exec::BatchSource>(std::make_unique<ParquetObjectSource>(
         std::move(reader), r.read_columns, std::move(scan_schema),
         std::move(pruning), &result.stats));
   };

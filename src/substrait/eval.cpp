@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "columnar/kernels.h"
+#include "common/check.h"
 
 namespace pocs::substrait {
 
@@ -34,6 +35,7 @@ bool IsIntegerType(TypeKind t) {
 
 Result<ColumnPtr> EvalArithmetic(const Expression& expr, ColumnPtr lhs,
                                  ColumnPtr rhs) {
+  POCS_DCHECK_EQ(lhs->length(), rhs->length());
   const size_t n = lhs->length();
   auto out = MakeColumn(expr.type);
   out->Reserve(n);
@@ -102,6 +104,7 @@ Result<ColumnPtr> EvalArithmetic(const Expression& expr, ColumnPtr lhs,
 
 Result<ColumnPtr> EvalComparison(const Expression& expr, ColumnPtr lhs,
                                  ColumnPtr rhs) {
+  POCS_DCHECK_EQ(lhs->length(), rhs->length());
   const size_t n = lhs->length();
   auto out = MakeColumn(TypeKind::kBool);
   out->Reserve(n);
@@ -140,6 +143,7 @@ Result<ColumnPtr> EvalComparison(const Expression& expr, ColumnPtr lhs,
 // Kleene AND/OR over nullable booleans.
 Result<ColumnPtr> EvalLogicalBinary(const Expression& expr, ColumnPtr lhs,
                                     ColumnPtr rhs) {
+  POCS_DCHECK_EQ(lhs->length(), rhs->length());
   const size_t n = lhs->length();
   auto out = MakeColumn(TypeKind::kBool);
   out->Reserve(n);
@@ -174,12 +178,18 @@ Result<ColumnPtr> EvalLogicalBinary(const Expression& expr, ColumnPtr lhs,
 
 Result<ColumnPtr> Evaluate(const Expression& expr, const RecordBatch& input) {
   switch (expr.kind) {
-    case ExprKind::kFieldRef:
+    case ExprKind::kFieldRef: {
       if (expr.field_index < 0 ||
           static_cast<size_t>(expr.field_index) >= input.num_columns()) {
         return Status::InvalidArgument("eval: field ref out of range");
       }
-      return input.column(expr.field_index);
+      const ColumnPtr& col = input.column(expr.field_index);
+      POCS_DCHECK_NOTNULL(col.get());
+      // The analyzer resolves refs against the batch schema; a length
+      // mismatch here means a column was swapped without its siblings.
+      POCS_DCHECK_EQ(col->length(), input.num_rows());
+      return col;
+    }
 
     case ExprKind::kLiteral:
       return ConstantColumn(expr.literal, input.num_rows());

@@ -47,7 +47,7 @@ std::string Canonicalize(const columnar::RecordBatch& batch,
 
 struct EquivalenceFixture : ::testing::Test {
   static void SetUpTestSuite() {
-    testbed = new Testbed();
+    testbed = std::make_unique<Testbed>();
     LaghosConfig config;
     config.num_files = 3;
     config.rows_per_file = 1 << 12;
@@ -56,14 +56,11 @@ struct EquivalenceFixture : ::testing::Test {
     ASSERT_TRUE(data.ok());
     ASSERT_TRUE(testbed->Ingest(std::move(*data)).ok());
   }
-  static void TearDownTestSuite() {
-    delete testbed;
-    testbed = nullptr;
-  }
-  static Testbed* testbed;
+  static void TearDownTestSuite() { testbed.reset(); }
+  static std::unique_ptr<Testbed> testbed;
 };
 
-Testbed* EquivalenceFixture::testbed = nullptr;
+std::unique_ptr<Testbed> EquivalenceFixture::testbed;
 
 // The query family. ORDER BY-less aggregate/selection results are
 // compared order-insensitively; sorted queries order-sensitively.

@@ -230,7 +230,7 @@ std::shared_ptr<Table> SourceTable() {
 
 ScanFactory TableFactory(std::shared_ptr<Table> table) {
   return [table](const Rel&) -> Result<std::unique_ptr<BatchSource>> {
-    return std::unique_ptr<BatchSource>(new TableSource(table));
+    return std::unique_ptr<BatchSource>(std::make_unique<TableSource>(table));
   };
 }
 

@@ -52,7 +52,7 @@ std::string Canonicalize(const columnar::RecordBatch& batch) {
 
 struct TestbedFixture : ::testing::Test {
   static void SetUpTestSuite() {
-    testbed = new Testbed();
+    testbed = std::make_unique<Testbed>();
     LaghosConfig laghos;
     laghos.num_files = 4;
     laghos.rows_per_file = 1 << 13;
@@ -77,15 +77,12 @@ struct TestbedFixture : ::testing::Test {
     ASSERT_TRUE(tpch_data.ok());
     ASSERT_TRUE(testbed->Ingest(std::move(*tpch_data)).ok());
   }
-  static void TearDownTestSuite() {
-    delete testbed;
-    testbed = nullptr;
-  }
+  static void TearDownTestSuite() { testbed.reset(); }
 
-  static Testbed* testbed;
+  static std::unique_ptr<Testbed> testbed;
 };
 
-Testbed* TestbedFixture::testbed = nullptr;
+std::unique_ptr<Testbed> TestbedFixture::testbed;
 
 struct PathResults {
   std::map<std::string, QueryResult> by_catalog;
@@ -102,7 +99,7 @@ PathResults RunAllPaths(Testbed* testbed, const std::string& sql) {
 }
 
 TEST_F(TestbedFixture, LaghosResultsAgreeAcrossPaths) {
-  auto results = RunAllPaths(testbed, LaghosQuery());
+  auto results = RunAllPaths(testbed.get(), LaghosQuery());
   ASSERT_EQ(results.by_catalog.size(), 3u);
   const std::string reference =
       Canonicalize(*results.by_catalog["hive_raw"].table);
@@ -113,7 +110,7 @@ TEST_F(TestbedFixture, LaghosResultsAgreeAcrossPaths) {
 }
 
 TEST_F(TestbedFixture, LaghosDataMovementOrdering) {
-  auto results = RunAllPaths(testbed, LaghosQuery());
+  auto results = RunAllPaths(testbed.get(), LaghosQuery());
   uint64_t raw = results.by_catalog["hive_raw"].metrics.bytes_from_storage;
   uint64_t select = results.by_catalog["hive"].metrics.bytes_from_storage;
   uint64_t ocs = results.by_catalog["ocs"].metrics.bytes_from_storage;
@@ -135,7 +132,7 @@ TEST_F(TestbedFixture, LaghosPushdownDecisions) {
 }
 
 TEST_F(TestbedFixture, DeepWaterResultsAgreeAcrossPaths) {
-  auto results = RunAllPaths(testbed, DeepWaterQuery());
+  auto results = RunAllPaths(testbed.get(), DeepWaterQuery());
   ASSERT_EQ(results.by_catalog.size(), 3u);
   const std::string reference =
       Canonicalize(*results.by_catalog["hive_raw"].table);
@@ -146,7 +143,7 @@ TEST_F(TestbedFixture, DeepWaterResultsAgreeAcrossPaths) {
 }
 
 TEST_F(TestbedFixture, TpchQ1ResultsAgreeAcrossPaths) {
-  auto results = RunAllPaths(testbed, TpchQ1());
+  auto results = RunAllPaths(testbed.get(), TpchQ1());
   ASSERT_EQ(results.by_catalog.size(), 3u);
   const std::string reference =
       Canonicalize(*results.by_catalog["hive_raw"].table);
@@ -250,7 +247,7 @@ TEST_F(TestbedFixture, TpchQ6SelectiveFilterRegime) {
   // Q6 is the opposite regime from Q1: the filter keeps only a few
   // percent of rows, so even filter-only pushdown crushes movement, and
   // the global aggregate collapses to one row per split.
-  auto results = RunAllPaths(testbed, TpchQ6());
+  auto results = RunAllPaths(testbed.get(), TpchQ6());
   ASSERT_EQ(results.by_catalog.size(), 3u);
   auto reference = Canonicalize(*results.by_catalog["hive_raw"].table);
   EXPECT_EQ(Canonicalize(*results.by_catalog["hive"].table), reference);
@@ -270,7 +267,7 @@ TEST_F(TestbedFixture, TpchQ6SelectiveFilterRegime) {
 // Non-paper query shapes through the full stack.
 TEST_F(TestbedFixture, GlobalAggregateNoGroupBy) {
   auto results = RunAllPaths(
-      testbed, "SELECT COUNT(*) AS n, AVG(e) AS m FROM laghos WHERE x < 2.0");
+      testbed.get(), "SELECT COUNT(*) AS n, AVG(e) AS m FROM laghos WHERE x < 2.0");
   ASSERT_EQ(results.by_catalog.size(), 3u);
   auto reference = Canonicalize(*results.by_catalog["hive_raw"].table);
   EXPECT_EQ(Canonicalize(*results.by_catalog["ocs"].table), reference);
@@ -279,7 +276,7 @@ TEST_F(TestbedFixture, GlobalAggregateNoGroupBy) {
 
 TEST_F(TestbedFixture, PlainSelectionQuery) {
   auto results = RunAllPaths(
-      testbed,
+      testbed.get(),
       "SELECT vertex_id, e FROM laghos WHERE e > 995 ORDER BY e DESC LIMIT 7");
   ASSERT_EQ(results.by_catalog.size(), 3u);
   auto reference = Canonicalize(*results.by_catalog["hive_raw"].table);
@@ -290,7 +287,7 @@ TEST_F(TestbedFixture, PlainSelectionQuery) {
 
 TEST_F(TestbedFixture, SortWithoutLimit) {
   auto results = RunAllPaths(
-      testbed,
+      testbed.get(),
       "SELECT timestep, MAX(v02) AS mx FROM deepwater GROUP BY timestep "
       "ORDER BY timestep DESC");
   ASSERT_EQ(results.by_catalog.size(), 3u);

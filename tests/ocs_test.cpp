@@ -3,6 +3,9 @@
 // end-to-end client → frontend → storage round trips with byte accounting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+
 #include "format/parquet_lite.h"
 #include "metastore/metastore.h"
 #include "ocs/client.h"
@@ -157,16 +160,27 @@ TEST(StorageNodeTest, FullPushdownChainMatchesPaperShape) {
 TEST(StorageNodeTest, CpuSlowdownScalesComputeTime) {
   StorageNode fast = MakeNode(1.0);
   StorageNode slow = MakeNode(10.0);
-  Plan plan;
-  plan.root = ReadSim();
-  auto rf = fast.ExecutePlan(plan);
-  Plan plan2;
-  plan2.root = ReadSim();
-  auto rs = slow.ExecutePlan(plan2);
-  ASSERT_TRUE(rf.ok() && rs.ok());
+  // The reported compute time is wall-clock scaled by cpu_slowdown, so a
+  // single sample is at the mercy of scheduler jitter (especially under
+  // sanitizers with parallel test load). Take the minimum of several runs
+  // of each before comparing.
+  auto min_seconds = [](StorageNode& node) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < 5; ++i) {
+      Plan plan;
+      plan.root = ReadSim();
+      auto result = node.ExecutePlan(plan);
+      EXPECT_TRUE(result.ok()) << result.status();
+      if (result.ok()) {
+        best = std::min(best, result->stats.storage_compute_seconds);
+      }
+    }
+    return best;
+  };
+  double fast_s = min_seconds(fast);
+  double slow_s = min_seconds(slow);
   // Same work, 10x reported time (wall jitter tolerated with wide margin).
-  EXPECT_GT(rs->stats.storage_compute_seconds,
-            rf->stats.storage_compute_seconds * 2);
+  EXPECT_GT(slow_s, fast_s * 2);
 }
 
 TEST(StorageNodeTest, MissingObjectErrors) {

@@ -1,0 +1,170 @@
+// Edge-case coverage for Status/Result: moved-from state, error
+// propagation through rpc::Server::Dispatch / Channel::Call, and the
+// propagation macros. The companion [[nodiscard]] compile-fail check
+// lives in tools/pocs_lint.py (--nodiscard-check).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/status.h"
+#include "netsim/network.h"
+#include "rpc/rpc.h"
+
+namespace pocs {
+namespace {
+
+// ---- moved-from state ------------------------------------------------------
+
+TEST(StatusEdgeTest, MovedFromStatusIsOk) {
+  Status s = Status::IOError("disk gone");
+  Status t = std::move(s);
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.code(), StatusCode::kIOError);
+  // Moved-from Status collapses to OK (null state) — it must stay safe to
+  // query and to assign over.
+  EXPECT_TRUE(s.ok());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  s = Status::NotFound("reassigned");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(StatusEdgeTest, MoveAssignOverError) {
+  Status dst = Status::Internal("old");
+  Status src = Status::Corruption("new");
+  dst = std::move(src);
+  EXPECT_EQ(dst.code(), StatusCode::kCorruption);
+  EXPECT_EQ(dst.message(), "new");
+}
+
+TEST(StatusEdgeTest, SelfCopyAssignIsNoop) {
+  Status s = Status::Unavailable("busy");
+  Status& alias = s;
+  s = alias;
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.message(), "busy");
+}
+
+TEST(ResultEdgeTest, RvalueValueMovesOut) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3}));
+  // r still holds the (moved-from, empty) vector alternative: ok() stays
+  // true, and the contained value is valid-but-unspecified.
+  EXPECT_TRUE(r.ok());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(ResultEdgeTest, MoveOnlyPayload) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).value();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(ResultEdgeTest, ErrorResultKeepsStatusAfterCopy) {
+  Result<int> r(Status::OutOfRange("index 9"));
+  EXPECT_FALSE(r.ok());
+  Result<int> copy = r;
+  EXPECT_FALSE(copy.ok());
+  EXPECT_EQ(copy.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(copy.status().message(), "index 9");
+}
+
+TEST(ResultEdgeTest, OkStatusUpgradedToInternalError) {
+  // Constructing a Result from an OK status is a bug; it must not produce
+  // a Result that claims to hold a value.
+  Result<int> r{Status::OK()};
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultEdgeTest, ValueOrOnError) {
+  Result<int> err(Status::NotFound("x"));
+  EXPECT_EQ(err.value_or(-1), -1);
+  Result<int> ok(5);
+  EXPECT_EQ(ok.value_or(-1), 5);
+}
+
+// ---- propagation macros ----------------------------------------------------
+
+Status FailInner() { return Status::Corruption("inner"); }
+
+Status PropagateThroughMacro() {
+  POCS_RETURN_NOT_OK(FailInner());
+  return Status::Internal("unreachable");
+}
+
+Result<int> AssignOrReturnPropagates() {
+  POCS_ASSIGN_OR_RETURN(int v, Result<int>(Status::Unavailable("later")));
+  return v + 1;
+}
+
+TEST(PropagationTest, ReturnNotOkShortCircuits) {
+  Status s = PropagateThroughMacro();
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_EQ(s.message(), "inner");
+}
+
+TEST(PropagationTest, AssignOrReturnForwardsStatus) {
+  Result<int> r = AssignOrReturnPropagates();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
+// ---- error propagation through RPC Dispatch --------------------------------
+
+TEST(RpcDispatchTest, UnknownMethodIsNotFound) {
+  rpc::Server server(0, "svc");
+  Bytes req{1, 2, 3};
+  Result<Bytes> r = server.Dispatch("nope", ByteSpan(req.data(), req.size()));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  // The error names both the method and the server.
+  EXPECT_NE(r.status().message().find("nope"), std::string::npos);
+  EXPECT_NE(r.status().message().find("svc"), std::string::npos);
+}
+
+TEST(RpcDispatchTest, HandlerErrorReachesCallerVerbatim) {
+  auto net = std::make_shared<netsim::Network>();
+  netsim::NodeId server_node = net->AddNode("server");
+  netsim::NodeId client_node = net->AddNode("client");
+  auto server = std::make_shared<rpc::Server>(server_node, "svc");
+  server->RegisterMethod("fail", [](ByteSpan) -> Result<Bytes> {
+    return Status::Corruption("handler-level corruption");
+  });
+  rpc::Channel channel(net, client_node, server);
+
+  Bytes req{0};
+  Result<rpc::CallResult> r =
+      channel.Call("fail", ByteSpan(req.data(), req.size()));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(r.status().message(), "handler-level corruption");
+}
+
+TEST(RpcDispatchTest, HandlerStatusDoesNotChargeResponseTraffic) {
+  auto net = std::make_shared<netsim::Network>();
+  netsim::NodeId server_node = net->AddNode("server");
+  netsim::NodeId client_node = net->AddNode("client");
+  auto server = std::make_shared<rpc::Server>(server_node, "svc");
+  server->RegisterMethod("fail", [](ByteSpan) -> Result<Bytes> {
+    return Status::Internal("boom");
+  });
+  rpc::Channel channel(net, client_node, server);
+
+  Bytes req(100, 0xAB);
+  ASSERT_FALSE(channel.Call("fail", ByteSpan(req.data(), req.size())).ok());
+  // Only the request hop was charged — the failed call produced no
+  // response payload.
+  netsim::FlowStats flow = net->FlowBetween(client_node, server_node);
+  EXPECT_EQ(flow.bytes, 100u);
+  EXPECT_EQ(flow.messages, 1u);
+}
+
+}  // namespace
+}  // namespace pocs

@@ -1,0 +1,241 @@
+// Concurrency stress tests — built to give TSan something to bite on.
+// Run under the debug-tsan preset in CI; they hammer the ThreadPool, RPC
+// dispatch, the simulated network, and the OCS cluster's placement
+// registry from many threads at once.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "netsim/network.h"
+#include "ocs/cluster.h"
+#include "rpc/rpc.h"
+
+namespace pocs {
+namespace {
+
+// ---- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPoolStress, ManyProducersManyTasks) {
+  ThreadPool pool(8);
+  constexpr int kProducers = 8;
+  constexpr int kTasksPerProducer = 500;
+  std::atomic<int> executed{0};
+
+  std::vector<std::thread> producers;
+  std::vector<std::vector<std::future<int>>> futures(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      futures[p].reserve(kTasksPerProducer);
+      for (int t = 0; t < kTasksPerProducer; ++t) {
+        futures[p].push_back(pool.Submit([&executed, t] {
+          executed.fetch_add(1, std::memory_order_relaxed);
+          return t;
+        }));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (int p = 0; p < kProducers; ++p) {
+    for (int t = 0; t < kTasksPerProducer; ++t) {
+      EXPECT_EQ(futures[p][t].get(), t);
+    }
+  }
+  EXPECT_EQ(executed.load(), kProducers * kTasksPerProducer);
+}
+
+TEST(ThreadPoolStress, NestedParallelForFromSubmitters) {
+  // ParallelFor invoked concurrently from multiple client threads; each
+  // iteration touches its own slot so the only sharing is the pool itself.
+  ThreadPool pool(4);
+  constexpr int kClients = 6;
+  constexpr size_t kN = 64;
+  std::vector<std::vector<int>> slots(kClients, std::vector<int>(kN, 0));
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      pool.ParallelFor(kN, [&, c](size_t i) { slots[c][i] = 1; });
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (const auto& row : slots) {
+    for (int v : row) EXPECT_EQ(v, 1);
+  }
+}
+
+TEST(ThreadPoolStress, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  try {
+    pool.ParallelFor(32, [&](size_t i) {
+      ran.fetch_add(1);
+      if (i % 7 == 3) throw std::runtime_error("task failed");
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task failed");
+  }
+  // All 32 iterations must have run before the rethrow: none may outlive
+  // the ParallelFor call that owns their captured state.
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPoolStress, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      (void)pool.Submit([&executed] { executed.fetch_add(1); });
+    }
+    pool.Shutdown();
+    EXPECT_EQ(executed.load(), 200);  // drained before join returned
+    EXPECT_TRUE(pool.stopped());
+  }
+  EXPECT_EQ(executed.load(), 200);
+}
+
+TEST(ThreadPoolDeathTest, SubmitAfterShutdownChecks) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  ThreadPool pool(1);
+  pool.Shutdown();
+  EXPECT_DEATH((void)pool.Submit([] { return 1; }),
+               "Submit after Shutdown");
+}
+
+// ---- RPC dispatch ----------------------------------------------------------
+
+TEST(RpcStress, ConcurrentDispatchAndRegistration) {
+  auto net = std::make_shared<netsim::Network>();
+  netsim::NodeId server_node = net->AddNode("server");
+  auto server = std::make_shared<rpc::Server>(server_node, "svc");
+  server->RegisterMethod("echo", [](ByteSpan req) -> Result<Bytes> {
+    return Bytes(req.begin(), req.end());
+  });
+
+  constexpr int kCallers = 8;
+  constexpr int kCallsEach = 300;
+  std::atomic<int> ok_calls{0};
+  std::atomic<int> not_found{0};
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kCallers; ++c) {
+    threads.emplace_back([&, c] {
+      netsim::NodeId client_node =
+          net->AddNode("client-" + std::to_string(c));
+      rpc::Channel channel(net, client_node, server);
+      Bytes payload{static_cast<uint8_t>(c), 1, 2, 3};
+      for (int i = 0; i < kCallsEach; ++i) {
+        // Mix known and unknown methods so the dispatch map is probed for
+        // hits and misses while another thread mutates it.
+        const bool miss = (i % 5 == 0);
+        auto result = channel.Call(miss ? "late" : "echo",
+                                   ByteSpan(payload.data(), payload.size()));
+        if (result.ok()) {
+          ok_calls.fetch_add(1);
+        } else if (result.status().code() == StatusCode::kNotFound) {
+          not_found.fetch_add(1);
+        } else {
+          ADD_FAILURE() << result.status().ToString();
+        }
+      }
+    });
+  }
+  // Concurrently register new methods while calls are in flight.
+  std::thread registrar([&] {
+    for (int i = 0; i < 50; ++i) {
+      server->RegisterMethod("method-" + std::to_string(i),
+                             [](ByteSpan) -> Result<Bytes> { return Bytes{}; });
+      std::this_thread::yield();
+    }
+    server->RegisterMethod("late", [](ByteSpan) -> Result<Bytes> {
+      return Bytes{42};
+    });
+  });
+  for (auto& t : threads) t.join();
+  registrar.join();
+  EXPECT_EQ(ok_calls.load() + not_found.load(), kCallers * kCallsEach);
+}
+
+TEST(NetworkStress, ConcurrentTransfersAndNodeAdds) {
+  auto net = std::make_shared<netsim::Network>();
+  netsim::NodeId a = net->AddNode("a");
+  netsim::NodeId b = net->AddNode("b");
+
+  constexpr int kThreads = 8;
+  constexpr int kTransfersEach = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kTransfersEach; ++i) {
+        net->Transfer(a, b, 1000);
+        if (i % 100 == 0) {
+          net->AddNode("extra-" + std::to_string(t) + "-" +
+                       std::to_string(i));
+          EXPECT_EQ(net->NodeName(a), "a");
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  netsim::FlowStats flow = net->FlowBetween(a, b);
+  EXPECT_EQ(flow.bytes,
+            uint64_t{kThreads} * kTransfersEach * 1000);
+  EXPECT_EQ(flow.messages, uint64_t{kThreads} * kTransfersEach);
+}
+
+// ---- OCS cluster -----------------------------------------------------------
+
+TEST(OcsClusterStress, ConcurrentPutAndForwardedGet) {
+  auto net = std::make_shared<netsim::Network>();
+  ocs::ClusterConfig config;
+  config.num_storage_nodes = 4;
+  ocs::OcsCluster cluster(net, config);
+
+  constexpr int kThreads = 8;
+  constexpr int kObjectsEach = 50;
+
+  // Phase 1: concurrent ingest through the placement registry.
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kObjectsEach; ++i) {
+        std::string key =
+            "obj-" + std::to_string(t) + "-" + std::to_string(i);
+        Bytes data(128, static_cast<uint8_t>(t));
+        ASSERT_TRUE(cluster.PutObject("bucket", key, std::move(data)).ok());
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+
+  // Phase 2: concurrent reads through the frontend's Get proxy.
+  netsim::NodeId client = net->AddNode("compute");
+  rpc::Channel channel(net, client, cluster.frontend_server());
+  std::vector<std::thread> readers;
+  std::atomic<int> hits{0};
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      for (int i = 0; i < kObjectsEach; ++i) {
+        std::string key =
+            "obj-" + std::to_string(t) + "-" + std::to_string(i);
+        BufferWriter req;
+        req.WriteString("bucket");
+        req.WriteString(key);
+        auto result = channel.Call("Get", req.span());
+        if (result.ok()) hits.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(hits.load(), kThreads * kObjectsEach);
+  EXPECT_GT(cluster.TotalStoredBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace pocs

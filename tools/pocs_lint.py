@@ -1,0 +1,378 @@
+#!/usr/bin/env python3
+"""Repo linter enforcing presto_ocs C++ invariants.
+
+Rules (each can be suppressed on a line with  // pocs-lint: allow(<rule>)):
+
+  ignored-status     A statement-level call to a function declared to return
+                     Status/Result<T> whose value is discarded. These are
+                     [[nodiscard]] so the compiler also warns, but the lint
+                     catches them even in code that is not compiled (e.g.
+                     cfg'd-out branches) and does not depend on warning flags.
+  naked-new          `new` outside make_unique/make_shared/placement forms.
+                     Ownership must be expressed with smart pointers.
+  std-rand           std::rand/srand/rand(). Benchmarks and tests must use
+                     <random> engines with fixed seeds for reproducibility.
+  pragma-once        Every header starts with `#pragma once` (after the
+                     leading comment block).
+  relative-include   Project includes are rooted at src/ ("common/status.h"),
+                     never relative ("../common/status.h").
+  quoted-system      System/third-party headers use <>, project headers "".
+  manual-lock        .lock()/.unlock() on a mutex object outside an RAII
+                     guard (std::lock_guard / std::unique_lock /
+                     std::scoped_lock). Manual unlock paths leak the lock on
+                     early return and break exception safety.
+
+Modes:
+  pocs_lint.py --root <repo>                 lint src/ tests/ bench/ examples/
+  pocs_lint.py --root <repo> --nodiscard-check
+                                             additionally compile a snippet
+                                             that discards a Status and a
+                                             Result and require the compiler
+                                             to reject both (guards the
+                                             [[nodiscard]] annotations).
+
+Exit status: 0 = clean, 1 = findings, 2 = usage/internal error.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+LINT_DIRS = ["src", "tests", "bench", "examples"]
+CPP_EXTENSIONS = {".cpp", ".cc", ".h", ".hpp"}
+
+ALLOW_RE = re.compile(r"pocs-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+# Headers that live outside this repo and therefore must use <> includes.
+SYSTEM_INCLUDE_PREFIXES = ("gtest/", "gmock/", "benchmark/")
+
+
+class Finding:
+    def __init__(self, path, line_no, rule, message):
+        self.path = path
+        self.line_no = line_no
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line_no}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line structure.
+
+    Lint regexes run on the result so `new` in a comment or "rand" in a
+    string never fires. Raw strings are handled; escapes inside normal
+    literals are respected.
+    """
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char | raw
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == 'R' and nxt == '"':
+                m = re.match(r'R"([^(]*)\(', text[i:])
+                if m:
+                    raw_delim = ")" + m.group(1) + '"'
+                    state = "raw"
+                    out.append(" " * (len(m.group(0))))
+                    i += len(m.group(0))
+                else:
+                    out.append(c)
+                    i += 1
+            elif c == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state == "string":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "code"
+                out.append('"')
+                i += 1
+            else:
+                out.append(" ")
+                i += 1
+        elif state == "char":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == "'":
+                state = "code"
+                out.append("'")
+                i += 1
+            else:
+                out.append(" ")
+                i += 1
+        elif state == "raw":
+            if text.startswith(raw_delim, i):
+                state = "code"
+                out.append(" " * len(raw_delim))
+                i += len(raw_delim)
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def collect_status_returning_names(root):
+    """Scan headers for functions declared to return Status or Result<T>.
+
+    Used by the ignored-status rule: only calls to *known* Status-returning
+    names are flagged, which keeps false positives near zero.
+    """
+    names = set()
+    decl_re = re.compile(
+        r"(?:^|[;{}]|\bvirtual\s+|\bstatic\s+)\s*"
+        r"(?:\[\[nodiscard\]\]\s*)?"
+        r"(?:::)?(?:\w+::)*(?:Status|Result<[^;{}()]*>)\s+"
+        r"(\w+)\s*\(",
+        re.M,
+    )
+    for dirpath, _, filenames in os.walk(os.path.join(root, "src")):
+        for fn in filenames:
+            if os.path.splitext(fn)[1] not in {".h", ".hpp"}:
+                continue
+            with open(os.path.join(dirpath, fn), encoding="utf-8") as f:
+                text = strip_comments_and_strings(f.read())
+            for m in decl_re.finditer(text):
+                names.add(m.group(1))
+    # Propagation macros already handle their own statuses.
+    names.discard("OK")
+    return names
+
+
+def line_allows(raw_line, rule):
+    m = ALLOW_RE.search(raw_line)
+    if not m:
+        return False
+    allowed = {r.strip() for r in m.group(1).split(",")}
+    return rule in allowed
+
+
+def allows(raw_lines, line_no, rule):
+    """A suppression applies on the flagged line or the line above it."""
+    for no in (line_no, line_no - 1):
+        if 1 <= no <= len(raw_lines) and line_allows(raw_lines[no - 1], rule):
+            return True
+    return False
+
+
+def lint_file(path, rel_path, status_names, findings):
+    with open(path, encoding="utf-8") as f:
+        raw = f.read()
+    raw_lines = raw.splitlines()
+    stripped = strip_comments_and_strings(raw)
+    lines = stripped.splitlines()
+    is_header = os.path.splitext(path)[1] in {".h", ".hpp"}
+
+    def report(line_no, rule, message):
+        if not allows(raw_lines, line_no, rule):
+            findings.append(Finding(rel_path, line_no, rule, message))
+
+    # ---- pragma-once -------------------------------------------------------
+    if is_header:
+        has_pragma = any(line.strip() == "#pragma once" for line in lines)
+        if not has_pragma:
+            report(1, "pragma-once", "header missing #pragma once")
+
+    naked_new_re = re.compile(r"(?<![:_\w])new\s+[\w:<]")
+    std_rand_re = re.compile(r"\b(?:std::)?s?rand\s*\(")
+    manual_lock_re = re.compile(
+        r"\b(\w*(?:mu|mutex|mtx)\w*)(?:_)?\s*(?:\.|->)\s*(lock|unlock)\s*\(\s*\)"
+    )
+    include_re = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
+
+    for idx, line in enumerate(lines):
+        line_no = idx + 1
+
+        # Include paths live inside string literals, which the stripped
+        # text blanks out — match them on the raw line.
+        raw_line = raw_lines[idx] if idx < len(raw_lines) else ""
+        m = include_re.match(raw_line)
+        if m:
+            quote, target = m.groups()
+            if quote == '"':
+                if target.startswith("../") or "/../" in target:
+                    report(line_no, "relative-include",
+                           f'relative include "{target}"; root at src/')
+                if target.startswith(SYSTEM_INCLUDE_PREFIXES):
+                    report(line_no, "quoted-system",
+                           f'third-party header "{target}" must use <>')
+
+        if naked_new_re.search(line):
+            report(line_no, "naked-new",
+                   "naked new; use std::make_unique/make_shared")
+
+        if std_rand_re.search(line):
+            report(line_no, "std-rand",
+                   "std::rand/srand; use a seeded <random> engine")
+
+        m = manual_lock_re.search(line)
+        if m:
+            report(line_no, "manual-lock",
+                   f"manual {m.group(2)}() on '{m.group(1)}'; use "
+                   "std::lock_guard/std::unique_lock")
+
+    # ---- ignored-status (needs statement joining) --------------------------
+    joined = stripped
+    # Join continuation lines so a multi-line call reads as one statement.
+    statements = re.split(r"[;{}]", joined)
+    offset_line = 1
+    pos = 0
+    stmt_call_re = re.compile(
+        r"^\s*(?:[\w\]\)]+(?:\.|->))?(\w+)\s*\((?:[^()]|\([^()]*\))*\)\s*$"
+    )
+    consumed_re = re.compile(
+        r"(=|\breturn\b|POCS_RETURN_NOT_OK|POCS_ASSIGN_OR_RETURN|"
+        r"EXPECT|ASSERT|CHECK|\bco_return\b|\?|\bthrow\b)"
+    )
+    for stmt in statements:
+        stmt_line = offset_line + joined.count("\n", 0, pos)
+        pos += len(stmt) + 1
+        m = stmt_call_re.match(stmt.replace("\n", " ").rstrip())
+        if not m:
+            continue
+        name = m.group(1)
+        if name not in status_names:
+            continue
+        if consumed_re.search(stmt):
+            continue
+        first_line = stmt_line + stmt.lstrip("\n").count("", 0, 0)
+        report(first_line, "ignored-status",
+               f"result of Status/Result-returning '{name}(...)' is discarded")
+
+
+def run_nodiscard_check(root):
+    """Compile-fail check: discarding Status/Result must not compile warning-
+    free. Returns a list of error strings (empty = pass)."""
+    cxx = os.environ.get("CXX", "c++")
+    snippet = r"""
+#include "common/status.h"
+pocs::Status MakeStatus() { return pocs::Status::Internal("x"); }
+pocs::Result<int> MakeResult() { return pocs::Status::Internal("x"); }
+int main() {
+  MakeStatus();   // must trigger -Werror=unused-result
+  MakeResult();   // must trigger -Werror=unused-result
+  return 0;
+}
+"""
+    errors = []
+    with tempfile.TemporaryDirectory() as tmp:
+        src = os.path.join(tmp, "nodiscard_check.cpp")
+        with open(src, "w", encoding="utf-8") as f:
+            f.write(snippet)
+        cmd = [cxx, "-std=c++20", "-I", os.path.join(root, "src"),
+               "-Werror=unused-result", "-fsyntax-only", src]
+        try:
+            proc = subprocess.run(cmd, capture_output=True, text=True,
+                                  timeout=120)
+        except FileNotFoundError:
+            return [f"nodiscard-check: compiler '{cxx}' not found"]
+        if proc.returncode == 0:
+            errors.append(
+                "nodiscard-check: discarding Status/Result compiled clean — "
+                "[[nodiscard]] annotations are missing or broken")
+        else:
+            for probe in ("MakeStatus", "MakeResult"):
+                if probe not in proc.stderr:
+                    errors.append(
+                        f"nodiscard-check: no unused-result diagnostic for "
+                        f"{probe}()")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repo root")
+    parser.add_argument("--nodiscard-check", action="store_true",
+                        help="also run the [[nodiscard]] compile-fail check")
+    parser.add_argument("paths", nargs="*",
+                        help="specific files to lint (default: repo dirs)")
+    args = parser.parse_args()
+    root = os.path.abspath(args.root)
+
+    status_names = collect_status_returning_names(root)
+
+    files = []
+    if args.paths:
+        files = [os.path.abspath(p) for p in args.paths]
+    else:
+        for d in LINT_DIRS:
+            base = os.path.join(root, d)
+            if not os.path.isdir(base):
+                continue
+            for dirpath, _, filenames in os.walk(base):
+                for fn in sorted(filenames):
+                    if os.path.splitext(fn)[1] in CPP_EXTENSIONS:
+                        files.append(os.path.join(dirpath, fn))
+
+    if not files:
+        # A typo'd --root or an empty checkout must not read as a clean
+        # pass, especially in CI.
+        print(f"pocs_lint: no lintable files under {root}", file=sys.stderr)
+        return 2
+
+    findings = []
+    for path in files:
+        rel = os.path.relpath(path, root)
+        try:
+            lint_file(path, rel, status_names, findings)
+        except (OSError, UnicodeDecodeError) as e:
+            print(f"pocs_lint: cannot read {rel}: {e}", file=sys.stderr)
+            return 2
+
+    for f in findings:
+        print(f)
+
+    nodiscard_errors = []
+    if args.nodiscard_check:
+        nodiscard_errors = run_nodiscard_check(root)
+        for e in nodiscard_errors:
+            print(e)
+
+    total = len(findings) + len(nodiscard_errors)
+    print(f"pocs_lint: {total} finding(s) across {len(files)} file(s)")
+    return 1 if total else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
