@@ -8,12 +8,14 @@
 // (x), where pruning cannot help.
 #include <cstdio>
 
+#include "bench/report.h"
 #include "workloads/laghos.h"
 #include "workloads/testbed.h"
 
 using namespace pocs;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
   std::printf("=== Ablation: row-group size vs chunk pruning (Laghos) ===\n");
   std::printf("%-14s %-22s %12s %14s %14s\n", "rows/group", "predicate",
               "groups", "skipped", "sim time (s)");
@@ -21,8 +23,9 @@ int main() {
                                 size_t{1} << 16}) {
     workloads::Testbed testbed;
     workloads::LaghosConfig config;
-    config.num_files = 4;
-    config.rows_per_file = 1 << 16;
+    config.seed = args.SeedOr(config.seed);
+    config.num_files = args.smoke ? 2 : 4;
+    config.rows_per_file = (args.smoke ? (1 << 14) : (1 << 16)) * args.scale;
     config.rows_per_group = rows_per_group;
     auto data = workloads::GenerateLaghos(config);
     if (!data.ok() || !testbed.Ingest(std::move(*data)).ok()) {

@@ -5,12 +5,14 @@
 // compute↔frontend link stays fixed.
 #include <cstdio>
 
+#include "bench/report.h"
 #include "workloads/laghos.h"
 #include "workloads/testbed.h"
 
 using namespace pocs;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
   std::printf("=== Ablation: OCS storage-node scale-out (Laghos) ===\n");
   std::printf("%-8s %-12s %14s %16s\n", "nodes", "path", "sim time (s)",
               "moved (KB)");
@@ -19,8 +21,9 @@ int main() {
     config.cluster.num_storage_nodes = nodes;
     workloads::Testbed testbed(config);
     workloads::LaghosConfig laghos;
-    laghos.num_files = 8;
-    laghos.rows_per_file = 1 << 16;
+    laghos.seed = args.SeedOr(laghos.seed);
+    laghos.num_files = args.smoke ? 2 : 8;
+    laghos.rows_per_file = (args.smoke ? (1 << 12) : (1 << 16)) * args.scale;
     auto data = workloads::GenerateLaghos(laghos);
     if (!data.ok() || !testbed.Ingest(std::move(*data)).ok()) {
       std::fprintf(stderr, "ingest failed\n");

@@ -8,16 +8,19 @@
 //      filter selectivity.
 #include <cstdio>
 
+#include "bench/report.h"
 #include "workloads/testbed.h"
 #include "workloads/tpch.h"
 
 using namespace pocs;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
   workloads::Testbed testbed;
   workloads::TpchConfig config;
-  config.num_files = 4;
-  config.rows_per_file = 1 << 16;
+  config.seed = args.SeedOr(config.seed);
+  config.num_files = args.smoke ? 2 : 4;
+  config.rows_per_file = (args.smoke ? (1 << 12) : (1 << 16)) * args.scale;
   auto data = workloads::GenerateLineitem(config);
   if (!data.ok() || !testbed.Ingest(std::move(*data)).ok()) {
     std::fprintf(stderr, "ingest failed\n");

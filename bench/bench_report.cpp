@@ -1,0 +1,182 @@
+// Unified bench driver for CI: runs a curated subset of the paper's
+// experiments (Fig. 5 progressive pushdown on TPC-H Q1 and Laghos, the
+// Table 3 stage breakdown, and an S3-Select-path query) and emits one
+// schema-versioned JSON report — BENCH_PR2.json by default — that
+// tools/check_bench.py diffs against a committed baseline.
+//
+// `--smoke` shrinks every dataset to CI size (seconds, not minutes);
+// the default seeds are the workloads' fixed ones, so two runs of the
+// same binary on the same tree produce identical "exact" metrics.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/fig5_common.h"
+#include "bench/report.h"
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "workloads/laghos.h"
+#include "workloads/testbed.h"
+#include "workloads/tpch.h"
+
+using namespace pocs;
+
+namespace {
+
+// Runs one catalog and appends the per-query metrics under `prefix.`.
+// Returns false (after printing the error) when the query fails.
+bool RunAndRecord(workloads::Testbed& testbed, const std::string& sql,
+                  const std::string& catalog, const std::string& prefix,
+                  bench::BenchReport* report) {
+  auto result = testbed.Run(sql, catalog);
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench_report: %s via %s failed: %s\n", sql.c_str(),
+                 catalog.c_str(), result.status().ToString().c_str());
+    return false;
+  }
+  const engine::QueryMetrics& m = result->metrics;
+  report->AddExact(prefix + ".bytes_moved",
+                   static_cast<double>(m.bytes_from_storage), "bytes");
+  report->AddExact(prefix + ".rows_scanned",
+                   static_cast<double>(m.rows_scanned), "rows");
+  report->AddExact(prefix + ".result_rows",
+                   static_cast<double>(result->table->num_rows()), "rows");
+  report->AddExact(prefix + ".splits", static_cast<double>(m.splits));
+  report->AddExact(prefix + ".row_groups_skipped",
+                   static_cast<double>(m.row_groups_skipped));
+  report->AddTiming(prefix + ".sim_seconds", m.total);
+  std::printf("%-28s %14.4f s %12.1f KB moved\n", prefix.c_str(), m.total,
+              m.bytes_from_storage / 1024.0);
+  return true;
+}
+
+bool RunProgressive(workloads::Testbed& testbed, const std::string& sql,
+                    const std::vector<bench::Fig5Step>& steps,
+                    const std::string& dataset, bench::BenchReport* report) {
+  for (const bench::Fig5Step& step : steps) {
+    if (!RunAndRecord(testbed, sql, step.catalog,
+                      dataset + "." + bench::StepSlug(step.label), report)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Query-completion totals the EventListener collected for this testbed.
+void RecordCollectorTotals(workloads::Testbed& testbed,
+                           const std::string& prefix,
+                           bench::BenchReport* report) {
+  const auto totals = testbed.stats().totals();
+  report->AddExact(prefix + ".queries", static_cast<double>(totals.queries));
+  report->AddExact(prefix + ".rows_scanned",
+                   static_cast<double>(totals.rows_scanned), "rows");
+  report->AddExact(prefix + ".rows_returned",
+                   static_cast<double>(totals.rows_returned), "rows");
+  report->AddExact(prefix + ".bytes_moved",
+                   static_cast<double>(totals.bytes_moved()), "bytes");
+  report->AddExact(prefix + ".pushdown_accepted",
+                   static_cast<double>(totals.pushdown_accepted));
+  report->AddExact(prefix + ".pushdown_rejected",
+                   static_cast<double>(totals.pushdown_rejected));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  if (args.json_path.empty()) args.json_path = "BENCH_PR2.json";
+  const size_t rows_per_file =
+      (args.smoke ? (1 << 12) : (1 << 16)) * args.scale;
+
+  Stopwatch wall;
+  bench::BenchReport report("bench_report", args);
+
+  // --- Fig. 5(c): TPC-H Q1 progressive pushdown --------------------------
+  {
+    workloads::Testbed testbed;
+    workloads::TpchConfig config;
+    config.seed = args.SeedOr(config.seed);
+    config.num_files = args.smoke ? 2 : 4;
+    config.rows_per_file = rows_per_file;
+    auto data = workloads::GenerateLineitem(config);
+    if (!data.ok() || !testbed.Ingest(std::move(*data)).ok()) {
+      std::fprintf(stderr, "bench_report: tpch ingest failed\n");
+      return 1;
+    }
+    auto steps = bench::ProgressiveSteps(testbed, /*with_project=*/true,
+                                         /*with_topn=*/false);
+    if (!RunProgressive(testbed, workloads::TpchQ1(), steps, "tpch",
+                        &report)) {
+      return 1;
+    }
+    // S3-Select path on the same data: covers the Hive connector's
+    // Select request/CSV decode machinery in the smoke run.
+    if (!RunAndRecord(testbed, workloads::TpchQ1(), "hive", "tpch.s3select",
+                      &report)) {
+      return 1;
+    }
+    RecordCollectorTotals(testbed, "tpch.listener", &report);
+  }
+
+  // --- Fig. 5(a): Laghos progressive pushdown (incl. topN) ---------------
+  {
+    workloads::Testbed testbed;
+    workloads::LaghosConfig config;
+    config.seed = args.SeedOr(config.seed);
+    config.num_files = args.smoke ? 2 : 4;
+    config.rows_per_file = rows_per_file;
+    auto data = workloads::GenerateLaghos(config);
+    if (!data.ok() || !testbed.Ingest(std::move(*data)).ok()) {
+      std::fprintf(stderr, "bench_report: laghos ingest failed\n");
+      return 1;
+    }
+    auto steps = bench::ProgressiveSteps(testbed, /*with_project=*/false,
+                                         /*with_topn=*/true);
+    if (!RunProgressive(testbed, workloads::LaghosQuery(), steps, "laghos",
+                        &report)) {
+      return 1;
+    }
+    RecordCollectorTotals(testbed, "laghos.listener", &report);
+
+    // --- Table 3 stage breakdown on the last testbed ---------------------
+    auto result = testbed.Run(workloads::LaghosQuery(), "ocs");
+    if (!result.ok()) {
+      std::fprintf(stderr, "bench_report: breakdown query failed\n");
+      return 1;
+    }
+    const engine::QueryMetrics& m = result->metrics;
+    report.AddTiming("breakdown.logical_plan_analysis_seconds",
+                     m.logical_plan_analysis);
+    report.AddTiming("breakdown.ir_generation_seconds", m.ir_generation);
+    report.AddTiming("breakdown.pushdown_and_transfer_seconds",
+                     m.pushdown_and_transfer);
+    report.AddTiming("breakdown.post_scan_execution_seconds",
+                     m.post_scan_execution);
+    report.AddTiming("breakdown.total_seconds", m.total);
+  }
+
+  // --- Process-wide registry rollup --------------------------------------
+  // Counters are order-independent sums over fixed-seed workloads →
+  // exact. Histograms carry wall time → only their populations are
+  // exact; means are reported as timings.
+  for (const metrics::MetricSample& s :
+       metrics::Registry::Default().Snapshot()) {
+    switch (s.kind) {
+      case metrics::MetricKind::kCounter:
+        report.AddExact("process." + s.name, s.value);
+        break;
+      case metrics::MetricKind::kGauge:
+        break;  // gauges are instantaneous, not comparable across runs
+      case metrics::MetricKind::kHistogram:
+        report.AddExact("process." + s.name + ".count", s.value);
+        if (s.value > 0) {
+          report.AddTiming("process." + s.name + ".mean_seconds", s.mean);
+        }
+        break;
+    }
+  }
+
+  report.AddTiming("driver.wall_seconds", wall.ElapsedSeconds());
+  if (!report.WriteJson(args.json_path)) return 1;
+  return 0;
+}

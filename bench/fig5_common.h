@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/report.h"
 #include "workloads/testbed.h"
 
 namespace pocs::bench {
@@ -58,13 +59,26 @@ struct Fig5Row {
   std::string plan;
 };
 
+// Step labels like "+filter" become JSON metric path segments like
+// "filter"; "no pushdown" becomes "no_pushdown".
+inline std::string StepSlug(const std::string& label) {
+  std::string slug;
+  for (char c : label) {
+    if (c == '+') continue;
+    slug += (c == ' ') ? '_' : c;
+  }
+  return slug;
+}
+
 inline int RunFig5(const char* title, workloads::Testbed& testbed,
-                   const std::string& sql,
-                   const std::vector<Fig5Step>& steps) {
+                   const std::string& sql, const std::vector<Fig5Step>& steps,
+                   const BenchArgs& args = {},
+                   const std::string& suite = "fig5") {
   std::printf("=== %s ===\n", title);
   std::printf("query: %s\n\n", sql.c_str());
   std::printf("%-14s %14s %16s   %s\n", "pushdown", "sim time (s)",
               "moved (KB)", "optimized plan");
+  BenchReport report(suite, args);
   std::vector<Fig5Row> rows;
   for (const Fig5Step& step : steps) {
     auto result = testbed.Run(sql, step.catalog);
@@ -80,6 +94,16 @@ inline int RunFig5(const char* title, workloads::Testbed& testbed,
     row.plan = result->optimized_plan;
     std::printf("%-14s %14.4f %16.1f   %s\n", row.label.c_str(), row.seconds,
                 row.bytes_moved / 1024.0, row.plan.c_str());
+    const std::string prefix = StepSlug(step.label) + ".";
+    report.AddExact(prefix + "bytes_moved",
+                    static_cast<double>(row.bytes_moved), "bytes");
+    report.AddExact(prefix + "rows_scanned",
+                    static_cast<double>(result->metrics.rows_scanned), "rows");
+    report.AddExact(prefix + "result_rows",
+                    static_cast<double>(result->table->num_rows()), "rows");
+    report.AddExact(prefix + "row_groups_skipped",
+                    static_cast<double>(result->metrics.row_groups_skipped));
+    report.AddTiming(prefix + "sim_seconds", row.seconds);
     rows.push_back(std::move(row));
   }
   // Headline ratios in the paper's terms (vs the filter-only step).
@@ -96,15 +120,7 @@ inline int RunFig5(const char* title, workloads::Testbed& testbed,
                                    static_cast<double>(filter_row->bytes_moved)));
   }
   std::printf("\n");
-  return 0;
-}
-
-// Bench scale via env var POCS_BENCH_SCALE (1 = default, larger = more rows).
-inline size_t BenchScale() {
-  const char* env = std::getenv("POCS_BENCH_SCALE");
-  if (!env) return 1;
-  long v = std::atol(env);
-  return v < 1 ? 1 : static_cast<size_t>(v);
+  return report.MaybeWriteJson() ? 0 : 1;
 }
 
 }  // namespace pocs::bench

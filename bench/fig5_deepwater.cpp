@@ -15,11 +15,13 @@
 
 using namespace pocs;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
   workloads::Testbed testbed;
   workloads::DeepWaterConfig config;
-  config.num_files = 8;
-  config.rows_per_file = (1 << 16) * bench::BenchScale();
+  config.seed = args.SeedOr(config.seed);
+  config.num_files = args.smoke ? 2 : 8;
+  config.rows_per_file = (args.smoke ? (1 << 12) : (1 << 16)) * args.scale;
   auto data = workloads::GenerateDeepWater(config);
   if (!data.ok() || !testbed.Ingest(std::move(*data)).ok()) {
     std::fprintf(stderr, "ingest failed\n");
@@ -28,5 +30,6 @@ int main() {
   auto steps = bench::ProgressiveSteps(testbed, /*with_project=*/true,
                                        /*with_topn=*/false);
   return bench::RunFig5("Fig 5(b): Deep Water Impact progressive pushdown",
-                        testbed, workloads::DeepWaterQuery(), steps);
+                        testbed, workloads::DeepWaterQuery(), steps, args,
+                        "fig5_deepwater");
 }

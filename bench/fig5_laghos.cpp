@@ -13,11 +13,13 @@
 
 using namespace pocs;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
   workloads::Testbed testbed;
   workloads::LaghosConfig config;
-  config.num_files = 8;
-  config.rows_per_file = (1 << 16) * bench::BenchScale();
+  config.seed = args.SeedOr(config.seed);
+  config.num_files = args.smoke ? 2 : 8;
+  config.rows_per_file = (args.smoke ? (1 << 12) : (1 << 16)) * args.scale;
   auto data = workloads::GenerateLaghos(config);
   if (!data.ok() || !testbed.Ingest(std::move(*data)).ok()) {
     std::fprintf(stderr, "ingest failed\n");
@@ -26,5 +28,5 @@ int main() {
   auto steps = bench::ProgressiveSteps(testbed, /*with_project=*/false,
                                        /*with_topn=*/true);
   return bench::RunFig5("Fig 5(a): Laghos progressive pushdown", testbed,
-                        workloads::LaghosQuery(), steps);
+                        workloads::LaghosQuery(), steps, args, "fig5_laghos");
 }

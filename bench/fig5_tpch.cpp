@@ -14,11 +14,13 @@
 
 using namespace pocs;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
   workloads::Testbed testbed;
   workloads::TpchConfig config;
-  config.num_files = 6;
-  config.rows_per_file = (1 << 16) * bench::BenchScale();
+  config.seed = args.SeedOr(config.seed);
+  config.num_files = args.smoke ? 2 : 6;
+  config.rows_per_file = (args.smoke ? (1 << 12) : (1 << 16)) * args.scale;
   auto data = workloads::GenerateLineitem(config);
   if (!data.ok() || !testbed.Ingest(std::move(*data)).ok()) {
     std::fprintf(stderr, "ingest failed\n");
@@ -27,5 +29,5 @@ int main() {
   auto steps = bench::ProgressiveSteps(testbed, /*with_project=*/true,
                                        /*with_topn=*/false);
   return bench::RunFig5("Fig 5(c): TPC-H Q1 progressive pushdown", testbed,
-                        workloads::TpchQ1(), steps);
+                        workloads::TpchQ1(), steps, args, "fig5_tpch");
 }

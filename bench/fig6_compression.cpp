@@ -19,7 +19,8 @@
 
 using namespace pocs;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
   std::printf("=== Fig 6: compression x pushdown (Deep Water Impact) ===\n");
   std::printf("%-14s %18s %18s %10s %16s\n", "codec", "filter-only (s)",
               "all-operator (s)", "speedup", "stored (MB)");
@@ -35,8 +36,9 @@ int main() {
         compress::CodecType::kDeflateLite, compress::CodecType::kZsLite}) {
     workloads::Testbed testbed;
     workloads::DeepWaterConfig config;
-    config.num_files = 8;
-    config.rows_per_file = (1 << 16) * bench::BenchScale();
+    config.seed = args.SeedOr(config.seed);
+    config.num_files = args.smoke ? 2 : 8;
+    config.rows_per_file = (args.smoke ? (1 << 12) : (1 << 16)) * args.scale;
     config.codec = codec;
     auto data = workloads::GenerateDeepWater(config);
     if (!data.ok() || !testbed.Ingest(std::move(*data)).ok()) {

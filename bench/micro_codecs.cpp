@@ -2,6 +2,8 @@
 // float-heavy scientific payloads — the substrate under Fig. 6.
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_common.h"
+
 #include <cmath>
 
 #include "compress/codec.h"
@@ -58,4 +60,4 @@ BENCHMARK(BM_Decompress)->DenseRange(0, 3);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+POCS_MICRO_BENCH_MAIN();

@@ -2,6 +2,8 @@
 // vectors), gather, row hashing, multi-key sort, IPC serialization.
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_common.h"
+
 #include <random>
 
 #include "columnar/batch.h"
@@ -13,7 +15,7 @@ namespace {
 using namespace pocs::columnar;
 
 RecordBatchPtr MakeBatchRows(size_t n) {
-  std::mt19937_64 rng(7);
+  std::mt19937_64 rng(pocs::bench::MicroSeed(7));
   auto id = MakeColumn(TypeKind::kInt64);
   auto value = MakeColumn(TypeKind::kFloat64);
   auto tag = MakeColumn(TypeKind::kString);
@@ -109,4 +111,4 @@ BENCHMARK(BM_IpcDeserialize);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+POCS_MICRO_BENCH_MAIN();

@@ -1,0 +1,70 @@
+// Entry point shared by the google-benchmark micro benches. Google
+// benchmark owns the flag namespace (`--benchmark_*`), so the pocs
+// flags (`--seed`, `--smoke`) are stripped here before Initialize();
+// everything else passes through untouched.
+//
+// Seeds: micro benches default to small fixed constants (never the
+// clock); `--seed N` overrides them via MicroSeed().
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace pocs::bench {
+
+namespace internal {
+inline uint64_t& MicroSeedValue() {
+  static uint64_t seed = 0;
+  return seed;
+}
+inline bool& MicroSeedSet() {
+  static bool set = false;
+  return set;
+}
+}  // namespace internal
+
+// The bench's fixed default seed unless --seed was passed on the CLI.
+inline uint64_t MicroSeed(uint64_t fallback) {
+  return internal::MicroSeedSet() ? internal::MicroSeedValue() : fallback;
+}
+
+inline int MicroBenchMain(int argc, char** argv) {
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      internal::MicroSeedValue() = std::strtoull(argv[i] + 7, nullptr, 10);
+      internal::MicroSeedSet() = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      internal::MicroSeedValue() = std::strtoull(argv[++i], nullptr, 10);
+      internal::MicroSeedSet() = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--smoke") == 0) continue;  // accepted, no-op
+    passthrough.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace pocs::bench
+
+// Drop-in replacement for BENCHMARK_MAIN() in pocs micro benches.
+#define POCS_MICRO_BENCH_MAIN()                                  \
+  int main(int argc, char** argv) {                              \
+    return pocs::bench::MicroBenchMain(argc, argv);              \
+  }                                                              \
+  int main(int, char**)

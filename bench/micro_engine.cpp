@@ -3,6 +3,8 @@
 // isolating the coordinator-side costs at high iteration counts.
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_common.h"
+
 #include "engine/analyzer.h"
 #include "engine/optimizer.h"
 #include "sql/parser.h"
@@ -69,4 +71,4 @@ BENCHMARK(BM_EndToEndQuery)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+POCS_MICRO_BENCH_MAIN();

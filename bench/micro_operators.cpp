@@ -4,6 +4,8 @@
 // decisions trade off.
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_common.h"
+
 #include <random>
 
 #include "exec/hash_aggregator.h"
@@ -25,7 +27,7 @@ using substrait::Expression;
 using substrait::ScalarFunc;
 
 RecordBatchPtr GroupedBatch(size_t rows, int64_t groups) {
-  std::mt19937_64 rng(3);
+  std::mt19937_64 rng(pocs::bench::MicroSeed(3));
   auto g = MakeColumn(TypeKind::kInt64);
   auto v = MakeColumn(TypeKind::kFloat64);
   for (size_t i = 0; i < rows; ++i) {
@@ -109,4 +111,4 @@ BENCHMARK(BM_FilterEval);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+POCS_MICRO_BENCH_MAIN();

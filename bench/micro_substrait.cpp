@@ -2,6 +2,8 @@
 // ScanSpec → IR translation, the overheads Table 3 shows stay under 2%.
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_common.h"
+
 #include "connectors/ocs/translator.h"
 #include "engine/two_phase.h"
 #include "substrait/serialize.h"
@@ -105,4 +107,4 @@ BENCHMARK(BM_DeserializePlan);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+POCS_MICRO_BENCH_MAIN();

@@ -7,6 +7,7 @@
 // chains match Table 2 exactly.
 #include <cstdio>
 
+#include "bench/report.h"
 #include "workloads/deepwater.h"
 #include "workloads/laghos.h"
 #include "workloads/testbed.h"
@@ -39,25 +40,31 @@ int Report(workloads::Testbed& testbed, const char* dataset,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  const size_t rows_per_file =
+      (args.smoke ? (1 << 12) : (1 << 16)) * args.scale;
   std::printf("=== Table 2: queries, selectivity, execution plans ===\n\n");
   workloads::Testbed testbed;
 
   workloads::LaghosConfig laghos;
-  laghos.num_files = 8;
-  laghos.rows_per_file = 1 << 16;
+  laghos.seed = args.SeedOr(laghos.seed);
+  laghos.num_files = args.smoke ? 2 : 8;
+  laghos.rows_per_file = rows_per_file;
   auto l = workloads::GenerateLaghos(laghos);
   if (!l.ok() || !testbed.Ingest(std::move(*l)).ok()) return 1;
 
   workloads::DeepWaterConfig deepwater;
-  deepwater.num_files = 8;
-  deepwater.rows_per_file = 1 << 16;
+  deepwater.seed = args.SeedOr(deepwater.seed);
+  deepwater.num_files = args.smoke ? 2 : 8;
+  deepwater.rows_per_file = rows_per_file;
   auto d = workloads::GenerateDeepWater(deepwater);
   if (!d.ok() || !testbed.Ingest(std::move(*d)).ok()) return 1;
 
   workloads::TpchConfig tpch;
-  tpch.num_files = 4;
-  tpch.rows_per_file = 1 << 16;
+  tpch.seed = args.SeedOr(tpch.seed);
+  tpch.num_files = args.smoke ? 2 : 4;
+  tpch.rows_per_file = rows_per_file;
   auto t = workloads::GenerateLineitem(tpch);
   if (!t.ok() || !testbed.Ingest(std::move(*t)).ok()) return 1;
 

@@ -7,16 +7,19 @@
 // negligible share (<2%) — the connector's own overhead is the claim.
 #include <cstdio>
 
+#include "bench/report.h"
 #include "workloads/laghos.h"
 #include "workloads/testbed.h"
 
 using namespace pocs;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
   workloads::Testbed testbed;
   workloads::LaghosConfig config;
+  config.seed = args.SeedOr(config.seed);
   config.num_files = 1;  // the paper measures a single Parquet file
-  config.rows_per_file = 1 << 18;
+  config.rows_per_file = (args.smoke ? (1 << 14) : (1 << 18)) * args.scale;
   auto data = workloads::GenerateLaghos(config);
   if (!data.ok() || !testbed.Ingest(std::move(*data)).ok()) {
     std::fprintf(stderr, "ingest failed\n");
@@ -64,5 +67,16 @@ int main() {
               connector_overhead_pct,
               connector_overhead_pct < 2.0 ? "— consistent with"
                                            : "— ABOVE");
-  return 0;
+
+  bench::BenchReport report("table3_breakdown", args);
+  report.AddTiming("logical_plan_analysis_seconds", m.logical_plan_analysis);
+  report.AddTiming("ir_generation_seconds", m.ir_generation);
+  report.AddTiming("pushdown_and_transfer_seconds", m.pushdown_and_transfer);
+  report.AddTiming("post_scan_execution_seconds", m.post_scan_execution);
+  report.AddTiming("total_seconds", m.total);
+  report.AddExact("bytes_from_storage",
+                  static_cast<double>(m.bytes_from_storage), "bytes");
+  report.AddExact("rows_scanned", static_cast<double>(m.rows_scanned),
+                  "rows");
+  return report.MaybeWriteJson() ? 0 : 1;
 }

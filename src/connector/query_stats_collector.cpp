@@ -1,0 +1,69 @@
+#include "connector/query_stats_collector.h"
+
+#include "common/metrics.h"
+
+namespace pocs::connector {
+
+void QueryStatsCollector::Accumulate(const QueryEvent& event, Totals* t) {
+  const QueryStats& s = event.stats;
+  t->queries += 1;
+  t->result_rows += s.result_rows;
+  t->rows_scanned += s.rows_scanned;
+  t->rows_returned += s.rows_returned;
+  t->bytes_from_storage += s.bytes_from_storage;
+  t->bytes_to_storage += s.bytes_to_storage;
+  t->splits += s.splits;
+  t->row_groups_total += s.row_groups_total;
+  t->row_groups_skipped += s.row_groups_skipped;
+  t->pushdown_offered += s.pushdown_offered;
+  t->pushdown_accepted += s.pushdown_accepted;
+  t->pushdown_rejected += s.pushdown_rejected;
+  t->wall_seconds += s.wall_seconds;
+  t->simulated_seconds += s.simulated_seconds;
+}
+
+void QueryStatsCollector::QueryCompleted(const QueryEvent& event) {
+  {
+    std::lock_guard lock(mu_);
+    Accumulate(event, &totals_);
+    Accumulate(event, &by_connector_[event.connector_id]);
+    last_ = event.stats;
+  }
+
+  auto& registry = metrics::Registry::Default();
+  static auto& queries = registry.GetCounter("engine.queries");
+  static auto& rows_scanned = registry.GetCounter("engine.rows_scanned");
+  static auto& rows_returned = registry.GetCounter("engine.rows_returned");
+  static auto& bytes_from = registry.GetCounter("engine.bytes_from_storage");
+  static auto& bytes_to = registry.GetCounter("engine.bytes_to_storage");
+  static auto& accepted = registry.GetCounter("engine.pushdown_accepted");
+  static auto& rejected = registry.GetCounter("engine.pushdown_rejected");
+  static auto& wall = registry.GetHistogram("engine.query_wall_seconds");
+  queries.Increment();
+  rows_scanned.Add(event.stats.rows_scanned);
+  rows_returned.Add(event.stats.rows_returned);
+  bytes_from.Add(event.stats.bytes_from_storage);
+  bytes_to.Add(event.stats.bytes_to_storage);
+  accepted.Add(event.stats.pushdown_accepted);
+  rejected.Add(event.stats.pushdown_rejected);
+  wall.Record(event.stats.wall_seconds);
+}
+
+QueryStatsCollector::Totals QueryStatsCollector::totals() const {
+  std::lock_guard lock(mu_);
+  return totals_;
+}
+
+QueryStatsCollector::Totals QueryStatsCollector::TotalsFor(
+    const std::string& connector_id) const {
+  std::lock_guard lock(mu_);
+  auto it = by_connector_.find(connector_id);
+  return it == by_connector_.end() ? Totals{} : it->second;
+}
+
+QueryStats QueryStatsCollector::last() const {
+  std::lock_guard lock(mu_);
+  return last_;
+}
+
+}  // namespace pocs::connector

@@ -1,0 +1,64 @@
+// EventListener that aggregates QueryStats across queries — the
+// engine-side sink behind the paper's "Pushdown Monitoring" telemetry.
+// Totals are kept overall and per connector id, and every completion is
+// mirrored into the process metrics registry, so bench reports and
+// dashboards see engine-level counters without touching the engine.
+//
+// Thread-safe: QueryCompleted may fire from any thread.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "connector/spi.h"
+
+namespace pocs::connector {
+
+class QueryStatsCollector final : public EventListener {
+ public:
+  struct Totals {
+    uint64_t queries = 0;
+    uint64_t result_rows = 0;
+    uint64_t rows_scanned = 0;
+    uint64_t rows_returned = 0;
+    uint64_t bytes_from_storage = 0;
+    uint64_t bytes_to_storage = 0;
+    uint64_t splits = 0;
+    uint64_t row_groups_total = 0;
+    uint64_t row_groups_skipped = 0;
+    uint64_t pushdown_offered = 0;
+    uint64_t pushdown_accepted = 0;
+    uint64_t pushdown_rejected = 0;
+    double wall_seconds = 0;
+    double simulated_seconds = 0;
+
+    uint64_t bytes_moved() const {
+      return bytes_from_storage + bytes_to_storage;
+    }
+    double pushdown_accept_rate() const {
+      return pushdown_offered == 0
+                 ? 0.0
+                 : static_cast<double>(pushdown_accepted) /
+                       static_cast<double>(pushdown_offered);
+    }
+  };
+
+  void QueryCompleted(const QueryEvent& event) override;
+
+  Totals totals() const;
+  // Totals restricted to one connector/catalog id (zero if never seen).
+  Totals TotalsFor(const std::string& connector_id) const;
+  // Stats of the most recent completion (default-constructed if none).
+  QueryStats last() const;
+
+ private:
+  static void Accumulate(const QueryEvent& event, Totals* t);
+
+  mutable std::mutex mu_;
+  Totals totals_;
+  std::map<std::string, Totals> by_connector_;
+  QueryStats last_;
+};
+
+}  // namespace pocs::connector

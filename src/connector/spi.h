@@ -84,6 +84,7 @@ struct PageSourceStats {
   uint64_t bytes_received = 0;        // data movement storage → compute
   uint64_t bytes_sent = 0;            // request/plan bytes compute → storage
   uint64_t rows_received = 0;
+  uint64_t rows_scanned = 0;          // rows touched at/near storage
   uint64_t row_groups_total = 0;      // chunks considered by the scan
   uint64_t row_groups_skipped = 0;    // pruned via min/max statistics
   double transfer_seconds = 0;        // modelled network time
@@ -150,11 +151,46 @@ class Connector {
       const TableHandle& table, const Split& split, const ScanSpec& spec) = 0;
 };
 
+// One named stage or operator of a query with its timing and row flow
+// (QueryStats::operator_timings). Stage names are stable identifiers:
+// "parse", "plan_analysis", "ir_generation", "scan_transfer",
+// "post_scan", plus "merge.<op>" for each merge-stage operator.
+struct OperatorTiming {
+  std::string name;
+  double seconds = 0;
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+};
+
+// Populated runtime statistics attached to every query-completion event —
+// the counterpart of Presto's QueryStatistics, and the numbers behind the
+// paper's Table 3 (stage breakdown) and Fig. 5 (bytes moved).
+struct QueryStats {
+  double wall_seconds = 0;       // measured coordinator wall time
+  double simulated_seconds = 0;  // modelled end-to-end (DESIGN.md §4)
+  uint64_t result_rows = 0;
+  uint64_t rows_scanned = 0;     // touched at/near storage, all splits
+  uint64_t rows_returned = 0;    // crossed storage → compute
+  uint64_t bytes_from_storage = 0;
+  uint64_t bytes_to_storage = 0;
+  uint64_t splits = 0;
+  uint64_t row_groups_total = 0;
+  uint64_t row_groups_skipped = 0;
+  uint64_t pushdown_offered = 0;
+  uint64_t pushdown_accepted = 0;
+  uint64_t pushdown_rejected = 0;
+  std::vector<OperatorTiming> operator_timings;
+
+  uint64_t bytes_moved() const { return bytes_from_storage + bytes_to_storage; }
+};
+
 // Runtime query events (Presto's EventListener).
 struct QueryEvent {
   std::string query_id;
   std::string connector_id;
   std::vector<PushdownDecision> decisions;
+  QueryStats stats;
+  // Legacy aliases of stats fields, kept for existing listeners.
   uint64_t bytes_from_storage = 0;
   uint64_t rows_from_storage = 0;
   double execution_seconds = 0;

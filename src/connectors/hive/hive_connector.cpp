@@ -1,5 +1,6 @@
 #include "connectors/hive/hive_connector.h"
 
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "format/parquet_lite.h"
 
@@ -86,6 +87,21 @@ Result<std::vector<Split>> HiveConnector::GetSplits(const TableHandle& table) {
   return splits;
 }
 
+namespace {
+
+// Mirrors every OfferPushdown outcome into the registry.
+bool RecordHivePushdownDecision(bool accepted) {
+  auto& reg = metrics::Registry::Default();
+  static auto& offered = reg.GetCounter("connector.hive.pushdown_offered");
+  static auto& ok = reg.GetCounter("connector.hive.pushdown_accepted");
+  static auto& rejected = reg.GetCounter("connector.hive.pushdown_rejected");
+  offered.Increment();
+  (accepted ? ok : rejected).Increment();
+  return accepted;
+}
+
+}  // namespace
+
 Result<bool> HiveConnector::OfferPushdown(
     const TableHandle& table, const PushedOperator& op, ScanSpec* spec,
     connector::PushdownDecision* decision) {
@@ -94,23 +110,23 @@ Result<bool> HiveConnector::OfferPushdown(
   if (!config_.select_pushdown) {
     decision->accepted = false;
     decision->reason = "select pushdown disabled (raw GET mode)";
-    return false;
+    return RecordHivePushdownDecision(false);
   }
   if (op.kind != PushedOperator::Kind::kFilter) {
     decision->accepted = false;
     decision->reason = "S3 Select API supports only filter and projection";
-    return false;
+    return RecordHivePushdownDecision(false);
   }
   if (spec->HasOperator(PushedOperator::Kind::kFilter)) {
     decision->accepted = false;
     decision->reason = "one Select filter per scan";
-    return false;
+    return RecordHivePushdownDecision(false);
   }
   std::vector<objectstore::SelectPredicate> terms;
   if (!DecomposeSelectPredicate(op.predicate, *spec->output_schema, &terms)) {
     decision->accepted = false;
     decision->reason = "predicate not expressible in the Select API";
-    return false;
+    return RecordHivePushdownDecision(false);
   }
   if (config_.s3_strict_types) {
     // Strict S3 Select cannot process or return doubles: any float64 in
@@ -121,14 +137,14 @@ Result<bool> HiveConnector::OfferPushdown(
         decision->reason =
             "S3 Select (strict mode) does not support float64 column '" +
             f.name + "'";
-        return false;
+        return RecordHivePushdownDecision(false);
       }
     }
   }
   spec->operators.push_back(op);  // filter preserves the schema
   decision->accepted = true;
   decision->reason = "conjunctive comparison filter via S3 Select";
-  return true;
+  return RecordHivePushdownDecision(true);
 }
 
 namespace {
@@ -175,6 +191,9 @@ class RawGetPageSource final : public connector::PageSource {
                           reader_->ReadRowGroup(group_++, columns_));
     stats_.decode_seconds += decode.ElapsedSeconds();
     stats_.rows_received += batch->num_rows();
+    // Raw GET ships everything; every decoded row was "scanned" — at the
+    // compute node, which is exactly the baseline's problem.
+    stats_.rows_scanned += batch->num_rows();
     return batch;
   }
   const PageSourceStats& stats() const override { return stats_; }
@@ -238,6 +257,13 @@ Result<std::unique_ptr<connector::PageSource>> HiveConnector::CreatePageSource(
       objectstore::TransferInfo info;
       POCS_ASSIGN_OR_RETURN(Bytes object,
                             client_.Get(split.bucket, split.object, &info));
+      {
+        auto& reg = metrics::Registry::Default();
+        static auto& gets = reg.GetCounter("connector.hive.raw_gets");
+        static auto& bytes = reg.GetCounter("connector.hive.bytes_received");
+        gets.Increment();
+        bytes.Add(info.bytes_received);
+      }
       stats.bytes_received = info.bytes_received;
       stats.bytes_sent = info.bytes_sent;
       stats.transfer_seconds = info.transfer_seconds;
@@ -285,6 +311,7 @@ Result<std::unique_ptr<connector::PageSource>> HiveConnector::CreatePageSource(
       config_.media_read_bandwidth;
   stats.row_groups_total = response.stats.groups_total;
   stats.row_groups_skipped = response.stats.groups_skipped;
+  stats.rows_scanned = response.stats.rows_scanned;
   stats.bytes_received = info.bytes_received;
   stats.bytes_sent = info.bytes_sent;
   stats.transfer_seconds = info.transfer_seconds;
@@ -294,6 +321,18 @@ Result<std::unique_ptr<connector::PageSource>> HiveConnector::CreatePageSource(
                         objectstore::ParseSelectCsv(response.csv, projected));
   stats.decode_seconds = decode.ElapsedSeconds();
   stats.rows_received = batch->num_rows();
+
+  {
+    auto& reg = metrics::Registry::Default();
+    static auto& selects = reg.GetCounter("connector.hive.select_requests");
+    static auto& bytes = reg.GetCounter("connector.hive.bytes_received");
+    static auto& rows = reg.GetCounter("connector.hive.rows_received");
+    static auto& csv = reg.GetHistogram("connector.hive.csv_decode_seconds");
+    selects.Increment();
+    bytes.Add(stats.bytes_received);
+    rows.Add(stats.rows_received);
+    csv.Record(stats.decode_seconds);
+  }
   return std::unique_ptr<connector::PageSource>(
       std::make_unique<SelectPageSource>(projected, std::move(batch), stats));
 }

@@ -1,6 +1,7 @@
 #include "connectors/ocs/ocs_connector.h"
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "connectors/ocs/sql_reconstruction.h"
 #include "connectors/ocs/translator.h"
@@ -53,6 +54,18 @@ double SchemaRowWidth(const columnar::Schema& schema) {
     width += w == 0 ? 16.0 : static_cast<double>(w);
   }
   return width;
+}
+
+// Mirrors every OfferPushdown outcome into the registry (the runtime
+// counters behind the EventListener's per-query pushdown stats).
+bool RecordPushdownDecision(bool accepted) {
+  auto& reg = metrics::Registry::Default();
+  static auto& offered = reg.GetCounter("connector.ocs.pushdown_offered");
+  static auto& ok = reg.GetCounter("connector.ocs.pushdown_accepted");
+  static auto& rejected = reg.GetCounter("connector.ocs.pushdown_rejected");
+  offered.Increment();
+  (accepted ? ok : rejected).Increment();
+  return accepted;
 }
 
 }  // namespace
@@ -147,7 +160,7 @@ Result<bool> OcsConnector::OfferPushdown(
   if (!capable) {
     decision->accepted = false;
     decision->reason = incapable_reason;
-    return false;
+    return RecordPushdownDecision(false);
   }
   const double reduction = 1.0 - selectivity;
   if (reduction < config_.min_reduction) {
@@ -155,7 +168,7 @@ Result<bool> OcsConnector::OfferPushdown(
     decision->reason =
         "estimated reduction " + std::to_string(reduction) +
         " below threshold " + std::to_string(config_.min_reduction);
-    return false;
+    return RecordPushdownDecision(false);
   }
 
   // Operator Extractor: record the operator (with its conditions) in the
@@ -188,8 +201,9 @@ Result<bool> OcsConnector::OfferPushdown(
   }
   decision->accepted = true;
   decision->reason = "estimated selectivity " + std::to_string(selectivity);
-  return true;
+  return RecordPushdownDecision(true);
 }
+
 
 namespace {
 
@@ -243,11 +257,28 @@ Result<std::unique_ptr<connector::PageSource>> OcsConnector::CreatePageSource(
   stats.media_read_seconds = result.stats.media_read_seconds;
   stats.row_groups_total = result.stats.row_groups_total;
   stats.row_groups_skipped = result.stats.row_groups_skipped;
+  stats.rows_scanned = result.stats.rows_scanned;
 
   Stopwatch decode_timer;
   POCS_ASSIGN_OR_RETURN(auto decoded, ocs::OcsClient::DecodeTable(result));
   stats.decode_seconds = decode_timer.ElapsedSeconds();
   stats.rows_received = decoded->num_rows();
+
+  {
+    auto& reg = metrics::Registry::Default();
+    static auto& splits = reg.GetCounter("connector.ocs.splits");
+    static auto& bytes_rx = reg.GetCounter("connector.ocs.bytes_received");
+    static auto& bytes_tx = reg.GetCounter("connector.ocs.bytes_sent");
+    static auto& rows = reg.GetCounter("connector.ocs.rows_received");
+    static auto& ir = reg.GetHistogram("connector.ocs.ir_gen_seconds");
+    static auto& decode = reg.GetHistogram("connector.ocs.decode_seconds");
+    splits.Increment();
+    bytes_rx.Add(stats.bytes_received);
+    bytes_tx.Add(stats.bytes_sent);
+    rows.Add(stats.rows_received);
+    ir.Record(stats.ir_generation_seconds);
+    decode.Record(stats.decode_seconds);
+  }
 
   SchemaPtr schema = spec.output_schema ? spec.output_schema
                                         : decoded->schema();

@@ -220,6 +220,7 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql,
     metrics.bytes_from_storage += out.stats.bytes_received;
     metrics.bytes_to_storage += out.stats.bytes_sent;
     metrics.rows_from_storage += out.stats.rows_received;
+    metrics.rows_scanned += out.stats.rows_scanned;
     metrics.ir_generation += out.stats.ir_generation_seconds;
     metrics.storage_compute_seconds += out.stats.storage_compute_seconds;
     metrics.row_groups_total += out.stats.row_groups_total;
@@ -240,6 +241,15 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql,
         static_cast<double>(std::max<size_t>(config_.worker_threads, 1));
   }
 
+  metrics.operator_timings.push_back(
+      {"plan_analysis", metrics.logical_plan_analysis, 0, 0});
+  metrics.operator_timings.push_back(
+      {"ir_generation", metrics.ir_generation, 0, 0});
+  metrics.operator_timings.push_back({"scan_transfer",
+                                      metrics.pushdown_and_transfer,
+                                      metrics.rows_scanned,
+                                      metrics.rows_from_storage});
+
   // ---- merge stage (single-threaded, real work) ------------------------------
   Stopwatch merge_timer;
   SchemaPtr merged_schema =
@@ -257,6 +267,8 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql,
 
   std::shared_ptr<Table> current = merged;
   if (agg_node) {
+    Stopwatch agg_timer;
+    const uint64_t agg_rows_in = current->num_rows();
     const size_t n_keys = agg_node->group_keys.size();
     exec::HashAggregator final_agg(
         current->schema(),
@@ -286,10 +298,15 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql,
         columnar::MakeBatch(agg_node->output_schema, std::move(cols));
     current = std::make_shared<Table>(finalized->schema());
     current->AppendBatch(std::move(finalized));
+    metrics.operator_timings.push_back({"merge.Aggregation",
+                                        agg_timer.ElapsedSeconds(),
+                                        agg_rows_in, current->num_rows()});
   }
 
   for (size_t i = merge_from; i < chain.size(); ++i) {
     PlanNode* node = chain[i];
+    Stopwatch node_timer;
+    const uint64_t node_rows_in = current->num_rows();
     switch (node->kind) {
       case NodeKind::kSort: {
         POCS_ASSIGN_OR_RETURN(RecordBatchPtr sorted,
@@ -339,8 +356,14 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql,
       default:
         return Status::Internal("unexpected merge-stage node");
     }
+    metrics.operator_timings.push_back(
+        {"merge." + std::string(NodeKindName(node->kind)),
+         node_timer.ElapsedSeconds(), node_rows_in, current->num_rows()});
   }
   metrics.post_scan_execution += merge_timer.ElapsedSeconds();
+  metrics.operator_timings.push_back(
+      {"post_scan", metrics.post_scan_execution, metrics.rows_from_storage,
+       current->num_rows()});
 
   result.table = current->Combine();
   metrics.others += std::max(
@@ -358,9 +381,32 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql,
     event.query_id = "q" + std::to_string(next_query_id_++);
     event.connector_id = catalog;
     event.decisions = metrics.pushdown_decisions;
-    event.bytes_from_storage = metrics.bytes_from_storage;
-    event.rows_from_storage = metrics.rows_from_storage;
-    event.execution_seconds = metrics.total;
+
+    connector::QueryStats& qs = event.stats;
+    qs.wall_seconds = total_timer.ElapsedSeconds();
+    qs.simulated_seconds = metrics.total;
+    qs.result_rows = result.table ? result.table->num_rows() : 0;
+    qs.rows_scanned = metrics.rows_scanned;
+    qs.rows_returned = metrics.rows_from_storage;
+    qs.bytes_from_storage = metrics.bytes_from_storage;
+    qs.bytes_to_storage = metrics.bytes_to_storage;
+    qs.splits = metrics.splits;
+    qs.row_groups_total = metrics.row_groups_total;
+    qs.row_groups_skipped = metrics.row_groups_skipped;
+    for (const auto& d : metrics.pushdown_decisions) {
+      ++qs.pushdown_offered;
+      if (d.accepted) {
+        ++qs.pushdown_accepted;
+      } else {
+        ++qs.pushdown_rejected;
+      }
+    }
+    qs.operator_timings = metrics.operator_timings;
+
+    // Legacy flat fields, mirrored from stats.
+    event.bytes_from_storage = qs.bytes_from_storage;
+    event.rows_from_storage = qs.rows_returned;
+    event.execution_seconds = qs.simulated_seconds;
     for (const auto& listener : listeners_) listener->QueryCompleted(event);
   }
   return result;

@@ -40,6 +40,7 @@ struct QueryMetrics {
   uint64_t bytes_from_storage = 0;
   uint64_t bytes_to_storage = 0;
   uint64_t rows_from_storage = 0;
+  uint64_t rows_scanned = 0;  // rows touched at/near storage, all splits
 
   // -- auxiliary -------------------------------------------------------------
   double storage_compute_seconds = 0;  // Σ scaled in-storage execution
@@ -47,6 +48,10 @@ struct QueryMetrics {
   uint64_t row_groups_total = 0;    // chunks considered across splits
   uint64_t row_groups_skipped = 0;  // pruned via min/max statistics
   std::vector<connector::PushdownDecision> pushdown_decisions;
+
+  // Stage/operator breakdown with row flow; see
+  // connector::QueryStats::operator_timings for the naming scheme.
+  std::vector<connector::OperatorTiming> operator_timings;
 };
 
 struct QueryResult {

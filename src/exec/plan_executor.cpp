@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/stopwatch.h"
 #include "exec/hash_aggregator.h"
 #include "exec/sorter.h"
 #include "substrait/eval.h"
@@ -43,11 +45,62 @@ Result<RecordBatchPtr> ApplyProject(const Rel& rel, const RecordBatch& batch,
   return columnar::MakeBatch(out_schema, std::move(cols));
 }
 
+// Cached per-RelKind registry metrics (rows in/out counters + a latency
+// histogram of per-operator wall time for each executed plan).
+struct KindRegistryMetrics {
+  metrics::Counter* rows_in;
+  metrics::Counter* rows_out;
+  metrics::Histogram* seconds;
+};
+
+const KindRegistryMetrics& RegistryMetricsFor(RelKind kind) {
+  static const auto all = [] {
+    std::array<KindRegistryMetrics, ExecStats::kNumRelKinds> a{};
+    auto& reg = metrics::Registry::Default();
+    for (size_t i = 0; i < a.size(); ++i) {
+      std::string prefix =
+          "exec." +
+          std::string(substrait::RelKindName(static_cast<RelKind>(i)));
+      a[i] = {&reg.GetCounter(prefix + ".rows_in"),
+              &reg.GetCounter(prefix + ".rows_out"),
+              &reg.GetHistogram(prefix + ".seconds")};
+    }
+    return a;
+  }();
+  return all[static_cast<size_t>(kind)];
+}
+
+void MirrorToRegistry(const ExecStats& stats, double plan_seconds) {
+  auto& reg = metrics::Registry::Default();
+  static auto& plans = reg.GetCounter("exec.plans");
+  static auto& rows_scanned = reg.GetCounter("exec.rows_scanned");
+  static auto& rows_output = reg.GetCounter("exec.rows_output");
+  static auto& batches = reg.GetCounter("exec.batches_scanned");
+  static auto& seconds = reg.GetHistogram("exec.plan_seconds");
+  plans.Increment();
+  rows_scanned.Add(stats.rows_scanned);
+  rows_output.Add(stats.rows_output);
+  batches.Add(stats.batches_scanned);
+  seconds.Record(plan_seconds);
+  for (size_t i = 0; i < stats.operators.size(); ++i) {
+    const OperatorCounters& oc = stats.operators[i];
+    if (oc.invocations == 0) continue;
+    const KindRegistryMetrics& m =
+        RegistryMetricsFor(static_cast<RelKind>(i));
+    m.rows_in->Add(oc.rows_in);
+    m.rows_out->Add(oc.rows_out);
+    m.seconds->Record(oc.seconds);
+  }
+}
+
 }  // namespace
 
 Result<std::shared_ptr<Table>> ExecuteRel(const Rel& root,
                                           const ScanFactory& scan_factory,
                                           ExecStats* stats) {
+  Stopwatch plan_timer;
+  ExecStats local;
+
   std::vector<const Rel*> chain;
   POCS_RETURN_NOT_OK(FlattenChain(root, &chain));
 
@@ -97,6 +150,10 @@ Result<std::shared_ptr<Table>> ExecuteRel(const Rel& root,
         static_cast<size_t>(chain[blocking + 1]->count));
     consumed_blocking = 2;
   }
+  // The streaming accumulator's rows are attributed to the rel it absorbs
+  // (Aggregate, or Sort for the fused top-N).
+  const RelKind accumulator_kind =
+      aggregator ? RelKind::kAggregate : RelKind::kSort;
 
   auto intermediate = std::make_shared<Table>(
       prefix_schemas.empty() || blocking == 1 ? source->schema()
@@ -106,12 +163,13 @@ Result<std::shared_ptr<Table>> ExecuteRel(const Rel& root,
   while (true) {
     POCS_ASSIGN_OR_RETURN(RecordBatchPtr batch, source->Next());
     if (!batch) break;
-    if (stats) {
-      stats->rows_scanned += batch->num_rows();
-      ++stats->batches_scanned;
-    }
+    local.rows_scanned += batch->num_rows();
+    ++local.batches_scanned;
     for (size_t i = 1; i < blocking && batch; ++i) {
       const Rel& rel = *chain[i];
+      OperatorCounters& oc = local.ForKind(rel.kind);
+      Stopwatch op_timer;
+      oc.rows_in += batch->num_rows();
       if (rel.kind == RelKind::kFilter) {
         POCS_ASSIGN_OR_RETURN(batch,
                               substrait::FilterBatch(rel.predicate, *batch));
@@ -119,25 +177,40 @@ Result<std::shared_ptr<Table>> ExecuteRel(const Rel& root,
         POCS_ASSIGN_OR_RETURN(batch,
                               ApplyProject(rel, *batch, prefix_schemas[i]));
       }
+      oc.rows_out += batch->num_rows();
+      oc.seconds += op_timer.ElapsedSeconds();
+      ++oc.invocations;
       if (batch->num_rows() == 0) batch = nullptr;
     }
     if (!batch) continue;
-    if (aggregator) {
-      POCS_RETURN_NOT_OK(aggregator->Consume(*batch));
-    } else if (topn) {
-      POCS_RETURN_NOT_OK(topn->Consume(*batch));
+    if (aggregator || topn) {
+      OperatorCounters& oc = local.ForKind(accumulator_kind);
+      Stopwatch op_timer;
+      oc.rows_in += batch->num_rows();
+      if (aggregator) {
+        POCS_RETURN_NOT_OK(aggregator->Consume(*batch));
+      } else {
+        POCS_RETURN_NOT_OK(topn->Consume(*batch));
+      }
+      oc.seconds += op_timer.ElapsedSeconds();
+      ++oc.invocations;
     } else {
       intermediate->AppendBatch(std::move(batch));
     }
   }
 
   std::shared_ptr<Table> current;
-  if (aggregator) {
-    POCS_ASSIGN_OR_RETURN(RecordBatchPtr result, aggregator->Finish());
-    current = std::make_shared<Table>(result->schema());
-    current->AppendBatch(std::move(result));
-  } else if (topn) {
-    POCS_ASSIGN_OR_RETURN(RecordBatchPtr result, topn->Finish());
+  if (aggregator || topn) {
+    OperatorCounters& oc = local.ForKind(accumulator_kind);
+    Stopwatch op_timer;
+    RecordBatchPtr result;
+    if (aggregator) {
+      POCS_ASSIGN_OR_RETURN(result, aggregator->Finish());
+    } else {
+      POCS_ASSIGN_OR_RETURN(result, topn->Finish());
+    }
+    oc.rows_out += result->num_rows();
+    oc.seconds += op_timer.ElapsedSeconds();
     current = std::make_shared<Table>(result->schema());
     current->AppendBatch(std::move(result));
   } else {
@@ -147,6 +220,9 @@ Result<std::shared_ptr<Table>> ExecuteRel(const Rel& root,
   // ---- materialized phase: remaining blocking operators ------------------
   for (size_t i = blocking + consumed_blocking; i < chain.size(); ++i) {
     const Rel& rel = *chain[i];
+    OperatorCounters& oc = local.ForKind(rel.kind);
+    Stopwatch op_timer;
+    oc.rows_in += current->num_rows();
     switch (rel.kind) {
       case RelKind::kFilter: {
         auto next = std::make_shared<Table>(current->schema());
@@ -195,8 +271,14 @@ Result<std::shared_ptr<Table>> ExecuteRel(const Rel& root,
       case RelKind::kRead:
         return Status::Internal("read rel above the leaf");
     }
+    oc.rows_out += current->num_rows();
+    oc.seconds += op_timer.ElapsedSeconds();
+    ++oc.invocations;
   }
-  if (stats) stats->rows_output = current->num_rows();
+  local.rows_output = current->num_rows();
+
+  MirrorToRegistry(local, plan_timer.ElapsedSeconds());
+  if (stats) *stats = local;
   return current;
 }
 

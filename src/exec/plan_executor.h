@@ -7,6 +7,7 @@
 // fuses into bounded top-N (the paper's ORDER BY + LIMIT operator).
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 
@@ -27,10 +28,30 @@ class BatchSource {
 using ScanFactory = std::function<Result<std::unique_ptr<BatchSource>>(
     const substrait::Rel& read)>;
 
+// Rows in/out and measured wall time attributed to one operator kind
+// across the whole execution (streaming applies accumulate per batch).
+struct OperatorCounters {
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  uint64_t invocations = 0;  // batch-level applications (or 1 if blocking)
+  double seconds = 0;
+};
+
 struct ExecStats {
+  static constexpr size_t kNumRelKinds = 6;  // mirrors substrait::RelKind
+
   uint64_t rows_scanned = 0;
   uint64_t rows_output = 0;
   uint64_t batches_scanned = 0;
+  // Per-operator accounting, indexed by substrait::RelKind.
+  std::array<OperatorCounters, kNumRelKinds> operators{};
+
+  OperatorCounters& ForKind(substrait::RelKind kind) {
+    return operators[static_cast<size_t>(kind)];
+  }
+  const OperatorCounters& ForKind(substrait::RelKind kind) const {
+    return operators[static_cast<size_t>(kind)];
+  }
 };
 
 // Execute the chain rooted at `root`; every Read leaf is resolved through

@@ -1,10 +1,20 @@
 #include "netsim/network.h"
 
+#include "common/metrics.h"
+
 namespace pocs::netsim {
 
 double Network::Transfer(NodeId from, NodeId to, uint64_t bytes,
                          uint64_t messages) {
   if (from == to) return 0.0;
+  // Process-wide wire accounting (survives per-query ResetCounters).
+  {
+    auto& reg = metrics::Registry::Default();
+    static auto& wire_bytes = reg.GetCounter("netsim.wire_bytes");
+    static auto& wire_messages = reg.GetCounter("netsim.wire_messages");
+    wire_bytes.Add(bytes);
+    wire_messages.Add(messages);
+  }
   std::lock_guard lock(mu_);
   LinkConfig link = LinkFor(from, to);
   double seconds = static_cast<double>(bytes) / link.bandwidth_bytes_per_sec +

@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/metrics.h"
+
 namespace pocs::objectstore {
 
 using columnar::Column;
@@ -203,6 +205,20 @@ Result<SelectResponse> ExecuteSelect(const ObjectStore& store,
       }
       response.csv += '\n';
     }
+  }
+
+  {
+    auto& reg = metrics::Registry::Default();
+    static auto& requests = reg.GetCounter("select.requests");
+    static auto& rows_scanned = reg.GetCounter("select.rows_scanned");
+    static auto& rows_returned = reg.GetCounter("select.rows_returned");
+    static auto& skipped = reg.GetCounter("select.row_groups_skipped");
+    static auto& media = reg.GetCounter("select.object_bytes_read");
+    requests.Increment();
+    rows_scanned.Add(response.stats.rows_scanned);
+    rows_returned.Add(response.stats.rows_returned);
+    skipped.Add(response.stats.groups_skipped);
+    media.Add(response.stats.object_bytes_read);
   }
   return response;
 }

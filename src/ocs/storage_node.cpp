@@ -1,6 +1,7 @@
 #include "ocs/storage_node.h"
 
 #include "columnar/ipc.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "format/parquet_lite.h"
 #include "objectstore/select.h"
@@ -174,6 +175,23 @@ Result<OcsResult> StorageNode::ExecutePlan(const substrait::Plan& plan) const {
   result.stats.media_read_seconds =
       static_cast<double>(result.stats.object_bytes_read) /
       config_.media_read_bandwidth;
+
+  {
+    auto& reg = metrics::Registry::Default();
+    static auto& plans = reg.GetCounter("storage.plans_executed");
+    static auto& rows_scanned = reg.GetCounter("storage.rows_scanned");
+    static auto& rows_output = reg.GetCounter("storage.rows_output");
+    static auto& media_bytes = reg.GetCounter("storage.object_bytes_read");
+    static auto& groups_skipped =
+        reg.GetCounter("storage.row_groups_skipped");
+    static auto& compute = reg.GetHistogram("storage.compute_seconds");
+    plans.Increment();
+    rows_scanned.Add(result.stats.rows_scanned);
+    rows_output.Add(result.stats.rows_output);
+    media_bytes.Add(result.stats.object_bytes_read);
+    groups_skipped.Add(result.stats.row_groups_skipped);
+    compute.Record(result.stats.storage_compute_seconds);
+  }
   return result;
 }
 

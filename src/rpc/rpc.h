@@ -15,6 +15,7 @@
 #include <string>
 
 #include "common/buffer.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "netsim/network.h"
 
@@ -71,6 +72,12 @@ class Channel {
       : net_(std::move(net)), client_(client), server_(std::move(server)) {}
 
   Result<CallResult> Call(const std::string& method, ByteSpan request) const {
+    auto& reg = metrics::Registry::Default();
+    static auto& calls = reg.GetCounter("rpc.calls");
+    static auto& round_trips = reg.GetCounter("rpc.round_trips");
+    static auto& req_bytes = reg.GetCounter("rpc.request_bytes");
+    static auto& resp_bytes = reg.GetCounter("rpc.response_bytes");
+
     CallResult out;
     out.request_bytes = request.size();
     out.transfer_seconds +=
@@ -79,6 +86,11 @@ class Channel {
     out.response_bytes = out.response.size();
     out.transfer_seconds +=
         net_->Transfer(server_->node(), client_, out.response.size());
+
+    calls.Increment();
+    round_trips.Add(2);  // request + response leg per call
+    req_bytes.Add(out.request_bytes);
+    resp_bytes.Add(out.response_bytes);
     return out;
   }
 

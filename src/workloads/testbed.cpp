@@ -21,6 +21,8 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
   engine_ = std::make_unique<engine::QueryEngine>(config_.engine);
   history_ = std::make_shared<connectors::PushdownHistory>();
   engine_->AddEventListener(history_);
+  stats_ = std::make_shared<connector::QueryStatsCollector>();
+  engine_->AddEventListener(stats_);
 
   auto frontend_channel = [this] {
     return rpc::Channel(net_, compute_node_, cluster_->frontend_server());

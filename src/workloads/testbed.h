@@ -12,6 +12,7 @@
 
 #include <memory>
 
+#include "connector/query_stats_collector.h"
 #include "connectors/hive/hive_connector.h"
 #include "connectors/ocs/ocs_connector.h"
 #include "connectors/ocs/pushdown_history.h"
@@ -53,6 +54,7 @@ class Testbed {
   ocs::OcsCluster& cluster() { return *cluster_; }
   metastore::Metastore& metastore() { return *metastore_; }
   connectors::PushdownHistory& history() { return *history_; }
+  connector::QueryStatsCollector& stats() { return *stats_; }
   const TestbedConfig& config() const { return config_; }
 
   // Register an additional Presto-OCS catalog with a custom connector
@@ -74,6 +76,7 @@ class Testbed {
   std::shared_ptr<metastore::Metastore> metastore_;
   std::unique_ptr<engine::QueryEngine> engine_;
   std::shared_ptr<connectors::PushdownHistory> history_;
+  std::shared_ptr<connector::QueryStatsCollector> stats_;
   netsim::NodeId compute_node_;
 };
 

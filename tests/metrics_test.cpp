@@ -1,0 +1,192 @@
+// Metrics registry: correctness of counters/gauges/histograms, registry
+// get-or-create semantics, JSON rendering, and — the part that matters
+// under debug-tsan — concurrent updates from many threads, both through
+// cached references and through fresh registry lookups.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace pocs::metrics {
+namespace {
+
+TEST(Counter, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddNegative) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-25);
+  EXPECT_EQ(g.value(), -15);
+}
+
+TEST(Histogram, SummaryStats) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean_seconds(), 0.0);
+  for (double s : {0.001, 0.002, 0.004, 0.008}) h.Record(s);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_NEAR(h.total_seconds(), 0.015, 1e-9);
+  EXPECT_NEAR(h.mean_seconds(), 0.015 / 4, 1e-9);
+  EXPECT_NEAR(h.min_seconds(), 0.001, 1e-9);
+  EXPECT_NEAR(h.max_seconds(), 0.008, 1e-9);
+  // Quantiles are log2-bucket estimates (±~41%), and clamped to the
+  // observed range.
+  double p50 = h.QuantileSeconds(0.5);
+  EXPECT_GE(p50, 0.001);
+  EXPECT_LE(p50, 0.008);
+  EXPECT_LE(h.QuantileSeconds(0.0), h.QuantileSeconds(1.0));
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max_seconds(), 0.0);
+}
+
+TEST(Histogram, QuantileAccuracyWithinBucketError) {
+  Histogram h;
+  // 1000 samples at exactly 1ms: every quantile must estimate 1ms within
+  // one log2 bucket (x in [lo, 2*lo) → midpoint 1.5*lo → ±50% worst case).
+  for (int i = 0; i < 1000; ++i) h.Record(1e-3);
+  for (double q : {0.5, 0.95, 0.99}) {
+    double est = h.QuantileSeconds(q);
+    EXPECT_GE(est, 0.5e-3) << "q=" << q;
+    EXPECT_LE(est, 2e-3) << "q=" << q;
+  }
+}
+
+TEST(Registry, GetOrCreateReturnsStableReferences) {
+  Registry reg;
+  Counter& a = reg.GetCounter("x");
+  Counter& b = reg.GetCounter("x");
+  EXPECT_EQ(&a, &b);
+  a.Add(7);
+  EXPECT_EQ(b.value(), 7u);
+  // Distinct names, distinct metrics.
+  EXPECT_NE(&reg.GetCounter("y"), &a);
+}
+
+TEST(Registry, SnapshotSortedAndTyped) {
+  Registry reg;
+  reg.GetCounter("b.count").Add(3);
+  reg.GetGauge("a.depth").Set(-2);
+  reg.GetHistogram("c.lat").Record(0.5);
+  auto samples = reg.Snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "a.depth");
+  EXPECT_EQ(samples[0].kind, MetricKind::kGauge);
+  EXPECT_EQ(samples[0].value, -2);
+  EXPECT_EQ(samples[1].name, "b.count");
+  EXPECT_EQ(samples[1].kind, MetricKind::kCounter);
+  EXPECT_EQ(samples[1].value, 3);
+  EXPECT_EQ(samples[2].name, "c.lat");
+  EXPECT_EQ(samples[2].kind, MetricKind::kHistogram);
+  EXPECT_EQ(samples[2].value, 1);  // histogram sample count
+  EXPECT_NEAR(samples[2].sum, 0.5, 1e-9);
+}
+
+TEST(Registry, ToJsonContainsMetrics) {
+  Registry reg;
+  reg.GetCounter("rows").Add(12);
+  reg.GetHistogram("lat").Record(0.25);
+  std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"rows\""), std::string::npos);
+  EXPECT_NE(json.find("12"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+}
+
+TEST(Registry, ResetAllZeroesButKeepsReferences) {
+  Registry reg;
+  Counter& c = reg.GetCounter("n");
+  c.Add(5);
+  Histogram& h = reg.GetHistogram("t");
+  h.Record(1.0);
+  reg.ResetAll();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  c.Increment();  // references stay live after reset
+  EXPECT_EQ(reg.GetCounter("n").value(), 1u);
+}
+
+TEST(Registry, DefaultIsProcessWide) {
+  Counter& a = Registry::Default().GetCounter("metrics_test.default_probe");
+  Counter& b = Registry::Default().GetCounter("metrics_test.default_probe");
+  EXPECT_EQ(&a, &b);
+}
+
+// The TSan target: hammer one counter, one gauge, and one histogram from
+// many threads, half through cached references and half through fresh
+// name lookups (exercising the registry mutex against the lock-free
+// updates).
+TEST(MetricsConcurrency, ParallelUpdatesAreExact) {
+  Registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  Counter& counter = reg.GetCounter("stress.counter");
+  Histogram& hist = reg.GetHistogram("stress.hist");
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, &counter, &hist, t] {
+      for (int i = 0; i < kIters; ++i) {
+        if (t % 2 == 0) {
+          counter.Increment();
+          hist.RecordNanos(static_cast<uint64_t>(i % 1000) + 1);
+        } else {
+          reg.GetCounter("stress.counter").Increment();
+          reg.GetHistogram("stress.hist").Record(1e-6);
+        }
+        reg.GetGauge("stress.gauge").Set(i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.value(), static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(hist.count(), static_cast<uint64_t>(kThreads) * kIters);
+  // Min/max survive the CAS races.
+  EXPECT_GT(hist.max_seconds(), 0.0);
+  EXPECT_GT(hist.min_seconds(), 0.0);
+}
+
+// Snapshots taken while writers are active must be internally sane
+// (never torn below zero or above the final value).
+TEST(MetricsConcurrency, SnapshotDuringWrites) {
+  Registry reg;
+  constexpr int kWriters = 4;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&reg] {
+      for (int i = 0; i < kIters; ++i) {
+        reg.GetCounter("live.rows").Add(2);
+        reg.GetHistogram("live.lat").Record(1e-7);
+      }
+    });
+  }
+  uint64_t last = 0;
+  for (int i = 0; i < 50; ++i) {
+    for (const MetricSample& s : reg.Snapshot()) {
+      if (s.name == "live.rows") {
+        auto v = static_cast<uint64_t>(s.value);
+        EXPECT_GE(v, last);  // counters are monotone
+        EXPECT_LE(v, static_cast<uint64_t>(kWriters) * kIters * 2);
+        last = v;
+      }
+    }
+  }
+  for (auto& th : writers) th.join();
+  EXPECT_EQ(reg.GetCounter("live.rows").value(),
+            static_cast<uint64_t>(kWriters) * kIters * 2);
+}
+
+}  // namespace
+}  // namespace pocs::metrics

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Diff a BENCH_*.json report against a committed baseline.
+
+Usage:
+    tools/check_bench.py BENCH_PR2.json --baseline bench/baselines/BENCH_PR2.smoke.json
+
+The report schema (bench/report.h) tags every metric with a kind that
+decides how it is compared:
+
+  exact   Counts — rows, bytes, splits, pruning/pushdown decisions.
+          Functions of (seed, scale, code); any drift beyond
+          --exact-tolerance (default 0, i.e. bit-for-bit) fails.
+
+  timing  Wall-derived seconds. Machine-dependent, so the gate is
+          deliberately loose: a metric fails only when it exceeds the
+          baseline by more than --timing-tolerance (a ratio; default 10.0
+          = 11x slower) AND by more than --timing-floor seconds (default
+          0.05, so microsecond noise can never trip it). Faster is
+          always fine.
+
+Config (smoke/scale/seed) must match between the two reports — exact
+metrics are only comparable for identical workload parameters.
+
+Exit codes: 0 ok, 1 regression or malformed input, 2 usage error.
+Metrics present in the candidate but not the baseline are reported as
+informational only; refresh the baseline when instrumentation grows.
+"""
+
+import argparse
+import json
+import sys
+
+KNOWN_SCHEMA_VERSIONS = (1,)
+
+
+def load_report(path):
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"check_bench: cannot read {path}: {e}")
+    version = report.get("schema_version")
+    if version not in KNOWN_SCHEMA_VERSIONS:
+        raise SystemExit(
+            f"check_bench: {path}: unsupported schema_version {version!r} "
+            f"(known: {KNOWN_SCHEMA_VERSIONS})")
+    metrics = {}
+    for m in report.get("metrics", []):
+        name, kind, value = m.get("name"), m.get("kind"), m.get("value")
+        if not isinstance(name, str) or kind not in ("exact", "timing") \
+                or not isinstance(value, (int, float)):
+            raise SystemExit(f"check_bench: {path}: malformed metric {m!r}")
+        if name in metrics:
+            raise SystemExit(f"check_bench: {path}: duplicate metric {name!r}")
+        metrics[name] = (kind, float(value))
+    return report, metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare a bench report against a baseline.")
+    parser.add_argument("candidate", help="freshly generated BENCH_*.json")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline BENCH_*.json")
+    parser.add_argument("--exact-tolerance", type=float, default=0.0,
+                        help="max relative drift for 'exact' metrics "
+                             "(default 0: identical)")
+    parser.add_argument("--timing-tolerance", type=float, default=10.0,
+                        help="max slowdown ratio above baseline for "
+                             "'timing' metrics (default 10.0 = 11x)")
+    parser.add_argument("--timing-floor", type=float, default=0.05,
+                        help="absolute seconds a timing metric must exceed "
+                             "the baseline by before it can fail "
+                             "(default 0.05)")
+    parser.add_argument("--list", action="store_true",
+                        help="print every comparison, not just failures")
+    args = parser.parse_args()
+    if args.exact_tolerance < 0 or args.timing_tolerance < 0 \
+            or args.timing_floor < 0:
+        parser.error("tolerances must be non-negative")
+
+    cand_report, cand = load_report(args.candidate)
+    base_report, base = load_report(args.baseline)
+
+    for key in ("smoke", "scale", "seed"):
+        if cand_report.get(key) != base_report.get(key):
+            print(f"FAIL: config mismatch: {key}: candidate="
+                  f"{cand_report.get(key)!r} baseline={base_report.get(key)!r}"
+                  f" — exact metrics are not comparable across configs")
+            return 1
+
+    failures = []
+    compared = 0
+    for name, (kind, base_value) in sorted(base.items()):
+        if name not in cand:
+            failures.append(f"{name}: missing from candidate "
+                            f"(baseline {kind} = {base_value:g})")
+            continue
+        cand_kind, cand_value = cand[name]
+        if cand_kind != kind:
+            failures.append(f"{name}: kind changed {kind} -> {cand_kind}")
+            continue
+        compared += 1
+        if kind == "exact":
+            denom = max(abs(base_value), 1e-12)
+            drift = abs(cand_value - base_value) / denom
+            ok = drift <= args.exact_tolerance
+            detail = (f"{name}: exact {base_value:g} -> {cand_value:g} "
+                      f"(drift {drift:.3%}, tol {args.exact_tolerance:.3%})")
+        else:
+            excess = cand_value - base_value
+            ratio = cand_value / base_value if base_value > 0 else 0.0
+            ok = (excess <= args.timing_floor
+                  or cand_value <= base_value * (1.0 + args.timing_tolerance))
+            detail = (f"{name}: timing {base_value:g}s -> {cand_value:g}s "
+                      f"(x{ratio:.2f}, tol x{1.0 + args.timing_tolerance:g} "
+                      f"or +{args.timing_floor:g}s)")
+        if not ok:
+            failures.append(detail)
+        elif args.list:
+            print(f"ok    {detail}")
+
+    new_metrics = sorted(set(cand) - set(base))
+    if new_metrics:
+        print(f"note: {len(new_metrics)} metric(s) not in baseline "
+              f"(refresh it to start gating them): "
+              + ", ".join(new_metrics[:8])
+              + (", ..." if len(new_metrics) > 8 else ""))
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s) against "
+              f"{args.baseline}:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"ok: {compared} metric(s) within tolerance of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `check_bench.py ... | head`
+        sys.exit(0)
