@@ -15,6 +15,7 @@ std::string_view to_string(StatusCode code) {
     case StatusCode::kIOError: return "IOError";
     case StatusCode::kUnavailable: return "Unavailable";
     case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "Unknown";
 }

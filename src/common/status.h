@@ -28,6 +28,7 @@ enum class StatusCode : uint8_t {
   kIOError,
   kUnavailable,
   kCancelled,
+  kDeadlineExceeded,
 };
 
 std::string_view to_string(StatusCode code);
@@ -83,6 +84,9 @@ class [[nodiscard]] Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

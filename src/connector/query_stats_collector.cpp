@@ -18,6 +18,9 @@ void QueryStatsCollector::Accumulate(const QueryEvent& event, Totals* t) {
   t->pushdown_offered += s.pushdown_offered;
   t->pushdown_accepted += s.pushdown_accepted;
   t->pushdown_rejected += s.pushdown_rejected;
+  t->retries += s.retries;
+  t->fallbacks += s.fallbacks;
+  t->failed_splits += s.failed_splits;
   t->wall_seconds += s.wall_seconds;
   t->simulated_seconds += s.simulated_seconds;
 }
@@ -38,6 +41,9 @@ void QueryStatsCollector::QueryCompleted(const QueryEvent& event) {
   static auto& bytes_to = registry.GetCounter("engine.bytes_to_storage");
   static auto& accepted = registry.GetCounter("engine.pushdown_accepted");
   static auto& rejected = registry.GetCounter("engine.pushdown_rejected");
+  static auto& retries = registry.GetCounter("engine.retries");
+  static auto& fallbacks = registry.GetCounter("engine.fallbacks");
+  static auto& failed_splits = registry.GetCounter("engine.failed_splits");
   static auto& wall = registry.GetHistogram("engine.query_wall_seconds");
   queries.Increment();
   rows_scanned.Add(event.stats.rows_scanned);
@@ -46,6 +52,9 @@ void QueryStatsCollector::QueryCompleted(const QueryEvent& event) {
   bytes_to.Add(event.stats.bytes_to_storage);
   accepted.Add(event.stats.pushdown_accepted);
   rejected.Add(event.stats.pushdown_rejected);
+  retries.Add(event.stats.retries);
+  fallbacks.Add(event.stats.fallbacks);
+  failed_splits.Add(event.stats.failed_splits);
   wall.Record(event.stats.wall_seconds);
 }
 

@@ -30,6 +30,9 @@ class QueryStatsCollector final : public EventListener {
     uint64_t pushdown_offered = 0;
     uint64_t pushdown_accepted = 0;
     uint64_t pushdown_rejected = 0;
+    uint64_t retries = 0;
+    uint64_t fallbacks = 0;
+    uint64_t failed_splits = 0;
     double wall_seconds = 0;
     double simulated_seconds = 0;
 

@@ -92,6 +92,11 @@ struct PageSourceStats {
   double media_read_seconds = 0;      // modelled storage-media read time
   double ir_generation_seconds = 0;   // plan/SQL→IR translation (connector)
   double decode_seconds = 0;          // result → page conversion at compute
+
+  // -- degradation accounting (fault-injection PR) --------------------------
+  uint64_t dispatch_retries = 0;   // rpc attempts beyond the first
+  uint64_t failed_dispatches = 0;  // pushdown dispatches that exhausted retries
+  uint64_t fallbacks = 0;          // splits recovered via the engine-side scan
 };
 
 // Streams pages (record batches) for one split, with pushed operators
@@ -179,6 +184,10 @@ struct QueryStats {
   uint64_t pushdown_offered = 0;
   uint64_t pushdown_accepted = 0;
   uint64_t pushdown_rejected = 0;
+  // Degradation: how hard the query had to fight for its rows.
+  uint64_t retries = 0;        // rpc attempts beyond the first, all splits
+  uint64_t fallbacks = 0;      // splits recovered via the engine-side scan
+  uint64_t failed_splits = 0;  // splits whose pushdown dispatch was rejected
   std::vector<OperatorTiming> operator_timings;
 
   uint64_t bytes_moved() const { return bytes_from_storage + bytes_to_storage; }

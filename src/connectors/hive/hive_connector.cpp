@@ -170,6 +170,65 @@ class SelectPageSource final : public connector::PageSource {
   PageSourceStats stats_;
 };
 
+// Page source for the Select→GET degradation path: whole object
+// downloaded, the accepted filter re-applied compute-side per row group
+// so the rows still honour the pushdown contract, then the result
+// projection.
+class SelectFallbackPageSource final : public connector::PageSource {
+ public:
+  SelectFallbackPageSource(std::shared_ptr<format::FileReader> reader,
+                           std::vector<int> scan_columns,
+                           SchemaPtr scan_schema,
+                           std::vector<objectstore::SelectPredicate> predicates,
+                           std::vector<int> result_columns, SchemaPtr schema,
+                           PageSourceStats stats)
+      : reader_(std::move(reader)),
+        scan_columns_(std::move(scan_columns)),
+        scan_schema_(std::move(scan_schema)),
+        predicates_(std::move(predicates)),
+        result_columns_(std::move(result_columns)),
+        schema_(std::move(schema)),
+        stats_(stats) {}
+
+  SchemaPtr schema() const override { return schema_; }
+
+  Result<RecordBatchPtr> Next() override {
+    if (group_ >= reader_->num_row_groups()) return RecordBatchPtr{};
+    Stopwatch decode;
+    POCS_ASSIGN_OR_RETURN(RecordBatchPtr batch,
+                          reader_->ReadRowGroup(group_++, scan_columns_));
+    stats_.rows_scanned += batch->num_rows();
+    columnar::SelectionVector sel;
+    const columnar::SelectionVector* input = nullptr;
+    for (const objectstore::SelectPredicate& pred : predicates_) {
+      int idx = scan_schema_->FieldIndex(pred.column);
+      if (idx < 0) {
+        return Status::Internal("hive fallback: unknown filter column '" +
+                                pred.column + "'");
+      }
+      sel = columnar::CompareScalar(*batch->column(idx), pred.op,
+                                    pred.literal, input);
+      input = &sel;
+    }
+    if (input != nullptr) batch = columnar::TakeBatch(*batch, sel);
+    if (!result_columns_.empty()) batch = batch->Project(result_columns_);
+    stats_.decode_seconds += decode.ElapsedSeconds();
+    stats_.rows_received += batch->num_rows();
+    return batch;
+  }
+  const PageSourceStats& stats() const override { return stats_; }
+
+ private:
+  std::shared_ptr<format::FileReader> reader_;
+  std::vector<int> scan_columns_;
+  SchemaPtr scan_schema_;
+  std::vector<objectstore::SelectPredicate> predicates_;
+  std::vector<int> result_columns_;
+  SchemaPtr schema_;
+  PageSourceStats stats_;
+  size_t group_ = 0;
+};
+
 // Page source for the raw-GET path: whole object downloaded, decoded per
 // row group at the compute node.
 class RawGetPageSource final : public connector::PageSource {
@@ -255,8 +314,10 @@ Result<std::unique_ptr<connector::PageSource>> HiveConnector::CreatePageSource(
       // Raw GET: the entire object crosses the network.
       PageSourceStats stats;
       objectstore::TransferInfo info;
-      POCS_ASSIGN_OR_RETURN(Bytes object,
-                            client_.Get(split.bucket, split.object, &info));
+      POCS_ASSIGN_OR_RETURN(
+          Bytes object,
+          client_.Get(split.bucket, split.object, &info, config_.call));
+      stats.dispatch_retries = info.retries;
       {
         auto& reg = metrics::Registry::Default();
         static auto& gets = reg.GetCounter("connector.hive.raw_gets");
@@ -300,8 +361,49 @@ Result<std::unique_ptr<connector::PageSource>> HiveConnector::CreatePageSource(
   PageSourceStats stats;
   objectstore::TransferInfo info;
   Stopwatch select_timer;
-  POCS_ASSIGN_OR_RETURN(objectstore::SelectResponse response,
-                        client_.Select(request, &info));
+  Result<objectstore::SelectResponse> select_or =
+      client_.Select(request, &info, config_.call);
+  if (!select_or.ok()) {
+    stats.bytes_received = info.bytes_received;
+    stats.bytes_sent = info.bytes_sent;
+    stats.transfer_seconds = info.transfer_seconds;
+    stats.dispatch_retries = info.retries;
+    stats.failed_dispatches = 1;
+    {
+      auto& reg = metrics::Registry::Default();
+      static auto& failed = reg.GetCounter("connector.hive.failed_selects");
+      failed.Increment();
+    }
+    if (!config_.fallback_to_raw_get || !rpc::IsRetryable(select_or.status())) {
+      return select_or.status();
+    }
+    // Degrade to a raw GET of the whole object; the accepted filter is
+    // re-applied compute-side by the page source so rows stay correct.
+    objectstore::TransferInfo get_info;
+    POCS_ASSIGN_OR_RETURN(
+        Bytes object,
+        client_.Get(split.bucket, split.object, &get_info,
+                    config_.fallback_call));
+    stats.bytes_received += get_info.bytes_received;
+    stats.bytes_sent += get_info.bytes_sent;
+    stats.transfer_seconds += get_info.transfer_seconds;
+    stats.dispatch_retries += get_info.retries;
+    stats.media_read_seconds +=
+        static_cast<double>(object.size()) / config_.media_read_bandwidth;
+    stats.fallbacks = 1;
+    {
+      auto& reg = metrics::Registry::Default();
+      static auto& fallbacks = reg.GetCounter("connector.hive.fallbacks");
+      fallbacks.Increment();
+    }
+    POCS_ASSIGN_OR_RETURN(auto reader,
+                          format::FileReader::Open(std::move(object)));
+    return std::unique_ptr<connector::PageSource>(
+        std::make_unique<SelectFallbackPageSource>(
+            std::move(reader), spec.columns, scan_schema, request.predicates,
+            spec.result_columns, projected, stats));
+  }
+  objectstore::SelectResponse response = std::move(*select_or);
   // The synchronous in-process Select call's wall time is storage-side
   // work; scale it to the storage node's weaker CPU.
   stats.storage_compute_seconds =
@@ -315,6 +417,7 @@ Result<std::unique_ptr<connector::PageSource>> HiveConnector::CreatePageSource(
   stats.bytes_received = info.bytes_received;
   stats.bytes_sent = info.bytes_sent;
   stats.transfer_seconds = info.transfer_seconds;
+  stats.dispatch_retries = info.retries;
 
   Stopwatch decode;
   POCS_ASSIGN_OR_RETURN(RecordBatchPtr batch,

@@ -37,6 +37,15 @@ struct HiveConnectorConfig {
   // doubles, and the paper treats the limitation as a flaw to expose,
   // not behaviour to rely on.
   bool s3_strict_types = false;
+  // Retry budget / deadline for Select and GET dispatches.
+  rpc::CallOptions call;
+  // Options for the degradation path's raw GET (kept separate: the raw
+  // object is much larger than a Select result, so a Select-sized
+  // deadline would starve it).
+  rpc::CallOptions fallback_call;
+  // When a Select exhausts its retries with a retryable error, re-plan
+  // the split as a raw GET and apply the accepted filter compute-side.
+  bool fallback_to_raw_get = true;
 };
 
 class HiveConnector final : public connector::Connector {

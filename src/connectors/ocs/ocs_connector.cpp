@@ -5,6 +5,8 @@
 #include "common/stopwatch.h"
 #include "connectors/ocs/sql_reconstruction.h"
 #include "connectors/ocs/translator.h"
+#include "exec/plan_executor.h"
+#include "format/parquet_lite.h"
 
 namespace pocs::connectors {
 
@@ -229,6 +231,78 @@ class OcsPageSource final : public connector::PageSource {
 
 }  // namespace
 
+// BatchSource over a compute-side copy of the object (fallback path): no
+// row-group pruning — the whole object already crossed the network.
+namespace {
+
+class LocalObjectSource final : public exec::BatchSource {
+ public:
+  LocalObjectSource(std::shared_ptr<format::FileReader> reader,
+                    std::vector<int> columns, SchemaPtr schema)
+      : reader_(std::move(reader)),
+        columns_(std::move(columns)),
+        schema_(std::move(schema)) {}
+
+  SchemaPtr schema() const override { return schema_; }
+  Result<RecordBatchPtr> Next() override {
+    if (group_ >= reader_->num_row_groups()) return RecordBatchPtr{};
+    return reader_->ReadRowGroup(group_++, columns_);
+  }
+
+ private:
+  std::shared_ptr<format::FileReader> reader_;
+  std::vector<int> columns_;
+  SchemaPtr schema_;
+  size_t group_ = 0;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<columnar::Table>> OcsConnector::ExecuteFallback(
+    const substrait::Plan& plan, const Split& split,
+    PageSourceStats* stats) {
+  // Fetch the raw object through the frontend — the plain object-store
+  // methods survive an exec-engine crash — then run the *identical* plan
+  // with the local executor, so the result schema and rows match what the
+  // storage node would have returned.
+  objectstore::TransferInfo info;
+  objectstore::StorageClient store(client_.channel());
+  POCS_ASSIGN_OR_RETURN(
+      Bytes object,
+      store.Get(split.bucket, split.object, &info, config_.dispatch.fallback_call));
+  stats->bytes_received += info.bytes_received;
+  stats->bytes_sent += info.bytes_sent;
+  stats->dispatch_retries += info.retries;
+  stats->transfer_seconds += info.transfer_seconds;
+  stats->media_read_seconds +=
+      static_cast<double>(object.size()) / config_.dispatch.media_read_bandwidth;
+
+  Stopwatch exec_timer;
+  POCS_ASSIGN_OR_RETURN(auto reader_owned,
+                        format::FileReader::Open(std::move(object)));
+  std::shared_ptr<format::FileReader> reader = std::move(reader_owned);
+  stats->row_groups_total += reader->num_row_groups();
+
+  exec::ScanFactory factory =
+      [&reader](const substrait::Rel& r)
+      -> Result<std::unique_ptr<exec::BatchSource>> {
+    if (!reader->schema()->Equals(*r.base_schema)) {
+      return Status::InvalidArgument("ocs fallback: plan schema != object");
+    }
+    POCS_ASSIGN_OR_RETURN(SchemaPtr scan_schema, substrait::OutputSchema(r));
+    return std::unique_ptr<exec::BatchSource>(
+        std::make_unique<LocalObjectSource>(reader, r.read_columns,
+                                            std::move(scan_schema)));
+  };
+  exec::ExecStats exec_stats;
+  POCS_ASSIGN_OR_RETURN(auto table,
+                        exec::ExecuteRel(*plan.root, factory, &exec_stats));
+  stats->rows_scanned += exec_stats.rows_scanned;
+  // Fallback execution is compute-side work, like decode.
+  stats->decode_seconds += exec_timer.ElapsedSeconds();
+  return table;
+}
+
 Result<std::unique_ptr<connector::PageSource>> OcsConnector::CreatePageSource(
     const TableHandle& table, const Split& split, const ScanSpec& spec) {
   PageSourceStats stats;
@@ -248,20 +322,58 @@ Result<std::unique_ptr<connector::PageSource>> OcsConnector::CreatePageSource(
   stats.ir_generation_seconds = ir_timer.ElapsedSeconds();
 
   objectstore::TransferInfo info;
-  POCS_ASSIGN_OR_RETURN(ocs::OcsResult result,
-                        client_.ExecutePlan(plan, &info));
+  auto dispatch = client_.ExecutePlan(plan, &info, config_.dispatch.call);
   stats.bytes_received = info.bytes_received;
   stats.bytes_sent = info.bytes_sent;
+  stats.dispatch_retries = info.retries;
   stats.transfer_seconds = info.transfer_seconds;
-  stats.storage_compute_seconds = result.stats.storage_compute_seconds;
-  stats.media_read_seconds = result.stats.media_read_seconds;
-  stats.row_groups_total = result.stats.row_groups_total;
-  stats.row_groups_skipped = result.stats.row_groups_skipped;
-  stats.rows_scanned = result.stats.rows_scanned;
 
-  Stopwatch decode_timer;
-  POCS_ASSIGN_OR_RETURN(auto decoded, ocs::OcsClient::DecodeTable(result));
-  stats.decode_seconds = decode_timer.ElapsedSeconds();
+  Status dispatch_status;
+  std::shared_ptr<columnar::Table> decoded;
+  if (dispatch.ok()) {
+    const ocs::OcsResult& result = *dispatch;
+    // Slow-node detector: the transport deadline cannot see storage-side
+    // time (it rides inside the response), so police it here.
+    const double storage_seconds = result.stats.storage_compute_seconds +
+                                   result.stats.media_read_seconds;
+    if (config_.dispatch.storage_deadline_seconds > 0 &&
+        storage_seconds > config_.dispatch.storage_deadline_seconds) {
+      dispatch_status = Status::DeadlineExceeded(
+          "ocs: storage-side execution of " + split.object + " took " +
+          std::to_string(storage_seconds) + "s, deadline " +
+          std::to_string(config_.dispatch.storage_deadline_seconds) + "s");
+    } else {
+      stats.storage_compute_seconds = result.stats.storage_compute_seconds;
+      stats.media_read_seconds = result.stats.media_read_seconds;
+      stats.row_groups_total = result.stats.row_groups_total;
+      stats.row_groups_skipped = result.stats.row_groups_skipped;
+      stats.rows_scanned = result.stats.rows_scanned;
+      Stopwatch decode_timer;
+      POCS_ASSIGN_OR_RETURN(decoded, ocs::OcsClient::DecodeTable(result));
+      stats.decode_seconds = decode_timer.ElapsedSeconds();
+    }
+  } else {
+    dispatch_status = dispatch.status();
+  }
+
+  if (!dispatch_status.ok()) {
+    auto& reg = metrics::Registry::Default();
+    static auto& failed = reg.GetCounter("connector.ocs.failed_dispatches");
+    static auto& fallbacks = reg.GetCounter("connector.ocs.fallbacks");
+    failed.Increment();
+    stats.failed_dispatches = 1;
+    if (history_) {
+      history_->RecordOffloadRejection(
+          id_, split.bucket + "/" + split.object, dispatch_status);
+    }
+    if (!config_.dispatch.fallback_to_engine ||
+        !rpc::IsRetryable(dispatch_status)) {
+      return dispatch_status;
+    }
+    POCS_ASSIGN_OR_RETURN(decoded, ExecuteFallback(plan, split, &stats));
+    stats.fallbacks = 1;
+    fallbacks.Increment();
+  }
   stats.rows_received = decoded->num_rows();
 
   {

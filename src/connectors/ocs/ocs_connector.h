@@ -20,13 +20,35 @@
 #include <memory>
 
 #include "connector/spi.h"
+#include "connectors/ocs/pushdown_history.h"
 #include "connectors/ocs/selectivity_analyzer.h"
 #include "metastore/metastore.h"
 #include "ocs/client.h"
 
 namespace pocs::connectors {
 
+// How pushdown dispatches cope with storage-side failure: the rpc retry
+// budget for ExecutePlan, a deadline on the *storage-reported* time
+// (catches slow/degraded nodes the transport deadline cannot see), and
+// whether an exhausted dispatch falls back to the engine-side scan (raw
+// GET + local execution of the same plan) instead of failing the query.
+struct OcsDispatchPolicy {
+  rpc::CallOptions call{.max_attempts = 3};
+  // Options for the fallback's raw GET. Kept separate from `call`: a
+  // deadline tuned for small pushdown results would starve the (much
+  // larger, but unavoidable) raw-object transfer.
+  rpc::CallOptions fallback_call{.max_attempts = 3};
+  // Reject dispatches whose storage compute + media time exceeds this
+  // (0 disables) — the "slow node" detector.
+  double storage_deadline_seconds = 0;
+  bool fallback_to_engine = true;
+  // Media bandwidth modelled for the fallback's whole-object read
+  // (matches StorageNodeConfig/HiveConnectorConfig defaults).
+  double media_read_bandwidth = 80e6;
+};
+
 struct OcsConnectorConfig {
+  OcsDispatchPolicy dispatch;
   SelectivityConfig selectivity;
   // An operator is pushed when its estimated reduction (1 − output/input)
   // is at least this threshold. The default (-inf, i.e. no threshold)
@@ -48,13 +70,17 @@ struct OcsConnectorConfig {
 
 class OcsConnector final : public connector::Connector {
  public:
+  // `history` is optional; when present, offload rejections (exhausted
+  // pushdown dispatches) are recorded there for monitoring.
   OcsConnector(std::string id,
                std::shared_ptr<metastore::Metastore> metastore,
-               ocs::OcsClient client, OcsConnectorConfig config)
+               ocs::OcsClient client, OcsConnectorConfig config,
+               std::shared_ptr<PushdownHistory> history = nullptr)
       : id_(std::move(id)),
         metastore_(std::move(metastore)),
         client_(std::move(client)),
-        config_(config) {}
+        config_(config),
+        history_(std::move(history)) {}
 
   std::string id() const override { return id_; }
 
@@ -85,10 +111,17 @@ class OcsConnector final : public connector::Connector {
   const OcsConnectorConfig& config() const { return config_; }
 
  private:
+  // Engine-side degradation path: fetch the raw object through the
+  // frontend and run the identical plan with the local executor.
+  Result<std::shared_ptr<columnar::Table>> ExecuteFallback(
+      const substrait::Plan& plan, const connector::Split& split,
+      connector::PageSourceStats* stats);
+
   std::string id_;
   std::shared_ptr<metastore::Metastore> metastore_;
   ocs::OcsClient client_;
   OcsConnectorConfig config_;
+  std::shared_ptr<PushdownHistory> history_;
 };
 
 }  // namespace pocs::connectors

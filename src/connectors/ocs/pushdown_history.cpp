@@ -22,6 +22,26 @@ void PushdownHistory::Recompute() {
   }
 }
 
+void PushdownHistory::RecordOffloadRejection(const std::string& connector_id,
+                                             const std::string& object,
+                                             const Status& cause) {
+  std::lock_guard lock(mu_);
+  rejections_.push_back(
+      {connector_id, object, cause.code(), cause.message()});
+  while (rejections_.size() > window_) rejections_.pop_front();
+  ++total_rejections_;
+}
+
+std::vector<OffloadRejection> PushdownHistory::offload_rejections() const {
+  std::lock_guard lock(mu_);
+  return {rejections_.begin(), rejections_.end()};
+}
+
+uint64_t PushdownHistory::total_offload_rejections() const {
+  std::lock_guard lock(mu_);
+  return total_rejections_;
+}
+
 PushdownKindStats PushdownHistory::StatsFor(
     connector::PushedOperator::Kind kind) const {
   std::lock_guard lock(mu_);

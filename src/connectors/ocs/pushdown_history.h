@@ -22,17 +22,36 @@ struct PushdownKindStats {
   }
 };
 
+// One pushdown dispatch that exhausted its retry budget and was re-planned
+// through the engine-side scan (§4's offload-rejection path).
+struct OffloadRejection {
+  std::string connector_id;
+  std::string object;     // "bucket/key" of the rejected split
+  StatusCode code = StatusCode::kOk;
+  std::string message;    // the storage-side Status that caused it
+};
+
 class PushdownHistory final : public connector::EventListener {
  public:
   explicit PushdownHistory(size_t window = 128) : window_(window) {}
 
   void QueryCompleted(const connector::QueryEvent& event) override;
 
+  // Called by connectors when a dispatch exhausts its retries; the
+  // rejection feeds the same sliding window as query completions so
+  // future pushdown decisions can see recent storage health.
+  void RecordOffloadRejection(const std::string& connector_id,
+                              const std::string& object,
+                              const Status& cause);
+
   // Aggregates over the current window.
   PushdownKindStats StatsFor(connector::PushedOperator::Kind kind) const;
   double AverageBytesFromStorage() const;
   size_t window_size() const;
   std::vector<connector::QueryEvent> Snapshot() const;
+  // Recent rejections, oldest first (same window size as events).
+  std::vector<OffloadRejection> offload_rejections() const;
+  uint64_t total_offload_rejections() const;
 
  private:
   void Recompute();  // callers hold mu_
@@ -40,6 +59,8 @@ class PushdownHistory final : public connector::EventListener {
   size_t window_;
   mutable std::mutex mu_;
   std::deque<connector::QueryEvent> events_;
+  std::deque<OffloadRejection> rejections_;
+  uint64_t total_rejections_ = 0;
   std::map<connector::PushedOperator::Kind, PushdownKindStats> per_kind_;
   double total_bytes_ = 0;
 };

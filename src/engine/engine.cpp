@@ -225,6 +225,9 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql,
     metrics.storage_compute_seconds += out.stats.storage_compute_seconds;
     metrics.row_groups_total += out.stats.row_groups_total;
     metrics.row_groups_skipped += out.stats.row_groups_skipped;
+    metrics.retries += out.stats.dispatch_retries;
+    metrics.fallbacks += out.stats.fallbacks;
+    metrics.failed_splits += out.stats.failed_dispatches;
     residual_compute += out.compute_seconds + out.stats.decode_seconds;
   }
   totals.splits = splits.size();
@@ -393,6 +396,9 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql,
     qs.splits = metrics.splits;
     qs.row_groups_total = metrics.row_groups_total;
     qs.row_groups_skipped = metrics.row_groups_skipped;
+    qs.retries = metrics.retries;
+    qs.fallbacks = metrics.fallbacks;
+    qs.failed_splits = metrics.failed_splits;
     for (const auto& d : metrics.pushdown_decisions) {
       ++qs.pushdown_offered;
       if (d.accepted) {

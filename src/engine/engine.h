@@ -47,6 +47,11 @@ struct QueryMetrics {
   uint64_t splits = 0;
   uint64_t row_groups_total = 0;    // chunks considered across splits
   uint64_t row_groups_skipped = 0;  // pruned via min/max statistics
+  // Degradation accounting: retries spent dispatching to storage, splits
+  // whose pushdown was rejected, and splits recovered engine-side.
+  uint64_t retries = 0;
+  uint64_t fallbacks = 0;
+  uint64_t failed_splits = 0;
   std::vector<connector::PushdownDecision> pushdown_decisions;
 
   // Stage/operator breakdown with row flow; see

@@ -1,0 +1,72 @@
+#include "netsim/fault_plan.h"
+
+#include "common/hash.h"
+
+namespace pocs::netsim {
+
+namespace {
+
+uint64_t PairKey(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  return (uint64_t{a} << 32) | b;
+}
+
+// Uniform [0, 1) from the decision coordinates. attempt is folded in so a
+// retry of the same flow re-rolls instead of failing forever.
+double UnitRandom(uint64_t seed, uint64_t link, uint64_t flow_id,
+                  uint32_t attempt) {
+  uint64_t h = HashCombine(HashCombine(HashCombine(seed, link), flow_id),
+                           attempt);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultDecision FaultPlan::Evaluate(NodeId from, NodeId to, uint64_t flow_id,
+                                  uint32_t attempt,
+                                  double now_seconds) const {
+  FaultDecision decision;
+  const uint64_t link = PairKey(from, to);
+  for (const FaultRule& rule : rules_) {
+    if (!rule.all_links && PairKey(rule.a, rule.b) != link) continue;
+    if (attempt < rule.attempt_begin || attempt >= rule.attempt_end) continue;
+    if (now_seconds < rule.time_begin_seconds ||
+        now_seconds >= rule.time_end_seconds) {
+      continue;
+    }
+    if (rule.drop_probability >= 1.0 ||
+        (rule.drop_probability > 0.0 &&
+         UnitRandom(seed_, link, flow_id, attempt) < rule.drop_probability)) {
+      decision.drop = true;
+    }
+    decision.extra_latency_seconds += rule.extra_latency_seconds;
+    decision.bandwidth_factor *= rule.bandwidth_factor;
+  }
+  return decision;
+}
+
+FaultRule FaultPlan::Partition(NodeId a, NodeId b, uint32_t heal_at_attempt) {
+  FaultRule rule;
+  rule.all_links = false;
+  rule.a = a;
+  rule.b = b;
+  rule.attempt_end = heal_at_attempt;
+  rule.drop_probability = 1.0;
+  return rule;
+}
+
+FaultRule FaultPlan::Flaky(double drop_probability) {
+  FaultRule rule;
+  rule.drop_probability = drop_probability;
+  return rule;
+}
+
+FaultRule FaultPlan::SlowLinks(double bandwidth_factor,
+                               double extra_latency_seconds) {
+  FaultRule rule;
+  rule.bandwidth_factor = bandwidth_factor;
+  rule.extra_latency_seconds = extra_latency_seconds;
+  return rule;
+}
+
+}  // namespace pocs::netsim

@@ -1,0 +1,88 @@
+// Seeded, deterministic fault injection for the simulated network.
+//
+// A FaultPlan is a list of rules; each rule scopes to every link or to one
+// undirected node pair, optionally restricted to a retry-attempt window
+// and/or a simulated-time window, and applies some combination of
+//   * drop_probability      — the transfer fails with kUnavailable,
+//   * extra_latency_seconds — added to the modelled transfer time,
+//   * bandwidth_factor      — the link's bandwidth is scaled (<1 degrades).
+//
+// Determinism is the design constraint: chaos CI requires that two runs
+// with the same seed produce bit-identical metrics even though splits
+// execute on a thread pool in arbitrary interleavings. Drop decisions are
+// therefore pure functions of (seed, link, flow_id, attempt) — no shared
+// counters, no wall clock. Time-window rules evaluate against the
+// network's accumulated simulated clock, which is only reproducible for
+// single-threaded issue orders; the CI chaos profiles stick to
+// attempt-window rules, which are interleaving-proof.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace pocs::netsim {
+
+using NodeId = uint32_t;
+
+struct FaultRule {
+  // Scope: every link, or exactly the undirected pair {a, b}.
+  bool all_links = true;
+  NodeId a = 0;
+  NodeId b = 0;
+  // Retry-attempt window [attempt_begin, attempt_end): models transient
+  // faults that heal after N retries (or that only hit early attempts).
+  uint32_t attempt_begin = 0;
+  uint32_t attempt_end = std::numeric_limits<uint32_t>::max();
+  // Simulated-time window [time_begin_seconds, time_end_seconds) against
+  // the network's accumulated modelled clock. Deterministic only under a
+  // single-threaded issue order; see the header comment.
+  double time_begin_seconds = 0;
+  double time_end_seconds = std::numeric_limits<double>::infinity();
+  // Effects (combined across matching rules: drop wins, latencies add,
+  // bandwidth factors multiply).
+  double drop_probability = 0;      // 1.0 = hard partition
+  double extra_latency_seconds = 0;
+  double bandwidth_factor = 1.0;    // < 1 degrades the link
+};
+
+struct FaultDecision {
+  bool drop = false;
+  double extra_latency_seconds = 0;
+  double bandwidth_factor = 1.0;
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(uint64_t seed = 0) : seed_(seed) {}
+
+  // Build-time only; not safe to call concurrently with Evaluate.
+  void AddRule(FaultRule rule) { rules_.push_back(rule); }
+
+  // Pure function of its arguments plus the plan's seed: safe (and
+  // reproducible) from any thread.
+  FaultDecision Evaluate(NodeId from, NodeId to, uint64_t flow_id,
+                         uint32_t attempt, double now_seconds) const;
+
+  uint64_t seed() const { return seed_; }
+  bool empty() const { return rules_.empty(); }
+
+  // Rule constructors for the common chaos shapes.
+  // Hard partition of one node pair that heals once a call reaches the
+  // given attempt index (UINT32_MAX = never heals).
+  static FaultRule Partition(
+      NodeId a, NodeId b,
+      uint32_t heal_at_attempt = std::numeric_limits<uint32_t>::max());
+  // Every transfer on every link fails independently with probability p.
+  static FaultRule Flaky(double drop_probability);
+  // Every link runs at bandwidth_factor of its configured bandwidth with
+  // extra per-transfer latency.
+  static FaultRule SlowLinks(double bandwidth_factor,
+                             double extra_latency_seconds);
+
+ private:
+  uint64_t seed_;
+  std::vector<FaultRule> rules_;
+};
+
+}  // namespace pocs::netsim

@@ -4,9 +4,28 @@
 
 namespace pocs::netsim {
 
-double Network::Transfer(NodeId from, NodeId to, uint64_t bytes,
-                         uint64_t messages) {
+Result<double> Network::Transfer(NodeId from, NodeId to, uint64_t bytes,
+                                 uint64_t messages, TransferOptions options) {
   if (from == to) return 0.0;
+
+  FaultDecision fault;
+  {
+    std::lock_guard lock(mu_);
+    if (fault_plan_ && !fault_plan_->empty()) {
+      fault = fault_plan_->Evaluate(from, to, options.flow_id, options.attempt,
+                                    sim_now_);
+    }
+  }
+  if (fault.drop) {
+    auto& reg = metrics::Registry::Default();
+    static auto& dropped = reg.GetCounter("netsim.dropped_transfers");
+    static auto& dropped_bytes = reg.GetCounter("netsim.dropped_bytes");
+    dropped.Increment();
+    dropped_bytes.Add(bytes);
+    return Status::Unavailable("netsim: transfer " + NodeName(from) + " -> " +
+                               NodeName(to) + " dropped by fault plan");
+  }
+
   // Process-wide wire accounting (survives per-query ResetCounters).
   {
     auto& reg = metrics::Registry::Default();
@@ -17,12 +36,16 @@ double Network::Transfer(NodeId from, NodeId to, uint64_t bytes,
   }
   std::lock_guard lock(mu_);
   LinkConfig link = LinkFor(from, to);
-  double seconds = static_cast<double>(bytes) / link.bandwidth_bytes_per_sec +
-                   static_cast<double>(messages) * link.latency_sec;
+  double seconds =
+      static_cast<double>(bytes) /
+          (link.bandwidth_bytes_per_sec * fault.bandwidth_factor) +
+      static_cast<double>(messages) * link.latency_sec +
+      fault.extra_latency_seconds;
   FlowStats& flow = flows_[Key(from, to)];
   flow.bytes += bytes;
   flow.messages += messages;
   flow.seconds += seconds;
+  sim_now_ += seconds;
   return seconds;
 }
 

@@ -13,15 +13,15 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 
 #include "common/check.h"
 #include "common/status.h"
+#include "netsim/fault_plan.h"
 
 namespace pocs::netsim {
-
-using NodeId = uint32_t;
 
 struct LinkConfig {
   double bandwidth_bytes_per_sec = 1.25e9;  // 10 GbE
@@ -43,6 +43,14 @@ struct FlowStats {
   uint64_t bytes = 0;
   uint64_t messages = 0;
   double seconds = 0;
+};
+
+// Identity of one logical transfer for fault evaluation: flow_id keys
+// the payload (e.g. a hash of the RPC method + request) and attempt is
+// the caller's retry index, so the fault plan can re-roll per retry.
+struct TransferOptions {
+  uint64_t flow_id = 0;
+  uint32_t attempt = 0;
 };
 
 class Network {
@@ -74,10 +82,25 @@ class Network {
     links_[Key(a, b)] = link;
   }
 
-  // Charge a transfer; returns the modelled wall seconds it would take.
-  // A node talking to itself is free (local I/O is part of compute time).
-  double Transfer(NodeId from, NodeId to, uint64_t bytes,
-                  uint64_t messages = 1);
+  // Charge a transfer; returns the modelled wall seconds it would take,
+  // or kUnavailable when the active fault plan drops it. A node talking
+  // to itself is free (local I/O is part of compute time).
+  Result<double> Transfer(NodeId from, NodeId to, uint64_t bytes,
+                          uint64_t messages = 1, TransferOptions options = {});
+
+  // Install (or clear, with nullptr) the fault plan every subsequent
+  // Transfer consults.
+  void SetFaultPlan(std::shared_ptr<const FaultPlan> plan) {
+    std::lock_guard lock(mu_);
+    fault_plan_ = std::move(plan);
+  }
+
+  // Accumulated modelled seconds across all successful transfers — the
+  // simulated clock that time-window fault rules evaluate against.
+  double SimNow() const {
+    std::lock_guard lock(mu_);
+    return sim_now_;
+  }
 
   FlowStats FlowBetween(NodeId a, NodeId b) const;
   FlowStats Total() const;
@@ -98,6 +121,9 @@ class Network {
   std::deque<std::string> nodes_;  // deque: stable refs under growth
   std::map<uint64_t, LinkConfig> links_;
   std::map<uint64_t, FlowStats> flows_;
+  std::shared_ptr<const FaultPlan> fault_plan_;
+  double sim_now_ = 0;  // survives ResetCounters: it is a clock, not a stat
+
 };
 
 }  // namespace pocs::netsim

@@ -135,34 +135,38 @@ void FillInfo(const rpc::CallResult& call, TransferInfo* info) {
   if (!info) return;
   info->bytes_sent += call.request_bytes;
   info->bytes_received += call.response_bytes;
+  info->retries += call.retries;
   info->transfer_seconds += call.transfer_seconds;
 }
 
 }  // namespace
 
 Result<Bytes> StorageClient::Get(const std::string& bucket,
-                                 const std::string& key,
-                                 TransferInfo* info) const {
+                                 const std::string& key, TransferInfo* info,
+                                 const rpc::CallOptions& options) const {
   BufferWriter req;
   req.WriteString(bucket);
   req.WriteString(key);
-  POCS_ASSIGN_OR_RETURN(rpc::CallResult call, channel_.Call("Get", req.span()));
-  FillInfo(call, info);
+  rpc::CallResult call;
+  Status status = channel_.CallInto("Get", req.span(), options, &call);
+  FillInfo(call, info);  // lost attempts still cost modelled time
+  POCS_RETURN_NOT_OK(status);
   return std::move(call.response);
 }
 
 Result<Bytes> StorageClient::GetRange(const std::string& bucket,
                                       const std::string& key, uint64_t offset,
-                                      uint64_t length,
-                                      TransferInfo* info) const {
+                                      uint64_t length, TransferInfo* info,
+                                      const rpc::CallOptions& options) const {
   BufferWriter req;
   req.WriteString(bucket);
   req.WriteString(key);
   req.WriteVarint(offset);
   req.WriteVarint(length);
-  POCS_ASSIGN_OR_RETURN(rpc::CallResult call,
-                        channel_.Call("GetRange", req.span()));
+  rpc::CallResult call;
+  Status status = channel_.CallInto("GetRange", req.span(), options, &call);
   FillInfo(call, info);
+  POCS_RETURN_NOT_OK(status);
   return std::move(call.response);
 }
 
@@ -204,13 +208,15 @@ Status StorageClient::Put(const std::string& bucket, const std::string& key,
   return Status::OK();
 }
 
-Result<SelectResponse> StorageClient::Select(const SelectRequest& request,
-                                             TransferInfo* info) const {
+Result<SelectResponse> StorageClient::Select(
+    const SelectRequest& request, TransferInfo* info,
+    const rpc::CallOptions& options) const {
   BufferWriter req;
   EncodeSelectRequest(request, &req);
-  POCS_ASSIGN_OR_RETURN(rpc::CallResult call,
-                        channel_.Call("Select", req.span()));
+  rpc::CallResult call;
+  Status status = channel_.CallInto("Select", req.span(), options, &call);
   FillInfo(call, info);
+  POCS_RETURN_NOT_OK(status);
   BufferReader in(call.response.data(), call.response.size());
   SelectResponse response;
   POCS_ASSIGN_OR_RETURN(response.stats, DecodeSelectStats(&in));

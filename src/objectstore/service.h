@@ -22,6 +22,7 @@ void RegisterStorageService(const std::shared_ptr<ObjectStore>& store,
 struct TransferInfo {
   uint64_t bytes_sent = 0;
   uint64_t bytes_received = 0;
+  uint64_t retries = 0;  // rpc attempts beyond the first
   double transfer_seconds = 0;
 };
 
@@ -29,11 +30,16 @@ class StorageClient {
  public:
   explicit StorageClient(rpc::Channel channel) : channel_(std::move(channel)) {}
 
+  // Data-path methods take per-call rpc options (retry budget, deadline);
+  // the defaults preserve single-attempt behaviour. On failure, `info`
+  // still accumulates the modelled cost of the lost attempts.
   Result<Bytes> Get(const std::string& bucket, const std::string& key,
-                    TransferInfo* info = nullptr) const;
+                    TransferInfo* info = nullptr,
+                    const rpc::CallOptions& options = {}) const;
   Result<Bytes> GetRange(const std::string& bucket, const std::string& key,
                          uint64_t offset, uint64_t length,
-                         TransferInfo* info = nullptr) const;
+                         TransferInfo* info = nullptr,
+                         const rpc::CallOptions& options = {}) const;
   Result<uint64_t> Size(const std::string& bucket,
                         const std::string& key) const;
   Result<std::vector<std::string>> List(const std::string& bucket,
@@ -41,7 +47,8 @@ class StorageClient {
   Status Put(const std::string& bucket, const std::string& key,
              ByteSpan data) const;
   Result<SelectResponse> Select(const SelectRequest& request,
-                                TransferInfo* info = nullptr) const;
+                                TransferInfo* info = nullptr,
+                                const rpc::CallOptions& options = {}) const;
 
  private:
   rpc::Channel channel_;

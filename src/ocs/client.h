@@ -15,20 +15,30 @@ class OcsClient {
   explicit OcsClient(rpc::Channel channel) : channel_(std::move(channel)) {}
 
   // Ship the plan, execute in storage, return stats + the decoded table.
+  // On failure, `info` still reports the modelled cost of the lost
+  // attempts (retries and backoff), so callers can charge the rejection.
   Result<OcsResult> ExecutePlan(const substrait::Plan& plan,
-                                objectstore::TransferInfo* info = nullptr) const {
+                                objectstore::TransferInfo* info = nullptr,
+                                const rpc::CallOptions& options = {}) const {
     Bytes request = substrait::SerializePlan(plan);
-    POCS_ASSIGN_OR_RETURN(
-        rpc::CallResult call,
-        channel_.Call("ExecutePlan", ByteSpan(request.data(), request.size())));
+    rpc::CallResult call;
+    Status status = channel_.CallInto(
+        "ExecutePlan", ByteSpan(request.data(), request.size()), options,
+        &call);
     if (info) {
       info->bytes_sent += call.request_bytes;
       info->bytes_received += call.response_bytes;
+      info->retries += call.retries;
       info->transfer_seconds += call.transfer_seconds;
     }
+    POCS_RETURN_NOT_OK(status);
     BufferReader in(call.response.data(), call.response.size());
     return DecodeOcsResult(&in);
   }
+
+  // The underlying channel to the frontend — the connector's engine-side
+  // fallback builds a StorageClient on it to fetch raw objects.
+  const rpc::Channel& channel() const { return channel_; }
 
   // Decode the Arrow payload of a result.
   static Result<std::shared_ptr<columnar::Table>> DecodeTable(

@@ -33,6 +33,7 @@ OcsCluster::OcsCluster(std::shared_ptr<netsim::Network> net,
   // request encoding (all start with bucket/key strings).
   frontend_server_->RegisterMethod(
       "ExecutePlan", [this](ByteSpan req) -> Result<Bytes> {
+        POCS_RETURN_NOT_OK(CheckFrontendUp());
         POCS_ASSIGN_OR_RETURN(substrait::Plan plan,
                               substrait::DeserializePlan(req));
         const substrait::Rel* read = plan.root.get();
@@ -43,6 +44,7 @@ OcsCluster::OcsCluster(std::shared_ptr<netsim::Network> net,
   for (const char* method : {"Get", "GetRange", "Size", "Select"}) {
     frontend_server_->RegisterMethod(
         method, [this, method](ByteSpan req) -> Result<Bytes> {
+          POCS_RETURN_NOT_OK(CheckFrontendUp());
           BufferReader in(req);
           POCS_ASSIGN_OR_RETURN(std::string bucket, in.ReadString());
           POCS_ASSIGN_OR_RETURN(std::string key, in.ReadString());
@@ -52,6 +54,7 @@ OcsCluster::OcsCluster(std::shared_ptr<netsim::Network> net,
 
   frontend_server_->RegisterMethod(
       "List", [this](ByteSpan req) -> Result<Bytes> {
+        POCS_RETURN_NOT_OK(CheckFrontendUp());
         // Fan out to all storage nodes and merge sorted key lists.
         std::vector<std::string> all;
         for (const auto& channel : storage_channels_) {
@@ -76,6 +79,7 @@ OcsCluster::OcsCluster(std::shared_ptr<netsim::Network> net,
 
   frontend_server_->RegisterMethod(
       "Put", [this](ByteSpan req) -> Result<Bytes> {
+        POCS_RETURN_NOT_OK(CheckFrontendUp());
         BufferReader in(req);
         POCS_ASSIGN_OR_RETURN(std::string bucket, in.ReadString());
         POCS_ASSIGN_OR_RETURN(std::string key, in.ReadString());

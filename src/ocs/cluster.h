@@ -6,6 +6,7 @@
 // network on the way.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -42,11 +43,29 @@ class OcsCluster {
 
   size_t num_storage_nodes() const { return storage_nodes_.size(); }
   const StorageNode& storage_node(size_t i) const { return *storage_nodes_[i]; }
+  StorageNode& mutable_storage_node(size_t i) { return *storage_nodes_[i]; }
+
+  // Crash the frontend process: every frontend method (ExecutePlan and
+  // the proxied object-store calls) rejects with kUnavailable until
+  // un-crashed. Unlike a storage-node exec crash there is no fallback
+  // path around a dead frontend — it is the cluster's single endpoint.
+  void SetFrontendCrashed(bool crashed) {
+    frontend_crashed_.store(crashed, std::memory_order_relaxed);
+  }
+  bool frontend_crashed() const {
+    return frontend_crashed_.load(std::memory_order_relaxed);
+  }
 
   // Total on-storage footprint across nodes.
   uint64_t TotalStoredBytes() const;
 
  private:
+  Status CheckFrontendUp() const {
+    if (frontend_crashed()) {
+      return Status::Unavailable("ocs: frontend is down");
+    }
+    return Status::OK();
+  }
   Result<size_t> NodeForObject(const std::string& bucket,
                                const std::string& key) const;
   // Existing placement if present, else assign round-robin and record it.
@@ -68,6 +87,7 @@ class OcsCluster {
   mutable std::mutex placement_mu_;
   std::map<std::string, size_t> placement_;  // "bucket/key" -> node index
   size_t next_node_ = 0;
+  std::atomic<bool> frontend_crashed_{false};
 };
 
 }  // namespace pocs::ocs

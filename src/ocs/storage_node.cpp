@@ -127,6 +127,12 @@ class ParquetObjectSource : public exec::BatchSource {
 }  // namespace
 
 Result<OcsResult> StorageNode::ExecutePlan(const substrait::Plan& plan) const {
+  if (faults_.exec_crashed.load(std::memory_order_relaxed)) {
+    auto& reg = metrics::Registry::Default();
+    static auto& rejected = reg.GetCounter("storage.exec_rejected");
+    rejected.Increment();
+    return Status::Unavailable("ocs: storage execution engine is down");
+  }
   POCS_RETURN_NOT_OK(substrait::ValidatePlan(plan));
   Stopwatch timer;
   OcsResult result;
@@ -171,7 +177,8 @@ Result<OcsResult> StorageNode::ExecutePlan(const substrait::Plan& plan) const {
   result.stats.rows_output = exec_stats.rows_output;
   result.arrow_ipc = columnar::ipc::SerializeTable(*table);
   result.stats.storage_compute_seconds =
-      timer.ElapsedSeconds() * config_.cpu_slowdown;
+      timer.ElapsedSeconds() * config_.cpu_slowdown +
+      faults_.exec_delay_seconds.load(std::memory_order_relaxed);
   result.stats.media_read_seconds =
       static_cast<double>(result.stats.object_bytes_read) /
       config_.media_read_bandwidth;

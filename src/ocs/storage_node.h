@@ -8,6 +8,7 @@
 // into query timing. Byte movement is never scaled — it is exact.
 #pragma once
 
+#include <atomic>
 #include <memory>
 
 #include "exec/plan_executor.h"
@@ -30,6 +31,18 @@ struct StorageNodeConfig {
   // derived from the paper's own Fig. 6 arithmetic: Zstd saved
   // filter-only ~198 s on ~15.7 GB of avoided reads ≈ 80 MB/s effective.
   double media_read_bandwidth = 80e6;
+};
+
+// Injectable failure modes for one storage node. Crashing targets only
+// the node's *computational* service: ExecutePlan rejects with
+// kUnavailable while the plain object-store methods stay up — mirroring
+// the paper's framing (and PushdownDB's) of in-storage execution as an
+// optional accelerator the engine must survive without. `exec_delay`
+// models a slow node by inflating the reported storage compute time; the
+// connector's storage deadline turns that into an offload rejection.
+struct StorageNodeFaults {
+  std::atomic<bool> exec_crashed{false};
+  std::atomic<double> exec_delay_seconds{0};
 };
 
 struct OcsExecStats {
@@ -64,9 +77,13 @@ class StorageNode {
   // server living on this node.
   void RegisterService(rpc::Server* server) const;
 
+  // Mutable fault switches; flipped by chaos tests at runtime.
+  StorageNodeFaults& faults() const { return faults_; }
+
  private:
   std::shared_ptr<objectstore::ObjectStore> store_;
   StorageNodeConfig config_;
+  mutable StorageNodeFaults faults_;
 };
 
 // Wire helpers for OcsResult (shared with the frontend, which forwards

@@ -6,8 +6,16 @@
 // response payloads to the netsim link and reports the modelled transfer
 // time alongside the response, so callers can fold it into their stage
 // timings.
+//
+// Calls take per-call CallOptions: a retry budget with exponential
+// backoff (seeded jitter, so replays are deterministic) and a modelled
+// per-attempt deadline. Only transport-class failures — kUnavailable and
+// kDeadlineExceeded — are retried; application errors surface immediately.
+// Backoff time is folded into the reported transfer seconds: waiting is
+// wall time the query would really spend.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <memory>
@@ -15,6 +23,7 @@
 #include <string>
 
 #include "common/buffer.h"
+#include "common/hash.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "netsim/network.h"
@@ -57,11 +66,35 @@ class Server {
   std::map<std::string, Handler> methods_;
 };
 
+// Per-call policy: how many attempts, how long each may take (modelled),
+// and how retries back off. Defaults preserve the pre-fault behaviour:
+// one attempt, no deadline.
+struct CallOptions {
+  uint32_t max_attempts = 1;
+  // Cap on one attempt's modelled transfer seconds; 0 disables. The
+  // deadline sees only network time — storage compute rides inside the
+  // opaque response and is policed by the caller (connector-level
+  // deadline, see OcsDispatchPolicy).
+  double deadline_seconds = 0;
+  double backoff_base_seconds = 0.05;
+  double backoff_multiplier = 2.0;
+  double backoff_max_seconds = 2.0;
+  // Seeds the deterministic jitter; same seed + same call ⇒ same backoff.
+  uint64_t jitter_seed = 0;
+};
+
+// Transport-class failures are worth retrying; application errors are not.
+inline bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kDeadlineExceeded;
+}
+
 struct CallResult {
   Bytes response;
   uint64_t request_bytes = 0;
   uint64_t response_bytes = 0;
-  double transfer_seconds = 0;  // modelled network time for this call
+  uint64_t retries = 0;         // attempts beyond the first
+  double transfer_seconds = 0;  // modelled network time incl. backoff waits
 };
 
 // Client-side endpoint bound to a server across the simulated network.
@@ -71,32 +104,109 @@ class Channel {
           std::shared_ptr<const Server> server)
       : net_(std::move(net)), client_(client), server_(std::move(server)) {}
 
-  Result<CallResult> Call(const std::string& method, ByteSpan request) const {
+  // Like Call, but fills `out` (attempt counts, modelled seconds) even on
+  // failure, so callers can account for the cost of a lost dispatch.
+  Status CallInto(const std::string& method, ByteSpan request,
+                  const CallOptions& options, CallResult* out) const {
     auto& reg = metrics::Registry::Default();
     static auto& calls = reg.GetCounter("rpc.calls");
     static auto& round_trips = reg.GetCounter("rpc.round_trips");
     static auto& req_bytes = reg.GetCounter("rpc.request_bytes");
     static auto& resp_bytes = reg.GetCounter("rpc.response_bytes");
+    static auto& retries_total = reg.GetCounter("rpc.retries");
+    static auto& deadline_exceeded = reg.GetCounter("rpc.deadline_exceeded");
+    static auto& failed_calls = reg.GetCounter("rpc.failed_calls");
 
+    // The flow id keys fault decisions to this call's content, so chaos
+    // runs are deterministic regardless of thread interleaving.
+    const uint64_t flow_id =
+        HashBytes(request.data(), request.size(), HashString(method));
+    out->request_bytes = request.size();
+    const uint32_t max_attempts = std::max<uint32_t>(options.max_attempts, 1);
+
+    Status last;
+    for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+      if (attempt > 0) {
+        retries_total.Increment();
+        ++out->retries;
+        out->transfer_seconds += BackoffSeconds(options, flow_id, attempt);
+      }
+      // Request-side metrics are recorded before dispatch: a failed call
+      // still put its request on the wire and must be counted.
+      calls.Increment();
+      req_bytes.Add(request.size());
+
+      double attempt_seconds = 0;
+      Status status = RunAttempt(method, request, options, flow_id, attempt,
+                                 &attempt_seconds, out, &round_trips);
+      if (status.ok() && options.deadline_seconds > 0 &&
+          attempt_seconds > options.deadline_seconds) {
+        deadline_exceeded.Increment();
+        status = Status::DeadlineExceeded(
+            "rpc: " + method + " attempt exceeded modelled deadline");
+      }
+      out->transfer_seconds += attempt_seconds;
+      if (status.ok()) {
+        resp_bytes.Add(out->response_bytes);
+        return status;
+      }
+      failed_calls.Increment();
+      last = std::move(status);
+      if (!IsRetryable(last)) break;
+    }
+    return last;
+  }
+
+  Result<CallResult> Call(const std::string& method, ByteSpan request,
+                          const CallOptions& options = {}) const {
     CallResult out;
-    out.request_bytes = request.size();
-    out.transfer_seconds +=
-        net_->Transfer(client_, server_->node(), request.size());
-    POCS_ASSIGN_OR_RETURN(out.response, server_->Dispatch(method, request));
-    out.response_bytes = out.response.size();
-    out.transfer_seconds +=
-        net_->Transfer(server_->node(), client_, out.response.size());
-
-    calls.Increment();
-    round_trips.Add(2);  // request + response leg per call
-    req_bytes.Add(out.request_bytes);
-    resp_bytes.Add(out.response_bytes);
+    POCS_RETURN_NOT_OK(CallInto(method, request, options, &out));
     return out;
   }
 
   netsim::NodeId server_node() const { return server_->node(); }
 
  private:
+  Status RunAttempt(const std::string& method, ByteSpan request,
+                    const CallOptions& options, uint64_t flow_id,
+                    uint32_t attempt, double* attempt_seconds, CallResult* out,
+                    metrics::Counter* round_trips) const {
+    (void)options;
+    netsim::TransferOptions transfer{flow_id, attempt};
+    auto req_leg =
+        net_->Transfer(client_, server_->node(), request.size(), 1, transfer);
+    POCS_RETURN_NOT_OK(req_leg.status());
+    *attempt_seconds += *req_leg;
+    round_trips->Increment();
+
+    POCS_ASSIGN_OR_RETURN(Bytes response, server_->Dispatch(method, request));
+
+    auto resp_leg =
+        net_->Transfer(server_->node(), client_, response.size(), 1, transfer);
+    POCS_RETURN_NOT_OK(resp_leg.status());
+    *attempt_seconds += *resp_leg;
+    round_trips->Increment();
+
+    out->response = std::move(response);
+    out->response_bytes = out->response.size();
+    return Status::OK();
+  }
+
+  // Exponential backoff before retry `attempt` (>= 1), with deterministic
+  // jitter in [0.5, 1.0) of the nominal delay.
+  static double BackoffSeconds(const CallOptions& options, uint64_t flow_id,
+                               uint32_t attempt) {
+    double nominal = options.backoff_base_seconds;
+    for (uint32_t i = 1; i < attempt; ++i) {
+      nominal *= options.backoff_multiplier;
+    }
+    nominal = std::min(nominal, options.backoff_max_seconds);
+    const uint64_t h =
+        HashCombine(HashCombine(options.jitter_seed, flow_id), attempt);
+    const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+    return nominal * (0.5 + 0.5 * unit);
+  }
+
   std::shared_ptr<netsim::Network> net_;
   netsim::NodeId client_;
   std::shared_ptr<const Server> server_;

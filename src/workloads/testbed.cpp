@@ -45,7 +45,7 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
   // The Presto-OCS connector.
   engine_->RegisterConnector(std::make_shared<connectors::OcsConnector>(
       "ocs", metastore_, ocs::OcsClient(frontend_channel()),
-      config_.ocs_connector));
+      config_.ocs_connector, history_));
 }
 
 void Testbed::RegisterOcsCatalog(const std::string& name,
@@ -54,7 +54,11 @@ void Testbed::RegisterOcsCatalog(const std::string& name,
       name, metastore_,
       ocs::OcsClient(
           rpc::Channel(net_, compute_node_, cluster_->frontend_server())),
-      config));
+      config, history_));
+}
+
+void Testbed::SetFaultPlan(std::shared_ptr<const netsim::FaultPlan> plan) {
+  net_->SetFaultPlan(std::move(plan));
 }
 
 Status Testbed::Ingest(GeneratedDataset dataset) {

@@ -56,6 +56,11 @@ class Testbed {
   connectors::PushdownHistory& history() { return *history_; }
   connector::QueryStatsCollector& stats() { return *stats_; }
   const TestbedConfig& config() const { return config_; }
+  netsim::NodeId compute_node() const { return compute_node_; }
+
+  // Install (or clear, with nullptr) a fault plan on the simulated
+  // network shared by every channel in the testbed.
+  void SetFaultPlan(std::shared_ptr<const netsim::FaultPlan> plan);
 
   // Register an additional Presto-OCS catalog with a custom connector
   // configuration (used by the progressive-pushdown and ablation benches).

@@ -1,0 +1,167 @@
+// The chaos matrix cell runner: `chaos_test --profile=<p> --seed=<n>`
+// builds a fault-free reference testbed and a faulted one, runs the
+// paper's workload queries on both, and asserts
+//   1. every query under faults returns rows identical to the reference,
+//   2. the profile's degradation signature shows up in QueryStats
+//      (fallbacks where in-storage execution is taken away, retries on
+//      transient faults), and
+//   3. replaying the same profile + seed reproduces rows AND stats
+//      bit-for-bit (the determinism contract chaos CI depends on).
+// Registered in tests/CMakeLists.txt as one ctest entry per profile ×
+// seed, labelled `chaos` (run locally with `ctest -L chaos`).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "workloads/chaos.h"
+
+namespace pocs::workloads {
+namespace {
+
+ChaosConfig g_chaos{.profile = "crash-storage", .seed = 1};
+
+std::string Canonicalize(const columnar::RecordBatch& batch) {
+  std::vector<std::string> rows;
+  for (size_t r = 0; r < batch.num_rows(); ++r) {
+    std::string row;
+    for (size_t c = 0; c < batch.num_columns(); ++c) {
+      if (c) row += "|";
+      const auto& col = *batch.column(c);
+      if (col.IsNull(r)) {
+        row += "NULL";
+      } else if (col.type() == columnar::TypeKind::kFloat64) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.9g", col.GetFloat64(r));
+        row += buf;
+      } else {
+        row += col.GetDatum(r).ToString();
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end());
+  std::string out;
+  for (const auto& row : rows) {
+    out += row;
+    out += "\n";
+  }
+  return out;
+}
+
+// Everything a replay must reproduce exactly.
+struct QueryFingerprint {
+  std::string rows;
+  uint64_t bytes_from_storage = 0;
+  uint64_t bytes_to_storage = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t retries = 0;
+  uint64_t fallbacks = 0;
+  uint64_t failed_splits = 0;
+  bool operator==(const QueryFingerprint&) const = default;
+};
+
+Result<std::unique_ptr<Testbed>> BuildBed(const ChaosConfig& chaos) {
+  POCS_ASSIGN_OR_RETURN(TestbedConfig config, MakeChaosTestbedConfig(chaos));
+  auto bed = std::make_unique<Testbed>(config);
+  POCS_RETURN_NOT_OK(IngestChaosDatasets(bed.get()));
+  POCS_RETURN_NOT_OK(ApplyChaos(bed.get(), chaos));
+  return bed;
+}
+
+Result<std::map<std::string, QueryFingerprint>> RunAll(Testbed* bed) {
+  std::map<std::string, QueryFingerprint> out;
+  for (const auto& [name, sql] : ChaosQueries()) {
+    POCS_ASSIGN_OR_RETURN(engine::QueryResult result, bed->Run(sql, "ocs"));
+    out[name] = QueryFingerprint{Canonicalize(*result.table),
+                                 result.metrics.bytes_from_storage,
+                                 result.metrics.bytes_to_storage,
+                                 result.metrics.rows_scanned,
+                                 result.metrics.retries,
+                                 result.metrics.fallbacks,
+                                 result.metrics.failed_splits};
+  }
+  return out;
+}
+
+TEST(ChaosMatrix, FaultedQueriesMatchReferenceWithExpectedSignature) {
+  auto expectation = ChaosExpectationFor(g_chaos.profile);
+  ASSERT_TRUE(expectation.ok()) << expectation.status();
+
+  auto reference_bed =
+      BuildBed(ChaosConfig{.profile = "none", .seed = g_chaos.seed});
+  ASSERT_TRUE(reference_bed.ok()) << reference_bed.status();
+  auto reference = RunAll(reference_bed->get());
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  auto chaos_bed = BuildBed(g_chaos);
+  ASSERT_TRUE(chaos_bed.ok()) << chaos_bed.status();
+  auto faulted = RunAll(chaos_bed->get());
+  ASSERT_TRUE(faulted.ok()) << faulted.status();
+
+  for (const auto& [name, clean] : *reference) {
+    const QueryFingerprint& dirty = (*faulted)[name];
+    EXPECT_EQ(dirty.rows, clean.rows) << name << " rows diverged under "
+                                      << g_chaos.profile;
+    if (expectation->expect_fallbacks) {
+      EXPECT_GT(dirty.fallbacks, 0u) << name;
+      EXPECT_GT(dirty.failed_splits, 0u) << name;
+    }
+    if (expectation->expect_retries) {
+      EXPECT_GT(dirty.retries, 0u) << name;
+      EXPECT_EQ(dirty.fallbacks, 0u) << name << ": transient faults must "
+                                     << "heal via retries, not fallbacks";
+    }
+  }
+  // The reference run itself must be fault-free.
+  for (const auto& [name, clean] : *reference) {
+    EXPECT_EQ(clean.fallbacks, 0u) << name;
+    EXPECT_EQ(clean.failed_splits, 0u) << name;
+    EXPECT_EQ(clean.retries, 0u) << name;
+  }
+}
+
+TEST(ChaosMatrix, DeterministicReplay) {
+  auto first_bed = BuildBed(g_chaos);
+  ASSERT_TRUE(first_bed.ok()) << first_bed.status();
+  auto first = RunAll(first_bed->get());
+  ASSERT_TRUE(first.ok()) << first.status();
+
+  auto second_bed = BuildBed(g_chaos);
+  ASSERT_TRUE(second_bed.ok()) << second_bed.status();
+  auto second = RunAll(second_bed->get());
+  ASSERT_TRUE(second.ok()) << second.status();
+
+  for (const auto& [name, fp] : *first) {
+    const QueryFingerprint& replay = (*second)[name];
+    EXPECT_EQ(replay.rows, fp.rows) << name;
+    EXPECT_EQ(replay.bytes_from_storage, fp.bytes_from_storage) << name;
+    EXPECT_EQ(replay.bytes_to_storage, fp.bytes_to_storage) << name;
+    EXPECT_EQ(replay.rows_scanned, fp.rows_scanned) << name;
+    EXPECT_EQ(replay.retries, fp.retries) << name;
+    EXPECT_EQ(replay.fallbacks, fp.fallbacks) << name;
+    EXPECT_EQ(replay.failed_splits, fp.failed_splits) << name;
+  }
+}
+
+}  // namespace
+}  // namespace pocs::workloads
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--profile=", 0) == 0) {
+      pocs::workloads::g_chaos.profile = arg.substr(10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      pocs::workloads::g_chaos.seed = std::strtoull(arg.c_str() + 7,
+                                                    nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,312 @@
+// Fault injection and graceful degradation: rpc retry/deadline/backoff
+// semantics, and the end-to-end recovery paths — a crashed storage exec
+// engine degrades to the engine-side scan (queries still answer
+// correctly, listeners see the fallbacks), a dead frontend propagates
+// cleanly, and a Hive Select that exhausts its retries re-plans as a raw
+// GET with the filter applied compute-side.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+#include "netsim/fault_plan.h"
+#include "rpc/rpc.h"
+#include "workloads/chaos.h"
+#include "workloads/laghos.h"
+#include "workloads/testbed.h"
+
+namespace pocs {
+namespace {
+
+std::string Canonicalize(const columnar::RecordBatch& batch) {
+  std::vector<std::string> rows;
+  for (size_t r = 0; r < batch.num_rows(); ++r) {
+    std::string row;
+    for (size_t c = 0; c < batch.num_columns(); ++c) {
+      if (c) row += "|";
+      const auto& col = *batch.column(c);
+      if (col.IsNull(r)) {
+        row += "NULL";
+      } else if (col.type() == columnar::TypeKind::kFloat64) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.9g", col.GetFloat64(r));
+        row += buf;
+      } else {
+        row += col.GetDatum(r).ToString();
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end());
+  std::string out;
+  for (const auto& row : rows) {
+    out += row;
+    out += "\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// rpc retry semantics
+// ---------------------------------------------------------------------------
+
+struct RpcFixture {
+  std::shared_ptr<netsim::Network> net;
+  netsim::NodeId client_node;
+  netsim::NodeId server_node;
+  std::shared_ptr<rpc::Server> server;
+
+  explicit RpcFixture(netsim::LinkConfig link = {1e9, 100e-6})
+      : net(std::make_shared<netsim::Network>(link)),
+        client_node(net->AddNode("client")),
+        server_node(net->AddNode("server")),
+        server(std::make_shared<rpc::Server>(server_node, "svc")) {}
+
+  rpc::Channel channel() const { return {net, client_node, server}; }
+};
+
+TEST(RpcRetry, TransientUnavailableHealsWithinBudget) {
+  RpcFixture fx;
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  fx.server->RegisterMethod("Work", [calls](ByteSpan req) -> Result<Bytes> {
+    if (calls->fetch_add(1) < 2) return Status::Unavailable("warming up");
+    return Bytes(req.begin(), req.end());
+  });
+  Bytes req = {9, 8, 7};
+  rpc::CallOptions options;
+  options.max_attempts = 3;
+  auto result =
+      fx.channel().Call("Work", ByteSpan(req.data(), req.size()), options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->response, req);
+  EXPECT_EQ(result->retries, 2u);
+  EXPECT_EQ(calls->load(), 3);
+  // Backoff waits are folded into the modelled time: two retries must
+  // cost at least two half-base waits on top of the wire time.
+  EXPECT_GT(result->transfer_seconds, options.backoff_base_seconds);
+}
+
+TEST(RpcRetry, BudgetExhaustionReturnsLastError) {
+  RpcFixture fx;
+  fx.server->RegisterMethod("Down", [](ByteSpan) -> Result<Bytes> {
+    return Status::Unavailable("dead");
+  });
+  rpc::CallOptions options;
+  options.max_attempts = 4;
+  rpc::CallResult out;
+  Status status = fx.channel().CallInto("Down", ByteSpan(), options, &out);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  // The cost of the lost attempts is still reported.
+  EXPECT_EQ(out.retries, 3u);
+  EXPECT_GT(out.transfer_seconds, 0.0);
+}
+
+TEST(RpcRetry, NonRetryableErrorsAreNotRetried) {
+  RpcFixture fx;
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  fx.server->RegisterMethod("Bug", [calls](ByteSpan) -> Result<Bytes> {
+    calls->fetch_add(1);
+    return Status::Internal("application bug");
+  });
+  rpc::CallOptions options;
+  options.max_attempts = 5;
+  auto result = fx.channel().Call("Bug", ByteSpan(), options);
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(calls->load(), 1);
+}
+
+TEST(RpcRetry, DeadlineExceededOnSlowLink) {
+  RpcFixture fx(netsim::LinkConfig{1e9, /*latency=*/1.0});
+  fx.server->RegisterMethod("Echo", [](ByteSpan req) -> Result<Bytes> {
+    return Bytes(req.begin(), req.end());
+  });
+  rpc::CallOptions options;
+  options.max_attempts = 2;
+  options.deadline_seconds = 0.5;  // each attempt needs ~2 s of latency
+  rpc::CallResult out;
+  Status status = fx.channel().CallInto("Echo", ByteSpan(), options, &out);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(out.retries, 1u);  // deadline misses are retryable
+}
+
+TEST(RpcRetry, BackoffIsDeterministicPerSeed) {
+  auto run = [](uint64_t jitter_seed) {
+    RpcFixture fx;
+    fx.server->RegisterMethod("Down", [](ByteSpan) -> Result<Bytes> {
+      return Status::Unavailable("dead");
+    });
+    rpc::CallOptions options;
+    options.max_attempts = 4;
+    options.jitter_seed = jitter_seed;
+    rpc::CallResult out;
+    Bytes req = {1, 2, 3};
+    (void)fx.channel().CallInto("Down", ByteSpan(req.data(), req.size()),
+                                options, &out);
+    return out.transfer_seconds;
+  };
+  EXPECT_EQ(run(5), run(5));     // replays are bit-identical
+  EXPECT_NE(run(5), run(6));     // the jitter really is seeded
+}
+
+// ---------------------------------------------------------------------------
+// end-to-end degradation
+// ---------------------------------------------------------------------------
+
+workloads::LaghosConfig SmallLaghos() {
+  workloads::LaghosConfig config;
+  config.num_files = 3;
+  config.rows_per_file = 1 << 12;
+  config.rows_per_vertex = 8;
+  return config;
+}
+
+TEST(FaultInjectionE2E, CrashedStorageExecFallsBackToEngineScan) {
+  workloads::Testbed bed;
+  auto data = workloads::GenerateLaghos(SmallLaghos());
+  ASSERT_TRUE(data.ok());
+  ASSERT_TRUE(bed.Ingest(std::move(*data)).ok());
+  const std::string sql = workloads::LaghosQuery("laghos");
+
+  auto reference = bed.Run(sql, "ocs");
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  EXPECT_EQ(reference->metrics.fallbacks, 0u);
+
+  for (size_t i = 0; i < bed.cluster().num_storage_nodes(); ++i) {
+    bed.cluster().mutable_storage_node(i).faults().exec_crashed.store(true);
+  }
+  auto degraded = bed.Run(sql, "ocs");
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+
+  // Same rows, recovered entirely through the engine-side scan.
+  EXPECT_EQ(Canonicalize(*degraded->table), Canonicalize(*reference->table));
+  const auto& m = degraded->metrics;
+  EXPECT_EQ(m.fallbacks, m.splits);
+  EXPECT_EQ(m.failed_splits, m.splits);
+  EXPECT_EQ(m.retries, 2 * m.splits);  // 3 attempts per dispatch
+  EXPECT_GT(m.splits, 0u);
+
+  // The rejection trail: PushdownHistory records every exhausted
+  // dispatch, and the stats listener sees the fallbacks.
+  EXPECT_GE(bed.history().total_offload_rejections(), m.splits);
+  auto rejections = bed.history().offload_rejections();
+  ASSERT_FALSE(rejections.empty());
+  EXPECT_EQ(rejections.back().connector_id, "ocs");
+  EXPECT_EQ(rejections.back().code, StatusCode::kUnavailable);
+  EXPECT_EQ(bed.stats().last().fallbacks, m.splits);
+  EXPECT_EQ(bed.stats().TotalsFor("ocs").fallbacks, m.splits);
+
+  // Un-crash: pushdown resumes, no fallbacks.
+  for (size_t i = 0; i < bed.cluster().num_storage_nodes(); ++i) {
+    bed.cluster().mutable_storage_node(i).faults().exec_crashed.store(false);
+  }
+  auto healed = bed.Run(sql, "ocs");
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(healed->metrics.fallbacks, 0u);
+}
+
+TEST(FaultInjectionE2E, SlowStorageTripsConnectorDeadline) {
+  workloads::TestbedConfig config;
+  config.ocs_connector.dispatch.storage_deadline_seconds = 0.25;
+  workloads::Testbed bed(config);
+  auto data = workloads::GenerateLaghos(SmallLaghos());
+  ASSERT_TRUE(data.ok());
+  ASSERT_TRUE(bed.Ingest(std::move(*data)).ok());
+  const std::string sql = workloads::LaghosQuery("laghos");
+
+  auto fast = bed.Run(sql, "ocs");
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(fast->metrics.fallbacks, 0u);
+
+  // Degrade the node: each in-storage execution now reports an extra
+  // second of compute, blowing the connector's storage deadline.
+  for (size_t i = 0; i < bed.cluster().num_storage_nodes(); ++i) {
+    bed.cluster().mutable_storage_node(i).faults().exec_delay_seconds.store(
+        1.0);
+  }
+  auto slow = bed.Run(sql, "ocs");
+  ASSERT_TRUE(slow.ok()) << slow.status();
+  EXPECT_EQ(Canonicalize(*slow->table), Canonicalize(*fast->table));
+  EXPECT_EQ(slow->metrics.fallbacks, slow->metrics.splits);
+}
+
+TEST(FaultInjectionE2E, CrashedFrontendPropagatesUnavailable) {
+  workloads::Testbed bed;
+  auto data = workloads::GenerateLaghos(SmallLaghos());
+  ASSERT_TRUE(data.ok());
+  ASSERT_TRUE(bed.Ingest(std::move(*data)).ok());
+  const std::string sql = workloads::LaghosQuery("laghos");
+
+  bed.cluster().SetFrontendCrashed(true);
+  // No path around a dead frontend: the fallback GET rides through it
+  // too, so the query fails — with the transport error, not a crash.
+  auto result = bed.Run(sql, "ocs");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+
+  bed.cluster().SetFrontendCrashed(false);
+  auto recovered = bed.Run(sql, "ocs");
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->metrics.fallbacks, 0u);
+}
+
+TEST(FaultInjectionE2E, HiveSelectFallsBackToRawGet) {
+  workloads::TestbedConfig config;
+  config.hive.call.max_attempts = 2;           // Select: attempts 0–1
+  config.hive.fallback_call.max_attempts = 6;  // GET: reaches the heal
+  workloads::Testbed bed(config);
+  auto data = workloads::GenerateLaghos(SmallLaghos());
+  ASSERT_TRUE(data.ok());
+  ASSERT_TRUE(bed.Ingest(std::move(*data)).ok());
+  // A filter the Select API accepts, so the fallback must re-apply it
+  // compute-side to honour the pushdown contract.
+  const std::string sql =
+      "SELECT vertex_id, e FROM laghos WHERE x < 2.0 AND e > 100.0";
+
+  auto reference = bed.Run(sql, "hive");
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  EXPECT_EQ(reference->metrics.fallbacks, 0u);
+
+  // Partition compute ↔ frontend until attempt 4: the Select's 2-attempt
+  // budget exhausts, the fallback GET's 6-attempt budget heals through.
+  auto plan = std::make_shared<netsim::FaultPlan>(11);
+  plan->AddRule(netsim::FaultPlan::Partition(
+      bed.compute_node(), bed.cluster().frontend_node(),
+      /*heal_at_attempt=*/4));
+  bed.SetFaultPlan(plan);
+
+  auto degraded = bed.Run(sql, "hive");
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_EQ(Canonicalize(*degraded->table), Canonicalize(*reference->table));
+  EXPECT_EQ(degraded->metrics.fallbacks, degraded->metrics.splits);
+  EXPECT_EQ(degraded->metrics.failed_splits, degraded->metrics.splits);
+  EXPECT_GT(degraded->metrics.retries, 0u);
+}
+
+TEST(FaultInjectionE2E, DeterministicReplaySameSeedSamePlan) {
+  auto run = [](uint64_t seed) {
+    workloads::ChaosConfig chaos{.profile = "flaky-rpc", .seed = seed};
+    auto config = workloads::MakeChaosTestbedConfig(chaos);
+    EXPECT_TRUE(config.ok());
+    auto bed = std::make_unique<workloads::Testbed>(*config);
+    auto data = workloads::GenerateLaghos(SmallLaghos());
+    EXPECT_TRUE(data.ok());
+    EXPECT_TRUE(bed->Ingest(std::move(*data)).ok());
+    EXPECT_TRUE(workloads::ApplyChaos(bed.get(), chaos).ok());
+    auto result = bed->Run(workloads::LaghosQuery("laghos"), "ocs");
+    EXPECT_TRUE(result.ok());
+    struct Fingerprint {
+      std::string rows;
+      uint64_t bytes, retries, fallbacks, failed;
+      bool operator==(const Fingerprint&) const = default;
+    };
+    return Fingerprint{Canonicalize(*result->table),
+                       result->metrics.bytes_from_storage,
+                       result->metrics.retries,
+                       result->metrics.fallbacks,
+                       result->metrics.failed_splits};
+  };
+  EXPECT_TRUE(run(3) == run(3));
+}
+
+}  // namespace
+}  // namespace pocs

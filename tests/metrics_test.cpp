@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "netsim/network.h"
+#include "rpc/rpc.h"
 
 namespace pocs::metrics {
 namespace {
@@ -120,6 +122,47 @@ TEST(Registry, DefaultIsProcessWide) {
   Counter& a = Registry::Default().GetCounter("metrics_test.default_probe");
   Counter& b = Registry::Default().GetCounter("metrics_test.default_probe");
   EXPECT_EQ(&a, &b);
+}
+
+// Regression test: rpc.calls / rpc.request_bytes used to be recorded only
+// after a successful dispatch, so failed calls vanished from the request
+// side of the ledger. They must be counted per attempt, before dispatch —
+// a failed call still put its request on the wire — and every failed
+// attempt must show up in rpc.failed_calls.
+TEST(RpcMetrics, FailedCallsStillCountRequestSideMetrics) {
+  auto net = std::make_shared<pocs::netsim::Network>();
+  auto client = net->AddNode("client");
+  auto server_node = net->AddNode("server");
+  auto server = std::make_shared<pocs::rpc::Server>(server_node, "svc");
+  server->RegisterMethod("Flaky", [](pocs::ByteSpan) -> pocs::Result<pocs::Bytes> {
+    return pocs::Status::Unavailable("induced");
+  });
+  pocs::rpc::Channel channel(net, client, server);
+
+  auto& reg = Registry::Default();
+  const uint64_t calls0 = reg.GetCounter("rpc.calls").value();
+  const uint64_t req0 = reg.GetCounter("rpc.request_bytes").value();
+  const uint64_t resp0 = reg.GetCounter("rpc.response_bytes").value();
+  const uint64_t failed0 = reg.GetCounter("rpc.failed_calls").value();
+  const uint64_t retries0 = reg.GetCounter("rpc.retries").value();
+
+  pocs::Bytes request = {1, 2, 3, 4, 5};
+  pocs::rpc::CallOptions options;
+  options.max_attempts = 3;
+  options.backoff_base_seconds = 0;  // no modelled waiting in this test
+  auto result = channel.Call(
+      "Flaky", pocs::ByteSpan(request.data(), request.size()), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), pocs::StatusCode::kUnavailable);
+
+  // All three attempts hit the wire: each counts a call + request bytes.
+  EXPECT_EQ(reg.GetCounter("rpc.calls").value() - calls0, 3u);
+  EXPECT_EQ(reg.GetCounter("rpc.request_bytes").value() - req0,
+            3u * request.size());
+  EXPECT_EQ(reg.GetCounter("rpc.failed_calls").value() - failed0, 3u);
+  EXPECT_EQ(reg.GetCounter("rpc.retries").value() - retries0, 2u);
+  // Nothing ever came back.
+  EXPECT_EQ(reg.GetCounter("rpc.response_bytes").value() - resp0, 0u);
 }
 
 // The TSan target: hammer one counter, one gauge, and one histogram from

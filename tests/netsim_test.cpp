@@ -1,8 +1,10 @@
-// Tests for the simulated network and the RPC layer on top of it.
+// Tests for the simulated network, fault injection, and the RPC layer on
+// top of it.
 #include <gtest/gtest.h>
 
 #include <thread>
 
+#include "netsim/fault_plan.h"
 #include "netsim/network.h"
 #include "rpc/rpc.h"
 
@@ -14,14 +16,14 @@ TEST(NetworkTest, TransferTimeModel) {
   auto a = net.AddNode("compute");
   auto b = net.AddNode("storage");
   // 1 GB/s + 1 ms latency: 1e9 bytes should take ~1.001 s.
-  double t = net.Transfer(a, b, 1'000'000'000, 1);
+  double t = *net.Transfer(a, b, 1'000'000'000, 1);
   EXPECT_NEAR(t, 1.001, 1e-9);
 }
 
 TEST(NetworkTest, LocalTransferIsFree) {
   netsim::Network net;
   auto a = net.AddNode("n");
-  EXPECT_EQ(net.Transfer(a, a, 1 << 30), 0.0);
+  EXPECT_EQ(*net.Transfer(a, a, 1 << 30), 0.0);
   EXPECT_EQ(net.Total().bytes, 0u);
 }
 
@@ -30,9 +32,9 @@ TEST(NetworkTest, CountersAccumulatePerFlow) {
   auto a = net.AddNode("a");
   auto b = net.AddNode("b");
   auto c = net.AddNode("c");
-  net.Transfer(a, b, 100);
-  net.Transfer(b, a, 50);  // same undirected flow
-  net.Transfer(a, c, 7);
+  ASSERT_TRUE(net.Transfer(a, b, 100).ok());
+  ASSERT_TRUE(net.Transfer(b, a, 50).ok());  // same undirected flow
+  ASSERT_TRUE(net.Transfer(a, c, 7).ok());
   EXPECT_EQ(net.FlowBetween(a, b).bytes, 150u);
   EXPECT_EQ(net.FlowBetween(a, c).bytes, 7u);
   EXPECT_EQ(net.FlowBetween(b, c).bytes, 0u);
@@ -47,8 +49,8 @@ TEST(NetworkTest, PerLinkOverride) {
   auto b = net.AddNode("b");
   auto c = net.AddNode("c");
   net.SetLink(a, c, netsim::LinkConfig{2e9, 0});
-  EXPECT_NEAR(net.Transfer(a, b, 1e9, 0), 1.0, 1e-9);
-  EXPECT_NEAR(net.Transfer(a, c, 1e9, 0), 0.5, 1e-9);
+  EXPECT_NEAR(*net.Transfer(a, b, 1e9, 0), 1.0, 1e-9);
+  EXPECT_NEAR(*net.Transfer(a, c, 1e9, 0), 0.5, 1e-9);
 }
 
 TEST(NetworkTest, TenGbEDefaults) {
@@ -63,12 +65,85 @@ TEST(NetworkTest, ConcurrentTransfersAreAccounted) {
   std::vector<std::thread> threads;
   for (int t = 0; t < 8; ++t) {
     threads.emplace_back([&] {
-      for (int i = 0; i < 1000; ++i) net.Transfer(a, b, 10);
+      for (int i = 0; i < 1000; ++i) {
+        ASSERT_TRUE(net.Transfer(a, b, 10).ok());
+      }
     });
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(net.Total().bytes, 80000u);
   EXPECT_EQ(net.Total().messages, 8000u);
+}
+
+TEST(FaultPlanTest, PartitionDropsUntilHealAttempt) {
+  netsim::FaultPlan plan(/*seed=*/42);
+  plan.AddRule(netsim::FaultPlan::Partition(0, 1, /*heal_at_attempt=*/2));
+  EXPECT_TRUE(plan.Evaluate(0, 1, /*flow_id=*/9, /*attempt=*/0, 0).drop);
+  EXPECT_TRUE(plan.Evaluate(1, 0, 9, 1, 0).drop);  // undirected
+  EXPECT_FALSE(plan.Evaluate(0, 1, 9, 2, 0).drop);
+  // Other pairs are out of scope.
+  EXPECT_FALSE(plan.Evaluate(0, 2, 9, 0, 0).drop);
+}
+
+TEST(FaultPlanTest, FlakyIsDeterministicPureFunction) {
+  netsim::FaultPlan plan(7);
+  plan.AddRule(netsim::FaultPlan::Flaky(0.5));
+  bool dropped = false;
+  for (uint32_t attempt = 0; attempt < 64; ++attempt) {
+    auto first = plan.Evaluate(0, 1, 123, attempt, 0);
+    auto again = plan.Evaluate(0, 1, 123, attempt, 0);
+    EXPECT_EQ(first.drop, again.drop);
+    dropped |= first.drop;
+  }
+  EXPECT_TRUE(dropped);  // p=0.5 over 64 attempts: some must drop
+  // A different seed re-rolls the decisions.
+  netsim::FaultPlan other(8);
+  other.AddRule(netsim::FaultPlan::Flaky(0.5));
+  bool differs = false;
+  for (uint32_t attempt = 0; attempt < 64; ++attempt) {
+    differs |= other.Evaluate(0, 1, 123, attempt, 0).drop !=
+               plan.Evaluate(0, 1, 123, attempt, 0).drop;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(NetworkTest, FaultPlanDropReturnsUnavailable) {
+  netsim::Network net(netsim::LinkConfig{1e9, 0});
+  auto a = net.AddNode("a");
+  auto b = net.AddNode("b");
+  auto plan = std::make_shared<netsim::FaultPlan>(1);
+  plan->AddRule(netsim::FaultPlan::Partition(a, b, /*heal_at_attempt=*/1));
+  net.SetFaultPlan(plan);
+  auto dropped = net.Transfer(a, b, 100);
+  ASSERT_FALSE(dropped.ok());
+  EXPECT_EQ(dropped.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(net.Total().bytes, 0u);  // dropped transfers charge nothing
+  auto healed = net.Transfer(a, b, 100, 1, {.flow_id = 0, .attempt = 1});
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(net.Total().bytes, 100u);
+  net.SetFaultPlan(nullptr);
+  EXPECT_TRUE(net.Transfer(a, b, 100).ok());
+}
+
+TEST(NetworkTest, SlowLinksDegradeBandwidthAndAddLatency) {
+  netsim::Network net(netsim::LinkConfig{1e9, 0});
+  auto a = net.AddNode("a");
+  auto b = net.AddNode("b");
+  auto plan = std::make_shared<netsim::FaultPlan>(1);
+  plan->AddRule(netsim::FaultPlan::SlowLinks(0.5, 1.0));
+  net.SetFaultPlan(plan);
+  // 1e9 bytes at 0.5 GB/s effective + 1 s extra latency = 3 s.
+  EXPECT_NEAR(*net.Transfer(a, b, 1e9, 0), 3.0, 1e-9);
+}
+
+TEST(NetworkTest, SimClockAccumulates) {
+  netsim::Network net(netsim::LinkConfig{1e9, 0});
+  auto a = net.AddNode("a");
+  auto b = net.AddNode("b");
+  ASSERT_TRUE(net.Transfer(a, b, 1e9, 0).ok());
+  EXPECT_NEAR(net.SimNow(), 1.0, 1e-9);
+  net.ResetCounters();
+  EXPECT_NEAR(net.SimNow(), 1.0, 1e-9);  // a clock, not a stat
 }
 
 TEST(RpcTest, CallRoundtripChargesNetwork) {

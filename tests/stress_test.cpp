@@ -173,7 +173,7 @@ TEST(NetworkStress, ConcurrentTransfersAndNodeAdds) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
       for (int i = 0; i < kTransfersEach; ++i) {
-        net->Transfer(a, b, 1000);
+        ASSERT_TRUE(net->Transfer(a, b, 1000).ok());
         if (i % 100 == 0) {
           net->AddNode("extra-" + std::to_string(t) + "-" +
                        std::to_string(i));
