@@ -1,7 +1,8 @@
 // Unified bench driver for CI: runs a curated subset of the paper's
 // experiments (Fig. 5 progressive pushdown on TPC-H Q1 and Laghos, the
-// Table 3 stage breakdown, and an S3-Select-path query) and emits one
-// schema-versioned JSON report — BENCH_PR2.json by default — that
+// Table 3 stage breakdown, an S3-Select-path query, and a warm-cache
+// repeat scan through the connector split-result cache) and emits one
+// schema-versioned JSON report — BENCH_PR5.json by default — that
 // tools/check_bench.py diffs against a committed baseline.
 //
 // `--smoke` shrinks every dataset to CI size (seconds, not minutes);
@@ -44,6 +45,12 @@ bool RunAndRecord(workloads::Testbed& testbed, const std::string& sql,
   report->AddExact(prefix + ".splits", static_cast<double>(m.splits));
   report->AddExact(prefix + ".row_groups_skipped",
                    static_cast<double>(m.row_groups_skipped));
+  report->AddExact(prefix + ".cache_hits",
+                   static_cast<double>(m.cache_hits));
+  report->AddExact(prefix + ".cache_bytes_saved",
+                   static_cast<double>(m.cache_bytes_saved), "bytes");
+  report->AddExact(prefix + ".bytes_refetched_on_retry",
+                   static_cast<double>(m.bytes_refetched_on_retry), "bytes");
   report->AddTiming(prefix + ".sim_seconds", m.total);
   std::printf("%-28s %14.4f s %12.1f KB moved\n", prefix.c_str(), m.total,
               m.bytes_from_storage / 1024.0);
@@ -84,7 +91,7 @@ void RecordCollectorTotals(workloads::Testbed& testbed,
 
 int main(int argc, char** argv) {
   bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
-  if (args.json_path.empty()) args.json_path = "BENCH_PR2.json";
+  if (args.json_path.empty()) args.json_path = "BENCH_PR5.json";
   const size_t rows_per_file =
       (args.smoke ? (1 << 12) : (1 << 16)) * args.scale;
 
@@ -137,6 +144,26 @@ int main(int argc, char** argv) {
       return 1;
     }
     RecordCollectorTotals(testbed, "laghos.listener", &report);
+
+    // --- Repeat scan through the split-result cache ----------------------
+    // Filter-only pushdown so the cold run moves real data; the warm
+    // repeat revalidates object versions with metadata-only Stat calls
+    // and replays the cached decoded splits — cache_hits covers every
+    // split and cache_bytes_saved equals the cold run's data movement.
+    {
+      connectors::OcsConnectorConfig cached;
+      cached.pushdown_projection = false;
+      cached.pushdown_aggregation = false;
+      cached.pushdown_topn = false;
+      cached.split_result_cache_bytes = 64ull << 20;
+      testbed.RegisterOcsCatalog("ocs_cached", cached);
+      if (!RunAndRecord(testbed, workloads::LaghosQuery(), "ocs_cached",
+                        "laghos.cached_cold", &report) ||
+          !RunAndRecord(testbed, workloads::LaghosQuery(), "ocs_cached",
+                        "laghos.cached_warm", &report)) {
+        return 1;
+      }
+    }
 
     // --- Table 3 stage breakdown on the last testbed ---------------------
     auto result = testbed.Run(workloads::LaghosQuery(), "ocs");

@@ -8,10 +8,112 @@
 // We reproduce the SHAPE at laptop scale on a simulated network: each
 // added operator reduces both data movement and execution time, and full
 // pushdown beats filter-only by a >2x factor with a ≥99.9% movement cut.
+//
+// Appendix: a warm-cache repeat of the same query through a
+// split-result-cached catalog. The repeat must return bit-identical
+// rows from the connector cache at ≥2x lower simulated time with
+// cache_bytes_saved > 0 — the multi-level caching acceptance bar
+// (DESIGN.md §10).
+#include <string>
+#include <vector>
+
 #include "bench/fig5_common.h"
 #include "workloads/laghos.h"
 
 using namespace pocs;
+
+namespace {
+
+// Order-insensitive canonical form of a result table, enough to assert
+// bit-identical rows between the cold and warm runs.
+std::string Canonicalize(const columnar::RecordBatch& batch) {
+  std::vector<std::string> rows;
+  for (size_t r = 0; r < batch.num_rows(); ++r) {
+    std::string row;
+    for (size_t c = 0; c < batch.num_columns(); ++c) {
+      if (c) row += "|";
+      const auto& col = *batch.column(c);
+      if (col.IsNull(r)) {
+        row += "NULL";
+      } else if (col.type() == columnar::TypeKind::kFloat64) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", col.GetFloat64(r));
+        row += buf;
+      } else {
+        row += col.GetDatum(r).ToString();
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end());
+  std::string out;
+  for (const auto& row : rows) {
+    out += row;
+    out += "\n";
+  }
+  return out;
+}
+
+int RunWarmCacheRepeat(workloads::Testbed& testbed, const std::string& sql,
+                       bool smoke) {
+  // Filter-only pushdown so the cold run moves real data; the warm
+  // repeat is served from the split-result cache after a metadata-only
+  // version revalidation.
+  connectors::OcsConnectorConfig cached;
+  cached.pushdown_projection = false;
+  cached.pushdown_aggregation = false;
+  cached.pushdown_topn = false;
+  cached.split_result_cache_bytes = 64ull << 20;
+  testbed.RegisterOcsCatalog("ocs_cached", cached);
+
+  auto cold = testbed.Run(sql, "ocs_cached");
+  if (!cold.ok()) {
+    std::fprintf(stderr, "cached cold run failed: %s\n",
+                 cold.status().ToString().c_str());
+    return 1;
+  }
+  auto warm = testbed.Run(sql, "ocs_cached");
+  if (!warm.ok()) {
+    std::fprintf(stderr, "cached warm run failed: %s\n",
+                 warm.status().ToString().c_str());
+    return 1;
+  }
+
+  const double speedup = warm->metrics.total > 0
+                             ? cold->metrics.total / warm->metrics.total
+                             : 0.0;
+  std::printf("warm-cache repeat (filter-only + split-result cache):\n");
+  std::printf("  cold  %10.4f s %12.1f KB moved\n", cold->metrics.total,
+              cold->metrics.bytes_from_storage / 1024.0);
+  std::printf("  warm  %10.4f s %12.1f KB moved   %llu hits, %.1f KB saved, "
+              "%.2fx speedup\n",
+              warm->metrics.total,
+              warm->metrics.bytes_from_storage / 1024.0,
+              static_cast<unsigned long long>(warm->metrics.cache_hits),
+              warm->metrics.cache_bytes_saved / 1024.0, speedup);
+
+  int failures = 0;
+  if (Canonicalize(*warm->table) != Canonicalize(*cold->table)) {
+    std::fprintf(stderr, "FAIL: warm rows differ from cold rows\n");
+    ++failures;
+  }
+  if (warm->metrics.cache_bytes_saved == 0) {
+    std::fprintf(stderr, "FAIL: warm run saved no bytes via the cache\n");
+    ++failures;
+  }
+  // Timing gate only at full scale: at smoke size both runs finish in a
+  // couple of milliseconds and measured-compute noise swamps the ratio
+  // (the exact gates above still hold). Full scale clears 2x by ~5x.
+  if (!smoke && speedup < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: warm repeat only %.2fx faster (acceptance: >=2x)\n",
+                 speedup);
+    ++failures;
+  }
+  return failures ? 1 : 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
@@ -27,6 +129,9 @@ int main(int argc, char** argv) {
   }
   auto steps = bench::ProgressiveSteps(testbed, /*with_project=*/false,
                                        /*with_topn=*/true);
-  return bench::RunFig5("Fig 5(a): Laghos progressive pushdown", testbed,
-                        workloads::LaghosQuery(), steps, args, "fig5_laghos");
+  int rc = bench::RunFig5("Fig 5(a): Laghos progressive pushdown", testbed,
+                          workloads::LaghosQuery(), steps, args,
+                          "fig5_laghos");
+  if (rc != 0) return rc;
+  return RunWarmCacheRepeat(testbed, workloads::LaghosQuery(), args.smoke);
 }

@@ -51,6 +51,8 @@ class ThreadPool {
   // If any invocation throws, all n invocations still run to completion
   // (so no task outlives the call holding references into its frame) and
   // the first exception, in index order, is rethrown to the caller.
+  // Small n gets one task per index (coarse per-split work); large n is
+  // chunked into contiguous blocks to amortize per-task queue overhead.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   // Drain the queue, run every enqueued task, and join the workers.

@@ -21,6 +21,11 @@ void QueryStatsCollector::Accumulate(const QueryEvent& event, Totals* t) {
   t->retries += s.retries;
   t->fallbacks += s.fallbacks;
   t->failed_splits += s.failed_splits;
+  t->row_groups_lazy_skipped += s.row_groups_lazy_skipped;
+  t->cache_hits += s.cache_hits;
+  t->cache_misses += s.cache_misses;
+  t->cache_bytes_saved += s.cache_bytes_saved;
+  t->bytes_refetched_on_retry += s.bytes_refetched_on_retry;
   t->wall_seconds += s.wall_seconds;
   t->simulated_seconds += s.simulated_seconds;
 }
@@ -44,6 +49,10 @@ void QueryStatsCollector::QueryCompleted(const QueryEvent& event) {
   static auto& retries = registry.GetCounter("engine.retries");
   static auto& fallbacks = registry.GetCounter("engine.fallbacks");
   static auto& failed_splits = registry.GetCounter("engine.failed_splits");
+  static auto& cache_hits = registry.GetCounter("engine.cache_hits");
+  static auto& cache_saved = registry.GetCounter("engine.cache_bytes_saved");
+  static auto& refetched =
+      registry.GetCounter("engine.bytes_refetched_on_retry");
   static auto& wall = registry.GetHistogram("engine.query_wall_seconds");
   queries.Increment();
   rows_scanned.Add(event.stats.rows_scanned);
@@ -55,6 +64,9 @@ void QueryStatsCollector::QueryCompleted(const QueryEvent& event) {
   retries.Add(event.stats.retries);
   fallbacks.Add(event.stats.fallbacks);
   failed_splits.Add(event.stats.failed_splits);
+  cache_hits.Add(event.stats.cache_hits);
+  cache_saved.Add(event.stats.cache_bytes_saved);
+  refetched.Add(event.stats.bytes_refetched_on_retry);
   wall.Record(event.stats.wall_seconds);
 }
 

@@ -33,6 +33,11 @@ class QueryStatsCollector final : public EventListener {
     uint64_t retries = 0;
     uint64_t fallbacks = 0;
     uint64_t failed_splits = 0;
+    uint64_t row_groups_lazy_skipped = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    uint64_t cache_bytes_saved = 0;
+    uint64_t bytes_refetched_on_retry = 0;
     double wall_seconds = 0;
     double simulated_seconds = 0;
 

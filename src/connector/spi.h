@@ -97,6 +97,21 @@ struct PageSourceStats {
   uint64_t dispatch_retries = 0;   // rpc attempts beyond the first
   uint64_t failed_dispatches = 0;  // pushdown dispatches that exhausted retries
   uint64_t fallbacks = 0;          // splits recovered via the engine-side scan
+
+  // -- caching accounting (multi-level cache PR) -----------------------------
+  // Row groups skipped by the lazy-column fast path (predicate columns
+  // decoded first, conjuncts matched zero rows).
+  uint64_t row_groups_lazy_skipped = 0;
+  // Hits/misses across both cache levels this split touched: the storage
+  // node's decoded row-group cache and the connector's split-result cache.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  // Bytes a cache hit avoided moving: media bytes for row-group-cache
+  // hits, network payload bytes for split-result-cache hits.
+  uint64_t cache_bytes_saved = 0;
+  // Payload bytes of data calls that only succeeded after at least one
+  // retry — the re-sent traffic partial-result retention tries to shrink.
+  uint64_t bytes_refetched_on_retry = 0;
 };
 
 // Streams pages (record batches) for one split, with pushed operators
@@ -188,6 +203,13 @@ struct QueryStats {
   uint64_t retries = 0;        // rpc attempts beyond the first, all splits
   uint64_t fallbacks = 0;      // splits recovered via the engine-side scan
   uint64_t failed_splits = 0;  // splits whose pushdown dispatch was rejected
+  // Caching: multi-level cache effectiveness, summed across splits (see
+  // PageSourceStats for the per-field definitions).
+  uint64_t row_groups_lazy_skipped = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_bytes_saved = 0;
+  uint64_t bytes_refetched_on_retry = 0;
   std::vector<OperatorTiming> operator_timings;
 
   uint64_t bytes_moved() const { return bytes_from_storage + bytes_to_storage; }

@@ -1,5 +1,8 @@
 #include "connectors/ocs/ocs_connector.h"
 
+#include <algorithm>
+#include <cstddef>
+
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/stopwatch.h"
@@ -7,6 +10,8 @@
 #include "connectors/ocs/translator.h"
 #include "exec/plan_executor.h"
 #include "format/parquet_lite.h"
+#include "objectstore/service.h"
+#include "substrait/serialize.h"
 
 namespace pocs::connectors {
 
@@ -229,6 +234,42 @@ class OcsPageSource final : public connector::PageSource {
   size_t next_ = 0;
 };
 
+// Common tail for the cold and cache-hit paths: per-split registry
+// counters, result-schema check, page source construction.
+Result<std::unique_ptr<connector::PageSource>> MakePageSource(
+    const connector::ScanSpec& spec, std::shared_ptr<columnar::Table> decoded,
+    PageSourceStats stats) {
+  stats.rows_received = decoded->num_rows();
+  {
+    auto& reg = metrics::Registry::Default();
+    static auto& splits = reg.GetCounter("connector.ocs.splits");
+    static auto& bytes_rx = reg.GetCounter("connector.ocs.bytes_received");
+    static auto& bytes_tx = reg.GetCounter("connector.ocs.bytes_sent");
+    static auto& rows = reg.GetCounter("connector.ocs.rows_received");
+    static auto& refetched =
+        reg.GetCounter("connector.ocs.bytes_refetched_on_retry");
+    static auto& ir = reg.GetHistogram("connector.ocs.ir_gen_seconds");
+    static auto& decode = reg.GetHistogram("connector.ocs.decode_seconds");
+    splits.Increment();
+    bytes_rx.Add(stats.bytes_received);
+    bytes_tx.Add(stats.bytes_sent);
+    rows.Add(stats.rows_received);
+    refetched.Add(stats.bytes_refetched_on_retry);
+    ir.Record(stats.ir_generation_seconds);
+    decode.Record(stats.decode_seconds);
+  }
+
+  SchemaPtr schema = spec.output_schema ? spec.output_schema
+                                        : decoded->schema();
+  if (!decoded->schema()->Equals(*schema)) {
+    return Status::Internal("ocs: result schema mismatch: got " +
+                            decoded->schema()->ToString() + ", want " +
+                            schema->ToString());
+  }
+  return std::unique_ptr<connector::PageSource>(
+      std::make_unique<OcsPageSource>(schema, std::move(decoded), stats));
+}
+
 }  // namespace
 
 // BatchSource over a compute-side copy of the object (fallback path): no
@@ -260,22 +301,98 @@ class LocalObjectSource final : public exec::BatchSource {
 
 Result<std::shared_ptr<columnar::Table>> OcsConnector::ExecuteFallback(
     const substrait::Plan& plan, const Split& split,
-    PageSourceStats* stats) {
+    PageSourceStats* stats, uint64_t* object_version) {
   // Fetch the raw object through the frontend — the plain object-store
   // methods survive an exec-engine crash — then run the *identical* plan
   // with the local executor, so the result schema and rows match what the
   // storage node would have returned.
-  objectstore::TransferInfo info;
   objectstore::StorageClient store(client_.channel());
-  POCS_ASSIGN_OR_RETURN(
-      Bytes object,
-      store.Get(split.bucket, split.object, &info, config_.dispatch.fallback_call));
-  stats->bytes_received += info.bytes_received;
-  stats->bytes_sent += info.bytes_sent;
-  stats->dispatch_retries += info.retries;
-  stats->transfer_seconds += info.transfer_seconds;
+  const std::string object_id = split.bucket + "/" + split.object;
+  const uint64_t chunk = config_.dispatch.fallback_chunk_bytes;
+  auto account = [stats](const objectstore::TransferInfo& info) {
+    stats->bytes_received += info.bytes_received;
+    stats->bytes_sent += info.bytes_sent;
+    stats->dispatch_retries += info.retries;
+    stats->transfer_seconds += info.transfer_seconds;
+  };
+
+  Bytes object;
+  uint64_t fetched_bytes = 0;  // bytes that crossed the network this call
+  if (chunk == 0) {
+    // Legacy path: one whole-object GET. An rpc-level retry re-sends the
+    // entire object, so all of it counts as refetched.
+    objectstore::TransferInfo info;
+    POCS_ASSIGN_OR_RETURN(object,
+                          store.Get(split.bucket, split.object, &info,
+                                    config_.dispatch.fallback_call));
+    account(info);
+    fetched_bytes = object.size();
+    if (info.retries > 0) stats->bytes_refetched_on_retry += info.bytes_received;
+    if (split_result_cache_) {
+      // Learn the version so the result can enter the split cache.
+      objectstore::TransferInfo stat_info;
+      auto ostat = store.Stat(split.bucket, split.object, &stat_info,
+                              config_.dispatch.fallback_call);
+      account(stat_info);
+      if (ostat.ok()) *object_version = ostat->version;
+    }
+  } else {
+    // Chunked path: Stat pins (size, version), then ranged GETs fill the
+    // buffer. Every received range is parked in the range cache before the
+    // next one is requested, so a transfer that dies mid-split leaves its
+    // prefix behind and the next attempt re-requests only the missing
+    // tail.
+    objectstore::TransferInfo stat_info;
+    POCS_ASSIGN_OR_RETURN(objectstore::ObjectStat ostat,
+                          store.Stat(split.bucket, split.object, &stat_info,
+                                     config_.dispatch.fallback_call));
+    account(stat_info);
+    *object_version = ostat.version;
+    object.resize(ostat.size);
+    for (uint64_t offset = 0; offset < ostat.size; offset += chunk) {
+      const uint64_t len = std::min<uint64_t>(chunk, ostat.size - offset);
+      const FallbackRangeKey range_key{object_id, ostat.version, offset};
+      if (fallback_range_cache_) {
+        if (auto cached = fallback_range_cache_->Lookup(range_key)) {
+          std::copy(cached->begin(), cached->end(),
+                    object.begin() + static_cast<ptrdiff_t>(offset));
+          stats->cache_hits += 1;
+          stats->cache_bytes_saved += cached->size();
+          continue;
+        }
+      }
+      objectstore::TransferInfo range_info;
+      auto range = store.GetRange(split.bucket, split.object, offset, len,
+                                  &range_info, config_.dispatch.fallback_call);
+      account(range_info);
+      if (!range.ok()) {
+        // Ranges already received stay cached for the next attempt.
+        return range.status();
+      }
+      fetched_bytes += range->size();
+      if (range_info.retries > 0) {
+        stats->bytes_refetched_on_retry += range_info.bytes_received;
+      }
+      if (fallback_range_cache_) {
+        stats->cache_misses += 1;
+        fallback_range_cache_->Insert(range_key,
+                                      std::make_shared<const Bytes>(*range),
+                                      range->size());
+      }
+      std::copy(range->begin(), range->end(),
+                object.begin() + static_cast<ptrdiff_t>(offset));
+    }
+    // Transfer complete: retention has served its purpose — release the
+    // budget (the decoded result lives in the split cache, if enabled).
+    if (fallback_range_cache_) {
+      for (uint64_t offset = 0; offset < ostat.size; offset += chunk) {
+        fallback_range_cache_->Erase(
+            FallbackRangeKey{object_id, ostat.version, offset});
+      }
+    }
+  }
   stats->media_read_seconds +=
-      static_cast<double>(object.size()) / config_.dispatch.media_read_bandwidth;
+      static_cast<double>(fetched_bytes) / config_.dispatch.media_read_bandwidth;
 
   Stopwatch exec_timer;
   POCS_ASSIGN_OR_RETURN(auto reader_owned,
@@ -321,15 +438,54 @@ Result<std::unique_ptr<connector::PageSource>> OcsConnector::CreatePageSource(
                         TranslateScanSpec(table, split, spec));
   stats.ir_generation_seconds = ir_timer.ElapsedSeconds();
 
+  // Split-result cache: a repeat of a (object, plan) pair the connector
+  // has already answered is validated with a metadata-only Stat and then
+  // served without any data RPC.
+  const std::string object_id = split.bucket + "/" + split.object;
+  const uint64_t fingerprint =
+      split_result_cache_ ? substrait::PlanFingerprint(plan) : 0;
+  if (split_result_cache_) {
+    const SplitResultKey cache_key{object_id, fingerprint};
+    if (auto cached = split_result_cache_->Lookup(cache_key)) {
+      objectstore::TransferInfo stat_info;
+      objectstore::StorageClient store(client_.channel());
+      auto ostat = store.Stat(split.bucket, split.object, &stat_info,
+                              config_.dispatch.call);
+      stats.bytes_received += stat_info.bytes_received;
+      stats.bytes_sent += stat_info.bytes_sent;
+      stats.dispatch_retries += stat_info.retries;
+      stats.transfer_seconds += stat_info.transfer_seconds;
+      if (ostat.ok() && ostat->version == cached->version) {
+        stats.cache_hits += 1;
+        stats.cache_bytes_saved += cached->bytes_received;
+        stats.rows_scanned = cached->rows_scanned;
+        stats.row_groups_total = cached->row_groups_total;
+        stats.row_groups_skipped = cached->row_groups_skipped;
+        return MakePageSource(spec, cached->table, std::move(stats));
+      }
+      if (ostat.ok()) {
+        // The object changed under us — a stale result is never served.
+        split_result_cache_->Erase(cache_key);
+        stats.cache_misses += 1;
+      }
+      // On a Stat failure we cannot validate: fall through to a normal
+      // dispatch, leaving the entry for a later, healthier validation.
+    } else {
+      stats.cache_misses += 1;
+    }
+  }
+
   objectstore::TransferInfo info;
   auto dispatch = client_.ExecutePlan(plan, &info, config_.dispatch.call);
-  stats.bytes_received = info.bytes_received;
-  stats.bytes_sent = info.bytes_sent;
-  stats.dispatch_retries = info.retries;
-  stats.transfer_seconds = info.transfer_seconds;
+  stats.bytes_received += info.bytes_received;
+  stats.bytes_sent += info.bytes_sent;
+  stats.dispatch_retries += info.retries;
+  stats.transfer_seconds += info.transfer_seconds;
 
   Status dispatch_status;
   std::shared_ptr<columnar::Table> decoded;
+  uint64_t object_version = 0;
+  uint64_t data_bytes_received = 0;  // payload bytes behind `decoded`
   if (dispatch.ok()) {
     const ocs::OcsResult& result = *dispatch;
     // Slow-node detector: the transport deadline cannot see storage-side
@@ -347,7 +503,18 @@ Result<std::unique_ptr<connector::PageSource>> OcsConnector::CreatePageSource(
       stats.media_read_seconds = result.stats.media_read_seconds;
       stats.row_groups_total = result.stats.row_groups_total;
       stats.row_groups_skipped = result.stats.row_groups_skipped;
+      stats.row_groups_lazy_skipped = result.stats.row_groups_lazy_skipped;
       stats.rows_scanned = result.stats.rows_scanned;
+      // Level-1 (storage-side row-group cache) accounting rides back on
+      // the result; fold it into this split's stats.
+      stats.cache_hits += result.stats.cache_hits;
+      stats.cache_misses += result.stats.cache_misses;
+      stats.cache_bytes_saved += result.stats.cache_bytes_saved;
+      object_version = result.stats.object_version;
+      data_bytes_received = info.bytes_received;
+      if (info.retries > 0) {
+        stats.bytes_refetched_on_retry += info.bytes_received;
+      }
       Stopwatch decode_timer;
       POCS_ASSIGN_OR_RETURN(decoded, ocs::OcsClient::DecodeTable(result));
       stats.decode_seconds = decode_timer.ElapsedSeconds();
@@ -370,37 +537,29 @@ Result<std::unique_ptr<connector::PageSource>> OcsConnector::CreatePageSource(
         !rpc::IsRetryable(dispatch_status)) {
       return dispatch_status;
     }
-    POCS_ASSIGN_OR_RETURN(decoded, ExecuteFallback(plan, split, &stats));
+    const uint64_t bytes_before_fallback = stats.bytes_received;
+    POCS_ASSIGN_OR_RETURN(decoded,
+                          ExecuteFallback(plan, split, &stats, &object_version));
+    data_bytes_received = stats.bytes_received - bytes_before_fallback;
     stats.fallbacks = 1;
     fallbacks.Increment();
   }
-  stats.rows_received = decoded->num_rows();
 
-  {
-    auto& reg = metrics::Registry::Default();
-    static auto& splits = reg.GetCounter("connector.ocs.splits");
-    static auto& bytes_rx = reg.GetCounter("connector.ocs.bytes_received");
-    static auto& bytes_tx = reg.GetCounter("connector.ocs.bytes_sent");
-    static auto& rows = reg.GetCounter("connector.ocs.rows_received");
-    static auto& ir = reg.GetHistogram("connector.ocs.ir_gen_seconds");
-    static auto& decode = reg.GetHistogram("connector.ocs.decode_seconds");
-    splits.Increment();
-    bytes_rx.Add(stats.bytes_received);
-    bytes_tx.Add(stats.bytes_sent);
-    rows.Add(stats.rows_received);
-    ir.Record(stats.ir_generation_seconds);
-    decode.Record(stats.decode_seconds);
+  // A successful split with a known object version enters the
+  // split-result cache; a later identical (object, plan) scan is then
+  // served without moving the data again.
+  if (split_result_cache_ && object_version != 0) {
+    auto value = std::make_shared<CachedSplitResult>();
+    value->version = object_version;
+    value->table = decoded;
+    value->bytes_received = data_bytes_received;
+    value->rows_scanned = stats.rows_scanned;
+    value->row_groups_total = stats.row_groups_total;
+    value->row_groups_skipped = stats.row_groups_skipped;
+    split_result_cache_->Insert(SplitResultKey{object_id, fingerprint},
+                                std::move(value), decoded->ByteSize());
   }
-
-  SchemaPtr schema = spec.output_schema ? spec.output_schema
-                                        : decoded->schema();
-  if (!decoded->schema()->Equals(*schema)) {
-    return Status::Internal("ocs: result schema mismatch: got " +
-                            decoded->schema()->ToString() + ", want " +
-                            schema->ToString());
-  }
-  return std::unique_ptr<connector::PageSource>(
-      std::make_unique<OcsPageSource>(schema, std::move(decoded), stats));
+  return MakePageSource(spec, std::move(decoded), std::move(stats));
 }
 
 }  // namespace pocs::connectors

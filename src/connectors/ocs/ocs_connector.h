@@ -18,7 +18,10 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
+#include "common/hash.h"
+#include "common/lru_cache.h"
 #include "connector/spi.h"
 #include "connectors/ocs/pushdown_history.h"
 #include "connectors/ocs/selectivity_analyzer.h"
@@ -45,6 +48,14 @@ struct OcsDispatchPolicy {
   // Media bandwidth modelled for the fallback's whole-object read
   // (matches StorageNodeConfig/HiveConnectorConfig defaults).
   double media_read_bandwidth = 80e6;
+  // Chunked fallback transfer: when > 0, the raw-object read is issued as
+  // ranged GETs of this size instead of one whole-object GET, and every
+  // received range is parked in the connector's range cache keyed by
+  // (object, version, offset). A transfer that dies mid-split therefore
+  // re-requests only the missing tail on the next attempt — and an
+  // rpc-level retry re-sends one range, not the whole object. 0 keeps the
+  // legacy single-GET behaviour.
+  uint64_t fallback_chunk_bytes = 0;
 };
 
 struct OcsConnectorConfig {
@@ -66,7 +77,58 @@ struct OcsConnectorConfig {
   bool pushdown_topn = true;
   // Correctness contract for partial top-N above a pushed aggregation.
   bool assume_split_disjoint_groups = true;
+  // Byte budget of the split-result cache (0 disables): decoded result
+  // tables keyed by (object, Substrait plan fingerprint), validated
+  // against the object's current version with a metadata-only Stat and
+  // then served without any data RPC.
+  uint64_t split_result_cache_bytes = 0;
+  // Byte budget of the fallback range cache (partial-result retention;
+  // only used when dispatch.fallback_chunk_bytes > 0).
+  uint64_t fallback_range_cache_bytes = 32ull << 20;
 };
+
+// One cached split result: the decoded table one (object, plan
+// fingerprint) pair produced, plus the cold-run accounting a hit replays
+// into its PageSourceStats.
+struct CachedSplitResult {
+  uint64_t version = 0;  // object version the table was computed from
+  std::shared_ptr<columnar::Table> table;
+  uint64_t bytes_received = 0;  // network payload bytes the cold run moved
+  uint64_t rows_scanned = 0;
+  uint64_t row_groups_total = 0;
+  uint64_t row_groups_skipped = 0;
+};
+
+struct SplitResultKey {
+  std::string object;  // "bucket/key"
+  uint64_t fingerprint = 0;
+  bool operator==(const SplitResultKey&) const = default;
+};
+
+struct SplitResultKeyHash {
+  size_t operator()(const SplitResultKey& k) const {
+    return static_cast<size_t>(HashCombine(HashString(k.object), k.fingerprint));
+  }
+};
+
+struct FallbackRangeKey {
+  std::string object;  // "bucket/key"
+  uint64_t version = 0;
+  uint64_t offset = 0;
+  bool operator==(const FallbackRangeKey&) const = default;
+};
+
+struct FallbackRangeKeyHash {
+  size_t operator()(const FallbackRangeKey& k) const {
+    return static_cast<size_t>(
+        HashCombine(HashCombine(HashString(k.object), k.version), k.offset));
+  }
+};
+
+using SplitResultCache =
+    ShardedLruCache<SplitResultKey, CachedSplitResult, SplitResultKeyHash>;
+using FallbackRangeCache =
+    ShardedLruCache<FallbackRangeKey, Bytes, FallbackRangeKeyHash>;
 
 class OcsConnector final : public connector::Connector {
  public:
@@ -80,7 +142,22 @@ class OcsConnector final : public connector::Connector {
         metastore_(std::move(metastore)),
         client_(std::move(client)),
         config_(config),
-        history_(std::move(history)) {}
+        history_(std::move(history)) {
+    if (config_.split_result_cache_bytes > 0) {
+      split_result_cache_ = std::make_shared<SplitResultCache>(LruCacheConfig{
+          .byte_budget = config_.split_result_cache_bytes,
+          .shards = 8,
+          .metric_prefix = "ocs.splitresult_cache"});
+    }
+    if (config_.dispatch.fallback_chunk_bytes > 0 &&
+        config_.fallback_range_cache_bytes > 0) {
+      fallback_range_cache_ =
+          std::make_shared<FallbackRangeCache>(LruCacheConfig{
+              .byte_budget = config_.fallback_range_cache_bytes,
+              .shards = 8,
+              .metric_prefix = "ocs.fallback_range_cache"});
+    }
+  }
 
   std::string id() const override { return id_; }
 
@@ -110,18 +187,33 @@ class OcsConnector final : public connector::Connector {
 
   const OcsConnectorConfig& config() const { return config_; }
 
+  // The split-result / fallback-range caches (nullptr when disabled).
+  const std::shared_ptr<SplitResultCache>& split_result_cache() const {
+    return split_result_cache_;
+  }
+  const std::shared_ptr<FallbackRangeCache>& fallback_range_cache() const {
+    return fallback_range_cache_;
+  }
+
  private:
   // Engine-side degradation path: fetch the raw object through the
-  // frontend and run the identical plan with the local executor.
+  // frontend (chunked when fallback_chunk_bytes > 0, with received ranges
+  // retained across attempts in the range cache) and run the identical
+  // plan with the local executor. On success, `*object_version` is the
+  // version of the object that was read (0 when unknown).
   Result<std::shared_ptr<columnar::Table>> ExecuteFallback(
       const substrait::Plan& plan, const connector::Split& split,
-      connector::PageSourceStats* stats);
+      connector::PageSourceStats* stats, uint64_t* object_version);
 
   std::string id_;
   std::shared_ptr<metastore::Metastore> metastore_;
   ocs::OcsClient client_;
   OcsConnectorConfig config_;
   std::shared_ptr<PushdownHistory> history_;
+  // Internally synchronized; shared across concurrent CreatePageSource
+  // calls on worker threads.
+  std::shared_ptr<SplitResultCache> split_result_cache_;
+  std::shared_ptr<FallbackRangeCache> fallback_range_cache_;
 };
 
 }  // namespace pocs::connectors

@@ -228,6 +228,11 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql,
     metrics.retries += out.stats.dispatch_retries;
     metrics.fallbacks += out.stats.fallbacks;
     metrics.failed_splits += out.stats.failed_dispatches;
+    metrics.row_groups_lazy_skipped += out.stats.row_groups_lazy_skipped;
+    metrics.cache_hits += out.stats.cache_hits;
+    metrics.cache_misses += out.stats.cache_misses;
+    metrics.cache_bytes_saved += out.stats.cache_bytes_saved;
+    metrics.bytes_refetched_on_retry += out.stats.bytes_refetched_on_retry;
     residual_compute += out.compute_seconds + out.stats.decode_seconds;
   }
   totals.splits = splits.size();
@@ -399,6 +404,11 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql,
     qs.retries = metrics.retries;
     qs.fallbacks = metrics.fallbacks;
     qs.failed_splits = metrics.failed_splits;
+    qs.row_groups_lazy_skipped = metrics.row_groups_lazy_skipped;
+    qs.cache_hits = metrics.cache_hits;
+    qs.cache_misses = metrics.cache_misses;
+    qs.cache_bytes_saved = metrics.cache_bytes_saved;
+    qs.bytes_refetched_on_retry = metrics.bytes_refetched_on_retry;
     for (const auto& d : metrics.pushdown_decisions) {
       ++qs.pushdown_offered;
       if (d.accepted) {

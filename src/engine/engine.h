@@ -52,6 +52,13 @@ struct QueryMetrics {
   uint64_t retries = 0;
   uint64_t fallbacks = 0;
   uint64_t failed_splits = 0;
+  // Multi-level cache accounting, summed across splits (definitions in
+  // connector::PageSourceStats).
+  uint64_t row_groups_lazy_skipped = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_bytes_saved = 0;
+  uint64_t bytes_refetched_on_retry = 0;
   std::vector<connector::PushdownDecision> pushdown_decisions;
 
   // Stage/operator breakdown with row flow; see

@@ -32,7 +32,10 @@ Status ObjectStore::Put(const std::string& bucket, const std::string& key,
   std::lock_guard lock(mu_);
   auto it = buckets_.find(bucket);
   if (it == buckets_.end()) return Status::NotFound("bucket " + bucket);
-  it->second[key] = std::make_shared<const Bytes>(std::move(data));
+  // Overwrites get a fresh version: stale cache entries keyed on the old
+  // one become unreachable (served never, evicted eventually).
+  it->second[key] =
+      Stored{std::make_shared<const Bytes>(std::move(data)), ++next_version_};
   return Status::OK();
 }
 
@@ -46,8 +49,8 @@ Status ObjectStore::Delete(const std::string& bucket, const std::string& key) {
   return Status::OK();
 }
 
-Result<ObjectData> ObjectStore::Get(const std::string& bucket,
-                                    const std::string& key) const {
+Result<ObjectStore::Stored> ObjectStore::Find(const std::string& bucket,
+                                              const std::string& key) const {
   std::lock_guard lock(mu_);
   auto bit = buckets_.find(bucket);
   if (bit == buckets_.end()) return Status::NotFound("bucket " + bucket);
@@ -56,6 +59,18 @@ Result<ObjectData> ObjectStore::Get(const std::string& bucket,
     return Status::NotFound("object " + bucket + "/" + key);
   }
   return oit->second;
+}
+
+Result<ObjectData> ObjectStore::Get(const std::string& bucket,
+                                    const std::string& key) const {
+  POCS_ASSIGN_OR_RETURN(Stored stored, Find(bucket, key));
+  return std::move(stored.data);
+}
+
+Result<VersionedObject> ObjectStore::GetVersioned(const std::string& bucket,
+                                                  const std::string& key) const {
+  POCS_ASSIGN_OR_RETURN(Stored stored, Find(bucket, key));
+  return VersionedObject{std::move(stored.data), stored.version};
 }
 
 Result<Bytes> ObjectStore::GetRange(const std::string& bucket,
@@ -76,13 +91,19 @@ Result<uint64_t> ObjectStore::Size(const std::string& bucket,
   return data->size();
 }
 
+Result<ObjectStat> ObjectStore::Stat(const std::string& bucket,
+                                     const std::string& key) const {
+  POCS_ASSIGN_OR_RETURN(Stored stored, Find(bucket, key));
+  return ObjectStat{stored.data->size(), stored.version};
+}
+
 Result<std::vector<std::string>> ObjectStore::List(
     const std::string& bucket, const std::string& prefix) const {
   std::lock_guard lock(mu_);
   auto bit = buckets_.find(bucket);
   if (bit == buckets_.end()) return Status::NotFound("bucket " + bucket);
   std::vector<std::string> keys;
-  for (const auto& [key, data] : bit->second) {
+  for (const auto& [key, stored] : bit->second) {
     if (key.starts_with(prefix)) keys.push_back(key);
   }
   return keys;
@@ -92,7 +113,7 @@ uint64_t ObjectStore::TotalBytes() const {
   std::lock_guard lock(mu_);
   uint64_t total = 0;
   for (const auto& [bucket, objects] : buckets_) {
-    for (const auto& [key, data] : objects) total += data->size();
+    for (const auto& [key, stored] : objects) total += stored.data->size();
   }
   return total;
 }

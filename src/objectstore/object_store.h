@@ -2,6 +2,12 @@
 // bucket/key namespace, whole-object and range GETs, immutable objects
 // (PUT replaces). Data lives on the storage node that owns the store;
 // remote access goes through the RPC service in service.h.
+//
+// Every successful Put stamps the object with a store-wide monotonic
+// version number — the etag equivalent that the decoded row-group and
+// split-result caches key on. An overwrite gets a fresh version, so
+// cache entries keyed on the old one can never be served again
+// (DESIGN.md §10).
 #pragma once
 
 #include <map>
@@ -17,6 +23,19 @@ namespace pocs::objectstore {
 
 using ObjectData = std::shared_ptr<const Bytes>;
 
+// An object's bytes together with the version its Put assigned.
+struct VersionedObject {
+  ObjectData data;
+  uint64_t version = 0;
+};
+
+// Metadata-only view (the HEAD-request equivalent): lets cache validation
+// check freshness without moving object bytes.
+struct ObjectStat {
+  uint64_t size = 0;
+  uint64_t version = 0;
+};
+
 class ObjectStore {
  public:
   Status CreateBucket(const std::string& bucket);
@@ -28,10 +47,14 @@ class ObjectStore {
 
   Result<ObjectData> Get(const std::string& bucket,
                          const std::string& key) const;
+  Result<VersionedObject> GetVersioned(const std::string& bucket,
+                                       const std::string& key) const;
   Result<Bytes> GetRange(const std::string& bucket, const std::string& key,
                          uint64_t offset, uint64_t length) const;
   Result<uint64_t> Size(const std::string& bucket,
                         const std::string& key) const;
+  Result<ObjectStat> Stat(const std::string& bucket,
+                          const std::string& key) const;
 
   // Keys in `bucket` starting with `prefix`, sorted.
   Result<std::vector<std::string>> List(const std::string& bucket,
@@ -41,8 +64,16 @@ class ObjectStore {
   size_t ObjectCount() const;
 
  private:
+  struct Stored {
+    ObjectData data;
+    uint64_t version = 0;
+  };
+
+  Result<Stored> Find(const std::string& bucket, const std::string& key) const;
+
   mutable std::mutex mu_;
-  std::map<std::string, std::map<std::string, ObjectData>> buckets_;
+  std::map<std::string, std::map<std::string, Stored>> buckets_;
+  uint64_t next_version_ = 0;  // bumped by every successful Put
 };
 
 }  // namespace pocs::objectstore

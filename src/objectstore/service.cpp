@@ -92,6 +92,17 @@ void RegisterStorageService(const std::shared_ptr<ObjectStore>& store,
     return std::move(out).Take();
   });
 
+  server->RegisterMethod("Stat", [store](ByteSpan req) -> Result<Bytes> {
+    BufferReader in(req);
+    POCS_ASSIGN_OR_RETURN(std::string bucket, in.ReadString());
+    POCS_ASSIGN_OR_RETURN(std::string key, in.ReadString());
+    POCS_ASSIGN_OR_RETURN(ObjectStat stat, store->Stat(bucket, key));
+    BufferWriter out;
+    out.WriteVarint(stat.size);
+    out.WriteVarint(stat.version);
+    return std::move(out).Take();
+  });
+
   server->RegisterMethod("List", [store](ByteSpan req) -> Result<Bytes> {
     BufferReader in(req);
     POCS_ASSIGN_OR_RETURN(std::string bucket, in.ReadString());
@@ -168,6 +179,24 @@ Result<Bytes> StorageClient::GetRange(const std::string& bucket,
   FillInfo(call, info);
   POCS_RETURN_NOT_OK(status);
   return std::move(call.response);
+}
+
+Result<ObjectStat> StorageClient::Stat(const std::string& bucket,
+                                       const std::string& key,
+                                       TransferInfo* info,
+                                       const rpc::CallOptions& options) const {
+  BufferWriter req;
+  req.WriteString(bucket);
+  req.WriteString(key);
+  rpc::CallResult call;
+  Status status = channel_.CallInto("Stat", req.span(), options, &call);
+  FillInfo(call, info);
+  POCS_RETURN_NOT_OK(status);
+  BufferReader in(call.response.data(), call.response.size());
+  ObjectStat stat;
+  POCS_ASSIGN_OR_RETURN(stat.size, in.ReadVarint());
+  POCS_ASSIGN_OR_RETURN(stat.version, in.ReadVarint());
+  return stat;
 }
 
 Result<uint64_t> StorageClient::Size(const std::string& bucket,

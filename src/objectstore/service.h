@@ -12,7 +12,7 @@
 
 namespace pocs::objectstore {
 
-// Registers Get/GetRange/Size/List/Put/Select methods on `server`,
+// Registers Get/GetRange/Size/Stat/List/Put/Select methods on `server`,
 // backed by `store` (which must outlive the server).
 void RegisterStorageService(const std::shared_ptr<ObjectStore>& store,
                             rpc::Server* server);
@@ -42,6 +42,12 @@ class StorageClient {
                          const rpc::CallOptions& options = {}) const;
   Result<uint64_t> Size(const std::string& bucket,
                         const std::string& key) const;
+  // Metadata-only freshness probe (HEAD): size + version, no data bytes.
+  // Cache validation rides on this, so it takes the data-path call
+  // options and charges its (tiny) transfer like any other call.
+  Result<ObjectStat> Stat(const std::string& bucket, const std::string& key,
+                          TransferInfo* info = nullptr,
+                          const rpc::CallOptions& options = {}) const;
   Result<std::vector<std::string>> List(const std::string& bucket,
                                         const std::string& prefix = "") const;
   Status Put(const std::string& bucket, const std::string& key,

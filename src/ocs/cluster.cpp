@@ -41,7 +41,7 @@ OcsCluster::OcsCluster(std::shared_ptr<netsim::Network> net,
         return Forward("ExecutePlan", read->bucket, read->object, req);
       });
 
-  for (const char* method : {"Get", "GetRange", "Size", "Select"}) {
+  for (const char* method : {"Get", "GetRange", "Size", "Stat", "Select"}) {
     frontend_server_->RegisterMethod(
         method, [this, method](ByteSpan req) -> Result<Bytes> {
           POCS_RETURN_NOT_OK(CheckFrontendUp());

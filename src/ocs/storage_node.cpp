@@ -1,6 +1,9 @@
 #include "ocs/storage_node.h"
 
+#include <unordered_map>
+
 #include "columnar/ipc.h"
+#include "columnar/kernels.h"
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "format/parquet_lite.h"
@@ -9,6 +12,7 @@
 
 namespace pocs::ocs {
 
+using columnar::ColumnPtr;
 using columnar::RecordBatchPtr;
 using substrait::Expression;
 using substrait::ExprKind;
@@ -75,19 +79,39 @@ void CollectPruningTerms(const Expression& expr,
                   literal->literal});
 }
 
-// BatchSource over a local Parquet-lite object with projection and
-// statistics-based row-group pruning.
+// BatchSource over a local Parquet-lite object with projection,
+// statistics-based row-group pruning, a per-column decoded-chunk cache,
+// and a lazy-column fast path: predicate columns are decoded (or served
+// from cache) first and the pruning terms evaluated against the actual
+// values; row groups where they match zero rows never materialize the
+// remaining columns.
 class ParquetObjectSource : public exec::BatchSource {
  public:
   ParquetObjectSource(std::shared_ptr<format::FileReader> reader,
                       std::vector<int> columns, columnar::SchemaPtr schema,
                       std::vector<objectstore::SelectPredicate> pruning,
-                      OcsExecStats* stats)
+                      OcsExecStats* stats, RowGroupCache* cache,
+                      std::string object_id, uint64_t version)
       : reader_(std::move(reader)),
         columns_(std::move(columns)),
         schema_(std::move(schema)),
         pruning_(std::move(pruning)),
-        stats_(stats) {}
+        stats_(stats),
+        cache_(cache),
+        object_id_(std::move(object_id)),
+        version_(version) {
+    // An empty projection means "all columns" (ReadRowGroup/ChunkBytes
+    // semantics); expand so per-column fetches and byte accounting agree.
+    if (columns_.empty()) {
+      for (size_t c = 0; c < reader_->schema()->num_fields(); ++c) {
+        columns_.push_back(static_cast<int>(c));
+      }
+    }
+    std::vector<columnar::Field> fields;
+    fields.reserve(columns_.size());
+    for (int c : columns_) fields.push_back(reader_->schema()->field(c));
+    batch_schema_ = columnar::MakeSchema(std::move(fields));
+  }
 
   columnar::SchemaPtr schema() const override { return schema_; }
 
@@ -109,18 +133,103 @@ class ParquetObjectSource : public exec::BatchSource {
         ++stats_->row_groups_skipped;
         continue;
       }
-      stats_->object_bytes_read += reader_->ChunkBytes(g, columns_);
-      return reader_->ReadRowGroup(g, columns_);
+
+      // Lazy-column fast path: decode only the predicate columns and
+      // evaluate the pruning conjuncts against real values. Every pruned
+      // term is a conjunct of the filter that sits above this scan, so a
+      // group where their conjunction matches zero rows contributes
+      // nothing to the query — skip it before touching the remaining
+      // (often much wider) projected columns.
+      std::unordered_map<int, ColumnPtr> fetched;
+      if (!pruning_.empty() && HasNonPredicateColumns()) {
+        bool all_false = false;
+        columnar::SelectionVector sel;
+        bool first = true;
+        for (const auto& pred : pruning_) {
+          int idx = reader_->schema()->FieldIndex(pred.column);
+          if (idx < 0) continue;
+          auto it = fetched.find(idx);
+          if (it == fetched.end()) {
+            POCS_ASSIGN_OR_RETURN(ColumnPtr col, FetchColumn(g, idx));
+            it = fetched.emplace(idx, std::move(col)).first;
+          }
+          sel = columnar::CompareScalar(*it->second, pred.op, pred.literal,
+                                        first ? nullptr : &sel);
+          first = false;
+          if (sel.empty()) {
+            all_false = true;
+            break;
+          }
+        }
+        if (all_false) {
+          ++stats_->row_groups_lazy_skipped;
+          continue;
+        }
+      }
+
+      std::vector<ColumnPtr> cols;
+      cols.reserve(columns_.size());
+      for (int c : columns_) {
+        auto it = fetched.find(c);
+        if (it != fetched.end()) {
+          cols.push_back(it->second);
+        } else {
+          POCS_ASSIGN_OR_RETURN(ColumnPtr col, FetchColumn(g, c));
+          cols.push_back(std::move(col));
+        }
+      }
+      return columnar::MakeBatch(batch_schema_, std::move(cols));
     }
     return RecordBatchPtr{};
   }
 
  private:
+  bool HasNonPredicateColumns() const {
+    for (int c : columns_) {
+      bool is_pred = false;
+      for (const auto& pred : pruning_) {
+        if (reader_->schema()->FieldIndex(pred.column) == c) {
+          is_pred = true;
+          break;
+        }
+      }
+      if (!is_pred) return true;
+    }
+    return false;
+  }
+
+  // One decoded column chunk, cache-first. A hit skips the media read
+  // (cache_bytes_saved accounts the avoided bytes); a miss decodes,
+  // charges the media read, and populates the cache.
+  Result<ColumnPtr> FetchColumn(size_t g, int c) {
+    const uint64_t chunk_bytes = reader_->ChunkBytes(g, {c});
+    RowGroupCacheKey key{object_id_, version_, g, c};
+    if (cache_) {
+      if (ColumnPtr hit = cache_->Lookup(key)) {
+        ++stats_->cache_hits;
+        stats_->cache_bytes_saved += chunk_bytes;
+        return hit;
+      }
+    }
+    POCS_ASSIGN_OR_RETURN(RecordBatchPtr batch, reader_->ReadRowGroup(g, {c}));
+    ColumnPtr col = batch->column(0);
+    stats_->object_bytes_read += chunk_bytes;
+    if (cache_) {
+      ++stats_->cache_misses;
+      cache_->Insert(key, col, col->ByteSize());
+    }
+    return col;
+  }
+
   std::shared_ptr<format::FileReader> reader_;
   std::vector<int> columns_;
   columnar::SchemaPtr schema_;
+  columnar::SchemaPtr batch_schema_;
   std::vector<objectstore::SelectPredicate> pruning_;
   OcsExecStats* stats_;
+  RowGroupCache* cache_;
+  std::string object_id_;
+  uint64_t version_;
   size_t group_ = 0;
 };
 
@@ -152,9 +261,9 @@ Result<OcsResult> StorageNode::ExecutePlan(const substrait::Plan& plan) const {
   exec::ScanFactory factory =
       [this, above_read,
        &result](const Rel& r) -> Result<std::unique_ptr<exec::BatchSource>> {
-    POCS_ASSIGN_OR_RETURN(objectstore::ObjectData object,
-                          store_->Get(r.bucket, r.object));
-    POCS_ASSIGN_OR_RETURN(auto reader, format::FileReader::Open(*object));
+    POCS_ASSIGN_OR_RETURN(objectstore::VersionedObject object,
+                          store_->GetVersioned(r.bucket, r.object));
+    POCS_ASSIGN_OR_RETURN(auto reader, format::FileReader::Open(*object.data));
     if (!reader->schema()->Equals(*r.base_schema)) {
       return Status::InvalidArgument("ocs: plan schema != object schema");
     }
@@ -165,9 +274,11 @@ Result<OcsResult> StorageNode::ExecutePlan(const substrait::Plan& plan) const {
       CollectPruningTerms(above_read->predicate, *scan_schema, &pruning);
     }
     result.stats.row_groups_total += reader->num_row_groups();
+    result.stats.object_version = object.version;
     return std::unique_ptr<exec::BatchSource>(std::make_unique<ParquetObjectSource>(
         std::move(reader), r.read_columns, std::move(scan_schema),
-        std::move(pruning), &result.stats));
+        std::move(pruning), &result.stats, rowgroup_cache_.get(),
+        r.bucket + "/" + r.object, object.version));
   };
 
   exec::ExecStats exec_stats;
@@ -191,15 +302,58 @@ Result<OcsResult> StorageNode::ExecutePlan(const substrait::Plan& plan) const {
     static auto& media_bytes = reg.GetCounter("storage.object_bytes_read");
     static auto& groups_skipped =
         reg.GetCounter("storage.row_groups_skipped");
+    static auto& groups_lazy_skipped =
+        reg.GetCounter("storage.row_groups_lazy_skipped");
+    static auto& cache_saved_bytes =
+        reg.GetCounter("storage.cache_bytes_saved");
     static auto& compute = reg.GetHistogram("storage.compute_seconds");
     plans.Increment();
     rows_scanned.Add(result.stats.rows_scanned);
     rows_output.Add(result.stats.rows_output);
     media_bytes.Add(result.stats.object_bytes_read);
     groups_skipped.Add(result.stats.row_groups_skipped);
+    groups_lazy_skipped.Add(result.stats.row_groups_lazy_skipped);
+    cache_saved_bytes.Add(result.stats.cache_bytes_saved);
     compute.Record(result.stats.storage_compute_seconds);
   }
   return result;
+}
+
+Status StorageNode::WarmObjectCache(const std::string& bucket,
+                                    const std::string& key,
+                                    ThreadPool* pool) const {
+  if (!rowgroup_cache_) return Status::OK();
+  POCS_ASSIGN_OR_RETURN(objectstore::VersionedObject object,
+                        store_->GetVersioned(bucket, key));
+  POCS_ASSIGN_OR_RETURN(auto reader_owned,
+                        format::FileReader::Open(*object.data));
+  std::shared_ptr<format::FileReader> reader = std::move(reader_owned);
+  const std::string object_id = bucket + "/" + key;
+  const size_t num_fields = reader->schema()->num_fields();
+  const size_t n = reader->num_row_groups() * num_fields;
+
+  std::mutex error_mu;
+  Status first_error = Status::OK();
+  auto warm_one = [&](size_t i) {
+    const size_t g = i / num_fields;
+    const int c = static_cast<int>(i % num_fields);
+    auto batch = reader->ReadRowGroup(g, {c});
+    if (!batch.ok()) {
+      std::lock_guard lock(error_mu);
+      if (first_error.ok()) first_error = batch.status();
+      return;
+    }
+    ColumnPtr col = (*batch)->column(0);
+    rowgroup_cache_->Insert(
+        RowGroupCacheKey{object_id, object.version, g, c}, col,
+        col->ByteSize());
+  };
+  if (pool) {
+    pool->ParallelFor(n, warm_one);
+  } else {
+    for (size_t i = 0; i < n; ++i) warm_one(i);
+  }
+  return first_error;
 }
 
 void EncodeOcsResult(const OcsResult& result, BufferWriter* out) {
@@ -208,6 +362,11 @@ void EncodeOcsResult(const OcsResult& result, BufferWriter* out) {
   out->WriteVarint(result.stats.object_bytes_read);
   out->WriteVarint(result.stats.row_groups_total);
   out->WriteVarint(result.stats.row_groups_skipped);
+  out->WriteVarint(result.stats.row_groups_lazy_skipped);
+  out->WriteVarint(result.stats.cache_hits);
+  out->WriteVarint(result.stats.cache_misses);
+  out->WriteVarint(result.stats.cache_bytes_saved);
+  out->WriteVarint(result.stats.object_version);
   out->WriteLE<double>(result.stats.storage_compute_seconds);
   out->WriteLE<double>(result.stats.media_read_seconds);
   out->WriteVarint(result.arrow_ipc.size());
@@ -221,6 +380,12 @@ Result<OcsResult> DecodeOcsResult(BufferReader* in) {
   POCS_ASSIGN_OR_RETURN(result.stats.object_bytes_read, in->ReadVarint());
   POCS_ASSIGN_OR_RETURN(result.stats.row_groups_total, in->ReadVarint());
   POCS_ASSIGN_OR_RETURN(result.stats.row_groups_skipped, in->ReadVarint());
+  POCS_ASSIGN_OR_RETURN(result.stats.row_groups_lazy_skipped,
+                        in->ReadVarint());
+  POCS_ASSIGN_OR_RETURN(result.stats.cache_hits, in->ReadVarint());
+  POCS_ASSIGN_OR_RETURN(result.stats.cache_misses, in->ReadVarint());
+  POCS_ASSIGN_OR_RETURN(result.stats.cache_bytes_saved, in->ReadVarint());
+  POCS_ASSIGN_OR_RETURN(result.stats.object_version, in->ReadVarint());
   POCS_ASSIGN_OR_RETURN(result.stats.storage_compute_seconds,
                         in->ReadLE<double>());
   POCS_ASSIGN_OR_RETURN(result.stats.media_read_seconds, in->ReadLE<double>());

@@ -6,11 +6,23 @@
 // node's 64 @ 2.9) is modelled by scaling measured execution wall time by
 // `cpu_slowdown`; the scaled figure is reported to callers, who fold it
 // into query timing. Byte movement is never scaled — it is exact.
+//
+// Decoded row-group cache (DESIGN.md §10): each node keeps a sharded,
+// byte-budgeted LRU of decoded column chunks keyed by (object, object
+// version, row group, column). Concurrent splits and repeated queries
+// over the same objects skip media reads, decompression, and page
+// decoding; a PUT overwrite bumps the object version so stale entries
+// can never be served.
 #pragma once
 
 #include <atomic>
 #include <memory>
+#include <string>
 
+#include "columnar/column.h"
+#include "common/hash.h"
+#include "common/lru_cache.h"
+#include "common/thread_pool.h"
 #include "exec/plan_executor.h"
 #include "objectstore/object_store.h"
 #include "rpc/rpc.h"
@@ -31,6 +43,10 @@ struct StorageNodeConfig {
   // derived from the paper's own Fig. 6 arithmetic: Zstd saved
   // filter-only ~198 s on ~15.7 GB of avoided reads ≈ 80 MB/s effective.
   double media_read_bandwidth = 80e6;
+  // Byte budget for the node's decoded row-group cache (0 disables).
+  // Cached chunks are charged at decoded size; hits skip both the media
+  // read and the decode.
+  uint64_t rowgroup_cache_bytes = 64ull << 20;
 };
 
 // Injectable failure modes for one storage node. Crashing targets only
@@ -51,6 +67,17 @@ struct OcsExecStats {
   uint64_t object_bytes_read = 0;      // storage-media bytes touched
   uint64_t row_groups_total = 0;
   uint64_t row_groups_skipped = 0;     // pruned via chunk statistics
+  // Row groups whose pruning predicates, evaluated against the decoded
+  // predicate columns, matched zero rows — remaining columns were never
+  // materialized (the lazy-column fast path).
+  uint64_t row_groups_lazy_skipped = 0;
+  // Decoded row-group cache accounting for this plan.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_bytes_saved = 0;      // media bytes avoided by hits
+  // Version of the object this plan scanned (0 if unknown) — the
+  // connector's split-result cache keys on it.
+  uint64_t object_version = 0;
   double storage_compute_seconds = 0;  // already cpu_slowdown-scaled
   double media_read_seconds = 0;       // modelled SSD read time
 };
@@ -60,11 +87,40 @@ struct OcsResult {
   OcsExecStats stats;
 };
 
+// Key of one decoded column chunk in a node's row-group cache.
+struct RowGroupCacheKey {
+  std::string object;   // "bucket/key"
+  uint64_t version = 0;
+  uint64_t group = 0;
+  int32_t column = 0;
+  bool operator==(const RowGroupCacheKey&) const = default;
+};
+
+struct RowGroupCacheKeyHash {
+  size_t operator()(const RowGroupCacheKey& k) const {
+    uint64_t h = HashString(k.object);
+    h = HashCombine(h, k.version);
+    h = HashCombine(h, k.group);
+    h = HashCombine(h, static_cast<uint64_t>(static_cast<uint32_t>(k.column)));
+    return static_cast<size_t>(h);
+  }
+};
+
+using RowGroupCache =
+    ShardedLruCache<RowGroupCacheKey, columnar::Column, RowGroupCacheKeyHash>;
+
 class StorageNode {
  public:
   StorageNode(std::shared_ptr<objectstore::ObjectStore> store,
               StorageNodeConfig config)
-      : store_(std::move(store)), config_(config) {}
+      : store_(std::move(store)), config_(config) {
+    if (config_.rowgroup_cache_bytes > 0) {
+      rowgroup_cache_ = std::make_shared<RowGroupCache>(LruCacheConfig{
+          .byte_budget = config_.rowgroup_cache_bytes,
+          .shards = 8,
+          .metric_prefix = "ocs.rowgroup_cache"});
+    }
+  }
 
   const std::shared_ptr<objectstore::ObjectStore>& store() const {
     return store_;
@@ -73,6 +129,13 @@ class StorageNode {
   // Execute an IR plan whose Read targets an object on this node.
   Result<OcsResult> ExecutePlan(const substrait::Plan& plan) const;
 
+  // Decode every (row group, column) chunk of an object into the cache,
+  // fanning the row groups out over `pool` when given. No-op when the
+  // cache is disabled. Used to pre-warm a node before a latency-sensitive
+  // workload (and to exercise ParallelFor's chunked path).
+  Status WarmObjectCache(const std::string& bucket, const std::string& key,
+                         ThreadPool* pool = nullptr) const;
+
   // Register "ExecutePlan" (and the plain object-store methods) on an RPC
   // server living on this node.
   void RegisterService(rpc::Server* server) const;
@@ -80,10 +143,17 @@ class StorageNode {
   // Mutable fault switches; flipped by chaos tests at runtime.
   StorageNodeFaults& faults() const { return faults_; }
 
+  // The node's decoded row-group cache (nullptr when disabled).
+  const std::shared_ptr<RowGroupCache>& rowgroup_cache() const {
+    return rowgroup_cache_;
+  }
+
  private:
   std::shared_ptr<objectstore::ObjectStore> store_;
   StorageNodeConfig config_;
   mutable StorageNodeFaults faults_;
+  // Internally synchronized; shared across concurrent ExecutePlan calls.
+  std::shared_ptr<RowGroupCache> rowgroup_cache_;
 };
 
 // Wire helpers for OcsResult (shared with the frontend, which forwards

@@ -1,6 +1,7 @@
 #include "substrait/serialize.h"
 
 #include "columnar/ipc.h"
+#include "common/hash.h"
 
 namespace pocs::substrait {
 
@@ -212,6 +213,11 @@ Bytes SerializePlan(const Plan& plan) {
   out.WriteVarint(plan.version);
   WriteRel(*plan.root, &out);
   return std::move(out).Take();
+}
+
+uint64_t PlanFingerprint(const Plan& plan) {
+  Bytes wire = SerializePlan(plan);
+  return HashBytes(wire.data(), wire.size());
 }
 
 Result<Plan> DeserializePlan(ByteSpan data) {

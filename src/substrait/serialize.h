@@ -12,6 +12,13 @@ namespace pocs::substrait {
 Bytes SerializePlan(const Plan& plan);
 Result<Plan> DeserializePlan(ByteSpan data);
 
+// Canonical 64-bit fingerprint of a plan: a hash over SerializePlan's
+// output, which is already deterministic (no map iteration, no
+// pointers), so two structurally identical plans — whether built fresh
+// or round-tripped through the wire — always collide. Keys the
+// connector-side split-result cache together with the object version.
+uint64_t PlanFingerprint(const Plan& plan);
+
 // Expression-level helpers (used by plan serialization and tests).
 void WriteExpression(const Expression& expr, BufferWriter* out);
 Result<Expression> ReadExpression(BufferReader* in, int depth = 0);

@@ -7,7 +7,8 @@
 namespace pocs::workloads {
 
 std::vector<std::string> ChaosProfiles() {
-  return {"crash-storage", "slow-link", "partition", "flaky-rpc"};
+  return {"crash-storage", "slow-link", "partition", "flaky-rpc",
+          "flaky-rpc-cached"};
 }
 
 Result<ChaosExpectation> ChaosExpectationFor(const std::string& profile) {
@@ -19,6 +20,10 @@ Result<ChaosExpectation> ChaosExpectationFor(const std::string& profile) {
   if (profile == "slow-link") return ChaosExpectation{.expect_fallbacks = true};
   if (profile == "partition") return ChaosExpectation{.expect_retries = true};
   if (profile == "flaky-rpc") return ChaosExpectation{};
+  if (profile == "flaky-rpc-cached") {
+    return ChaosExpectation{.expect_fallbacks = true,
+                            .expect_cache_effects = true};
+  }
   return Status::InvalidArgument("unknown chaos profile: " + profile);
 }
 
@@ -47,6 +52,18 @@ Result<TestbedConfig> MakeChaosTestbedConfig(const ChaosConfig& config) {
     // the stragglers.
     d.call.max_attempts = 6;
     d.fallback_call.max_attempts = 6;
+  } else if (config.profile == "flaky-rpc-cached") {
+    // In-storage execution is dead (ApplyChaos crashes every exec engine)
+    // and the compute↔frontend link drops 20% of messages: every split
+    // degrades to the *chunked* fallback, where an rpc-level retry
+    // re-requests one lost 32 KiB range instead of the whole object —
+    // bytes_refetched_on_retry stays well below the bytes moved. The
+    // split-result cache serves repeat scans after a metadata-only
+    // revalidation.
+    d.call.max_attempts = 1;  // exec is gone; extra attempts are waste
+    d.fallback_call.max_attempts = 6;
+    d.fallback_chunk_bytes = 32 << 10;
+    bed.ocs_connector.split_result_cache_bytes = 64ull << 20;
   } else {
     return Status::InvalidArgument("unknown chaos profile: " + config.profile);
   }
@@ -62,6 +79,21 @@ Status ApplyChaos(Testbed* bed, const ChaosConfig& config) {
     for (size_t i = 0; i < bed->cluster().num_storage_nodes(); ++i) {
       bed->cluster().mutable_storage_node(i).faults().exec_crashed.store(true);
     }
+    return Status::OK();
+  }
+  if (config.profile == "flaky-rpc-cached") {
+    // Storage-side execution down AND a lossy link: the query must heal
+    // through the chunked, cache-retained fallback alone.
+    for (size_t i = 0; i < bed->cluster().num_storage_nodes(); ++i) {
+      bed->cluster().mutable_storage_node(i).faults().exec_crashed.store(true);
+    }
+    auto plan = std::make_shared<netsim::FaultPlan>(config.seed);
+    netsim::FaultRule rule = netsim::FaultPlan::Flaky(0.2);
+    rule.all_links = false;
+    rule.a = bed->compute_node();
+    rule.b = bed->cluster().frontend_node();
+    plan->AddRule(rule);
+    bed->SetFaultPlan(std::move(plan));
     return Status::OK();
   }
   auto plan = std::make_shared<netsim::FaultPlan>(config.seed);

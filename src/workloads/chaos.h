@@ -28,6 +28,10 @@ std::vector<std::string> ChaosProfiles();
 struct ChaosExpectation {
   bool expect_fallbacks = false;  // QueryStats.fallbacks > 0
   bool expect_retries = false;    // QueryStats.retries > 0
+  // Connector caches are enabled under this profile: partial-result
+  // retention must keep bytes_refetched_on_retry strictly below the
+  // bytes moved, and a repeat scan must be served from the split cache.
+  bool expect_cache_effects = false;
 };
 Result<ChaosExpectation> ChaosExpectationFor(const std::string& profile);
 

@@ -60,6 +60,9 @@ struct QueryFingerprint {
   uint64_t retries = 0;
   uint64_t fallbacks = 0;
   uint64_t failed_splits = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_bytes_saved = 0;
+  uint64_t bytes_refetched_on_retry = 0;
   bool operator==(const QueryFingerprint&) const = default;
 };
 
@@ -81,7 +84,10 @@ Result<std::map<std::string, QueryFingerprint>> RunAll(Testbed* bed) {
                                  result.metrics.rows_scanned,
                                  result.metrics.retries,
                                  result.metrics.fallbacks,
-                                 result.metrics.failed_splits};
+                                 result.metrics.failed_splits,
+                                 result.metrics.cache_hits,
+                                 result.metrics.cache_bytes_saved,
+                                 result.metrics.bytes_refetched_on_retry};
   }
   return out;
 }
@@ -114,13 +120,48 @@ TEST(ChaosMatrix, FaultedQueriesMatchReferenceWithExpectedSignature) {
       EXPECT_EQ(dirty.fallbacks, 0u) << name << ": transient faults must "
                                      << "heal via retries, not fallbacks";
     }
+    if (expectation->expect_cache_effects) {
+      // Partial-result retention: retried range fetches re-request only
+      // the ranges they lost, never the whole split.
+      EXPECT_GT(dirty.bytes_refetched_on_retry, 0u) << name;
+      EXPECT_LT(dirty.bytes_refetched_on_retry, dirty.bytes_from_storage)
+          << name;
+    }
   }
   // The reference run itself must be fault-free.
   for (const auto& [name, clean] : *reference) {
     EXPECT_EQ(clean.fallbacks, 0u) << name;
     EXPECT_EQ(clean.failed_splits, 0u) << name;
     EXPECT_EQ(clean.retries, 0u) << name;
+    EXPECT_EQ(clean.bytes_refetched_on_retry, 0u) << name;
   }
+}
+
+// For cache-enabled profiles: an identical repeat of a query on the
+// faulted bed is answered from the split-result cache — bit-identical
+// rows, a cache hit per split, and strictly fewer bytes moved.
+TEST(ChaosMatrix, CachedRepeatScanServedFromCache) {
+  auto expectation = ChaosExpectationFor(g_chaos.profile);
+  ASSERT_TRUE(expectation.ok()) << expectation.status();
+  if (!expectation->expect_cache_effects) {
+    GTEST_SKIP() << "profile " << g_chaos.profile
+                 << " does not enable connector caches";
+  }
+
+  auto bed = BuildBed(g_chaos);
+  ASSERT_TRUE(bed.ok()) << bed.status();
+  const std::string sql = ChaosQueries()[2].second;  // laghos
+
+  auto cold = (*bed)->Run(sql, "ocs");
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  auto warm = (*bed)->Run(sql, "ocs");
+  ASSERT_TRUE(warm.ok()) << warm.status();
+
+  EXPECT_EQ(Canonicalize(*warm->table), Canonicalize(*cold->table));
+  EXPECT_GT(warm->metrics.cache_hits, 0u);
+  EXPECT_GT(warm->metrics.cache_bytes_saved, 0u);
+  EXPECT_LT(warm->metrics.bytes_from_storage,
+            cold->metrics.bytes_from_storage);
 }
 
 TEST(ChaosMatrix, DeterministicReplay) {
@@ -143,6 +184,10 @@ TEST(ChaosMatrix, DeterministicReplay) {
     EXPECT_EQ(replay.retries, fp.retries) << name;
     EXPECT_EQ(replay.fallbacks, fp.fallbacks) << name;
     EXPECT_EQ(replay.failed_splits, fp.failed_splits) << name;
+    EXPECT_EQ(replay.cache_hits, fp.cache_hits) << name;
+    EXPECT_EQ(replay.cache_bytes_saved, fp.cache_bytes_saved) << name;
+    EXPECT_EQ(replay.bytes_refetched_on_retry, fp.bytes_refetched_on_retry)
+        << name;
   }
 }
 

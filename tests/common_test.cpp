@@ -196,6 +196,32 @@ TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ThreadPoolTest, ParallelForChunksLargeRanges) {
+  // n far above 4 * num_threads exercises the block-chunked path; every
+  // index must still run exactly once.
+  ThreadPool pool(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstErrorByIndex) {
+  ThreadPool pool(4);
+  // Large n (chunked) with two throwing indices: the rethrown exception
+  // must be the lowest-index one, matching the serial-loop contract.
+  try {
+    pool.ParallelFor(5000, [&](size_t i) {
+      if (i == 777 || i == 4200) {
+        throw std::runtime_error("boom@" + std::to_string(i));
+      }
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom@777");
+  }
+}
+
 TEST(ThreadPoolTest, ParallelForZeroAndOne) {
   ThreadPool pool(2);
   pool.ParallelFor(0, [](size_t) { FAIL(); });

@@ -201,7 +201,17 @@ TEST(StorageNodeTest, SchemaMismatchRejected) {
 
 TEST(OcsResultWireTest, EncodeDecode) {
   OcsResult result;
-  result.stats = {100, 5, 4096, 10, 8, 0.125};
+  result.stats.rows_scanned = 100;
+  result.stats.rows_output = 5;
+  result.stats.object_bytes_read = 4096;
+  result.stats.row_groups_total = 10;
+  result.stats.row_groups_skipped = 8;
+  result.stats.row_groups_lazy_skipped = 1;
+  result.stats.cache_hits = 3;
+  result.stats.cache_misses = 2;
+  result.stats.cache_bytes_saved = 2048;
+  result.stats.object_version = 7;
+  result.stats.storage_compute_seconds = 0.125;
   result.arrow_ipc = {1, 2, 3};
   BufferWriter w;
   EncodeOcsResult(result, &w);
@@ -210,6 +220,11 @@ TEST(OcsResultWireTest, EncodeDecode) {
   ASSERT_TRUE(rt.ok());
   EXPECT_EQ(rt->stats.rows_scanned, 100u);
   EXPECT_EQ(rt->stats.row_groups_skipped, 8u);
+  EXPECT_EQ(rt->stats.row_groups_lazy_skipped, 1u);
+  EXPECT_EQ(rt->stats.cache_hits, 3u);
+  EXPECT_EQ(rt->stats.cache_misses, 2u);
+  EXPECT_EQ(rt->stats.cache_bytes_saved, 2048u);
+  EXPECT_EQ(rt->stats.object_version, 7u);
   EXPECT_DOUBLE_EQ(rt->stats.storage_compute_seconds, 0.125);
   EXPECT_EQ(rt->arrow_ipc, (Bytes{1, 2, 3}));
 }

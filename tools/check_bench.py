@@ -2,7 +2,7 @@
 """Diff a BENCH_*.json report against a committed baseline.
 
 Usage:
-    tools/check_bench.py BENCH_PR2.json --baseline bench/baselines/BENCH_PR2.smoke.json
+    tools/check_bench.py BENCH_PR5.json --baseline bench/baselines/BENCH_PR5.smoke.json
 
 The report schema (bench/report.h) tags every metric with a kind that
 decides how it is compared:
@@ -20,6 +20,12 @@ decides how it is compared:
 
 Config (smoke/scale/seed) must match between the two reports — exact
 metrics are only comparable for identical workload parameters.
+
+--require-nonzero NAME (repeatable) additionally fails the gate when the
+named candidate metric is missing or zero, regardless of the baseline.
+CI uses it to catch silently disabled machinery — e.g. a repeat-scan
+bench where `process.ocs.rowgroup_cache.hit` dropping to zero means the
+row-group cache stopped caching even though every count still matches.
 
 Exit codes: 0 ok, 1 regression or malformed input, 2 usage error.
 Metrics present in the candidate but not the baseline are reported as
@@ -72,6 +78,11 @@ def main():
                         help="absolute seconds a timing metric must exceed "
                              "the baseline by before it can fail "
                              "(default 0.05)")
+    parser.add_argument("--require-nonzero", action="append", default=[],
+                        metavar="NAME",
+                        help="fail if the named candidate metric is missing "
+                             "or zero (repeatable; independent of the "
+                             "baseline)")
     parser.add_argument("--list", action="store_true",
                         help="print every comparison, not just failures")
     args = parser.parse_args()
@@ -119,6 +130,13 @@ def main():
             failures.append(detail)
         elif args.list:
             print(f"ok    {detail}")
+
+    for name in args.require_nonzero:
+        if name not in cand:
+            failures.append(f"{name}: required-nonzero metric missing "
+                            f"from candidate")
+        elif cand[name][1] == 0:
+            failures.append(f"{name}: required-nonzero metric is 0")
 
     new_metrics = sorted(set(cand) - set(base))
     if new_metrics:

@@ -150,6 +150,31 @@ class CheckBenchTest(unittest.TestCase):
         self.assertEqual(result.returncode, 1)
         self.assertIn("unsupported schema_version", result.stderr)
 
+    def test_require_nonzero_passes_when_positive(self):
+        base = self.write("base.json", make_report(self.BASE))
+        cand = self.write("cand.json", make_report(self.BASE))
+        result = self.run_check(cand, base,
+                                "--require-nonzero", "fig5.laghos.rows")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_require_nonzero_fails_on_zero(self):
+        metrics = dict(self.BASE)
+        metrics["cache.hits"] = ("exact", 0)
+        base = self.write("base.json", make_report(metrics))
+        cand = self.write("cand.json", make_report(metrics))
+        result = self.run_check(cand, base,
+                                "--require-nonzero", "cache.hits")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("required-nonzero metric is 0", result.stdout)
+
+    def test_require_nonzero_fails_on_missing(self):
+        base = self.write("base.json", make_report(self.BASE))
+        cand = self.write("cand.json", make_report(self.BASE))
+        result = self.run_check(cand, base,
+                                "--require-nonzero", "no.such.metric")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("required-nonzero metric missing", result.stdout)
+
     def test_unreadable_candidate_is_hard_error(self):
         base = self.write("base.json", make_report(self.BASE))
         cand = self.write("cand.json", "{not json")
