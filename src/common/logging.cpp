@@ -13,8 +13,8 @@ void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 namespace detail {
 
-std::mutex& LogMutex() {
-  static std::mutex mu;
+Mutex& LogMutex() {
+  static Mutex mu;
   return mu;
 }
 

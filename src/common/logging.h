@@ -3,9 +3,10 @@
 #pragma once
 
 #include <iostream>
-#include <mutex>
 #include <sstream>
 #include <string_view>
+
+#include "common/thread_annotations.h"
 
 namespace pocs {
 
@@ -15,7 +16,9 @@ LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
 namespace detail {
-std::mutex& LogMutex();
+// Serializes writes to std::cerr. A terminal lock: nothing is called
+// while it is held, so it can never participate in a lock cycle.
+Mutex& LogMutex();
 std::string_view LevelName(LogLevel level);
 }  // namespace detail
 
@@ -27,7 +30,7 @@ class LogMessage {
   }
   ~LogMessage() {
     if (level_ >= GetLogLevel()) {
-      std::lock_guard lock(detail::LogMutex());
+      MutexLock lock(detail::LogMutex());
       std::cerr << stream_.str() << "\n";
     }
   }

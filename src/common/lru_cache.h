@@ -26,7 +26,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -34,6 +33,7 @@
 
 #include "common/hash.h"
 #include "common/metrics.h"
+#include "common/thread_annotations.h"
 
 namespace pocs {
 
@@ -84,17 +84,26 @@ class ShardedLruCache {
   ValuePtr Lookup(const Key& key) {
     if (!enabled()) return nullptr;
     Shard& shard = ShardFor(key);
-    std::lock_guard lock(shard.mu);
-    auto it = shard.index.find(key);
-    if (it == shard.index.end()) {
+    ValuePtr value;
+    {
+      MutexLock lock(shard.mu);
+      auto it = shard.index.find(key);
+      if (it != shard.index.end()) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        value = it->second->value;
+      }
+    }
+    // Stats/registry updates happen outside the shard lock (the same
+    // deferral Insert always did): nothing external runs under a shard
+    // mutex, so the shards stay leaf-level locks.
+    if (!value) {
       misses_.fetch_add(1, std::memory_order_relaxed);
       if (miss_metric_) miss_metric_->Increment();
       return nullptr;
     }
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     hits_.fetch_add(1, std::memory_order_relaxed);
     if (hit_metric_) hit_metric_->Increment();
-    return it->second->value;
+    return value;
   }
 
   // Inserts (or replaces) `key`, charging `charge` bytes against the
@@ -106,7 +115,7 @@ class ShardedLruCache {
     uint64_t evicted = 0;
     int64_t byte_delta = 0;
     {
-      std::lock_guard lock(shard.mu);
+      MutexLock lock(shard.mu);
       auto it = shard.index.find(key);
       if (it != shard.index.end()) {
         byte_delta -= static_cast<int64_t>(it->second->charge);
@@ -145,7 +154,7 @@ class ShardedLruCache {
     Shard& shard = ShardFor(key);
     uint64_t charge = 0;
     {
-      std::lock_guard lock(shard.mu);
+      MutexLock lock(shard.mu);
       auto it = shard.index.find(key);
       if (it == shard.index.end()) return false;
       charge = it->second->charge;
@@ -163,7 +172,7 @@ class ShardedLruCache {
     uint64_t dropped_bytes = 0;
     uint64_t dropped_entries = 0;
     for (Shard& shard : shards_) {
-      std::lock_guard lock(shard.mu);
+      MutexLock lock(shard.mu);
       dropped_bytes += shard.bytes;
       dropped_entries += shard.lru.size();
       shard.bytes = 0;
@@ -193,11 +202,12 @@ class ShardedLruCache {
     uint64_t charge = 0;
   };
   struct Shard {
-    std::mutex mu;
-    std::list<Entry> lru;  // front = most recently used
+    Mutex mu;
+    // front = most recently used
+    std::list<Entry> lru POCS_GUARDED_BY(mu);
     std::unordered_map<Key, typename std::list<Entry>::iterator, KeyHash>
-        index;
-    uint64_t bytes = 0;
+        index POCS_GUARDED_BY(mu);
+    uint64_t bytes POCS_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const Key& key) {

@@ -105,7 +105,7 @@ void Histogram::Reset() {
 }
 
 Counter& Registry::GetCounter(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Entry& e = entries_[name];
   if (!e.counter) {
     POCS_CHECK(!e.gauge && !e.histogram)
@@ -117,7 +117,7 @@ Counter& Registry::GetCounter(const std::string& name) {
 }
 
 Gauge& Registry::GetGauge(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Entry& e = entries_[name];
   if (!e.gauge) {
     POCS_CHECK(!e.counter && !e.histogram)
@@ -129,7 +129,7 @@ Gauge& Registry::GetGauge(const std::string& name) {
 }
 
 Histogram& Registry::GetHistogram(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Entry& e = entries_[name];
   if (!e.histogram) {
     POCS_CHECK(!e.counter && !e.gauge)
@@ -141,7 +141,7 @@ Histogram& Registry::GetHistogram(const std::string& name) {
 }
 
 std::vector<MetricSample> Registry::Snapshot() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<MetricSample> out;
   out.reserve(entries_.size());
   for (const auto& [name, e] : entries_) {
@@ -209,7 +209,7 @@ std::string Registry::ToJson() const {
 }
 
 void Registry::ResetAll() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, e] : entries_) {
     switch (e.kind) {
       case MetricKind::kCounter: e.counter->Reset(); break;
@@ -222,6 +222,7 @@ void Registry::ResetAll() {
 Registry& Registry::Default() {
   // Leaked on purpose: metric references cached in function-local statics
   // at call sites must outlive every other static destructor.
+  // NOLINTNEXTLINE(cppcoreguidelines-owning-memory)
   static Registry* registry = new Registry();  // pocs-lint: allow(naked-new)
   return *registry;
 }

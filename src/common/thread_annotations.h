@@ -1,0 +1,181 @@
+// Clang Thread Safety Analysis for the whole stack (DESIGN.md §11).
+//
+// Lock discipline in this repo is *compiler-enforced*: every mutex is a
+// `pocs::Mutex`/`pocs::SharedMutex` (a CAPABILITY-annotated wrapper over
+// the std primitives), every field a mutex guards carries
+// POCS_GUARDED_BY, and every private helper that assumes the lock is
+// held carries POCS_REQUIRES. Under `-DPOCS_THREAD_SAFETY=ON` (clang
+// only) the `-Wthread-safety -Wthread-safety-beta` analysis proves, at
+// compile time, that no guarded field is ever touched without its lock
+// and that ACQUIRED_BEFORE/ACQUIRED_AFTER orderings are respected — the
+// static complement to the dynamic TSan job, which only catches races
+// the tests happen to execute.
+//
+// On compilers without the attributes (GCC) the macros compile away;
+// `tools/pocs_lint.py --thread-safety-check` compiles probe snippets
+// with clang and *requires* them to be rejected, so the wiring can
+// never silently degrade into no-ops.
+//
+// Usage:
+//   pocs::Mutex mu_;
+//   std::deque<Task> queue_ POCS_GUARDED_BY(mu_);
+//   void DrainLocked() POCS_REQUIRES(mu_);   // caller holds mu_
+//   ...
+//   pocs::MutexLock lock(mu_);               // RAII; scoped capability
+//
+// POCS_NO_THREAD_SAFETY_ANALYSIS is the escape hatch of last resort —
+// acceptable only where the analysis cannot model a true invariant
+// (e.g. locks handed across threads); each use needs a comment saying
+// why (DESIGN.md §11 lists the accepted patterns).
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__)
+#define POCS_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define POCS_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op outside clang
+#endif
+
+#define POCS_CAPABILITY(x) POCS_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+#define POCS_SCOPED_CAPABILITY \
+  POCS_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+#define POCS_GUARDED_BY(x) POCS_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+// For pointers: the pointed-to data (not the pointer) is guarded.
+#define POCS_PT_GUARDED_BY(x) \
+  POCS_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+// Lock-ordering declarations, enforced under -Wthread-safety-beta.
+#define POCS_ACQUIRED_BEFORE(...) \
+  POCS_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define POCS_ACQUIRED_AFTER(...) \
+  POCS_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+// The function may only be called while holding the capability.
+#define POCS_REQUIRES(...) \
+  POCS_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define POCS_REQUIRES_SHARED(...) \
+  POCS_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+// The function acquires/releases the capability (and does not already
+// hold it / holds it on entry, respectively).
+#define POCS_ACQUIRE(...) \
+  POCS_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define POCS_ACQUIRE_SHARED(...) \
+  POCS_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+#define POCS_RELEASE(...) \
+  POCS_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define POCS_RELEASE_SHARED(...) \
+  POCS_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+#define POCS_TRY_ACQUIRE(...) \
+  POCS_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+// The function must NOT be called while holding the capability — the
+// non-reentrancy declaration that keeps a std::mutex-backed capability
+// from self-deadlocking.
+#define POCS_EXCLUDES(...) \
+  POCS_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define POCS_ASSERT_CAPABILITY(x) \
+  POCS_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+#define POCS_RETURN_CAPABILITY(x) \
+  POCS_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+#define POCS_NO_THREAD_SAFETY_ANALYSIS \
+  POCS_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace pocs {
+
+// Exclusive mutex the analysis can see. Prefer pocs::MutexLock over the
+// manual Lock()/Unlock() pair (the repo lint flags manual calls).
+class POCS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() POCS_ACQUIRE() { mu_.lock(); }        // pocs-lint: allow(manual-lock)
+  void Unlock() POCS_RELEASE() { mu_.unlock(); }    // pocs-lint: allow(manual-lock)
+  bool TryLock() POCS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // The wrapped primitive, for APIs that need it (condition-variable
+  // waits via MutexLock::native()). Code touching it directly bypasses
+  // the analysis — keep such uses inside this header.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;  // pocs-lint: allow(unannotated-mutex)
+};
+
+// Reader/writer mutex. Writers take SharedMutexLock (exclusive),
+// readers SharedReaderLock.
+class POCS_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() POCS_ACQUIRE() { mu_.lock(); }        // pocs-lint: allow(manual-lock)
+  void Unlock() POCS_RELEASE() { mu_.unlock(); }    // pocs-lint: allow(manual-lock)
+  // pocs-lint: allow(manual-lock)
+  void LockShared() POCS_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  // pocs-lint: allow(manual-lock)
+  void UnlockShared() POCS_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  std::shared_mutex& native() { return mu_; }
+
+ private:
+  std::shared_mutex mu_;  // pocs-lint: allow(unannotated-mutex)
+};
+
+// RAII exclusive lock — the std::lock_guard/unique_lock replacement the
+// analysis understands. native() exposes the underlying unique_lock for
+// std::condition_variable::wait; the analysis (correctly) treats the
+// capability as held across the wait, because the predicate and all
+// surrounding guarded accesses run with the lock re-acquired.
+class POCS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) POCS_ACQUIRE(mu) : lock_(mu.native()) {}
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() POCS_RELEASE() {}
+
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+// RAII exclusive lock over a SharedMutex (writer side).
+class POCS_SCOPED_CAPABILITY SharedMutexLock {
+ public:
+  explicit SharedMutexLock(SharedMutex& mu) POCS_ACQUIRE(mu)
+      : lock_(mu.native()) {}
+  SharedMutexLock(const SharedMutexLock&) = delete;
+  SharedMutexLock& operator=(const SharedMutexLock&) = delete;
+  ~SharedMutexLock() POCS_RELEASE() {}
+
+ private:
+  std::unique_lock<std::shared_mutex> lock_;
+};
+
+// RAII shared (reader) lock over a SharedMutex.
+class POCS_SCOPED_CAPABILITY SharedReaderLock {
+ public:
+  explicit SharedReaderLock(SharedMutex& mu) POCS_ACQUIRE_SHARED(mu)
+      : lock_(mu.native()) {}
+  SharedReaderLock(const SharedReaderLock&) = delete;
+  SharedReaderLock& operator=(const SharedReaderLock&) = delete;
+  ~SharedReaderLock() POCS_RELEASE() {}
+
+ private:
+  std::shared_lock<std::shared_mutex> lock_;
+};
+
+}  // namespace pocs

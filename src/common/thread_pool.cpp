@@ -18,7 +18,7 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (stop_) return;
     stop_ = true;
   }
@@ -34,8 +34,11 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // Explicit predicate loop (not the lambda-predicate overload): the
+      // analysis treats mu_ as held across the wait, and every guarded
+      // access here really does run with the lock re-acquired.
+      while (!stop_ && queue_.empty()) cv_.wait(lock.native());
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -15,11 +15,11 @@
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/check.h"
+#include "common/thread_annotations.h"
 
 namespace pocs {
 
@@ -39,7 +39,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       POCS_CHECK(!stop_) << "ThreadPool::Submit after Shutdown";
       queue_.emplace_back([task] { (*task)(); });
     }
@@ -60,7 +60,7 @@ class ThreadPool {
   void Shutdown();
 
   bool stopped() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return stop_;
   }
 
@@ -69,11 +69,14 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> threads_;
-  bool stop_ = false;
+  std::deque<std::function<void()>> queue_ POCS_GUARDED_BY(mu_);
+  // Written only by the constructor, joined lock-free by Shutdown (taking
+  // mu_ around join() would deadlock against the workers); immutable in
+  // between, so it is deliberately not guarded.
+  std::vector<std::thread> threads_;  // pocs-lint: allow(unannotated-mutex)
+  bool stop_ POCS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace pocs

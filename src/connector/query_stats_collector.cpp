@@ -32,7 +32,7 @@ void QueryStatsCollector::Accumulate(const QueryEvent& event, Totals* t) {
 
 void QueryStatsCollector::QueryCompleted(const QueryEvent& event) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     Accumulate(event, &totals_);
     Accumulate(event, &by_connector_[event.connector_id]);
     last_ = event.stats;
@@ -71,19 +71,19 @@ void QueryStatsCollector::QueryCompleted(const QueryEvent& event) {
 }
 
 QueryStatsCollector::Totals QueryStatsCollector::totals() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return totals_;
 }
 
 QueryStatsCollector::Totals QueryStatsCollector::TotalsFor(
     const std::string& connector_id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = by_connector_.find(connector_id);
   return it == by_connector_.end() ? Totals{} : it->second;
 }
 
 QueryStats QueryStatsCollector::last() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return last_;
 }
 

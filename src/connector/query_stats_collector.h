@@ -8,9 +8,9 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "common/thread_annotations.h"
 #include "connector/spi.h"
 
 namespace pocs::connector {
@@ -63,10 +63,10 @@ class QueryStatsCollector final : public EventListener {
  private:
   static void Accumulate(const QueryEvent& event, Totals* t);
 
-  mutable std::mutex mu_;
-  Totals totals_;
-  std::map<std::string, Totals> by_connector_;
-  QueryStats last_;
+  mutable Mutex mu_;
+  Totals totals_ POCS_GUARDED_BY(mu_);
+  std::map<std::string, Totals> by_connector_ POCS_GUARDED_BY(mu_);
+  QueryStats last_ POCS_GUARDED_BY(mu_);
 };
 
 }  // namespace pocs::connector

@@ -15,6 +15,12 @@
 // `assume_split_disjoint_groups` is set — the correctness contract that
 // group keys do not span data objects, which holds for the paper's
 // spatially partitioned HPC datasets; see DESIGN.md.
+//
+// Concurrency: the connector itself holds no mutex — its only shared
+// mutable state is the split-result cache (a ShardedLruCache, internally
+// locked with annotated pocs::Mutex shards, DESIGN.md §11) and the
+// metrics it records (lock-free atomics). Everything else is immutable
+// after construction, so per-split workers share it freely.
 #pragma once
 
 #include <memory>

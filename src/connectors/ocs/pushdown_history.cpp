@@ -3,7 +3,7 @@
 namespace pocs::connectors {
 
 void PushdownHistory::QueryCompleted(const connector::QueryEvent& event) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   events_.push_back(event);
   while (events_.size() > window_) events_.pop_front();
   Recompute();
@@ -25,7 +25,7 @@ void PushdownHistory::Recompute() {
 void PushdownHistory::RecordOffloadRejection(const std::string& connector_id,
                                              const std::string& object,
                                              const Status& cause) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   rejections_.push_back(
       {connector_id, object, cause.code(), cause.message()});
   while (rejections_.size() > window_) rejections_.pop_front();
@@ -33,34 +33,34 @@ void PushdownHistory::RecordOffloadRejection(const std::string& connector_id,
 }
 
 std::vector<OffloadRejection> PushdownHistory::offload_rejections() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return {rejections_.begin(), rejections_.end()};
 }
 
 uint64_t PushdownHistory::total_offload_rejections() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return total_rejections_;
 }
 
 PushdownKindStats PushdownHistory::StatsFor(
     connector::PushedOperator::Kind kind) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = per_kind_.find(kind);
   return it == per_kind_.end() ? PushdownKindStats{} : it->second;
 }
 
 double PushdownHistory::AverageBytesFromStorage() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return events_.empty() ? 0.0 : total_bytes_ / events_.size();
 }
 
 size_t PushdownHistory::window_size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return events_.size();
 }
 
 std::vector<connector::QueryEvent> PushdownHistory::Snapshot() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return {events_.begin(), events_.end()};
 }
 

@@ -6,8 +6,8 @@
 
 #include <deque>
 #include <map>
-#include <mutex>
 
+#include "common/thread_annotations.h"
 #include "connector/spi.h"
 
 namespace pocs::connectors {
@@ -54,15 +54,16 @@ class PushdownHistory final : public connector::EventListener {
   uint64_t total_offload_rejections() const;
 
  private:
-  void Recompute();  // callers hold mu_
+  void Recompute() POCS_REQUIRES(mu_);
 
-  size_t window_;
-  mutable std::mutex mu_;
-  std::deque<connector::QueryEvent> events_;
-  std::deque<OffloadRejection> rejections_;
-  uint64_t total_rejections_ = 0;
-  std::map<connector::PushedOperator::Kind, PushdownKindStats> per_kind_;
-  double total_bytes_ = 0;
+  const size_t window_;  // immutable after construction
+  mutable Mutex mu_;
+  std::deque<connector::QueryEvent> events_ POCS_GUARDED_BY(mu_);
+  std::deque<OffloadRejection> rejections_ POCS_GUARDED_BY(mu_);
+  uint64_t total_rejections_ POCS_GUARDED_BY(mu_) = 0;
+  std::map<connector::PushedOperator::Kind, PushdownKindStats> per_kind_
+      POCS_GUARDED_BY(mu_);
+  double total_bytes_ POCS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace pocs::connectors

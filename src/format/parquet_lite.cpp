@@ -169,7 +169,8 @@ Result<std::shared_ptr<FileReader>> FileReader::Open(Bytes file) {
   POCS_ASSIGN_OR_RETURN(FileMeta meta,
                         ReadFooter(ByteSpan(file.data(), file.size())));
   // Private constructor (callers must go through Open), so make_shared
-  // is unavailable.  pocs-lint: allow(naked-new)
+  // is unavailable.
+  // NOLINTNEXTLINE(cppcoreguidelines-owning-memory) pocs-lint: allow(naked-new)
   auto* reader = new FileReader(std::move(file), std::move(meta));
   return std::shared_ptr<FileReader>(reader);
 }

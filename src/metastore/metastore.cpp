@@ -3,7 +3,7 @@
 namespace pocs::metastore {
 
 Status Metastore::CreateSchema(const std::string& name) {
-  std::lock_guard lock(mu_);
+  SharedMutexLock lock(mu_);
   if (schemas_.contains(name)) {
     return Status::AlreadyExists("schema " + name);
   }
@@ -12,7 +12,7 @@ Status Metastore::CreateSchema(const std::string& name) {
 }
 
 bool Metastore::HasSchema(const std::string& name) const {
-  std::lock_guard lock(mu_);
+  SharedReaderLock lock(mu_);
   return schemas_.contains(name);
 }
 
@@ -24,7 +24,7 @@ Status Metastore::RegisterTable(TableInfo info) {
         std::to_string(info.column_stats.size()) + " vs " +
         std::to_string(info.schema->num_fields()) + ")");
   }
-  std::lock_guard lock(mu_);
+  SharedMutexLock lock(mu_);
   auto it = schemas_.find(info.schema_name);
   if (it == schemas_.end()) {
     return Status::NotFound("schema " + info.schema_name);
@@ -39,7 +39,7 @@ Status Metastore::RegisterTable(TableInfo info) {
 
 Status Metastore::DropTable(const std::string& schema_name,
                             const std::string& table_name) {
-  std::lock_guard lock(mu_);
+  SharedMutexLock lock(mu_);
   auto it = schemas_.find(schema_name);
   if (it == schemas_.end()) return Status::NotFound("schema " + schema_name);
   if (it->second.erase(table_name) == 0) {
@@ -50,7 +50,7 @@ Status Metastore::DropTable(const std::string& schema_name,
 
 Result<TableInfo> Metastore::GetTable(const std::string& schema_name,
                                       const std::string& table_name) const {
-  std::lock_guard lock(mu_);
+  SharedReaderLock lock(mu_);
   auto it = schemas_.find(schema_name);
   if (it == schemas_.end()) return Status::NotFound("schema " + schema_name);
   auto tit = it->second.find(table_name);
@@ -62,7 +62,7 @@ Result<TableInfo> Metastore::GetTable(const std::string& schema_name,
 
 Result<std::vector<std::string>> Metastore::ListTables(
     const std::string& schema_name) const {
-  std::lock_guard lock(mu_);
+  SharedReaderLock lock(mu_);
   auto it = schemas_.find(schema_name);
   if (it == schemas_.end()) return Status::NotFound("schema " + schema_name);
   std::vector<std::string> names;

@@ -6,12 +6,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "columnar/types.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "format/stats.h"
 
 namespace pocs::metastore {
@@ -55,8 +55,12 @@ class Metastore {
       const std::string& schema_name) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::map<std::string, TableInfo>> schemas_;
+  // Reader/writer lock: the catalog is written once at table-registration
+  // time and then read on every split enumeration, so concurrent GetTable
+  // calls from planner threads share the lock.
+  mutable SharedMutex mu_;
+  std::map<std::string, std::map<std::string, TableInfo>> schemas_
+      POCS_GUARDED_BY(mu_);
 };
 
 }  // namespace pocs::metastore

@@ -8,13 +8,21 @@ Result<double> Network::Transfer(NodeId from, NodeId to, uint64_t bytes,
                                  uint64_t messages, TransferOptions options) {
   if (from == to) return 0.0;
 
-  FaultDecision fault;
+  // Snapshot the plan and clock under the lock but evaluate outside it:
+  // Evaluate is externally supplied code, and running it while holding
+  // mu_ would make every transfer serialize on it (and invite deadlock
+  // if a plan ever touches the network it is installed on).
+  std::shared_ptr<const FaultPlan> plan;
+  double eval_now = 0;
   {
-    std::lock_guard lock(mu_);
-    if (fault_plan_ && !fault_plan_->empty()) {
-      fault = fault_plan_->Evaluate(from, to, options.flow_id, options.attempt,
-                                    sim_now_);
-    }
+    MutexLock lock(mu_);
+    plan = fault_plan_;
+    eval_now = sim_now_;
+  }
+  FaultDecision fault;
+  if (plan && !plan->empty()) {
+    fault = plan->Evaluate(from, to, options.flow_id, options.attempt,
+                           eval_now);
   }
   if (fault.drop) {
     auto& reg = metrics::Registry::Default();
@@ -34,7 +42,7 @@ Result<double> Network::Transfer(NodeId from, NodeId to, uint64_t bytes,
     wire_bytes.Add(bytes);
     wire_messages.Add(messages);
   }
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   LinkConfig link = LinkFor(from, to);
   double seconds =
       static_cast<double>(bytes) /
@@ -50,13 +58,13 @@ Result<double> Network::Transfer(NodeId from, NodeId to, uint64_t bytes,
 }
 
 FlowStats Network::FlowBetween(NodeId a, NodeId b) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = flows_.find(Key(a, b));
   return it == flows_.end() ? FlowStats{} : it->second;
 }
 
 FlowStats Network::Total() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   FlowStats total;
   for (const auto& [key, flow] : flows_) {
     total.bytes += flow.bytes;
@@ -67,7 +75,7 @@ FlowStats Network::Total() const {
 }
 
 void Network::ResetCounters() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   flows_.clear();
 }
 

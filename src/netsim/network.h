@@ -14,11 +14,11 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/check.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "netsim/fault_plan.h"
 
 namespace pocs::netsim {
@@ -59,26 +59,26 @@ class Network {
       : default_link_(default_link) {}
 
   NodeId AddNode(std::string name) {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     nodes_.push_back(std::move(name));
     return static_cast<NodeId>(nodes_.size() - 1);
   }
 
-  // Names are append-only and stored in a deque, so the returned
-  // reference stays valid while other threads AddNode concurrently.
-  const std::string& NodeName(NodeId id) const {
-    std::lock_guard lock(mu_);
+  // Returned by value: handing out a reference into the guarded deque
+  // would let callers read it after the lock is released.
+  std::string NodeName(NodeId id) const {
+    MutexLock lock(mu_);
     POCS_CHECK_LT(id, nodes_.size()) << "unknown node id";
     return nodes_[id];
   }
   size_t num_nodes() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return nodes_.size();
   }
 
   // Override the link between a specific node pair (undirected).
   void SetLink(NodeId a, NodeId b, LinkConfig link) {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     links_[Key(a, b)] = link;
   }
 
@@ -91,14 +91,14 @@ class Network {
   // Install (or clear, with nullptr) the fault plan every subsequent
   // Transfer consults.
   void SetFaultPlan(std::shared_ptr<const FaultPlan> plan) {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     fault_plan_ = std::move(plan);
   }
 
   // Accumulated modelled seconds across all successful transfers — the
   // simulated clock that time-window fault rules evaluate against.
   double SimNow() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return sim_now_;
   }
 
@@ -111,19 +111,19 @@ class Network {
     if (a > b) std::swap(a, b);
     return (uint64_t{a} << 32) | b;
   }
-  LinkConfig LinkFor(NodeId a, NodeId b) const {
+  LinkConfig LinkFor(NodeId a, NodeId b) const POCS_REQUIRES(mu_) {
     auto it = links_.find(Key(a, b));
     return it == links_.end() ? default_link_ : it->second;
   }
 
-  mutable std::mutex mu_;
-  LinkConfig default_link_;
-  std::deque<std::string> nodes_;  // deque: stable refs under growth
-  std::map<uint64_t, LinkConfig> links_;
-  std::map<uint64_t, FlowStats> flows_;
-  std::shared_ptr<const FaultPlan> fault_plan_;
-  double sim_now_ = 0;  // survives ResetCounters: it is a clock, not a stat
-
+  const LinkConfig default_link_;  // immutable after construction
+  mutable Mutex mu_;
+  std::deque<std::string> nodes_ POCS_GUARDED_BY(mu_);
+  std::map<uint64_t, LinkConfig> links_ POCS_GUARDED_BY(mu_);
+  std::map<uint64_t, FlowStats> flows_ POCS_GUARDED_BY(mu_);
+  std::shared_ptr<const FaultPlan> fault_plan_ POCS_GUARDED_BY(mu_);
+  // Survives ResetCounters: it is a clock, not a stat.
+  double sim_now_ POCS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace pocs::netsim

@@ -3,7 +3,7 @@
 namespace pocs::objectstore {
 
 Status ObjectStore::CreateBucket(const std::string& bucket) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (buckets_.contains(bucket)) {
     return Status::AlreadyExists("bucket " + bucket);
   }
@@ -12,7 +12,7 @@ Status ObjectStore::CreateBucket(const std::string& bucket) {
 }
 
 Status ObjectStore::DeleteBucket(const std::string& bucket) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = buckets_.find(bucket);
   if (it == buckets_.end()) return Status::NotFound("bucket " + bucket);
   if (!it->second.empty()) {
@@ -23,13 +23,13 @@ Status ObjectStore::DeleteBucket(const std::string& bucket) {
 }
 
 bool ObjectStore::HasBucket(const std::string& bucket) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return buckets_.contains(bucket);
 }
 
 Status ObjectStore::Put(const std::string& bucket, const std::string& key,
                         Bytes data) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = buckets_.find(bucket);
   if (it == buckets_.end()) return Status::NotFound("bucket " + bucket);
   // Overwrites get a fresh version: stale cache entries keyed on the old
@@ -40,7 +40,7 @@ Status ObjectStore::Put(const std::string& bucket, const std::string& key,
 }
 
 Status ObjectStore::Delete(const std::string& bucket, const std::string& key) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = buckets_.find(bucket);
   if (it == buckets_.end()) return Status::NotFound("bucket " + bucket);
   if (it->second.erase(key) == 0) {
@@ -51,7 +51,7 @@ Status ObjectStore::Delete(const std::string& bucket, const std::string& key) {
 
 Result<ObjectStore::Stored> ObjectStore::Find(const std::string& bucket,
                                               const std::string& key) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto bit = buckets_.find(bucket);
   if (bit == buckets_.end()) return Status::NotFound("bucket " + bucket);
   auto oit = bit->second.find(key);
@@ -99,7 +99,7 @@ Result<ObjectStat> ObjectStore::Stat(const std::string& bucket,
 
 Result<std::vector<std::string>> ObjectStore::List(
     const std::string& bucket, const std::string& prefix) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto bit = buckets_.find(bucket);
   if (bit == buckets_.end()) return Status::NotFound("bucket " + bucket);
   std::vector<std::string> keys;
@@ -110,7 +110,7 @@ Result<std::vector<std::string>> ObjectStore::List(
 }
 
 uint64_t ObjectStore::TotalBytes() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   uint64_t total = 0;
   for (const auto& [bucket, objects] : buckets_) {
     for (const auto& [key, stored] : objects) total += stored.data->size();
@@ -119,7 +119,7 @@ uint64_t ObjectStore::TotalBytes() const {
 }
 
 size_t ObjectStore::ObjectCount() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   size_t n = 0;
   for (const auto& [bucket, objects] : buckets_) n += objects.size();
   return n;

@@ -12,12 +12,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/buffer.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace pocs::objectstore {
 
@@ -71,9 +71,11 @@ class ObjectStore {
 
   Result<Stored> Find(const std::string& bucket, const std::string& key) const;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::map<std::string, Stored>> buckets_;
-  uint64_t next_version_ = 0;  // bumped by every successful Put
+  mutable Mutex mu_;
+  std::map<std::string, std::map<std::string, Stored>> buckets_
+      POCS_GUARDED_BY(mu_);
+  // Bumped by every successful Put.
+  uint64_t next_version_ POCS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace pocs::objectstore

@@ -1,7 +1,5 @@
 #include "ocs/cluster.h"
 
-#include <mutex>
-
 #include "substrait/serialize.h"
 
 namespace pocs::ocs {
@@ -92,7 +90,7 @@ OcsCluster::OcsCluster(std::shared_ptr<netsim::Network> net,
 
 size_t OcsCluster::AssignNode(const std::string& bucket,
                               const std::string& key) {
-  std::lock_guard lock(placement_mu_);
+  MutexLock lock(placement_mu_);
   auto [it, inserted] =
       placement_.try_emplace(bucket + "/" + key, next_node_);
   if (inserted) next_node_ = (next_node_ + 1) % storage_nodes_.size();
@@ -103,13 +101,21 @@ Status OcsCluster::PutObject(const std::string& bucket, const std::string& key,
                              Bytes data) {
   size_t node = AssignNode(bucket, key);
   auto& store = *storage_nodes_[node]->store();
-  if (!store.HasBucket(bucket)) POCS_RETURN_NOT_OK(store.CreateBucket(bucket));
+  // Create-if-absent must tolerate a concurrent creator: HasBucket +
+  // CreateBucket is a check-then-act race when two ingests target the
+  // same new bucket, so AlreadyExists from the loser is success here.
+  if (!store.HasBucket(bucket)) {
+    Status created = store.CreateBucket(bucket);
+    if (!created.ok() && created.code() != StatusCode::kAlreadyExists) {
+      return created;
+    }
+  }
   return store.Put(bucket, key, std::move(data));
 }
 
 Result<size_t> OcsCluster::NodeForObject(const std::string& bucket,
                                          const std::string& key) const {
-  std::lock_guard lock(placement_mu_);
+  MutexLock lock(placement_mu_);
   auto it = placement_.find(bucket + "/" + key);
   if (it == placement_.end()) {
     return Status::NotFound("ocs: no placement for " + bucket + "/" + key);

@@ -9,9 +9,9 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "netsim/network.h"
 #include "ocs/storage_node.h"
 #include "rpc/rpc.h"
@@ -84,9 +84,10 @@ class OcsCluster {
   // Placement registry, shared by ingest and the RPC handlers, which run
   // on engine worker threads concurrently. Per-instance (was a global
   // mutex, which serialized unrelated clusters against each other).
-  mutable std::mutex placement_mu_;
-  std::map<std::string, size_t> placement_;  // "bucket/key" -> node index
-  size_t next_node_ = 0;
+  mutable Mutex placement_mu_;
+  // "bucket/key" -> node index
+  std::map<std::string, size_t> placement_ POCS_GUARDED_BY(placement_mu_);
+  size_t next_node_ POCS_GUARDED_BY(placement_mu_) = 0;
   std::atomic<bool> frontend_crashed_{false};
 };
 

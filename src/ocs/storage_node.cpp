@@ -6,6 +6,7 @@
 #include "columnar/kernels.h"
 #include "common/metrics.h"
 #include "common/stopwatch.h"
+#include "common/thread_annotations.h"
 #include "format/parquet_lite.h"
 #include "objectstore/select.h"
 #include "objectstore/service.h"
@@ -332,14 +333,14 @@ Status StorageNode::WarmObjectCache(const std::string& bucket,
   const size_t num_fields = reader->schema()->num_fields();
   const size_t n = reader->num_row_groups() * num_fields;
 
-  std::mutex error_mu;
+  Mutex error_mu;
   Status first_error = Status::OK();
   auto warm_one = [&](size_t i) {
     const size_t g = i / num_fields;
     const int c = static_cast<int>(i % num_fields);
     auto batch = reader->ReadRowGroup(g, {c});
     if (!batch.ok()) {
-      std::lock_guard lock(error_mu);
+      MutexLock lock(error_mu);
       if (first_error.ok()) first_error = batch.status();
       return;
     }

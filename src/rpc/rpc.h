@@ -19,13 +19,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/buffer.h"
 #include "common/hash.h"
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "netsim/network.h"
 
 namespace pocs::rpc {
@@ -42,14 +42,16 @@ class Server {
   const std::string& name() const { return name_; }
 
   void RegisterMethod(std::string method, Handler handler) {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     methods_[std::move(method)] = std::move(handler);
   }
 
   Result<Bytes> Dispatch(const std::string& method, ByteSpan request) const {
+    // Copy the handler out so user code never runs under mu_ — a handler
+    // that (transitively) registered a method would self-deadlock.
     Handler handler;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       auto it = methods_.find(method);
       if (it == methods_.end()) {
         return Status::NotFound("rpc: no method '" + method + "' on " + name_);
@@ -62,8 +64,8 @@ class Server {
  private:
   netsim::NodeId node_;
   std::string name_;
-  mutable std::mutex mu_;
-  std::map<std::string, Handler> methods_;
+  mutable Mutex mu_;
+  std::map<std::string, Handler> methods_ POCS_GUARDED_BY(mu_);
 };
 
 // Per-call policy: how many attempts, how long each may take (modelled),

@@ -5,6 +5,11 @@
 // asserts (a) every query still returns rows identical to a no-fault
 // run and (b) the profile's signature showed up in QueryStats (fallbacks
 // on profiles that kill in-storage execution, retries on transient ones).
+//
+// Concurrency: profile construction and the assertions run on one
+// thread; all cross-thread state lives behind the annotated mutexes of
+// the components under test (network, cluster, caches — DESIGN.md §11),
+// so this harness deliberately holds no locks of its own.
 #pragma once
 
 #include <string>

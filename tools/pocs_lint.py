@@ -17,10 +17,20 @@ Rules (each can be suppressed on a line with  // pocs-lint: allow(<rule>)):
   relative-include   Project includes are rooted at src/ ("common/status.h"),
                      never relative ("../common/status.h").
   quoted-system      System/third-party headers use <>, project headers "".
-  manual-lock        .lock()/.unlock() on a mutex object outside an RAII
-                     guard (std::lock_guard / std::unique_lock /
-                     std::scoped_lock). Manual unlock paths leak the lock on
-                     early return and break exception safety.
+  manual-lock        .lock()/.unlock() (or .Lock()/.Unlock()) on a mutex
+                     object outside an RAII guard (pocs::MutexLock and
+                     friends). Manual unlock paths leak the lock on early
+                     return and break exception safety.
+  unannotated-mutex  Two sub-checks feeding the compiler-enforced lock
+                     discipline (common/thread_annotations.h):
+                     (a) declaring a raw std::mutex/std::shared_mutex
+                     object — Thread Safety Analysis cannot see it; use
+                     pocs::Mutex / pocs::SharedMutex; (b) inside a class
+                     that declares a pocs::Mutex member, any data member
+                     declared *after* the mutex that carries no
+                     POCS_GUARDED_BY/POCS_PT_GUARDED_BY (atomics,
+                     condition variables, const and static members are
+                     exempt — they need no guard).
 
 Modes:
   pocs_lint.py --root <repo>                 lint src/ tests/ bench/ examples/
@@ -30,6 +40,15 @@ Modes:
                                              Result and require the compiler
                                              to reject both (guards the
                                              [[nodiscard]] annotations).
+  pocs_lint.py --root <repo> --thread-safety-check [--clang <clang++>]
+                                             compile probe snippets with
+                                             clang and require the thread
+                                             safety analysis to reject a
+                                             lock-free read of a
+                                             POCS_GUARDED_BY field and an
+                                             out-of-order acquisition —
+                                             guards against the annotation
+                                             macros silently compiling away.
 
 Exit status: 0 = clean, 1 = findings, 2 = usage/internal error.
 """
@@ -37,6 +56,7 @@ Exit status: 0 = clean, 1 = findings, 2 = usage/internal error.
 import argparse
 import os
 import re
+import shutil
 import subprocess
 import sys
 import tempfile
@@ -217,7 +237,13 @@ def lint_file(path, rel_path, status_names, findings):
     naked_new_re = re.compile(r"(?<![:_\w])new\s+[\w:<]")
     std_rand_re = re.compile(r"\b(?:std::)?s?rand\s*\(")
     manual_lock_re = re.compile(
-        r"\b(\w*(?:mu|mutex|mtx)\w*)(?:_)?\s*(?:\.|->)\s*(lock|unlock)\s*\(\s*\)"
+        r"\b(\w*(?:mu|mutex|mtx)\w*)(?:_)?\s*(?:\.|->)\s*"
+        r"(lock_shared|unlock_shared|lock|unlock|"
+        r"LockShared|UnlockShared|Lock|Unlock)\s*\(\s*\)"
+    )
+    raw_mutex_decl_re = re.compile(
+        r"\bstd\s*::\s*((?:recursive_|timed_|shared_timed_|shared_)?mutex)"
+        r"\s+\w+\s*[;={[]"
     )
     include_re = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
 
@@ -250,7 +276,16 @@ def lint_file(path, rel_path, status_names, findings):
         if m:
             report(line_no, "manual-lock",
                    f"manual {m.group(2)}() on '{m.group(1)}'; use "
-                   "std::lock_guard/std::unique_lock")
+                   "pocs::MutexLock (or SharedMutexLock/SharedReaderLock)")
+
+        m = raw_mutex_decl_re.search(line)
+        if m:
+            report(line_no, "unannotated-mutex",
+                   f"raw std::{m.group(1)} declaration; use pocs::Mutex / "
+                   "pocs::SharedMutex (common/thread_annotations.h) so the "
+                   "thread safety analysis can see it")
+
+    check_unannotated_members(stripped, report)
 
     # ---- ignored-status (needs statement joining) --------------------------
     joined = stripped
@@ -279,6 +314,92 @@ def lint_file(path, rel_path, status_names, findings):
         first_line = stmt_line + stmt.lstrip("\n").count("", 0, 0)
         report(first_line, "ignored-status",
                f"result of Status/Result-returning '{name}(...)' is discarded")
+
+
+POCS_MUTEX_MEMBER_RE = re.compile(
+    r"^(?:mutable\s+)?(?:pocs\s*::\s*)?(?:Mutex|SharedMutex)\s+\w+")
+
+# Member types that need no POCS_GUARDED_BY: they synchronize themselves
+# (atomics), are waited on rather than guarded (condition variables), or
+# cannot be written after construction (const/static/constexpr).
+UNGUARDED_EXEMPT_RE = re.compile(
+    r"std\s*::\s*atomic|condition_variable|"
+    r"^(?:static|constexpr|const|using|typedef|friend)\b")
+
+
+def check_unannotated_members(stripped, report):
+    """Part (b) of unannotated-mutex: inside a class/struct that declares a
+    pocs::Mutex member, every data member declared after it must carry
+    POCS_GUARDED_BY/POCS_PT_GUARDED_BY (or be exempt/suppressed).
+
+    Works on the comment/string-stripped text: class bodies are brace-
+    matched, nested brace groups (methods, nested types, initializers) are
+    blanked to `;`, and the remaining `;`-separated member declarations are
+    inspected in order.
+    """
+    for head in re.finditer(r"\b(?:class|struct)\b[^;{}()]*{", stripped):
+        open_pos = head.end() - 1
+        depth = 0
+        close_pos = None
+        for i in range(open_pos, len(stripped)):
+            c = stripped[i]
+            if c == "{":
+                depth += 1
+            elif c == "}":
+                depth -= 1
+                if depth == 0:
+                    close_pos = i
+                    break
+        if close_pos is None:
+            continue
+        body = list(stripped[open_pos + 1:close_pos])
+        # Blank nested brace groups, keeping newlines for line numbers and
+        # terminating each with `;` so inline method definitions read as
+        # complete (skippable) statements.
+        depth = 0
+        for i, c in enumerate(body):
+            if c == "{":
+                depth += 1
+                body[i] = " "
+            elif c == "}":
+                depth -= 1
+                body[i] = ";"
+            elif depth > 0 and c != "\n":
+                body[i] = " "
+        body = "".join(body)
+
+        saw_mutex = False
+        pos = 0
+        for stmt in body.split(";"):
+            stmt_start = pos
+            pos += len(stmt) + 1
+            # Line of the first non-blank character of the statement.
+            lead = len(stmt) - len(stmt.lstrip())
+            line_no = 1 + stripped.count("\n", 0, open_pos + 1 + stmt_start +
+                                         lead)
+            flat = " ".join(stmt.split())
+            flat = re.sub(r"^(?:public|protected|private)\s*:\s*", "", flat)
+            if not flat:
+                continue
+            if POCS_MUTEX_MEMBER_RE.match(flat):
+                saw_mutex = True
+                continue
+            if not saw_mutex:
+                continue
+            if "POCS_GUARDED_BY" in flat or "POCS_PT_GUARDED_BY" in flat:
+                continue
+            # Anything with parens that is not an annotation is a function
+            # declaration/definition, not a data member.
+            if "(" in flat:
+                continue
+            if UNGUARDED_EXEMPT_RE.search(flat):
+                continue
+            m = re.search(r"(\w+)\s*(?:=.*)?$", flat)
+            member = m.group(1) if m else flat
+            report(line_no, "unannotated-mutex",
+                   f"member '{member}' follows a pocs::Mutex in this class "
+                   "but has no POCS_GUARDED_BY; annotate it (or suppress "
+                   "with a comment explaining why it needs no guard)")
 
 
 def run_nodiscard_check(root):
@@ -320,11 +441,136 @@ int main() {
     return errors
 
 
+def find_clang(explicit):
+    """Resolve a clang++ binary: --clang flag, then $POCS_CLANGXX, then
+    common names on PATH. Returns None when unavailable."""
+    candidates = []
+    if explicit:
+        candidates.append(explicit)
+    env = os.environ.get("POCS_CLANGXX")
+    if env:
+        candidates.append(env)
+    candidates += ["clang++"] + [f"clang++-{v}" for v in range(21, 13, -1)]
+    for cand in candidates:
+        found = shutil.which(cand)
+        if found:
+            return found
+    return None
+
+
+# Probe 1: a lock-free read of a guarded field. The analysis MUST reject
+# this; if it compiles, the annotations are compiling away (wrong compiler,
+# broken macro plumbing) and the entire discipline is silently off.
+TS_PROBE_BAD_READ = r"""
+#include "common/thread_annotations.h"
+struct Probe {
+  pocs::Mutex mu;
+  int guarded POCS_GUARDED_BY(mu) = 0;
+  int ReadWithoutLock() { return guarded; }
+};
+int main() {
+  Probe p;
+  return p.ReadWithoutLock();
+}
+"""
+
+# Probe 2: the same read under pocs::MutexLock. MUST compile: proves the
+# scoped capability actually satisfies the requirement (a false positive
+# here would make the whole build unshippable).
+TS_PROBE_GOOD_READ = r"""
+#include "common/thread_annotations.h"
+struct Probe {
+  pocs::Mutex mu;
+  int guarded POCS_GUARDED_BY(mu) = 0;
+  int ReadWithLock() {
+    pocs::MutexLock lock(mu);
+    return guarded;
+  }
+};
+int main() {
+  Probe p;
+  return p.ReadWithLock();
+}
+"""
+
+# Probe 3: acquiring in violation of a declared ACQUIRED_AFTER ordering.
+# MUST be rejected under -Wthread-safety-beta — this is the sub-analysis
+# that enforces the repo's documented lock nesting (DESIGN.md SS11).
+TS_PROBE_BAD_ORDER = r"""
+#include "common/thread_annotations.h"
+struct Probe {
+  pocs::Mutex a;
+  pocs::Mutex b POCS_ACQUIRED_AFTER(a);
+  void WrongOrder() {
+    b.Lock();
+    a.Lock();
+    a.Unlock();
+    b.Unlock();
+  }
+};
+int main() {
+  Probe p;
+  p.WrongOrder();
+  return 0;
+}
+"""
+
+
+def run_thread_safety_check(root, clang):
+    """Compile-fail checks for the thread safety annotations. Returns a
+    list of error strings (empty = pass)."""
+    cxx = find_clang(clang)
+    if cxx is None:
+        return ["thread-safety-check: no clang++ found (the analysis is "
+                "clang-only); pass --clang or set $POCS_CLANGXX"]
+    base = [cxx, "-std=c++20", "-I", os.path.join(root, "src"),
+            "-Wthread-safety", "-Wthread-safety-beta",
+            "-Werror=thread-safety", "-Werror=thread-safety-beta",
+            "-fsyntax-only"]
+    probes = [
+        ("guarded-read-without-lock", TS_PROBE_BAD_READ, False),
+        ("guarded-read-with-lock", TS_PROBE_GOOD_READ, True),
+        ("out-of-order-acquire", TS_PROBE_BAD_ORDER, False),
+    ]
+    errors = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for name, snippet, must_compile in probes:
+            src = os.path.join(tmp, name.replace("-", "_") + ".cpp")
+            with open(src, "w", encoding="utf-8") as f:
+                f.write(snippet)
+            try:
+                proc = subprocess.run(base + [src], capture_output=True,
+                                      text=True, timeout=120)
+            except (FileNotFoundError, subprocess.TimeoutExpired) as e:
+                return [f"thread-safety-check: cannot run {cxx}: {e}"]
+            if must_compile and proc.returncode != 0:
+                errors.append(
+                    f"thread-safety-check: probe '{name}' must compile "
+                    f"clean but was rejected:\n{proc.stderr.strip()}")
+            elif not must_compile:
+                if proc.returncode == 0:
+                    errors.append(
+                        f"thread-safety-check: probe '{name}' compiled "
+                        "clean — the annotations are compiling away or the "
+                        "analysis is off")
+                elif "thread-safety" not in proc.stderr:
+                    errors.append(
+                        f"thread-safety-check: probe '{name}' failed for a "
+                        f"reason other than the thread safety analysis:\n"
+                        f"{proc.stderr.strip()}")
+    return errors
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=".", help="repo root")
     parser.add_argument("--nodiscard-check", action="store_true",
                         help="also run the [[nodiscard]] compile-fail check")
+    parser.add_argument("--thread-safety-check", action="store_true",
+                        help="also run the clang thread-safety compile-fail "
+                             "probes")
+    parser.add_argument("--clang", default=None,
+                        help="clang++ binary for --thread-safety-check")
     parser.add_argument("paths", nargs="*",
                         help="specific files to lint (default: repo dirs)")
     args = parser.parse_args()
@@ -363,13 +609,15 @@ def main():
     for f in findings:
         print(f)
 
-    nodiscard_errors = []
+    check_errors = []
     if args.nodiscard_check:
-        nodiscard_errors = run_nodiscard_check(root)
-        for e in nodiscard_errors:
-            print(e)
+        check_errors += run_nodiscard_check(root)
+    if args.thread_safety_check:
+        check_errors += run_thread_safety_check(root, args.clang)
+    for e in check_errors:
+        print(e)
 
-    total = len(findings) + len(nodiscard_errors)
+    total = len(findings) + len(check_errors)
     print(f"pocs_lint: {total} finding(s) across {len(files)} file(s)")
     return 1 if total else 0
 
