@@ -2,7 +2,7 @@
 // experiments (Fig. 5 progressive pushdown on TPC-H Q1 and Laghos, the
 // Table 3 stage breakdown, an S3-Select-path query, and a warm-cache
 // repeat scan through the connector split-result cache) and emits one
-// schema-versioned JSON report — BENCH_PR5.json by default — that
+// schema-versioned JSON report — BENCH_PR7.json by default — that
 // tools/check_bench.py diffs against a committed baseline.
 //
 // `--smoke` shrinks every dataset to CI size (seconds, not minutes);
@@ -16,6 +16,8 @@
 #include "bench/report.h"
 #include "common/metrics.h"
 #include "common/stopwatch.h"
+#include "workloads/chaos.h"
+#include "workloads/concurrent.h"
 #include "workloads/laghos.h"
 #include "workloads/testbed.h"
 #include "workloads/tpch.h"
@@ -91,7 +93,7 @@ void RecordCollectorTotals(workloads::Testbed& testbed,
 
 int main(int argc, char** argv) {
   bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
-  if (args.json_path.empty()) args.json_path = "BENCH_PR5.json";
+  if (args.json_path.empty()) args.json_path = "BENCH_PR7.json";
   const size_t rows_per_file =
       (args.smoke ? (1 << 12) : (1 << 16)) * args.scale;
 
@@ -180,6 +182,66 @@ int main(int argc, char** argv) {
     report.AddTiming("breakdown.post_scan_execution_seconds",
                      m.post_scan_execution);
     report.AddTiming("breakdown.total_seconds", m.total);
+  }
+
+  // --- Concurrent multi-tenant workload (DESIGN.md §12) ------------------
+  // N seeded queries across the three standard tenants, under admission
+  // control and load-aware dispatch. Accept/reject outcomes, per-tenant
+  // arrival counts, result rows/fingerprint, and per-node routed-plan
+  // counts are pure functions of the schedule → exact; latency quantiles
+  // are wall-clock → timings.
+  {
+    workloads::ConcurrentWorkloadConfig config;
+    config.seed = args.SeedOr(config.seed);
+    config.num_queries = args.smoke ? 24 : 48;
+    workloads::Testbed testbed(workloads::MakeConcurrentTestbedConfig(config));
+    if (!workloads::IngestChaosDatasets(&testbed).ok()) {
+      std::fprintf(stderr, "bench_report: concurrent ingest failed\n");
+      return 1;
+    }
+    auto run = workloads::RunConcurrentWorkload(&testbed, config);
+    if (!run.ok()) {
+      std::fprintf(stderr, "bench_report: concurrent workload failed: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    report.AddExact("concurrent.admission.queued",
+                    static_cast<double>(run->admission_queued));
+    report.AddExact("concurrent.admission.admitted",
+                    static_cast<double>(run->admission_admitted));
+    report.AddExact("concurrent.admission.rejected",
+                    static_cast<double>(run->admission_rejected));
+    report.AddExact("concurrent.rows_total",
+                    static_cast<double>(run->rows_total), "rows");
+    // 64-bit fingerprint folded to 32 bits so it survives the JSON
+    // double round-trip losslessly.
+    const uint64_t fp = run->result_fingerprint;
+    report.AddExact("concurrent.result_fingerprint",
+                    static_cast<double>((fp ^ (fp >> 32)) & 0xffffffffull));
+    for (size_t i = 0; i < run->node_plans.size(); ++i) {
+      report.AddExact("concurrent.dispatch.node" + std::to_string(i) +
+                          ".plans",
+                      static_cast<double>(run->node_plans[i]));
+    }
+    report.AddExact("concurrent.dispatch.max_node_plans",
+                    static_cast<double>(run->max_node_plans));
+    report.AddExact("concurrent.dispatch.load_skew",
+                    static_cast<double>(run->max_node_plans -
+                                        run->min_node_plans));
+    for (const workloads::TenantReport& t : run->tenants) {
+      const std::string prefix = "concurrent.tenant." + t.tenant;
+      report.AddExact(prefix + ".queries", static_cast<double>(t.queries));
+      report.AddExact(prefix + ".admitted", static_cast<double>(t.admitted));
+      report.AddExact(prefix + ".rejected", static_cast<double>(t.rejected));
+      report.AddTiming(prefix + ".p50_seconds", t.p50_seconds);
+      report.AddTiming(prefix + ".p95_seconds", t.p95_seconds);
+      report.AddTiming(prefix + ".p99_seconds", t.p99_seconds);
+      report.AddTiming(prefix + ".queue_wait_p95_seconds",
+                       t.queue_wait_p95_seconds);
+      std::printf("%-28s %14.4f s p95 %10llu admitted\n", prefix.c_str(),
+                  t.p95_seconds,
+                  static_cast<unsigned long long>(t.admitted));
+    }
   }
 
   // --- Process-wide registry rollup --------------------------------------

@@ -28,6 +28,7 @@ void QueryStatsCollector::Accumulate(const QueryEvent& event, Totals* t) {
   t->bytes_refetched_on_retry += s.bytes_refetched_on_retry;
   t->wall_seconds += s.wall_seconds;
   t->simulated_seconds += s.simulated_seconds;
+  t->queue_wait_seconds += s.queue_wait_seconds;
 }
 
 void QueryStatsCollector::QueryCompleted(const QueryEvent& event) {

@@ -40,6 +40,7 @@ class QueryStatsCollector final : public EventListener {
     uint64_t bytes_refetched_on_retry = 0;
     double wall_seconds = 0;
     double simulated_seconds = 0;
+    double queue_wait_seconds = 0;  // admission-queue wait, summed
 
     uint64_t bytes_moved() const {
       return bytes_from_storage + bytes_to_storage;

@@ -27,6 +27,10 @@ struct TableHandle {
 struct Split {
   std::string bucket;
   std::string object;
+  // Storage node expected to serve this split (-1 = unknown). Filled by
+  // connectors that resolve placement up front so the load-aware
+  // dispatcher can shape per-node traffic; purely advisory.
+  int node_hint = -1;
 };
 
 // One operator absorbed into the table scan by the local optimizer, in
@@ -186,6 +190,10 @@ struct OperatorTiming {
 // the counterpart of Presto's QueryStatistics, and the numbers behind the
 // paper's Table 3 (stage breakdown) and Fig. 5 (bytes moved).
 struct QueryStats {
+  // Resource group the query ran under ("default" when admission is off)
+  // and the admission-queue wait it paid before execution began.
+  std::string tenant = "default";
+  double queue_wait_seconds = 0;
   double wall_seconds = 0;       // measured coordinator wall time
   double simulated_seconds = 0;  // modelled end-to-end (DESIGN.md §4)
   uint64_t result_rows = 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <limits>
+#include <map>
 
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -38,7 +40,43 @@ Result<TableHandle> OcsConnector::GetTableHandle(
 Result<std::vector<Split>> OcsConnector::GetSplits(const TableHandle& table) {
   std::vector<Split> splits;
   for (const std::string& object : table.info.objects) {
-    splits.push_back({table.info.bucket, object});
+    Split split{table.info.bucket, object};
+    if (dispatcher_) {
+      // Resolve placement up front (metadata-only Locate on the
+      // frontend). Failure degrades to an unhinted split — dispatched
+      // unthrottled rather than failing the query.
+      auto placement = client_.LocateObject(table.info.bucket, object,
+                                            nullptr, config_.dispatch.call);
+      if (placement.ok()) split.node_hint = static_cast<int>(placement->node);
+    }
+    splits.push_back(std::move(split));
+  }
+  if (dispatcher_) {
+    // Load-aware ordering: interleave the split list round-robin across
+    // nodes (unhinted splits last), so the engine's in-order fan-out
+    // touches every node early instead of draining one node's objects
+    // first. Placement is deterministic, so this order is too.
+    std::map<int, std::vector<Split>> lanes;
+    for (Split& split : splits) {
+      const int lane = split.node_hint < 0 ? std::numeric_limits<int>::max()
+                                           : split.node_hint;
+      lanes[lane].push_back(std::move(split));
+    }
+    std::vector<Split> interleaved;
+    interleaved.reserve(splits.size());
+    std::map<int, size_t> taken;
+    for (bool progress = true; progress;) {
+      progress = false;
+      for (auto& [lane, queue] : lanes) {
+        size_t& next = taken[lane];
+        if (next < queue.size()) {
+          interleaved.push_back(std::move(queue[next]));
+          ++next;
+          progress = true;
+        }
+      }
+    }
+    splits = std::move(interleaved);
   }
   return splits;
 }
@@ -475,12 +513,20 @@ Result<std::unique_ptr<connector::PageSource>> OcsConnector::CreatePageSource(
     }
   }
 
+  // Load-aware dispatch: take a per-node lease (blocking at the node's
+  // in-flight cap) for the whole dispatch + decode, so no storage node
+  // sees more than its configured queue depth. Held across the fallback
+  // too — the raw-object GET lands on the same node.
+  SplitDispatcher::Lease lease;
+  if (dispatcher_) lease = dispatcher_->Dispatch(split.node_hint);
+
   objectstore::TransferInfo info;
   auto dispatch = client_.ExecutePlan(plan, &info, config_.dispatch.call);
   stats.bytes_received += info.bytes_received;
   stats.bytes_sent += info.bytes_sent;
   stats.dispatch_retries += info.retries;
   stats.transfer_seconds += info.transfer_seconds;
+  lease.AddBytes(info.bytes_received);
 
   Status dispatch_status;
   std::shared_ptr<columnar::Table> decoded;
@@ -489,9 +535,12 @@ Result<std::unique_ptr<connector::PageSource>> OcsConnector::CreatePageSource(
   if (dispatch.ok()) {
     const ocs::OcsResult& result = *dispatch;
     // Slow-node detector: the transport deadline cannot see storage-side
-    // time (it rides inside the response), so police it here.
-    const double storage_seconds = result.stats.storage_compute_seconds +
-                                   result.stats.media_read_seconds;
+    // time (it rides inside the response), so police it here. Modelled
+    // time only (media read + injected delay, both simulation-defined):
+    // the measured compute component in storage_compute_seconds scales
+    // with sanitizer overhead and made this trip spuriously under TSan.
+    const double storage_seconds = result.stats.media_read_seconds +
+                                   result.stats.exec_delay_seconds;
     if (config_.dispatch.storage_deadline_seconds > 0 &&
         storage_seconds > config_.dispatch.storage_deadline_seconds) {
       dispatch_status = Status::DeadlineExceeded(

@@ -31,6 +31,7 @@
 #include "connector/spi.h"
 #include "connectors/ocs/pushdown_history.h"
 #include "connectors/ocs/selectivity_analyzer.h"
+#include "connectors/ocs/split_dispatcher.h"
 #include "metastore/metastore.h"
 #include "ocs/client.h"
 
@@ -47,8 +48,12 @@ struct OcsDispatchPolicy {
   // deadline tuned for small pushdown results would starve the (much
   // larger, but unavoidable) raw-object transfer.
   rpc::CallOptions fallback_call{.max_attempts = 3};
-  // Reject dispatches whose storage compute + media time exceeds this
-  // (0 disables) — the "slow node" detector.
+  // Reject dispatches whose storage-reported *modelled* time (media read
+  // + injected exec delay) exceeds this (0 disables) — the "slow node"
+  // detector. Deliberately excludes the measured wall-clock compute
+  // component: under sanitizers (TSan ~10-20x) measured time inflates
+  // while modelled time does not, and a detector on wall time turned
+  // every debug-tsan run into a false slow-node trip.
   double storage_deadline_seconds = 0;
   bool fallback_to_engine = true;
   // Media bandwidth modelled for the fallback's whole-object read
@@ -139,16 +144,22 @@ using FallbackRangeCache =
 class OcsConnector final : public connector::Connector {
  public:
   // `history` is optional; when present, offload rejections (exhausted
-  // pushdown dispatches) are recorded there for monitoring.
+  // pushdown dispatches) are recorded there for monitoring. `dispatcher`
+  // is optional; when present, GetSplits resolves placement hints and
+  // CreatePageSource dispatches under per-node load leases (DESIGN.md
+  // §12) — typically one instance shared by every connector fronting the
+  // same cluster.
   OcsConnector(std::string id,
                std::shared_ptr<metastore::Metastore> metastore,
                ocs::OcsClient client, OcsConnectorConfig config,
-               std::shared_ptr<PushdownHistory> history = nullptr)
+               std::shared_ptr<PushdownHistory> history = nullptr,
+               std::shared_ptr<SplitDispatcher> dispatcher = nullptr)
       : id_(std::move(id)),
         metastore_(std::move(metastore)),
         client_(std::move(client)),
         config_(config),
-        history_(std::move(history)) {
+        history_(std::move(history)),
+        dispatcher_(std::move(dispatcher)) {
     if (config_.split_result_cache_bytes > 0) {
       split_result_cache_ = std::make_shared<SplitResultCache>(LruCacheConfig{
           .byte_budget = config_.split_result_cache_bytes,
@@ -193,6 +204,11 @@ class OcsConnector final : public connector::Connector {
 
   const OcsConnectorConfig& config() const { return config_; }
 
+  // The load-aware dispatcher (nullptr when disabled).
+  const std::shared_ptr<SplitDispatcher>& dispatcher() const {
+    return dispatcher_;
+  }
+
   // The split-result / fallback-range caches (nullptr when disabled).
   const std::shared_ptr<SplitResultCache>& split_result_cache() const {
     return split_result_cache_;
@@ -216,6 +232,8 @@ class OcsConnector final : public connector::Connector {
   ocs::OcsClient client_;
   OcsConnectorConfig config_;
   std::shared_ptr<PushdownHistory> history_;
+  // Internally synchronized; shared across connectors and worker threads.
+  std::shared_ptr<SplitDispatcher> dispatcher_;
   // Internally synchronized; shared across concurrent CreatePageSource
   // calls on worker threads.
   std::shared_ptr<SplitResultCache> split_result_cache_;

@@ -1,0 +1,233 @@
+// Multi-tenant admission control for the query engine (DESIGN.md §12).
+//
+// Presto fronts "heavy traffic from millions of users" with resource
+// groups: each tenant gets a weighted share of the coordinator's
+// concurrency budget, a cap on running queries, and a bounded wait
+// queue whose overflow is rejected outright rather than buffered
+// without limit. This header is that layer for the minipresto engine:
+//
+//   AdmissionController — resource groups + weighted fair queueing.
+//     Enqueue() either rejects (group queue full → kUnavailable) or
+//     returns a ticket; the ticket's Wait() blocks until the WFQ policy
+//     grants a slot, and releasing the ticket frees the slot and wakes
+//     the next grant. The grant rule picks, among groups with waiting
+//     work and headroom, the one with the smallest virtual service
+//     (admitted / weight, ties broken by group name) — so a weight-3
+//     tenant is granted three slots for every one a weight-1 tenant
+//     gets, independent of arrival interleaving.
+//
+//   SplitThrottle — bounded in-flight splits for one query. Workers
+//     acquire a permit before opening a page source; at the cap the
+//     acquire blocks, backpressuring the shared pool instead of letting
+//     one wide query monopolize every worker and storage node at once.
+//
+// Determinism contract (the concurrency CI tier depends on it): with
+// submission paused, the accept/reject outcome of every Enqueue and the
+// eventual per-tenant admitted counts are pure functions of the arrival
+// schedule — they cannot depend on thread interleaving, because
+// rejection is decided synchronously at Enqueue time and every accepted
+// query is eventually admitted exactly once. The admission.* counters
+// derived from those events are therefore exact (bit-identical across
+// runs); only durations (queue-wait histogram) are timing-dependent.
+//
+// Deadlock safety: a ticket/permit holder always occupies a running
+// worker, never waits on another ticket/permit of the same instance,
+// and releases on every exit path (RAII). If all holders were blocked
+// acquiring, the in-flight count would be zero and the acquire would
+// succeed — a contradiction, so progress is guaranteed.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/thread_annotations.h"
+
+namespace pocs::engine {
+
+// One tenant's resource group.
+struct ResourceGroupConfig {
+  std::string name = "default";
+  // Fair-share weight: grants are proportioned admitted/weight.
+  uint32_t weight = 1;
+  // Queries of this group running at once (0 = no per-group cap).
+  uint32_t max_concurrent = 4;
+  // Queries of this group waiting at once; arrivals beyond this are
+  // rejected with kUnavailable (0 = unbounded queue).
+  uint32_t max_queued = 64;
+};
+
+struct AdmissionConfig {
+  bool enabled = false;
+  // Global running-query cap across all groups (0 = unbounded).
+  uint32_t max_concurrent = 8;
+  std::vector<ResourceGroupConfig> groups;
+  // Template for tenants not listed in `groups` (name field ignored).
+  ResourceGroupConfig defaults;
+};
+
+class AdmissionController;
+
+// A granted-or-waiting admission slot. Obtained from
+// AdmissionController::Enqueue; the holder calls Wait() before running
+// and Release() (or just destroys the ticket) when the query finishes.
+class AdmissionTicket {
+ public:
+  ~AdmissionTicket();
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+  // Blocks until the controller grants this ticket a running slot.
+  void Wait();
+  // Frees the slot (idempotent; implied by the destructor).
+  void Release();
+
+  const std::string& tenant() const { return tenant_; }
+  // Enqueue → grant latency; valid once Wait() returned.
+  double queue_wait_seconds() const {
+    return queue_wait_seconds_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class AdmissionController;
+  AdmissionTicket(AdmissionController* controller, std::string tenant)
+      : controller_(controller), tenant_(std::move(tenant)) {}
+
+  AdmissionController* const controller_;
+  const std::string tenant_;
+  Stopwatch wait_timer_;
+  // Written once at grant (under the controller's mutex), read after
+  // Wait() returns; atomic so late readers need no lock.
+  std::atomic<double> queue_wait_seconds_{0};
+  // Per-ticket wake-up; the state it signals lives behind the
+  // controller's mutex (see AdmissionController::mu_).
+  std::condition_variable granted_cv_;
+};
+
+// Weighted-fair admission across resource groups. Thread-safe; all
+// mutable state behind one annotated mutex.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config);
+
+  // Accept `tenant`'s query into its group queue, or reject with
+  // kUnavailable when the group's wait queue is full. The returned
+  // ticket may already be granted (slots free, not paused).
+  Result<std::shared_ptr<AdmissionTicket>> Enqueue(const std::string& tenant);
+
+  // While paused, accepted queries queue but nothing is granted —
+  // drivers pause, enqueue a whole arrival schedule, then unpause, so
+  // accept/reject outcomes are independent of worker interleaving.
+  void SetPaused(bool paused);
+
+  struct GroupSnapshot {
+    std::string tenant;
+    uint64_t queued = 0;    // accepted into the queue, cumulative
+    uint64_t admitted = 0;  // granted a running slot, cumulative
+    uint64_t rejected = 0;  // refused at Enqueue, cumulative
+    uint32_t running = 0;   // instantaneous
+    uint32_t waiting = 0;   // instantaneous
+  };
+  struct Snapshot {
+    uint64_t queued = 0;
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+    uint32_t running = 0;
+    uint32_t waiting = 0;
+    std::vector<GroupSnapshot> groups;
+  };
+  Snapshot snapshot() const;
+
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  friend class AdmissionTicket;
+
+  struct Group {
+    ResourceGroupConfig config;
+    std::deque<std::shared_ptr<AdmissionTicket>> waiting;
+    uint32_t running = 0;
+    uint64_t queued_total = 0;
+    uint64_t admitted_total = 0;
+    uint64_t rejected_total = 0;
+  };
+
+  // Ticket-side hooks.
+  void WaitForGrant(AdmissionTicket* ticket) POCS_EXCLUDES(mu_);
+  void ReleaseSlot(AdmissionTicket* ticket) POCS_EXCLUDES(mu_);
+
+  Group& GroupFor(const std::string& tenant) POCS_REQUIRES(mu_);
+  // Grant as many waiting tickets as policy allows right now. The queue
+  // references of granted tickets are moved into *deferred, which the
+  // caller must destroy AFTER releasing mu_: dropping the last reference
+  // runs ~AdmissionTicket → Release() → mu_ again, so destroying it
+  // under the lock would self-deadlock.
+  void GrantEligibleLocked(
+      std::vector<std::shared_ptr<AdmissionTicket>>* deferred)
+      POCS_REQUIRES(mu_);
+
+  const AdmissionConfig config_;
+
+  mutable Mutex mu_;
+  std::map<std::string, Group> groups_ POCS_GUARDED_BY(mu_);
+  uint32_t running_total_ POCS_GUARDED_BY(mu_) = 0;
+  uint32_t waiting_total_ POCS_GUARDED_BY(mu_) = 0;
+  bool paused_ POCS_GUARDED_BY(mu_) = false;
+  // Ticket grant state also lives under mu_ so a grant and its wake-up
+  // are one critical section. Keyed by raw pointer; an entry exists
+  // exactly while its ticket holds a queue or running slot.
+  std::map<const AdmissionTicket*, bool> granted_ POCS_GUARDED_BY(mu_);
+};
+
+// Bounded in-flight splits for one query: at most `max_inflight`
+// permits outstanding; Acquire blocks past the cap (0 = unbounded).
+class SplitThrottle {
+ public:
+  explicit SplitThrottle(size_t max_inflight) : max_inflight_(max_inflight) {}
+
+  class Permit {
+   public:
+    Permit() = default;
+    Permit(Permit&& other) noexcept : throttle_(other.throttle_) {
+      other.throttle_ = nullptr;
+    }
+    Permit& operator=(Permit&& other) noexcept {
+      if (this != &other) {
+        Reset();
+        throttle_ = other.throttle_;
+        other.throttle_ = nullptr;
+      }
+      return *this;
+    }
+    Permit(const Permit&) = delete;
+    Permit& operator=(const Permit&) = delete;
+    ~Permit() { Reset(); }
+
+   private:
+    friend class SplitThrottle;
+    explicit Permit(SplitThrottle* throttle) : throttle_(throttle) {}
+    void Reset();
+    SplitThrottle* throttle_ = nullptr;
+  };
+
+  // Blocks while `max_inflight` permits are outstanding.
+  Permit Acquire();
+
+  size_t max_inflight() const { return max_inflight_; }
+
+ private:
+  void Release();
+
+  const size_t max_inflight_;
+  Mutex mu_;
+  std::condition_variable cv_;
+  size_t inflight_ POCS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace pocs::engine

@@ -21,6 +21,9 @@ using substrait::Expression;
 
 QueryEngine::QueryEngine(EngineConfig config) : config_(config) {
   pool_ = std::make_unique<ThreadPool>(config_.worker_threads);
+  if (config_.admission.enabled) {
+    admission_ = std::make_unique<AdmissionController>(config_.admission);
+  }
 }
 
 void QueryEngine::RegisterConnector(
@@ -58,13 +61,36 @@ Result<RecordBatchPtr> ApplyProjectNode(const PlanNode& node,
   return columnar::MakeBatch(node.output_schema, std::move(cols));
 }
 
+// Releases an admission slot on every exit path of Execute.
+struct TicketReleaser {
+  std::shared_ptr<AdmissionTicket> ticket;
+  ~TicketReleaser() {
+    if (ticket) ticket->Release();
+  }
+};
+
 }  // namespace
 
 Result<QueryResult> QueryEngine::Execute(const std::string& sql,
                                          const std::string& catalog) {
+  return Execute(sql, catalog, QueryOptions{});
+}
+
+Result<QueryResult> QueryEngine::Execute(const std::string& sql,
+                                         const std::string& catalog,
+                                         const QueryOptions& options) {
+  // ---- admission -----------------------------------------------------------
+  std::shared_ptr<AdmissionTicket> ticket = options.ticket;
+  if (!ticket && admission_) {
+    POCS_ASSIGN_OR_RETURN(ticket, admission_->Enqueue(options.tenant));
+  }
+  TicketReleaser releaser{ticket};
+  if (ticket) ticket->Wait();
+
   Stopwatch total_timer;
   QueryResult result;
   QueryMetrics& metrics = result.metrics;
+  if (ticket) metrics.admission_queue_seconds = ticket->queue_wait_seconds();
 
   connector::Connector* conn = GetConnector(catalog);
   if (!conn) return Status::NotFound("no connector '" + catalog + "'");
@@ -133,8 +159,14 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql,
   const bool partial_agg_here =
       agg_node && agg_node->agg_step == AggregationStep::kSingle;
 
+  SplitThrottle throttle(config_.max_inflight_splits);
   pool_->ParallelFor(splits.size(), [&](size_t s) {
     SplitOutput& out = outputs[s];
+    // Backpressure: at most max_inflight_splits of this query's splits
+    // hold a worker (and a storage dispatch) at once. Acquired inside
+    // the task body, so a blocked acquire always implies other permits
+    // are held by running workers — progress is guaranteed.
+    SplitThrottle::Permit permit = throttle.Acquire();
     auto source_or = conn->CreatePageSource(table, splits[s], spec);
     if (!source_or.ok()) {
       out.status = source_or.status();
@@ -391,6 +423,8 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql,
     event.decisions = metrics.pushdown_decisions;
 
     connector::QueryStats& qs = event.stats;
+    qs.tenant = options.tenant;
+    qs.queue_wait_seconds = metrics.admission_queue_seconds;
     qs.wall_seconds = total_timer.ElapsedSeconds();
     qs.simulated_seconds = metrics.total;
     qs.result_rows = result.table ? result.table->num_rows() : 0;

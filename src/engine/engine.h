@@ -17,6 +17,7 @@
 
 #include "common/thread_pool.h"
 #include "connector/spi.h"
+#include "engine/admission.h"
 #include "engine/plan.h"
 #include "engine/time_model.h"
 
@@ -25,6 +26,24 @@ namespace pocs::engine {
 struct EngineConfig {
   TimeModelConfig time_model;
   size_t worker_threads = 8;  // also used for real parallel execution
+  // Multi-tenant admission control (DESIGN.md §12). Disabled by default:
+  // queries run unqueued, exactly as before this layer existed.
+  AdmissionConfig admission;
+  // Per-query cap on concurrently executing splits (0 = unbounded).
+  // Backpressure against wide scans: a 64-split query may only hold this
+  // many workers/storage dispatches at once.
+  size_t max_inflight_splits = 0;
+};
+
+// Per-call execution options (Presto's session properties, reduced to
+// what admission needs).
+struct QueryOptions {
+  std::string tenant = "default";
+  // Pre-enqueued admission ticket. Drivers that build a deterministic
+  // arrival schedule enqueue on one thread (while the controller is
+  // paused) and hand each runner its ticket here; when null and
+  // admission is enabled, Execute enqueues under `tenant` itself.
+  std::shared_ptr<AdmissionTicket> ticket;
 };
 
 struct QueryMetrics {
@@ -35,6 +54,7 @@ struct QueryMetrics {
   double post_scan_execution = 0;     // residual + merge compute (measured)
   double others = 0;                  // parse, setup, result assembly
   double total = 0;                   // simulated end-to-end
+  double admission_queue_seconds = 0;  // enqueue → grant wait (wall)
 
   // -- data movement (exact, model-free) ------------------------------------
   uint64_t bytes_from_storage = 0;
@@ -87,12 +107,21 @@ class QueryEngine {
   // resolved as schema_name.table_name (schema defaults to "default").
   Result<QueryResult> Execute(const std::string& sql,
                               const std::string& catalog);
+  Result<QueryResult> Execute(const std::string& sql,
+                              const std::string& catalog,
+                              const QueryOptions& options);
 
   const EngineConfig& config() const { return config_; }
+
+  // Null unless config.admission.enabled.
+  AdmissionController* admission_controller() const {
+    return admission_.get();
+  }
 
  private:
   EngineConfig config_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<AdmissionController> admission_;
   std::map<std::string, std::shared_ptr<connector::Connector>> connectors_;
   std::vector<std::shared_ptr<connector::EventListener>> listeners_;
   std::atomic<uint64_t> next_query_id_{0};

@@ -36,6 +36,40 @@ class OcsClient {
     return DecodeOcsResult(&in);
   }
 
+  // Placement probe: which storage node (index) serves bucket/key, plus
+  // the cluster's node count. Metadata-only; feeds Split::node_hint for
+  // the load-aware dispatcher.
+  struct Placement {
+    size_t node = 0;
+    size_t num_nodes = 0;
+  };
+  Result<Placement> LocateObject(const std::string& bucket,
+                                 const std::string& key,
+                                 objectstore::TransferInfo* info = nullptr,
+                                 const rpc::CallOptions& options = {}) const {
+    BufferWriter req;
+    req.WriteString(bucket);
+    req.WriteString(key);
+    Bytes request = std::move(req).Take();
+    rpc::CallResult call;
+    Status status = channel_.CallInto(
+        "Locate", ByteSpan(request.data(), request.size()), options, &call);
+    if (info) {
+      info->bytes_sent += call.request_bytes;
+      info->bytes_received += call.response_bytes;
+      info->retries += call.retries;
+      info->transfer_seconds += call.transfer_seconds;
+    }
+    POCS_RETURN_NOT_OK(status);
+    BufferReader in(call.response.data(), call.response.size());
+    Placement placement;
+    POCS_ASSIGN_OR_RETURN(uint64_t node, in.ReadVarint());
+    POCS_ASSIGN_OR_RETURN(uint64_t num_nodes, in.ReadVarint());
+    placement.node = static_cast<size_t>(node);
+    placement.num_nodes = static_cast<size_t>(num_nodes);
+    return placement;
+  }
+
   // The underlying channel to the frontend — the connector's engine-side
   // fallback builds a StorageClient on it to fetch raw objects.
   const rpc::Channel& channel() const { return channel_; }

@@ -75,6 +75,22 @@ OcsCluster::OcsCluster(std::shared_ptr<netsim::Network> net,
         return std::move(out).Take();
       });
 
+  // Placement lookup for the load-aware dispatcher: which storage node
+  // would serve this object. Metadata-only — no storage hop is charged,
+  // matching Stat's role as the cheap control-plane probe.
+  frontend_server_->RegisterMethod(
+      "Locate", [this](ByteSpan req) -> Result<Bytes> {
+        POCS_RETURN_NOT_OK(CheckFrontendUp());
+        BufferReader in(req);
+        POCS_ASSIGN_OR_RETURN(std::string bucket, in.ReadString());
+        POCS_ASSIGN_OR_RETURN(std::string key, in.ReadString());
+        POCS_ASSIGN_OR_RETURN(size_t node, NodeForObject(bucket, key));
+        BufferWriter out;
+        out.WriteVarint(node);
+        out.WriteVarint(storage_nodes_.size());
+        return std::move(out).Take();
+      });
+
   frontend_server_->RegisterMethod(
       "Put", [this](ByteSpan req) -> Result<Bytes> {
         POCS_RETURN_NOT_OK(CheckFrontendUp());
@@ -91,10 +107,25 @@ OcsCluster::OcsCluster(std::shared_ptr<netsim::Network> net,
 size_t OcsCluster::AssignNode(const std::string& bucket,
                               const std::string& key) {
   MutexLock lock(placement_mu_);
-  auto [it, inserted] =
-      placement_.try_emplace(bucket + "/" + key, next_node_);
-  if (inserted) next_node_ = (next_node_ + 1) % storage_nodes_.size();
-  return it->second;
+  auto it = placement_.find(bucket + "/" + key);
+  if (it != placement_.end()) return it->second;
+  size_t chosen = next_node_;
+  if (config_.placement == PlacementPolicy::kLeastLoaded) {
+    // Balance by stored bytes, not object count: the paper's datasets mix
+    // file sizes, and byte skew is what later skews scan load.
+    uint64_t best_bytes = UINT64_MAX;
+    for (size_t i = 0; i < storage_nodes_.size(); ++i) {
+      const uint64_t bytes = storage_nodes_[i]->store()->TotalBytes();
+      if (bytes < best_bytes) {
+        best_bytes = bytes;
+        chosen = i;
+      }
+    }
+  } else {
+    next_node_ = (next_node_ + 1) % storage_nodes_.size();
+  }
+  placement_.emplace(bucket + "/" + key, chosen);
+  return chosen;
 }
 
 Status OcsCluster::PutObject(const std::string& bucket, const std::string& key,

@@ -18,10 +18,19 @@
 
 namespace pocs::ocs {
 
+// How ingest places new objects across storage nodes. Both policies are
+// deterministic given the ingest order, so a rebuilt cluster reproduces
+// the same placement — the concurrency tier's replay checks rely on it.
+enum class PlacementPolicy : uint8_t {
+  kRoundRobin,   // by call order
+  kLeastLoaded,  // node with the fewest stored bytes (ties: lowest index)
+};
+
 struct ClusterConfig {
   size_t num_storage_nodes = 1;
   StorageNodeConfig storage;
   netsim::LinkConfig link = netsim::TenGbE();
+  PlacementPolicy placement = PlacementPolicy::kRoundRobin;
 };
 
 class OcsCluster {

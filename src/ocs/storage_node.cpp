@@ -288,9 +288,11 @@ Result<OcsResult> StorageNode::ExecutePlan(const substrait::Plan& plan) const {
   result.stats.rows_scanned = exec_stats.rows_scanned;
   result.stats.rows_output = exec_stats.rows_output;
   result.arrow_ipc = columnar::ipc::SerializeTable(*table);
+  result.stats.exec_delay_seconds =
+      faults_.exec_delay_seconds.load(std::memory_order_relaxed);
   result.stats.storage_compute_seconds =
       timer.ElapsedSeconds() * config_.cpu_slowdown +
-      faults_.exec_delay_seconds.load(std::memory_order_relaxed);
+      result.stats.exec_delay_seconds;
   result.stats.media_read_seconds =
       static_cast<double>(result.stats.object_bytes_read) /
       config_.media_read_bandwidth;
@@ -370,6 +372,7 @@ void EncodeOcsResult(const OcsResult& result, BufferWriter* out) {
   out->WriteVarint(result.stats.object_version);
   out->WriteLE<double>(result.stats.storage_compute_seconds);
   out->WriteLE<double>(result.stats.media_read_seconds);
+  out->WriteLE<double>(result.stats.exec_delay_seconds);
   out->WriteVarint(result.arrow_ipc.size());
   out->WriteBytes(result.arrow_ipc.data(), result.arrow_ipc.size());
 }
@@ -390,6 +393,7 @@ Result<OcsResult> DecodeOcsResult(BufferReader* in) {
   POCS_ASSIGN_OR_RETURN(result.stats.storage_compute_seconds,
                         in->ReadLE<double>());
   POCS_ASSIGN_OR_RETURN(result.stats.media_read_seconds, in->ReadLE<double>());
+  POCS_ASSIGN_OR_RETURN(result.stats.exec_delay_seconds, in->ReadLE<double>());
   POCS_ASSIGN_OR_RETURN(uint64_t n, in->ReadVarint());
   POCS_ASSIGN_OR_RETURN(ByteSpan ipc, in->ReadSpan(n));
   result.arrow_ipc.assign(ipc.begin(), ipc.end());

@@ -80,6 +80,11 @@ struct OcsExecStats {
   uint64_t object_version = 0;
   double storage_compute_seconds = 0;  // already cpu_slowdown-scaled
   double media_read_seconds = 0;       // modelled SSD read time
+  // Injected slow-node delay (StorageNodeFaults::exec_delay_seconds at
+  // execution time). Pure model time — no wall clock — so the
+  // connector's slow-node detector can police media + delay without
+  // tripping on sanitizer-inflated *measured* compute time.
+  double exec_delay_seconds = 0;
 };
 
 struct OcsResult {

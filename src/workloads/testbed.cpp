@@ -42,10 +42,16 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
       "hive", metastore_, objectstore::StorageClient(frontend_channel()),
       select));
 
+  if (config_.load_aware_dispatch) {
+    dispatcher_ = std::make_shared<connectors::SplitDispatcher>(
+        config_.dispatcher,
+        std::max<size_t>(config_.cluster.num_storage_nodes, 1));
+  }
+
   // The Presto-OCS connector.
   engine_->RegisterConnector(std::make_shared<connectors::OcsConnector>(
       "ocs", metastore_, ocs::OcsClient(frontend_channel()),
-      config_.ocs_connector, history_));
+      config_.ocs_connector, history_, dispatcher_));
 }
 
 void Testbed::RegisterOcsCatalog(const std::string& name,
@@ -54,7 +60,7 @@ void Testbed::RegisterOcsCatalog(const std::string& name,
       name, metastore_,
       ocs::OcsClient(
           rpc::Channel(net_, compute_node_, cluster_->frontend_server())),
-      config, history_));
+      config, history_, dispatcher_));
 }
 
 void Testbed::SetFaultPlan(std::shared_ptr<const netsim::FaultPlan> plan) {

@@ -29,6 +29,12 @@ struct TestbedConfig {
   engine::EngineConfig engine;
   connectors::HiveConnectorConfig hive;
   connectors::OcsConnectorConfig ocs_connector;
+  // When set, one SplitDispatcher sized to the cluster is shared by every
+  // OCS catalog of the bed: GetSplits resolves placement hints and
+  // CreatePageSource dispatches under per-node load leases (DESIGN.md
+  // §12).
+  bool load_aware_dispatch = false;
+  connectors::SplitDispatcherConfig dispatcher;
 
   TestbedConfig() {
     // Default to the effective application-level S3 regime (see
@@ -57,6 +63,11 @@ class Testbed {
   connector::QueryStatsCollector& stats() { return *stats_; }
   const TestbedConfig& config() const { return config_; }
   netsim::NodeId compute_node() const { return compute_node_; }
+  // The shared load-aware dispatcher (nullptr unless
+  // config.load_aware_dispatch).
+  const std::shared_ptr<connectors::SplitDispatcher>& dispatcher() const {
+    return dispatcher_;
+  }
 
   // Install (or clear, with nullptr) a fault plan on the simulated
   // network shared by every channel in the testbed.
@@ -82,6 +93,7 @@ class Testbed {
   std::unique_ptr<engine::QueryEngine> engine_;
   std::shared_ptr<connectors::PushdownHistory> history_;
   std::shared_ptr<connector::QueryStatsCollector> stats_;
+  std::shared_ptr<connectors::SplitDispatcher> dispatcher_;
   netsim::NodeId compute_node_;
 };
 

@@ -1,0 +1,271 @@
+// Admission-control unit tests (`ctest -L concurrency`): weighted fair
+// ordering under a deterministic arrival schedule, queue-full rejection,
+// per-group and global concurrency bounds, bounded in-flight splits, and
+// a TSan-hunted concurrent admit/release stress.
+#include "engine/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pocs::engine {
+namespace {
+
+AdmissionConfig TwoGroupConfig(uint32_t global_max_concurrent) {
+  AdmissionConfig config;
+  config.enabled = true;
+  config.max_concurrent = global_max_concurrent;
+  config.groups = {
+      {.name = "A", .weight = 3, .max_concurrent = 16, .max_queued = 0},
+      {.name = "B", .weight = 1, .max_concurrent = 16, .max_queued = 0},
+  };
+  return config;
+}
+
+uint64_t AdmittedFor(const AdmissionController& controller,
+                     const std::string& tenant) {
+  for (const auto& g : controller.snapshot().groups) {
+    if (g.tenant == tenant) return g.admitted;
+  }
+  return 0;
+}
+
+// With one global slot, grants are strictly sequential, so the WFQ pick
+// order is observable through per-group admitted counts after each
+// release. A(weight 3)×8 and B(weight 1)×4 enqueued while paused must be
+// granted A B A A A B A A A B A B — the smallest admitted/weight wins,
+// ties to the lexicographically first group.
+TEST(AdmissionController, WeightedFairOrder) {
+  AdmissionController controller(TwoGroupConfig(/*global_max_concurrent=*/1));
+  controller.SetPaused(true);
+
+  std::vector<std::shared_ptr<AdmissionTicket>> a_tickets, b_tickets;
+  for (int i = 0; i < 8; ++i) {
+    auto t = controller.Enqueue("A");
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    a_tickets.push_back(*std::move(t));
+  }
+  for (int i = 0; i < 4; ++i) {
+    auto t = controller.Enqueue("B");
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    b_tickets.push_back(*std::move(t));
+  }
+  ASSERT_EQ(controller.snapshot().admitted, 0u);  // paused: nothing granted
+
+  controller.SetPaused(false);
+  const std::string expected = "ABAAABAAABAB";
+  size_t next_a = 0, next_b = 0;
+  for (size_t step = 0; step < expected.size(); ++step) {
+    uint64_t want_a = 0, want_b = 0;
+    for (size_t i = 0; i <= step; ++i) {
+      (expected[i] == 'A' ? want_a : want_b) += 1;
+    }
+    ASSERT_EQ(AdmittedFor(controller, "A"), want_a) << "step " << step;
+    ASSERT_EQ(AdmittedFor(controller, "B"), want_b) << "step " << step;
+    // Release the just-granted ticket (FIFO within its group) so the
+    // next grant fires.
+    auto& granted = expected[step] == 'A' ? a_tickets[next_a++]
+                                          : b_tickets[next_b++];
+    granted->Wait();  // returns immediately: it holds the slot
+    EXPECT_GE(granted->queue_wait_seconds(), 0.0);
+    granted->Release();
+  }
+
+  const auto snap = controller.snapshot();
+  EXPECT_EQ(snap.queued, 12u);
+  EXPECT_EQ(snap.admitted, 12u);
+  EXPECT_EQ(snap.rejected, 0u);
+  EXPECT_EQ(snap.running, 0u);
+  EXPECT_EQ(snap.waiting, 0u);
+}
+
+TEST(AdmissionController, QueueFullRejectsWithUnavailable) {
+  AdmissionConfig config;
+  config.enabled = true;
+  config.max_concurrent = 8;
+  config.groups = {
+      {.name = "T", .weight = 1, .max_concurrent = 4, .max_queued = 2}};
+  AdmissionController controller(config);
+  controller.SetPaused(true);  // keep arrivals waiting so the queue fills
+
+  std::vector<std::shared_ptr<AdmissionTicket>> accepted;
+  for (int i = 0; i < 4; ++i) {
+    auto t = controller.Enqueue("T");
+    if (i < 2) {
+      ASSERT_TRUE(t.ok()) << t.status().ToString();
+      accepted.push_back(*std::move(t));
+    } else {
+      ASSERT_FALSE(t.ok());
+      EXPECT_EQ(t.status().code(), StatusCode::kUnavailable);
+    }
+  }
+  auto snap = controller.snapshot();
+  EXPECT_EQ(snap.queued, 2u);
+  EXPECT_EQ(snap.rejected, 2u);
+  EXPECT_EQ(snap.waiting, 2u);
+
+  controller.SetPaused(false);
+  for (auto& t : accepted) {
+    t->Wait();
+    t->Release();
+  }
+  snap = controller.snapshot();
+  EXPECT_EQ(snap.admitted, 2u);
+  EXPECT_EQ(snap.running, 0u);
+}
+
+TEST(AdmissionController, PerGroupAndGlobalConcurrencyBounds) {
+  AdmissionConfig config;
+  config.enabled = true;
+  config.max_concurrent = 2;  // global
+  config.groups = {
+      {.name = "solo", .weight = 1, .max_concurrent = 1, .max_queued = 0},
+      {.name = "wide", .weight = 1, .max_concurrent = 4, .max_queued = 0}};
+  AdmissionController controller(config);
+  controller.SetPaused(true);
+
+  std::vector<std::shared_ptr<AdmissionTicket>> solo, wide;
+  for (int i = 0; i < 3; ++i) solo.push_back(*controller.Enqueue("solo"));
+  for (int i = 0; i < 3; ++i) wide.push_back(*controller.Enqueue("wide"));
+  controller.SetPaused(false);
+
+  // Per-group cap holds "solo" to 1 running; the global cap of 2 lets
+  // "wide" take exactly one more despite its headroom of 4.
+  auto snap = controller.snapshot();
+  EXPECT_EQ(snap.running, 2u);
+  EXPECT_EQ(AdmittedFor(controller, "solo"), 1u);
+  EXPECT_EQ(AdmittedFor(controller, "wide"), 1u);
+
+  solo[0]->Wait();
+  solo[0]->Release();  // frees solo's slot: its next query runs
+  snap = controller.snapshot();
+  EXPECT_EQ(snap.running, 2u);
+  EXPECT_EQ(AdmittedFor(controller, "solo"), 2u);
+
+  // Releasing solo[2] abandons it while still waiting (global cap keeps
+  // it queued behind wide's backlog), so only 5 of 6 are ever admitted.
+  for (auto& t : solo) t->Release();
+  for (auto& t : wide) t->Release();
+  snap = controller.snapshot();
+  EXPECT_EQ(snap.running, 0u);
+  EXPECT_EQ(snap.waiting, 0u);
+  EXPECT_EQ(snap.admitted, 5u);
+}
+
+TEST(AdmissionController, ReleasingUngrantedTicketLeavesQueue) {
+  AdmissionConfig config;
+  config.enabled = true;
+  config.max_concurrent = 1;
+  AdmissionController controller(config);
+  controller.SetPaused(true);
+  auto first = *controller.Enqueue("default");
+  auto second = *controller.Enqueue("default");
+  second->Release();  // abandon while still waiting
+  controller.SetPaused(false);
+  first->Wait();
+  first->Release();
+  const auto snap = controller.snapshot();
+  EXPECT_EQ(snap.admitted, 1u);
+  EXPECT_EQ(snap.waiting, 0u);
+  EXPECT_EQ(snap.running, 0u);
+}
+
+TEST(AdmissionController, UnknownTenantGetsDefaultGroup) {
+  AdmissionConfig config;
+  config.enabled = true;
+  config.max_concurrent = 8;
+  config.defaults = {.name = "", .weight = 1, .max_concurrent = 4,
+                     .max_queued = 1};
+  AdmissionController controller(config);
+  controller.SetPaused(true);
+  ASSERT_TRUE(controller.Enqueue("newcomer").ok());
+  auto overflow = controller.Enqueue("newcomer");  // defaults.max_queued = 1
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kUnavailable);
+  controller.SetPaused(false);
+}
+
+TEST(SplitThrottle, BoundsConcurrentPermits) {
+  constexpr size_t kCap = 2;
+  SplitThrottle throttle(kCap);
+  std::atomic<int> inflight{0};
+  std::atomic<int> max_seen{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 8; ++w) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        SplitThrottle::Permit permit = throttle.Acquire();
+        const int now = inflight.fetch_add(1) + 1;
+        int prev = max_seen.load();
+        while (now > prev && !max_seen.compare_exchange_weak(prev, now)) {
+        }
+        inflight.fetch_sub(1);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_LE(max_seen.load(), static_cast<int>(kCap));
+  EXPECT_GT(max_seen.load(), 0);
+}
+
+TEST(SplitThrottle, ZeroMeansUnbounded) {
+  SplitThrottle throttle(0);
+  auto a = throttle.Acquire();
+  auto b = throttle.Acquire();
+  auto c = throttle.Acquire();  // would deadlock if a cap applied
+}
+
+// TSan target: many threads enqueue/wait/release against one controller
+// while another thread toggles pause and polls snapshots. Correctness
+// claim at the end: nothing is left running or waiting, and everything
+// accepted was admitted exactly once.
+TEST(AdmissionController, ConcurrentAdmitReleaseStress) {
+  AdmissionConfig config;
+  config.enabled = true;
+  config.max_concurrent = 4;
+  config.groups = {
+      {.name = "A", .weight = 3, .max_concurrent = 3, .max_queued = 0},
+      {.name = "B", .weight = 1, .max_concurrent = 2, .max_queued = 0},
+  };
+  AdmissionController controller(config);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25;
+  std::atomic<uint64_t> accepted{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&controller, &accepted, w] {
+      const std::string tenant = (w % 2 == 0) ? "A" : "B";
+      for (int i = 0; i < kPerThread; ++i) {
+        auto ticket = controller.Enqueue(tenant);
+        if (!ticket.ok()) continue;  // unbounded queues: not expected
+        accepted.fetch_add(1);
+        (*ticket)->Wait();
+        (*ticket)->Release();
+      }
+    });
+  }
+  std::thread observer([&controller] {
+    for (int i = 0; i < 50; ++i) {
+      const auto snap = controller.snapshot();
+      EXPECT_LE(snap.running, 4u);
+      std::this_thread::yield();
+    }
+  });
+  for (auto& t : workers) t.join();
+  observer.join();
+
+  const auto snap = controller.snapshot();
+  EXPECT_EQ(snap.queued, accepted.load());
+  EXPECT_EQ(snap.admitted, accepted.load());
+  EXPECT_EQ(snap.queued, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(snap.running, 0u);
+  EXPECT_EQ(snap.waiting, 0u);
+}
+
+}  // namespace
+}  // namespace pocs::engine

@@ -1,0 +1,164 @@
+// End-to-end tests for the concurrent multi-tenant tier
+// (`ctest -L concurrency`): the seeded driver's determinism contract
+// (same seed → bit-identical per-query results AND identical exact
+// admission/dispatch counters across two fresh testbeds), correctness
+// under throttling against a serial reference, deterministic rejection,
+// least-loaded placement spread, and engine-internal admission.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "workloads/chaos.h"
+#include "workloads/concurrent.h"
+#include "workloads/tpch.h"
+
+namespace pocs::workloads {
+namespace {
+
+ConcurrentWorkloadReport MustRun(const ConcurrentWorkloadConfig& config) {
+  Testbed bed(MakeConcurrentTestbedConfig(config));
+  Status ingest = IngestChaosDatasets(&bed);
+  EXPECT_TRUE(ingest.ok()) << ingest.ToString();
+  auto report = RunConcurrentWorkload(&bed, config);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return *std::move(report);
+}
+
+// The acceptance gate: two testbeds built from scratch in one process,
+// same seed — every schedule-deterministic quantity must match exactly.
+TEST(ConcurrentWorkload, DeterministicReplay) {
+  ConcurrentWorkloadConfig config;
+  config.seed = 1337;
+  config.num_queries = 24;
+
+  const ConcurrentWorkloadReport a = MustRun(config);
+  const ConcurrentWorkloadReport b = MustRun(config);
+
+  EXPECT_EQ(a.result_fingerprint, b.result_fingerprint);
+  EXPECT_EQ(a.admission_queued, b.admission_queued);
+  EXPECT_EQ(a.admission_admitted, b.admission_admitted);
+  EXPECT_EQ(a.admission_rejected, b.admission_rejected);
+  EXPECT_EQ(a.rows_total, b.rows_total);
+  EXPECT_EQ(a.node_plans, b.node_plans);
+
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (size_t i = 0; i < a.outcomes.size(); ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    EXPECT_EQ(a.outcomes[i].tenant, b.outcomes[i].tenant);
+    EXPECT_EQ(a.outcomes[i].query, b.outcomes[i].query);
+    EXPECT_EQ(a.outcomes[i].rejected, b.outcomes[i].rejected);
+    EXPECT_EQ(a.outcomes[i].rows, b.outcomes[i].rows);
+    EXPECT_EQ(a.outcomes[i].row_fingerprint, b.outcomes[i].row_fingerprint);
+  }
+
+  ASSERT_EQ(a.tenants.size(), b.tenants.size());
+  for (size_t i = 0; i < a.tenants.size(); ++i) {
+    EXPECT_EQ(a.tenants[i].tenant, b.tenants[i].tenant);
+    EXPECT_EQ(a.tenants[i].queries, b.tenants[i].queries);
+    EXPECT_EQ(a.tenants[i].admitted, b.tenants[i].admitted);
+    EXPECT_EQ(a.tenants[i].rejected, b.tenants[i].rejected);
+  }
+}
+
+// Throttled, admission-controlled, load-aware execution must not change
+// WHAT a query returns — every admitted query's rows equal a serial
+// reference run of the same template on a plain testbed.
+TEST(ConcurrentWorkload, MatchesSerialReference) {
+  // Reference: default testbed (no admission, no dispatcher, round-robin
+  // placement, caches as shipped) run one query at a time.
+  Testbed reference;
+  ASSERT_TRUE(IngestChaosDatasets(&reference).ok());
+  std::map<std::string, uint64_t> ref_fingerprint, ref_rows;
+  for (const auto& [name, sql] : ChaosQueries()) {
+    auto result = reference.Run(sql, "ocs");
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ref_rows[name] = result->table->num_rows();
+    ref_fingerprint[name] = ResultRowFingerprint(*result->table);
+  }
+
+  ConcurrentWorkloadConfig config;
+  config.seed = 7;
+  config.num_queries = 16;
+  const ConcurrentWorkloadReport report = MustRun(config);
+  size_t checked = 0;
+  for (const QueryOutcome& out : report.outcomes) {
+    if (out.rejected) continue;
+    SCOPED_TRACE(out.tenant + "/" + out.query);
+    EXPECT_EQ(out.rows, ref_rows[out.query]);
+    EXPECT_EQ(out.row_fingerprint, ref_fingerprint[out.query]);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+// Rejection outcomes are decided at enqueue time against the paused
+// controller, so they are a pure function of the schedule: a one-slot
+// queue per tenant accepts exactly one arrival per tenant and rejects
+// the rest, every run.
+TEST(ConcurrentWorkload, DeterministicRejection) {
+  ConcurrentWorkloadConfig config;
+  config.seed = 3;
+  config.num_queries = 12;
+  config.tenants = {
+      {.name = "x", .weight = 1, .max_concurrent = 1, .max_queued = 1},
+      {.name = "y", .weight = 1, .max_concurrent = 1, .max_queued = 1},
+  };
+  const ConcurrentWorkloadReport a = MustRun(config);
+  EXPECT_EQ(a.admission_queued, 2u);  // one accepted per tenant
+  EXPECT_EQ(a.admission_rejected, 10u);
+  const ConcurrentWorkloadReport b = MustRun(config);
+  EXPECT_EQ(b.admission_rejected, a.admission_rejected);
+  EXPECT_EQ(b.result_fingerprint, a.result_fingerprint);
+}
+
+// Least-loaded ingest placement + hint-interleaved split ordering must
+// actually spread the dispatch load: every storage node serves plans.
+TEST(ConcurrentWorkload, LoadAwareDispatchSpreadsAcrossNodes) {
+  ConcurrentWorkloadConfig config;
+  config.seed = 11;
+  config.num_queries = 12;
+  const ConcurrentWorkloadReport report = MustRun(config);
+  ASSERT_EQ(report.node_plans.size(), 3u);
+  EXPECT_GT(report.min_node_plans, 0u)
+      << "a storage node served no plans — placement/hints are not "
+         "spreading load";
+  EXPECT_GE(report.max_node_plans, report.min_node_plans);
+  // Every split of every admitted query dispatches exactly once: the
+  // per-node totals must sum to the scheduled split count (lineitem has
+  // 3 objects, laghos and deepwater 4 each — IngestChaosDatasets).
+  uint64_t expected = 0;
+  for (const QueryOutcome& out : report.outcomes) {
+    if (out.rejected) continue;
+    expected += (out.query == "tpch_q1" || out.query == "tpch_q6") ? 3 : 4;
+  }
+  uint64_t total = 0;
+  for (uint64_t n : report.node_plans) total += n;
+  EXPECT_EQ(total, expected);
+}
+
+// Admission also works without a driver: Execute() with a tenant in the
+// options enqueues internally, and the tenant + queue wait land in
+// QueryStats for listeners.
+TEST(ConcurrentWorkload, EngineInternalAdmission) {
+  ConcurrentWorkloadConfig config;
+  Testbed bed(MakeConcurrentTestbedConfig(config));
+  ASSERT_TRUE(IngestChaosDatasets(&bed).ok());
+
+  engine::QueryOptions options;
+  options.tenant = "interactive";
+  auto result = bed.engine().Execute(TpchQ6("lineitem"), "ocs", options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->table->num_rows(), 0u);
+  EXPECT_GE(result->metrics.admission_queue_seconds, 0.0);
+
+  EXPECT_EQ(bed.stats().last().tenant, "interactive");
+  const auto snap = bed.engine().admission_controller()->snapshot();
+  EXPECT_EQ(snap.queued, 1u);
+  EXPECT_EQ(snap.admitted, 1u);
+  EXPECT_EQ(snap.running, 0u);  // released when Execute returned
+}
+
+}  // namespace
+}  // namespace pocs::workloads

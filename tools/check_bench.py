@@ -2,7 +2,7 @@
 """Diff a BENCH_*.json report against a committed baseline.
 
 Usage:
-    tools/check_bench.py BENCH_PR5.json --baseline bench/baselines/BENCH_PR5.smoke.json
+    tools/check_bench.py BENCH_PR7.json --baseline bench/baselines/BENCH_PR7.smoke.json
 
 The report schema (bench/report.h) tags every metric with a kind that
 decides how it is compared:
@@ -27,12 +27,19 @@ CI uses it to catch silently disabled machinery — e.g. a repeat-scan
 bench where `process.ocs.rowgroup_cache.hit` dropping to zero means the
 row-group cache stopped caching even though every count still matches.
 
+--require-nonzero-glob PATTERN (repeatable) is the fnmatch-style variant
+for metric families whose exact names depend on workload config — e.g.
+`concurrent.tenant.*.queries` gates that every tenant of the concurrent
+bench saw traffic. The gate fails when NO candidate metric matches the
+pattern, or when any matching metric is zero.
+
 Exit codes: 0 ok, 1 regression or malformed input, 2 usage error.
 Metrics present in the candidate but not the baseline are reported as
 informational only; refresh the baseline when instrumentation grows.
 """
 
 import argparse
+import fnmatch
 import json
 import sys
 
@@ -83,6 +90,11 @@ def main():
                         help="fail if the named candidate metric is missing "
                              "or zero (repeatable; independent of the "
                              "baseline)")
+    parser.add_argument("--require-nonzero-glob", action="append", default=[],
+                        metavar="PATTERN",
+                        help="fnmatch pattern: fail if no candidate metric "
+                             "matches, or any matching metric is zero "
+                             "(repeatable)")
     parser.add_argument("--list", action="store_true",
                         help="print every comparison, not just failures")
     args = parser.parse_args()
@@ -137,6 +149,17 @@ def main():
                             f"from candidate")
         elif cand[name][1] == 0:
             failures.append(f"{name}: required-nonzero metric is 0")
+
+    for pattern in args.require_nonzero_glob:
+        matches = sorted(fnmatch.filter(cand, pattern))
+        if not matches:
+            failures.append(f"{pattern}: no candidate metric matches "
+                            f"required-nonzero pattern")
+            continue
+        for name in matches:
+            if cand[name][1] == 0:
+                failures.append(f"{name}: required-nonzero metric is 0 "
+                                f"(pattern {pattern})")
 
     new_metrics = sorted(set(cand) - set(base))
     if new_metrics:

@@ -21,16 +21,22 @@ Rules (each can be suppressed on a line with  // pocs-lint: allow(<rule>)):
                      object outside an RAII guard (pocs::MutexLock and
                      friends). Manual unlock paths leak the lock on early
                      return and break exception safety.
-  unannotated-mutex  Two sub-checks feeding the compiler-enforced lock
+  unannotated-mutex  Three sub-checks feeding the compiler-enforced lock
                      discipline (common/thread_annotations.h):
                      (a) declaring a raw std::mutex/std::shared_mutex
                      object — Thread Safety Analysis cannot see it; use
-                     pocs::Mutex / pocs::SharedMutex; (b) inside a class
-                     that declares a pocs::Mutex member, any data member
-                     declared *after* the mutex that carries no
-                     POCS_GUARDED_BY/POCS_PT_GUARDED_BY (atomics,
-                     condition variables, const and static members are
-                     exempt — they need no guard).
+                     pocs::Mutex / pocs::SharedMutex; (b) declaring a
+                     std::counting_semaphore/binary_semaphore/latch/
+                     barrier — blocking primitives the analysis is equally
+                     blind to; build admission/throttle state on
+                     pocs::Mutex + condition_variable (see
+                     engine/admission.h) so the guard annotations keep
+                     working; (c) inside a class that declares a
+                     pocs::Mutex member, any data member declared *after*
+                     the mutex that carries no POCS_GUARDED_BY/
+                     POCS_PT_GUARDED_BY (atomics, condition variables,
+                     const and static members are exempt — they need no
+                     guard).
 
 Modes:
   pocs_lint.py --root <repo>                 lint src/ tests/ bench/ examples/
@@ -245,6 +251,15 @@ def lint_file(path, rel_path, status_names, findings):
         r"\bstd\s*::\s*((?:recursive_|timed_|shared_timed_|shared_)?mutex)"
         r"\s+\w+\s*[;={[]"
     )
+    # Blocking primitives Thread Safety Analysis cannot model: a guarded
+    # member protected by a semaphore/latch/barrier looks unguarded to the
+    # compiler, so the discipline silently erodes. Build on pocs::Mutex +
+    # std::condition_variable instead (engine/admission.h,
+    # connectors/ocs/split_dispatcher.h are the reference patterns).
+    raw_blocking_decl_re = re.compile(
+        r"\bstd\s*::\s*(counting_semaphore|binary_semaphore|latch|barrier)"
+        r"\b\s*(?:<[^<>;]*>)?\s+\w+\s*[;={[(]"
+    )
     include_re = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
 
     for idx, line in enumerate(lines):
@@ -284,6 +299,14 @@ def lint_file(path, rel_path, status_names, findings):
                    f"raw std::{m.group(1)} declaration; use pocs::Mutex / "
                    "pocs::SharedMutex (common/thread_annotations.h) so the "
                    "thread safety analysis can see it")
+
+        m = raw_blocking_decl_re.search(line)
+        if m:
+            report(line_no, "unannotated-mutex",
+                   f"std::{m.group(1)} declaration; thread safety analysis "
+                   "cannot model it, so guarded state behind it goes "
+                   "unchecked — use pocs::Mutex + std::condition_variable "
+                   "(see engine/admission.h for the pattern)")
 
     check_unannotated_members(stripped, report)
 

@@ -175,6 +175,38 @@ class CheckBenchTest(unittest.TestCase):
         self.assertEqual(result.returncode, 1)
         self.assertIn("required-nonzero metric missing", result.stdout)
 
+    TENANTS = {
+        "concurrent.tenant.interactive.queries": ("exact", 10),
+        "concurrent.tenant.batch.queries": ("exact", 7),
+    }
+
+    def test_require_nonzero_glob_passes_when_all_positive(self):
+        metrics = dict(self.BASE, **self.TENANTS)
+        base = self.write("base.json", make_report(metrics))
+        cand = self.write("cand.json", make_report(metrics))
+        result = self.run_check(cand, base, "--require-nonzero-glob",
+                                "concurrent.tenant.*.queries")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_require_nonzero_glob_fails_on_zero_match(self):
+        metrics = dict(self.BASE, **self.TENANTS)
+        metrics["concurrent.tenant.batch.queries"] = ("exact", 0)
+        base = self.write("base.json", make_report(metrics))
+        cand = self.write("cand.json", make_report(metrics))
+        result = self.run_check(cand, base, "--require-nonzero-glob",
+                                "concurrent.tenant.*.queries")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("concurrent.tenant.batch.queries", result.stdout)
+        self.assertIn("required-nonzero metric is 0", result.stdout)
+
+    def test_require_nonzero_glob_fails_when_nothing_matches(self):
+        base = self.write("base.json", make_report(self.BASE))
+        cand = self.write("cand.json", make_report(self.BASE))
+        result = self.run_check(cand, base, "--require-nonzero-glob",
+                                "concurrent.tenant.*.queries")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("no candidate metric matches", result.stdout)
+
     def test_unreadable_candidate_is_hard_error(self):
         base = self.write("base.json", make_report(self.BASE))
         cand = self.write("cand.json", "{not json")

@@ -182,6 +182,45 @@ class UnannotatedMutexTest(LintRunner):
                    "#include <mutex>\nvoid f(std::mutex& mu);\n")
         self.assert_clean(self.run_lint())
 
+    def test_counting_semaphore_member_fires(self):
+        # Semaphores are invisible to Thread Safety Analysis: state they
+        # protect looks unguarded, so admission/throttle layers must be
+        # built on pocs::Mutex + condition_variable instead.
+        self.write("src/a.h",
+                   "#pragma once\n#include <semaphore>\n"
+                   "class Throttle {\n"
+                   "  std::counting_semaphore<8> slots_{8};\n"
+                   "};\n")
+        result = self.run_lint()
+        self.assert_finding(result, "unannotated-mutex")
+        self.assertIn("counting_semaphore", result.stdout)
+
+    def test_binary_semaphore_local_fires(self):
+        self.write("src/a.cpp",
+                   "#include <semaphore>\n"
+                   "void f() { std::binary_semaphore ready{0}; }\n")
+        self.assert_finding(self.run_lint(), "unannotated-mutex")
+
+    def test_latch_and_barrier_fire(self):
+        self.write("src/a.cpp",
+                   "#include <latch>\n#include <barrier>\n"
+                   "void f() {\n"
+                   "  std::latch done(4);\n"
+                   "  std::barrier sync_point(4);\n"
+                   "}\n")
+        result = self.run_lint()
+        self.assert_finding(result, "unannotated-mutex")
+        self.assertIn("latch", result.stdout)
+        self.assertIn("barrier", result.stdout)
+
+    def test_semaphore_suppression_is_honored(self):
+        self.write("src/a.cpp",
+                   "#include <semaphore>\n"
+                   "// Bounded handoff to a C API; no guarded state.\n"
+                   "std::binary_semaphore g_io_gate{1};"
+                   "  // pocs-lint: allow(unannotated-mutex)\n")
+        self.assert_clean(self.run_lint())
+
     def test_unguarded_member_after_pocs_mutex_fires(self):
         self.write("src/a.h",
                    "#pragma once\n"
