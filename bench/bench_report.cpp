@@ -1,8 +1,9 @@
 // Unified bench driver for CI: runs a curated subset of the paper's
 // experiments (Fig. 5 progressive pushdown on TPC-H Q1 and Laghos, the
-// Table 3 stage breakdown, an S3-Select-path query, and a warm-cache
-// repeat scan through the connector split-result cache) and emits one
-// schema-versioned JSON report — BENCH_PR7.json by default — that
+// Table 3 stage breakdown, an S3-Select-path query, a warm-cache repeat
+// scan through the connector split-result cache, and a selective scan
+// through the split-pruning metadata cache) and emits one
+// schema-versioned JSON report — BENCH_PR8.json by default — that
 // tools/check_bench.py diffs against a committed baseline.
 //
 // `--smoke` shrinks every dataset to CI size (seconds, not minutes);
@@ -45,6 +46,10 @@ bool RunAndRecord(workloads::Testbed& testbed, const std::string& sql,
   report->AddExact(prefix + ".result_rows",
                    static_cast<double>(result->table->num_rows()), "rows");
   report->AddExact(prefix + ".splits", static_cast<double>(m.splits));
+  report->AddExact(prefix + ".splits_planned",
+                   static_cast<double>(m.splits_planned));
+  report->AddExact(prefix + ".splits_pruned",
+                   static_cast<double>(m.splits_pruned));
   report->AddExact(prefix + ".row_groups_skipped",
                    static_cast<double>(m.row_groups_skipped));
   report->AddExact(prefix + ".cache_hits",
@@ -93,7 +98,7 @@ void RecordCollectorTotals(workloads::Testbed& testbed,
 
 int main(int argc, char** argv) {
   bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
-  if (args.json_path.empty()) args.json_path = "BENCH_PR7.json";
+  if (args.json_path.empty()) args.json_path = "BENCH_PR8.json";
   const size_t rows_per_file =
       (args.smoke ? (1 << 12) : (1 << 16)) * args.scale;
 
@@ -163,6 +168,28 @@ int main(int argc, char** argv) {
                         "laghos.cached_cold", &report) ||
           !RunAndRecord(testbed, workloads::LaghosQuery(), "ocs_cached",
                         "laghos.cached_warm", &report)) {
+        return 1;
+      }
+    }
+
+    // --- Selective scan through the split-pruning metadata cache ---------
+    // vertex ranges are disjoint per file, so a vertex_id prefix bound
+    // proves trailing files empty from cached footer stats: the cold run
+    // pays one DescribeObject per object and prunes their splits before
+    // any data RPC (splits_pruned > 0); the warm repeat revalidates each
+    // descriptor with a metadata-only Stat (metadata_cache.hit > 0).
+    {
+      connectors::OcsConnectorConfig pruning;
+      pruning.metadata_cache_bytes = 8ull << 20;
+      testbed.RegisterOcsCatalog("ocs_pruned", pruning);
+      const size_t vertices_per_file =
+          config.rows_per_file / config.rows_per_vertex;
+      const std::string selective = workloads::LaghosSelectiveQuery(
+          "laghos", static_cast<int64_t>(vertices_per_file));
+      if (!RunAndRecord(testbed, selective, "ocs_pruned", "laghos.selective",
+                        &report) ||
+          !RunAndRecord(testbed, selective, "ocs_pruned",
+                        "laghos.selective_warm", &report)) {
         return 1;
       }
     }

@@ -13,6 +13,12 @@ void QueryStatsCollector::Accumulate(const QueryEvent& event, Totals* t) {
   t->bytes_from_storage += s.bytes_from_storage;
   t->bytes_to_storage += s.bytes_to_storage;
   t->splits += s.splits;
+  t->splits_planned += s.splits_planned;
+  t->splits_pruned += s.splits_pruned;
+  t->metadata_cache_hits += s.metadata_cache_hits;
+  t->metadata_cache_misses += s.metadata_cache_misses;
+  t->metadata_cache_stale += s.metadata_cache_stale;
+  t->metadata_cache_errors += s.metadata_cache_errors;
   t->row_groups_total += s.row_groups_total;
   t->row_groups_skipped += s.row_groups_skipped;
   t->pushdown_offered += s.pushdown_offered;
@@ -22,6 +28,7 @@ void QueryStatsCollector::Accumulate(const QueryEvent& event, Totals* t) {
   t->fallbacks += s.fallbacks;
   t->failed_splits += s.failed_splits;
   t->row_groups_lazy_skipped += s.row_groups_lazy_skipped;
+  t->row_groups_hint_skipped += s.row_groups_hint_skipped;
   t->cache_hits += s.cache_hits;
   t->cache_misses += s.cache_misses;
   t->cache_bytes_saved += s.cache_bytes_saved;
@@ -47,6 +54,8 @@ void QueryStatsCollector::QueryCompleted(const QueryEvent& event) {
   static auto& bytes_to = registry.GetCounter("engine.bytes_to_storage");
   static auto& accepted = registry.GetCounter("engine.pushdown_accepted");
   static auto& rejected = registry.GetCounter("engine.pushdown_rejected");
+  static auto& splits_planned = registry.GetCounter("engine.splits_planned");
+  static auto& splits_pruned = registry.GetCounter("engine.splits_pruned");
   static auto& retries = registry.GetCounter("engine.retries");
   static auto& fallbacks = registry.GetCounter("engine.fallbacks");
   static auto& failed_splits = registry.GetCounter("engine.failed_splits");
@@ -62,6 +71,8 @@ void QueryStatsCollector::QueryCompleted(const QueryEvent& event) {
   bytes_to.Add(event.stats.bytes_to_storage);
   accepted.Add(event.stats.pushdown_accepted);
   rejected.Add(event.stats.pushdown_rejected);
+  splits_planned.Add(event.stats.splits_planned);
+  splits_pruned.Add(event.stats.splits_pruned);
   retries.Add(event.stats.retries);
   fallbacks.Add(event.stats.fallbacks);
   failed_splits.Add(event.stats.failed_splits);

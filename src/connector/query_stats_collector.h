@@ -25,6 +25,12 @@ class QueryStatsCollector final : public EventListener {
     uint64_t bytes_from_storage = 0;
     uint64_t bytes_to_storage = 0;
     uint64_t splits = 0;
+    uint64_t splits_planned = 0;
+    uint64_t splits_pruned = 0;
+    uint64_t metadata_cache_hits = 0;
+    uint64_t metadata_cache_misses = 0;
+    uint64_t metadata_cache_stale = 0;
+    uint64_t metadata_cache_errors = 0;
     uint64_t row_groups_total = 0;
     uint64_t row_groups_skipped = 0;
     uint64_t pushdown_offered = 0;
@@ -34,6 +40,7 @@ class QueryStatsCollector final : public EventListener {
     uint64_t fallbacks = 0;
     uint64_t failed_splits = 0;
     uint64_t row_groups_lazy_skipped = 0;
+    uint64_t row_groups_hint_skipped = 0;
     uint64_t cache_hits = 0;
     uint64_t cache_misses = 0;
     uint64_t cache_bytes_saved = 0;

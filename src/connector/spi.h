@@ -31,6 +31,27 @@ struct Split {
   // connectors that resolve placement up front so the load-aware
   // dispatcher can shape per-node traffic; purely advisory.
   int node_hint = -1;
+  // Row groups the planner's stats-based pruning kept (empty = no hint,
+  // scan all). Advisory: storage honors the hint only when
+  // `stats_version` still matches the object, so stale statistics can
+  // cost performance but never rows (DESIGN.md §13).
+  std::vector<uint32_t> row_groups;
+  uint64_t stats_version = 0;  // object version the hint was computed from
+};
+
+// Split-planning outcome: the surviving splits plus the pruning and
+// metadata-cache accounting the engine folds into QueryStats. Planned =
+// pruned + surviving.
+struct SplitPlan {
+  std::vector<Split> splits;
+  uint64_t splits_planned = 0;  // candidate splits before pruning
+  uint64_t splits_pruned = 0;   // dropped with zero data RPCs issued
+  // Metadata-cache outcomes during planning (one per candidate object
+  // when pruning ran; all zero for connectors without a stats cache).
+  uint64_t metadata_cache_hits = 0;    // cached + version-validated fresh
+  uint64_t metadata_cache_misses = 0;  // not cached, fetched via stats RPC
+  uint64_t metadata_cache_stale = 0;   // cached but version moved; refetched
+  uint64_t metadata_cache_errors = 0;  // stats path failed; split unpruned
 };
 
 // One operator absorbed into the table scan by the local optimizer, in
@@ -106,6 +127,9 @@ struct PageSourceStats {
   // Row groups skipped by the lazy-column fast path (predicate columns
   // decoded first, conjuncts matched zero rows).
   uint64_t row_groups_lazy_skipped = 0;
+  // Row groups storage skipped on the split's planner hint (stats-based
+  // pruning at plan time; only applied when the hint version matched).
+  uint64_t row_groups_hint_skipped = 0;
   // Hits/misses across both cache levels this split touched: the storage
   // node's decoded row-group cache and the connector's split-result cache.
   uint64_t cache_hits = 0;
@@ -157,7 +181,11 @@ class Connector {
                                              const std::string& table) = 0;
 
   // -- ConnectorSplitManager --------------------------------------------------
-  virtual Result<std::vector<Split>> GetSplits(const TableHandle& table) = 0;
+  // Runs after pushdown negotiation: `spec` carries the accepted
+  // operators so connectors with object statistics can prune splits the
+  // predicates prove empty before any data RPC is issued.
+  virtual Result<SplitPlan> GetSplits(const TableHandle& table,
+                                      const ScanSpec& spec) = 0;
 
   // -- ConnectorPlanOptimizer -------------------------------------------------
   // Operator pushdown is negotiated node by node: the engine walks the
@@ -202,6 +230,15 @@ struct QueryStats {
   uint64_t bytes_from_storage = 0;
   uint64_t bytes_to_storage = 0;
   uint64_t splits = 0;
+  // Split planning: candidates considered vs dropped by stats-based
+  // pruning (splits = splits_planned - splits_pruned), and how the
+  // planner's metadata cache fared (see SplitPlan).
+  uint64_t splits_planned = 0;
+  uint64_t splits_pruned = 0;
+  uint64_t metadata_cache_hits = 0;
+  uint64_t metadata_cache_misses = 0;
+  uint64_t metadata_cache_stale = 0;
+  uint64_t metadata_cache_errors = 0;
   uint64_t row_groups_total = 0;
   uint64_t row_groups_skipped = 0;
   uint64_t pushdown_offered = 0;
@@ -214,6 +251,7 @@ struct QueryStats {
   // Caching: multi-level cache effectiveness, summed across splits (see
   // PageSourceStats for the per-field definitions).
   uint64_t row_groups_lazy_skipped = 0;
+  uint64_t row_groups_hint_skipped = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_bytes_saved = 0;

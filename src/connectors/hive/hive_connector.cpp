@@ -79,12 +79,16 @@ Result<TableHandle> HiveConnector::GetTableHandle(
   return handle;
 }
 
-Result<std::vector<Split>> HiveConnector::GetSplits(const TableHandle& table) {
-  std::vector<Split> splits;
+Result<connector::SplitPlan> HiveConnector::GetSplits(const TableHandle& table,
+                                                      const ScanSpec&) {
+  // S3-style storage exposes no object statistics, so hive plans one
+  // split per object with no pruning.
+  connector::SplitPlan plan;
   for (const std::string& object : table.info.objects) {
-    splits.push_back({table.info.bucket, object});
+    plan.splits.push_back({table.info.bucket, object});
   }
-  return splits;
+  plan.splits_planned = plan.splits.size();
+  return plan;
 }
 
 namespace {

@@ -63,8 +63,9 @@ class HiveConnector final : public connector::Connector {
   Result<connector::TableHandle> GetTableHandle(
       const std::string& schema_name, const std::string& table) override;
 
-  Result<std::vector<connector::Split>> GetSplits(
-      const connector::TableHandle& table) override;
+  Result<connector::SplitPlan> GetSplits(
+      const connector::TableHandle& table,
+      const connector::ScanSpec& spec) override;
 
   connector::PushdownCapabilities capabilities() const override {
     connector::PushdownCapabilities caps;

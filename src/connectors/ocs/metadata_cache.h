@@ -1,0 +1,65 @@
+// Coordinator-side metadata cache: per-object statistics descriptors
+// (file- and row-group-level min/max/NDV, from DescribeObject) behind a
+// byte-budgeted LRU, revalidated against the object's current version
+// with a metadata-only Stat before every use (DESIGN.md §13).
+//
+// Outcome semantics are validated-freshness, not raw LRU residency —
+// which is why the underlying ShardedLruCache runs without a
+// metric_prefix and this class owns the connector.metadata_cache.*
+// registry counters:
+//   hit    cached descriptor whose version still matches the object
+//   miss   not cached; fetched via the stats RPC
+//   stale  cached but the object moved on (overwrite); refetched
+//   error  stats path (Stat or DescribeObject) failed; caller must
+//          degrade to planning the split unpruned — never to an error
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/hash.h"
+#include "common/lru_cache.h"
+#include "objectstore/describe.h"
+#include "objectstore/service.h"
+
+namespace pocs::connectors {
+
+struct MetadataCacheKeyHash {
+  size_t operator()(const std::string& k) const {
+    return static_cast<size_t>(HashString(k));
+  }
+};
+
+// Per-planning-pass outcome counts (folded into connector::SplitPlan).
+struct MetadataCacheOutcomes {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t stale = 0;
+  uint64_t errors = 0;
+};
+
+class MetadataCache {
+ public:
+  using DescriptorPtr = std::shared_ptr<const objectstore::ObjectDescriptor>;
+
+  explicit MetadataCache(uint64_t byte_budget);
+
+  // Returns a version-validated descriptor for bucket/key, consulting the
+  // cache first and the DescribeObject RPC on miss/staleness. Returns
+  // nullptr when the stats path fails (outcomes->errors is bumped) —
+  // the caller plans the split unpruned. Thread-safe.
+  DescriptorPtr GetDescriptor(const objectstore::StorageClient& client,
+                              const std::string& bucket,
+                              const std::string& key,
+                              MetadataCacheOutcomes* outcomes) const;
+
+ private:
+  using Cache =
+      ShardedLruCache<std::string, objectstore::ObjectDescriptor,
+                      MetadataCacheKeyHash>;
+
+  // Internally synchronized (sharded pocs::Mutex).
+  std::unique_ptr<Cache> cache_;
+};
+
+}  // namespace pocs::connectors

@@ -37,10 +37,127 @@ Result<TableHandle> OcsConnector::GetTableHandle(
   return handle;
 }
 
-Result<std::vector<Split>> OcsConnector::GetSplits(const TableHandle& table) {
+namespace {
+
+// Projected table schema for a scan spec (statistics lookups by name).
+SchemaPtr ProjectedSchema(const TableHandle& table, const ScanSpec& spec) {
+  if (spec.columns.empty()) return table.info.schema;
+  std::vector<Field> fields;
+  for (int c : spec.columns) fields.push_back(table.info.schema->field(c));
+  return MakeSchema(std::move(fields));
+}
+
+// Average value width in bytes (rough, for projection size ratios).
+double SchemaRowWidth(const columnar::Schema& schema) {
+  double width = 0;
+  for (const Field& f : schema.fields()) {
+    size_t w = columnar::TypeWidth(f.type);
+    width += w == 0 ? 16.0 : static_cast<double>(w);
+  }
+  return width;
+}
+
+// Mirrors every OfferPushdown outcome into the registry (the runtime
+// counters behind the EventListener's per-query pushdown stats).
+bool RecordPushdownDecision(bool accepted) {
+  auto& reg = metrics::Registry::Default();
+  static auto& offered = reg.GetCounter("connector.ocs.pushdown_offered");
+  static auto& ok = reg.GetCounter("connector.ocs.pushdown_accepted");
+  static auto& rejected = reg.GetCounter("connector.ocs.pushdown_rejected");
+  offered.Increment();
+  (accepted ? ok : rejected).Increment();
+  return accepted;
+}
+
+// Evaluate the pruning terms against a version-validated descriptor.
+// Returns false when the statistics PROVE the object contributes no rows
+// (the whole split is pruned); otherwise true, filling the split's
+// row-group hint when only some groups can match. Uses the identical
+// ChunkMayMatch primitive as storage-side pruning, so a hint can never
+// drop a group the storage scan would have kept.
+bool DescriptorMayMatch(const objectstore::ObjectDescriptor& desc,
+                        const std::vector<objectstore::SelectPredicate>& terms,
+                        Split* split) {
+  auto col_index = [&desc](const std::string& name) -> int {
+    for (size_t i = 0; i < desc.columns.size(); ++i) {
+      if (desc.columns[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  // File-level stats: any term proven unsatisfiable kills the split.
+  for (const auto& term : terms) {
+    const int idx = col_index(term.column);
+    if (idx < 0 || static_cast<size_t>(idx) >= desc.column_stats.size()) {
+      continue;
+    }
+    if (!objectstore::ChunkMayMatch(desc.column_stats[idx], term)) {
+      return false;
+    }
+  }
+  // Row-group survival set for the hint.
+  std::vector<uint32_t> survivors;
+  for (size_t g = 0; g < desc.row_groups.size(); ++g) {
+    bool may_match = true;
+    for (const auto& term : terms) {
+      const int idx = col_index(term.column);
+      if (idx < 0 ||
+          static_cast<size_t>(idx) >= desc.row_groups[g].column_stats.size()) {
+        continue;
+      }
+      if (!objectstore::ChunkMayMatch(desc.row_groups[g].column_stats[idx],
+                                      term)) {
+        may_match = false;
+        break;
+      }
+    }
+    if (may_match) survivors.push_back(static_cast<uint32_t>(g));
+  }
+  if (survivors.empty() && !desc.row_groups.empty()) return false;
+  if (survivors.size() < desc.row_groups.size()) {
+    // Partial survival: hint the keepers, pinned to the stats version so
+    // storage discards the hint if the object moves on before dispatch.
+    split->row_groups = std::move(survivors);
+    split->stats_version = desc.version;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<connector::SplitPlan> OcsConnector::GetSplits(const TableHandle& table,
+                                                     const ScanSpec& spec) {
+  connector::SplitPlan plan;
+  plan.splits_planned = table.info.objects.size();
+
+  // Stats-based pruning terms: the leading pushed filter — the operator
+  // that will sit directly above the scan in the translated plan —
+  // decomposed into `field <cmp> literal` conjuncts against the projected
+  // scan schema. Exactly the terms the storage node's own pruning
+  // evaluates, so plan-time and storage-time decisions agree.
+  std::vector<objectstore::SelectPredicate> terms;
+  if (metadata_cache_ && !spec.operators.empty() &&
+      spec.operators.front().kind == PushedOperator::Kind::kFilter) {
+    SchemaPtr scan_schema = ProjectedSchema(table, spec);
+    ocs::CollectPruningTerms(spec.operators.front().predicate, *scan_schema,
+                             &terms);
+  }
+
+  // Planning is metadata-only by contract (enforced by pocs_lint's
+  // planning-data-rpc rule): Stat/DescribeObject/Locate, never Get*.
+  objectstore::StorageClient store(client_.channel());
+  MetadataCacheOutcomes outcomes;
   std::vector<Split> splits;
   for (const std::string& object : table.info.objects) {
     Split split{table.info.bucket, object};
+    if (!terms.empty()) {
+      MetadataCache::DescriptorPtr desc = metadata_cache_->GetDescriptor(
+          store, table.info.bucket, object, &outcomes);
+      // A stats-path failure leaves `desc` null: plan the split unpruned.
+      if (desc && !DescriptorMayMatch(*desc, terms, &split)) {
+        ++plan.splits_pruned;
+        continue;  // proven empty — no data RPC is ever issued for it
+      }
+    }
     if (dispatcher_) {
       // Resolve placement up front (metadata-only Locate on the
       // frontend). Failure degrades to an unhinted split — dispatched
@@ -78,42 +195,21 @@ Result<std::vector<Split>> OcsConnector::GetSplits(const TableHandle& table) {
     }
     splits = std::move(interleaved);
   }
-  return splits;
-}
 
-namespace {
-
-// Projected table schema for a scan spec (statistics lookups by name).
-SchemaPtr ProjectedSchema(const TableHandle& table, const ScanSpec& spec) {
-  if (spec.columns.empty()) return table.info.schema;
-  std::vector<Field> fields;
-  for (int c : spec.columns) fields.push_back(table.info.schema->field(c));
-  return MakeSchema(std::move(fields));
-}
-
-// Average value width in bytes (rough, for projection size ratios).
-double SchemaRowWidth(const columnar::Schema& schema) {
-  double width = 0;
-  for (const Field& f : schema.fields()) {
-    size_t w = columnar::TypeWidth(f.type);
-    width += w == 0 ? 16.0 : static_cast<double>(w);
+  plan.metadata_cache_hits = outcomes.hits;
+  plan.metadata_cache_misses = outcomes.misses;
+  plan.metadata_cache_stale = outcomes.stale;
+  plan.metadata_cache_errors = outcomes.errors;
+  {
+    auto& reg = metrics::Registry::Default();
+    static auto& planned = reg.GetCounter("connector.splits_planned");
+    static auto& pruned = reg.GetCounter("connector.splits_pruned");
+    planned.Add(plan.splits_planned);
+    pruned.Add(plan.splits_pruned);
   }
-  return width;
+  plan.splits = std::move(splits);
+  return plan;
 }
-
-// Mirrors every OfferPushdown outcome into the registry (the runtime
-// counters behind the EventListener's per-query pushdown stats).
-bool RecordPushdownDecision(bool accepted) {
-  auto& reg = metrics::Registry::Default();
-  static auto& offered = reg.GetCounter("connector.ocs.pushdown_offered");
-  static auto& ok = reg.GetCounter("connector.ocs.pushdown_accepted");
-  static auto& rejected = reg.GetCounter("connector.ocs.pushdown_rejected");
-  offered.Increment();
-  (accepted ? ok : rejected).Increment();
-  return accepted;
-}
-
-}  // namespace
 
 Result<bool> OcsConnector::OfferPushdown(
     const TableHandle& table, const PushedOperator& op, ScanSpec* spec,
@@ -553,6 +649,7 @@ Result<std::unique_ptr<connector::PageSource>> OcsConnector::CreatePageSource(
       stats.row_groups_total = result.stats.row_groups_total;
       stats.row_groups_skipped = result.stats.row_groups_skipped;
       stats.row_groups_lazy_skipped = result.stats.row_groups_lazy_skipped;
+      stats.row_groups_hint_skipped = result.stats.row_groups_hint_skipped;
       stats.rows_scanned = result.stats.rows_scanned;
       // Level-1 (storage-side row-group cache) accounting rides back on
       // the result; fold it into this split's stats.

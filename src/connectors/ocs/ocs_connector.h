@@ -29,6 +29,7 @@
 #include "common/hash.h"
 #include "common/lru_cache.h"
 #include "connector/spi.h"
+#include "connectors/ocs/metadata_cache.h"
 #include "connectors/ocs/pushdown_history.h"
 #include "connectors/ocs/selectivity_analyzer.h"
 #include "connectors/ocs/split_dispatcher.h"
@@ -96,6 +97,12 @@ struct OcsConnectorConfig {
   // Byte budget of the fallback range cache (partial-result retention;
   // only used when dispatch.fallback_chunk_bytes > 0).
   uint64_t fallback_range_cache_bytes = 32ull << 20;
+  // Byte budget of the split-planning metadata cache (0 disables): per-
+  // object statistics descriptors fetched via the DescribeObject RPC and
+  // revalidated against object versions. When enabled, GetSplits prunes
+  // splits whose stats prove the pushed filter unsatisfiable before any
+  // data RPC is issued, and hints surviving row groups (DESIGN.md §13).
+  uint64_t metadata_cache_bytes = 0;
 };
 
 // One cached split result: the decoded table one (object, plan
@@ -174,6 +181,10 @@ class OcsConnector final : public connector::Connector {
               .shards = 8,
               .metric_prefix = "ocs.fallback_range_cache"});
     }
+    if (config_.metadata_cache_bytes > 0) {
+      metadata_cache_ =
+          std::make_shared<MetadataCache>(config_.metadata_cache_bytes);
+    }
   }
 
   std::string id() const override { return id_; }
@@ -181,8 +192,9 @@ class OcsConnector final : public connector::Connector {
   Result<connector::TableHandle> GetTableHandle(
       const std::string& schema_name, const std::string& table) override;
 
-  Result<std::vector<connector::Split>> GetSplits(
-      const connector::TableHandle& table) override;
+  Result<connector::SplitPlan> GetSplits(
+      const connector::TableHandle& table,
+      const connector::ScanSpec& spec) override;
 
   connector::PushdownCapabilities capabilities() const override {
     connector::PushdownCapabilities caps;
@@ -217,6 +229,11 @@ class OcsConnector final : public connector::Connector {
     return fallback_range_cache_;
   }
 
+  // The split-planning metadata cache (nullptr when disabled).
+  const std::shared_ptr<MetadataCache>& metadata_cache() const {
+    return metadata_cache_;
+  }
+
  private:
   // Engine-side degradation path: fetch the raw object through the
   // frontend (chunked when fallback_chunk_bytes > 0, with received ranges
@@ -238,6 +255,7 @@ class OcsConnector final : public connector::Connector {
   // calls on worker threads.
   std::shared_ptr<SplitResultCache> split_result_cache_;
   std::shared_ptr<FallbackRangeCache> fallback_range_cache_;
+  std::shared_ptr<MetadataCache> metadata_cache_;
 };
 
 }  // namespace pocs::connectors

@@ -63,6 +63,10 @@ Result<Plan> TranslateScanSpec(const TableHandle& table, const Split& split,
   read->object = split.object;
   read->base_schema = table.info.schema;
   read->read_columns = spec.columns;
+  // Planner row-group hint from stats-based split pruning (empty = scan
+  // all); storage honors it only while hint_version matches the object.
+  read->row_group_hint = split.row_groups;
+  read->hint_version = split.stats_version;
 
   std::unique_ptr<Rel> chain = std::move(read);
   POCS_ASSIGN_OR_RETURN(SchemaPtr current, substrait::OutputSchema(*chain));

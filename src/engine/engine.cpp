@@ -149,9 +149,18 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql,
   if (!stream_schema) stream_schema = scan->output_schema;
 
   // ---- split generation ------------------------------------------------------
-  POCS_ASSIGN_OR_RETURN(std::vector<connector::Split> splits,
-                        conn->GetSplits(table));
+  // Runs after pushdown negotiation so the connector can prune splits
+  // against the accepted predicates (stats-based, zero data RPCs).
+  POCS_ASSIGN_OR_RETURN(connector::SplitPlan split_plan,
+                        conn->GetSplits(table, scan->scan_spec));
+  std::vector<connector::Split> splits = std::move(split_plan.splits);
   metrics.splits = splits.size();
+  metrics.splits_planned = split_plan.splits_planned;
+  metrics.splits_pruned = split_plan.splits_pruned;
+  metrics.metadata_cache_hits = split_plan.metadata_cache_hits;
+  metrics.metadata_cache_misses = split_plan.metadata_cache_misses;
+  metrics.metadata_cache_stale = split_plan.metadata_cache_stale;
+  metrics.metadata_cache_errors = split_plan.metadata_cache_errors;
 
   // ---- per-split execution (parallel, real work) -----------------------------
   std::vector<SplitOutput> outputs(splits.size());
@@ -261,6 +270,7 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql,
     metrics.fallbacks += out.stats.fallbacks;
     metrics.failed_splits += out.stats.failed_dispatches;
     metrics.row_groups_lazy_skipped += out.stats.row_groups_lazy_skipped;
+    metrics.row_groups_hint_skipped += out.stats.row_groups_hint_skipped;
     metrics.cache_hits += out.stats.cache_hits;
     metrics.cache_misses += out.stats.cache_misses;
     metrics.cache_bytes_saved += out.stats.cache_bytes_saved;
@@ -433,12 +443,19 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql,
     qs.bytes_from_storage = metrics.bytes_from_storage;
     qs.bytes_to_storage = metrics.bytes_to_storage;
     qs.splits = metrics.splits;
+    qs.splits_planned = metrics.splits_planned;
+    qs.splits_pruned = metrics.splits_pruned;
+    qs.metadata_cache_hits = metrics.metadata_cache_hits;
+    qs.metadata_cache_misses = metrics.metadata_cache_misses;
+    qs.metadata_cache_stale = metrics.metadata_cache_stale;
+    qs.metadata_cache_errors = metrics.metadata_cache_errors;
     qs.row_groups_total = metrics.row_groups_total;
     qs.row_groups_skipped = metrics.row_groups_skipped;
     qs.retries = metrics.retries;
     qs.fallbacks = metrics.fallbacks;
     qs.failed_splits = metrics.failed_splits;
     qs.row_groups_lazy_skipped = metrics.row_groups_lazy_skipped;
+    qs.row_groups_hint_skipped = metrics.row_groups_hint_skipped;
     qs.cache_hits = metrics.cache_hits;
     qs.cache_misses = metrics.cache_misses;
     qs.cache_bytes_saved = metrics.cache_bytes_saved;

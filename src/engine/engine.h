@@ -65,6 +65,15 @@ struct QueryMetrics {
   // -- auxiliary -------------------------------------------------------------
   double storage_compute_seconds = 0;  // Σ scaled in-storage execution
   uint64_t splits = 0;
+  // Split planning: candidates vs stats-pruned (splits = planned −
+  // pruned), and the planner metadata cache's outcome counts
+  // (definitions in connector::SplitPlan).
+  uint64_t splits_planned = 0;
+  uint64_t splits_pruned = 0;
+  uint64_t metadata_cache_hits = 0;
+  uint64_t metadata_cache_misses = 0;
+  uint64_t metadata_cache_stale = 0;
+  uint64_t metadata_cache_errors = 0;
   uint64_t row_groups_total = 0;    // chunks considered across splits
   uint64_t row_groups_skipped = 0;  // pruned via min/max statistics
   // Degradation accounting: retries spent dispatching to storage, splits
@@ -75,6 +84,7 @@ struct QueryMetrics {
   // Multi-level cache accounting, summed across splits (definitions in
   // connector::PageSourceStats).
   uint64_t row_groups_lazy_skipped = 0;
+  uint64_t row_groups_hint_skipped = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_bytes_saved = 0;

@@ -1,0 +1,100 @@
+#include "objectstore/describe.h"
+
+#include "format/parquet_lite.h"
+
+namespace pocs::objectstore {
+
+namespace {
+
+// Flat per-stats charge covering the Datum pair, counters, and vector
+// bookkeeping. Stats are fixed-size for the numeric types the workloads
+// use; an exact accounting is not worth chasing for an LRU budget.
+constexpr size_t kStatsCharge = 96;
+
+}  // namespace
+
+size_t ObjectDescriptor::ByteSize() const {
+  size_t bytes = sizeof(ObjectDescriptor);
+  for (const std::string& c : columns) bytes += c.size() + sizeof(std::string);
+  bytes += column_stats.size() * kStatsCharge;
+  for (const RowGroupStats& g : row_groups) {
+    bytes += sizeof(RowGroupStats) + g.column_stats.size() * kStatsCharge;
+  }
+  return bytes;
+}
+
+Result<ObjectDescriptor> BuildObjectDescriptor(const ObjectStore& store,
+                                               const std::string& bucket,
+                                               const std::string& key) {
+  POCS_ASSIGN_OR_RETURN(VersionedObject object,
+                        store.GetVersioned(bucket, key));
+  POCS_ASSIGN_OR_RETURN(
+      format::FileMeta meta,
+      format::ReadFooter(ByteSpan(object.data->data(), object.data->size())));
+  ObjectDescriptor desc;
+  desc.version = object.version;
+  desc.size = object.data->size();
+  desc.num_rows = meta.num_rows;
+  for (size_t i = 0; i < meta.schema->num_fields(); ++i) {
+    desc.columns.push_back(meta.schema->field(i).name);
+  }
+  desc.column_stats = meta.column_stats;
+  for (const format::RowGroupMeta& group : meta.row_groups) {
+    RowGroupStats stats;
+    stats.num_rows = group.num_rows;
+    for (const format::ChunkMeta& chunk : group.chunks) {
+      stats.column_stats.push_back(chunk.stats);
+    }
+    desc.row_groups.push_back(std::move(stats));
+  }
+  return desc;
+}
+
+void EncodeObjectDescriptor(const ObjectDescriptor& desc, BufferWriter* out) {
+  out->WriteVarint(desc.version);
+  out->WriteVarint(desc.size);
+  out->WriteVarint(desc.num_rows);
+  out->WriteVarint(desc.columns.size());
+  for (const std::string& c : desc.columns) out->WriteString(c);
+  out->WriteVarint(desc.column_stats.size());
+  for (const format::ColumnStats& s : desc.column_stats) s.Serialize(out);
+  out->WriteVarint(desc.row_groups.size());
+  for (const RowGroupStats& g : desc.row_groups) {
+    out->WriteVarint(g.num_rows);
+    out->WriteVarint(g.column_stats.size());
+    for (const format::ColumnStats& s : g.column_stats) s.Serialize(out);
+  }
+}
+
+Result<ObjectDescriptor> DecodeObjectDescriptor(BufferReader* in) {
+  ObjectDescriptor desc;
+  POCS_ASSIGN_OR_RETURN(desc.version, in->ReadVarint());
+  POCS_ASSIGN_OR_RETURN(desc.size, in->ReadVarint());
+  POCS_ASSIGN_OR_RETURN(desc.num_rows, in->ReadVarint());
+  POCS_ASSIGN_OR_RETURN(uint64_t n_cols, in->ReadVarint());
+  for (uint64_t i = 0; i < n_cols; ++i) {
+    POCS_ASSIGN_OR_RETURN(std::string c, in->ReadString());
+    desc.columns.push_back(std::move(c));
+  }
+  POCS_ASSIGN_OR_RETURN(uint64_t n_stats, in->ReadVarint());
+  for (uint64_t i = 0; i < n_stats; ++i) {
+    POCS_ASSIGN_OR_RETURN(format::ColumnStats s,
+                          format::ColumnStats::Deserialize(in));
+    desc.column_stats.push_back(std::move(s));
+  }
+  POCS_ASSIGN_OR_RETURN(uint64_t n_groups, in->ReadVarint());
+  for (uint64_t i = 0; i < n_groups; ++i) {
+    RowGroupStats group;
+    POCS_ASSIGN_OR_RETURN(group.num_rows, in->ReadVarint());
+    POCS_ASSIGN_OR_RETURN(uint64_t n, in->ReadVarint());
+    for (uint64_t j = 0; j < n; ++j) {
+      POCS_ASSIGN_OR_RETURN(format::ColumnStats s,
+                            format::ColumnStats::Deserialize(in));
+      group.column_stats.push_back(std::move(s));
+    }
+    desc.row_groups.push_back(std::move(group));
+  }
+  return desc;
+}
+
+}  // namespace pocs::objectstore

@@ -1,0 +1,49 @@
+// Object statistics descriptor — the DescribeObject RPC payload.
+//
+// A descriptor is the planner-facing view of one Parquet-lite object:
+// its version (for cache invalidation), row counts, and the per-column
+// min/max/NDV statistics the writer already persists in the footer, at
+// both file and row-group granularity. The coordinator's metadata cache
+// stores these so split planning can prune objects and row groups with
+// zero data RPCs (DESIGN.md §13); the descriptor deliberately carries
+// no chunk offsets or object bytes — it is metadata only, and its wire
+// size is a small constant per column per group.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "format/stats.h"
+#include "objectstore/object_store.h"
+
+namespace pocs::objectstore {
+
+struct RowGroupStats {
+  uint64_t num_rows = 0;
+  std::vector<format::ColumnStats> column_stats;  // one per schema field
+};
+
+struct ObjectDescriptor {
+  uint64_t version = 0;  // ObjectStore version at Describe time
+  uint64_t size = 0;     // object bytes (as Stat would report)
+  uint64_t num_rows = 0;
+  std::vector<std::string> columns;               // schema field names
+  std::vector<format::ColumnStats> column_stats;  // file-level, per field
+  std::vector<RowGroupStats> row_groups;
+
+  // Approximate in-memory footprint, for LRU byte budgeting.
+  size_t ByteSize() const;
+};
+
+// Builds a descriptor by reading the object's footer from the local
+// store. Fails with the store's error if the object is missing, or
+// Corruption if it is not a Parquet-lite file.
+Result<ObjectDescriptor> BuildObjectDescriptor(const ObjectStore& store,
+                                               const std::string& bucket,
+                                               const std::string& key);
+
+// Wire helpers shared with tests.
+void EncodeObjectDescriptor(const ObjectDescriptor& desc, BufferWriter* out);
+Result<ObjectDescriptor> DecodeObjectDescriptor(BufferReader* in);
+
+}  // namespace pocs::objectstore

@@ -103,6 +103,18 @@ void RegisterStorageService(const std::shared_ptr<ObjectStore>& store,
     return std::move(out).Take();
   });
 
+  server->RegisterMethod("DescribeObject",
+                         [store](ByteSpan req) -> Result<Bytes> {
+    BufferReader in(req);
+    POCS_ASSIGN_OR_RETURN(std::string bucket, in.ReadString());
+    POCS_ASSIGN_OR_RETURN(std::string key, in.ReadString());
+    POCS_ASSIGN_OR_RETURN(ObjectDescriptor desc,
+                          BuildObjectDescriptor(*store, bucket, key));
+    BufferWriter out;
+    EncodeObjectDescriptor(desc, &out);
+    return std::move(out).Take();
+  });
+
   server->RegisterMethod("List", [store](ByteSpan req) -> Result<Bytes> {
     BufferReader in(req);
     POCS_ASSIGN_OR_RETURN(std::string bucket, in.ReadString());
@@ -197,6 +209,21 @@ Result<ObjectStat> StorageClient::Stat(const std::string& bucket,
   POCS_ASSIGN_OR_RETURN(stat.size, in.ReadVarint());
   POCS_ASSIGN_OR_RETURN(stat.version, in.ReadVarint());
   return stat;
+}
+
+Result<ObjectDescriptor> StorageClient::DescribeObject(
+    const std::string& bucket, const std::string& key, TransferInfo* info,
+    const rpc::CallOptions& options) const {
+  BufferWriter req;
+  req.WriteString(bucket);
+  req.WriteString(key);
+  rpc::CallResult call;
+  Status status = channel_.CallInto("DescribeObject", req.span(), options,
+                                    &call);
+  FillInfo(call, info);
+  POCS_RETURN_NOT_OK(status);
+  BufferReader in(call.response.data(), call.response.size());
+  return DecodeObjectDescriptor(&in);
 }
 
 Result<uint64_t> StorageClient::Size(const std::string& bucket,

@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "objectstore/describe.h"
 #include "objectstore/object_store.h"
 #include "objectstore/select.h"
 #include "rpc/rpc.h"
@@ -48,6 +49,14 @@ class StorageClient {
   Result<ObjectStat> Stat(const std::string& bucket, const std::string& key,
                           TransferInfo* info = nullptr,
                           const rpc::CallOptions& options = {}) const;
+  // Per-object statistics descriptor (footer min/max/NDV at file and
+  // row-group granularity, plus the version). Metadata-only like Stat:
+  // split planners feed their metadata cache from this and never touch
+  // data-path Get* during planning (DESIGN.md §13).
+  Result<ObjectDescriptor> DescribeObject(
+      const std::string& bucket, const std::string& key,
+      TransferInfo* info = nullptr,
+      const rpc::CallOptions& options = {}) const;
   Result<std::vector<std::string>> List(const std::string& bucket,
                                         const std::string& prefix = "") const;
   Status Put(const std::string& bucket, const std::string& key,

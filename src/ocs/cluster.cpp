@@ -50,6 +50,21 @@ OcsCluster::OcsCluster(std::shared_ptr<netsim::Network> net,
         });
   }
 
+  // DescribeObject is registered separately (not in the generic list):
+  // the stats RPC has its own fault switch so chaos can drop it while
+  // the data path stays healthy, proving stats are optimization-only.
+  frontend_server_->RegisterMethod(
+      "DescribeObject", [this](ByteSpan req) -> Result<Bytes> {
+        POCS_RETURN_NOT_OK(CheckFrontendUp());
+        if (describe_crashed()) {
+          return Status::Unavailable("ocs: stats service is down");
+        }
+        BufferReader in(req);
+        POCS_ASSIGN_OR_RETURN(std::string bucket, in.ReadString());
+        POCS_ASSIGN_OR_RETURN(std::string key, in.ReadString());
+        return Forward("DescribeObject", bucket, key, req);
+      });
+
   frontend_server_->RegisterMethod(
       "List", [this](ByteSpan req) -> Result<Bytes> {
         POCS_RETURN_NOT_OK(CheckFrontendUp());

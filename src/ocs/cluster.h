@@ -65,6 +65,17 @@ class OcsCluster {
     return frontend_crashed_.load(std::memory_order_relaxed);
   }
 
+  // Drop only the DescribeObject stats RPC (frontend otherwise healthy):
+  // the chaos `stats-drop` profile uses this to prove planning degrades
+  // to unpruned splits — stats are an optimization, never a correctness
+  // dependency (DESIGN.md §13.3).
+  void SetDescribeCrashed(bool crashed) {
+    describe_crashed_.store(crashed, std::memory_order_relaxed);
+  }
+  bool describe_crashed() const {
+    return describe_crashed_.load(std::memory_order_relaxed);
+  }
+
   // Total on-storage footprint across nodes.
   uint64_t TotalStoredBytes() const;
 
@@ -98,6 +109,7 @@ class OcsCluster {
   std::map<std::string, size_t> placement_ POCS_GUARDED_BY(placement_mu_);
   size_t next_node_ POCS_GUARDED_BY(placement_mu_) = 0;
   std::atomic<bool> frontend_crashed_{false};
+  std::atomic<bool> describe_crashed_{false};
 };
 
 }  // namespace pocs::ocs

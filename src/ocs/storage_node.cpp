@@ -21,11 +21,6 @@ using substrait::Rel;
 using substrait::RelKind;
 using substrait::ScalarFunc;
 
-namespace {
-
-// Collect conjunctive (field <cmp> literal) terms from a predicate for
-// statistics-based row-group pruning. Non-decomposable sub-expressions
-// are ignored (pruning stays conservative).
 void CollectPruningTerms(const Expression& expr,
                          const columnar::Schema& scan_schema,
                          std::vector<objectstore::SelectPredicate>* out) {
@@ -80,6 +75,8 @@ void CollectPruningTerms(const Expression& expr,
                   literal->literal});
 }
 
+namespace {
+
 // BatchSource over a local Parquet-lite object with projection,
 // statistics-based row-group pruning, a per-column decoded-chunk cache,
 // and a lazy-column fast path: predicate columns are decoded (or served
@@ -91,6 +88,7 @@ class ParquetObjectSource : public exec::BatchSource {
   ParquetObjectSource(std::shared_ptr<format::FileReader> reader,
                       std::vector<int> columns, columnar::SchemaPtr schema,
                       std::vector<objectstore::SelectPredicate> pruning,
+                      std::vector<uint32_t> row_group_hint,
                       OcsExecStats* stats, RowGroupCache* cache,
                       std::string object_id, uint64_t version)
       : reader_(std::move(reader)),
@@ -101,6 +99,13 @@ class ParquetObjectSource : public exec::BatchSource {
         cache_(cache),
         object_id_(std::move(object_id)),
         version_(version) {
+    // Version-validated by the caller: an empty hint means "scan all".
+    if (!row_group_hint.empty()) {
+      hinted_.assign(reader_->num_row_groups(), false);
+      for (uint32_t g : row_group_hint) {
+        if (g < hinted_.size()) hinted_[g] = true;
+      }
+    }
     // An empty projection means "all columns" (ReadRowGroup/ChunkBytes
     // semantics); expand so per-column fetches and byte accounting agree.
     if (columns_.empty()) {
@@ -119,6 +124,13 @@ class ParquetObjectSource : public exec::BatchSource {
   Result<RecordBatchPtr> Next() override {
     while (group_ < reader_->num_row_groups()) {
       const size_t g = group_++;
+      // Coordinator hint first: these groups were already proven
+      // non-matching at plan time, so they never reach the per-group
+      // stats check (no double counting with row_groups_skipped).
+      if (!hinted_.empty() && !hinted_[g]) {
+        ++stats_->row_groups_hint_skipped;
+        continue;
+      }
       bool may_match = true;
       for (const auto& pred : pruning_) {
         int idx = reader_->schema()->FieldIndex(pred.column);
@@ -227,6 +239,7 @@ class ParquetObjectSource : public exec::BatchSource {
   columnar::SchemaPtr schema_;
   columnar::SchemaPtr batch_schema_;
   std::vector<objectstore::SelectPredicate> pruning_;
+  std::vector<bool> hinted_;  // empty = no hint; else hinted_[g] = keep
   OcsExecStats* stats_;
   RowGroupCache* cache_;
   std::string object_id_;
@@ -274,12 +287,19 @@ Result<OcsResult> StorageNode::ExecutePlan(const substrait::Plan& plan) const {
     if (above_read && above_read->kind == RelKind::kFilter) {
       CollectPruningTerms(above_read->predicate, *scan_schema, &pruning);
     }
+    // Honor the planner's row-group hint only when it was computed from
+    // this exact object version; a hint from stale stats is discarded
+    // entirely (correctness never depends on the hint).
+    std::vector<uint32_t> hint;
+    if (!r.row_group_hint.empty() && r.hint_version == object.version) {
+      hint = r.row_group_hint;
+    }
     result.stats.row_groups_total += reader->num_row_groups();
     result.stats.object_version = object.version;
     return std::unique_ptr<exec::BatchSource>(std::make_unique<ParquetObjectSource>(
         std::move(reader), r.read_columns, std::move(scan_schema),
-        std::move(pruning), &result.stats, rowgroup_cache_.get(),
-        r.bucket + "/" + r.object, object.version));
+        std::move(pruning), std::move(hint), &result.stats,
+        rowgroup_cache_.get(), r.bucket + "/" + r.object, object.version));
   };
 
   exec::ExecStats exec_stats;
@@ -307,6 +327,8 @@ Result<OcsResult> StorageNode::ExecutePlan(const substrait::Plan& plan) const {
         reg.GetCounter("storage.row_groups_skipped");
     static auto& groups_lazy_skipped =
         reg.GetCounter("storage.row_groups_lazy_skipped");
+    static auto& groups_hint_skipped =
+        reg.GetCounter("storage.row_groups_hint_skipped");
     static auto& cache_saved_bytes =
         reg.GetCounter("storage.cache_bytes_saved");
     static auto& compute = reg.GetHistogram("storage.compute_seconds");
@@ -316,6 +338,7 @@ Result<OcsResult> StorageNode::ExecutePlan(const substrait::Plan& plan) const {
     media_bytes.Add(result.stats.object_bytes_read);
     groups_skipped.Add(result.stats.row_groups_skipped);
     groups_lazy_skipped.Add(result.stats.row_groups_lazy_skipped);
+    groups_hint_skipped.Add(result.stats.row_groups_hint_skipped);
     cache_saved_bytes.Add(result.stats.cache_bytes_saved);
     compute.Record(result.stats.storage_compute_seconds);
   }
@@ -366,6 +389,7 @@ void EncodeOcsResult(const OcsResult& result, BufferWriter* out) {
   out->WriteVarint(result.stats.row_groups_total);
   out->WriteVarint(result.stats.row_groups_skipped);
   out->WriteVarint(result.stats.row_groups_lazy_skipped);
+  out->WriteVarint(result.stats.row_groups_hint_skipped);
   out->WriteVarint(result.stats.cache_hits);
   out->WriteVarint(result.stats.cache_misses);
   out->WriteVarint(result.stats.cache_bytes_saved);
@@ -385,6 +409,8 @@ Result<OcsResult> DecodeOcsResult(BufferReader* in) {
   POCS_ASSIGN_OR_RETURN(result.stats.row_groups_total, in->ReadVarint());
   POCS_ASSIGN_OR_RETURN(result.stats.row_groups_skipped, in->ReadVarint());
   POCS_ASSIGN_OR_RETURN(result.stats.row_groups_lazy_skipped,
+                        in->ReadVarint());
+  POCS_ASSIGN_OR_RETURN(result.stats.row_groups_hint_skipped,
                         in->ReadVarint());
   POCS_ASSIGN_OR_RETURN(result.stats.cache_hits, in->ReadVarint());
   POCS_ASSIGN_OR_RETURN(result.stats.cache_misses, in->ReadVarint());

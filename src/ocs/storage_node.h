@@ -25,6 +25,7 @@
 #include "common/thread_pool.h"
 #include "exec/plan_executor.h"
 #include "objectstore/object_store.h"
+#include "objectstore/select.h"
 #include "rpc/rpc.h"
 #include "substrait/serialize.h"
 
@@ -71,6 +72,10 @@ struct OcsExecStats {
   // predicate columns, matched zero rows — remaining columns were never
   // materialized (the lazy-column fast path).
   uint64_t row_groups_lazy_skipped = 0;
+  // Row groups skipped on the coordinator's row-group hint (stats-based
+  // pruning at plan time, DESIGN.md §13). Only counted when the hint's
+  // version matched the object — a stale hint is ignored wholesale.
+  uint64_t row_groups_hint_skipped = 0;
   // Decoded row-group cache accounting for this plan.
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
@@ -165,5 +170,14 @@ class StorageNode {
 // responses verbatim).
 void EncodeOcsResult(const OcsResult& result, BufferWriter* out);
 Result<OcsResult> DecodeOcsResult(BufferReader* in);
+
+// Collect conjunctive `field <cmp> literal` terms from a predicate, for
+// statistics-based pruning against `scan_schema`. Non-decomposable
+// sub-expressions are ignored (pruning stays conservative). Shared with
+// the coordinator-side split pruner so plan-time and storage-time
+// pruning evaluate the exact same terms (DESIGN.md §13).
+void CollectPruningTerms(const substrait::Expression& expr,
+                         const columnar::Schema& scan_schema,
+                         std::vector<objectstore::SelectPredicate>* out);
 
 }  // namespace pocs::ocs

@@ -194,6 +194,8 @@ std::unique_ptr<Rel> CloneRel(const Rel& rel) {
   out->object = rel.object;
   out->base_schema = rel.base_schema;
   out->read_columns = rel.read_columns;
+  out->row_group_hint = rel.row_group_hint;
+  out->hint_version = rel.hint_version;
   out->predicate = rel.predicate;
   out->expressions = rel.expressions;
   out->output_names = rel.output_names;

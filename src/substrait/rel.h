@@ -42,6 +42,12 @@ struct Rel {
   std::string object;
   std::shared_ptr<const columnar::Schema> base_schema;
   std::vector<int> read_columns;  // projection at scan; empty = all
+  // Planner row-group hint: groups the coordinator's stats-based pruning
+  // kept (empty = no hint, scan all). Advisory — storage honors it only
+  // when hint_version matches the object's current version, so a hint
+  // computed from stale stats silently degrades to a full scan.
+  std::vector<uint32_t> row_group_hint;
+  uint64_t hint_version = 0;
 
   // -- kFilter
   Expression predicate;

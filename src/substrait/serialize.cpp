@@ -83,6 +83,9 @@ void WriteRel(const Rel& rel, BufferWriter* out) {
       columnar::ipc::WriteSchema(*rel.base_schema, out);
       out->WriteVarint(rel.read_columns.size());
       for (int c : rel.read_columns) out->WriteSVarint(c);
+      out->WriteVarint(rel.hint_version);
+      out->WriteVarint(rel.row_group_hint.size());
+      for (uint32_t g : rel.row_group_hint) out->WriteVarint(g);
       break;
     case RelKind::kFilter:
       WriteExpression(rel.predicate, out);
@@ -141,6 +144,15 @@ Result<std::unique_ptr<Rel>> ReadRel(BufferReader* in, int depth) {
       for (uint64_t i = 0; i < n; ++i) {
         POCS_ASSIGN_OR_RETURN(int64_t c, in->ReadSVarint());
         rel->read_columns.push_back(static_cast<int>(c));
+      }
+      POCS_ASSIGN_OR_RETURN(rel->hint_version, in->ReadVarint());
+      POCS_ASSIGN_OR_RETURN(uint64_t n_hint, in->ReadVarint());
+      if (n_hint > 1000000) {
+        return Status::Corruption("rel: too many hinted row groups");
+      }
+      for (uint64_t i = 0; i < n_hint; ++i) {
+        POCS_ASSIGN_OR_RETURN(uint64_t g, in->ReadVarint());
+        rel->row_group_hint.push_back(static_cast<uint32_t>(g));
       }
       break;
     }

@@ -8,7 +8,7 @@ namespace pocs::workloads {
 
 std::vector<std::string> ChaosProfiles() {
   return {"crash-storage", "slow-link", "partition", "flaky-rpc",
-          "flaky-rpc-cached"};
+          "flaky-rpc-cached", "stats-drop"};
 }
 
 Result<ChaosExpectation> ChaosExpectationFor(const std::string& profile) {
@@ -23,6 +23,9 @@ Result<ChaosExpectation> ChaosExpectationFor(const std::string& profile) {
   if (profile == "flaky-rpc-cached") {
     return ChaosExpectation{.expect_fallbacks = true,
                             .expect_cache_effects = true};
+  }
+  if (profile == "stats-drop") {
+    return ChaosExpectation{.expect_stats_unavailable = true};
   }
   return Status::InvalidArgument("unknown chaos profile: " + profile);
 }
@@ -64,6 +67,11 @@ Result<TestbedConfig> MakeChaosTestbedConfig(const ChaosConfig& config) {
     d.fallback_call.max_attempts = 6;
     d.fallback_chunk_bytes = 32 << 10;
     bed.ocs_connector.split_result_cache_bytes = 64ull << 20;
+  } else if (config.profile == "stats-drop") {
+    // Split pruning is armed (metadata cache on) but ApplyChaos takes the
+    // stats RPC away: every DescribeObject fails, planning must degrade
+    // to the unpruned path and the dispatch layer never sees a fault.
+    bed.ocs_connector.metadata_cache_bytes = 8ull << 20;
   } else {
     return Status::InvalidArgument("unknown chaos profile: " + config.profile);
   }
@@ -79,6 +87,11 @@ Status ApplyChaos(Testbed* bed, const ChaosConfig& config) {
     for (size_t i = 0; i < bed->cluster().num_storage_nodes(); ++i) {
       bed->cluster().mutable_storage_node(i).faults().exec_crashed.store(true);
     }
+    return Status::OK();
+  }
+  if (config.profile == "stats-drop") {
+    // Only the stats service goes down; data-path RPCs stay healthy.
+    bed->cluster().SetDescribeCrashed(true);
     return Status::OK();
   }
   if (config.profile == "flaky-rpc-cached") {

@@ -37,6 +37,10 @@ struct ChaosExpectation {
   // retention must keep bytes_refetched_on_retry strictly below the
   // bytes moved, and a repeat scan must be served from the split cache.
   bool expect_cache_effects = false;
+  // The planner metadata cache is enabled but the stats RPC is down:
+  // split planning must degrade to the unpruned path (splits_pruned == 0,
+  // metadata_cache_errors > 0) and never touch result rows.
+  bool expect_stats_unavailable = false;
 };
 Result<ChaosExpectation> ChaosExpectationFor(const std::string& profile);
 

@@ -77,4 +77,14 @@ std::string LaghosQuery(const std::string& table, int64_t limit) {
          "GROUP BY vertex_id ORDER BY e LIMIT " + std::to_string(limit);
 }
 
+std::string LaghosSelectiveQuery(const std::string& table, int64_t max_vertex,
+                                 int64_t limit) {
+  return "SELECT min(vertex_id) AS vid, min(x), min(y), min(z), avg(e) AS e "
+         "FROM " + table +
+         " WHERE x BETWEEN 0.8 AND 3.2 AND y BETWEEN 0.8 AND 3.2 "
+         "AND z BETWEEN 0.8 AND 3.2 "
+         "AND vertex_id < " + std::to_string(max_vertex) +
+         " GROUP BY vertex_id ORDER BY e LIMIT " + std::to_string(limit);
+}
+
 }  // namespace pocs::workloads

@@ -40,4 +40,15 @@ Result<GeneratedDataset> GenerateLaghos(const LaghosConfig& config);
 std::string LaghosQuery(const std::string& table = "laghos",
                         int64_t limit = 100);
 
+// LaghosQuery restricted to a vertex_id prefix. Vertex ranges are
+// disjoint and monotone across files (spatial partitioning), so
+// `vertex_id < max_vertex` makes trailing files statically prunable
+// from their footer min/max statistics alone — the selective workload
+// behind coordinator-side split pruning (DESIGN.md §13). With the
+// default LaghosConfig each file covers 2048 vertices, so
+// `max_vertex = 2048` keeps exactly one of the eight files.
+std::string LaghosSelectiveQuery(const std::string& table = "laghos",
+                                 int64_t max_vertex = 2048,
+                                 int64_t limit = 100);
+
 }  // namespace pocs::workloads

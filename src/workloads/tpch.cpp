@@ -136,4 +136,12 @@ std::string TpchQ6(const std::string& table) {
          "AND quantity < 24";
 }
 
+std::string TpchSelectiveQuery(const std::string& table,
+                               int64_t max_orderkey) {
+  return "SELECT SUM(extendedprice * discount) AS revenue "
+         "FROM " + table +
+         " WHERE discount BETWEEN 0.01 AND 0.09 "
+         "AND orderkey <= " + std::to_string(max_orderkey);
+}
+
 }  // namespace pocs::workloads

@@ -38,4 +38,12 @@ std::string TpchQ1(const std::string& table = "lineitem");
 // everything" regime with a "filter crushes everything" one.
 std::string TpchQ6(const std::string& table = "lineitem");
 
+// TPC-H Q6 restricted to an orderkey prefix. orderkey is assigned
+// monotonically across files, so `orderkey <= max_orderkey` makes
+// trailing files — and, within the boundary file, trailing row groups —
+// prunable from footer statistics (coordinator split pruning +
+// row-group hints, DESIGN.md §13).
+std::string TpchSelectiveQuery(const std::string& table = "lineitem",
+                               int64_t max_orderkey = 1000);
+
 }  // namespace pocs::workloads

@@ -63,6 +63,9 @@ struct QueryFingerprint {
   uint64_t cache_hits = 0;
   uint64_t cache_bytes_saved = 0;
   uint64_t bytes_refetched_on_retry = 0;
+  uint64_t splits_planned = 0;
+  uint64_t splits_pruned = 0;
+  uint64_t metadata_cache_errors = 0;
   bool operator==(const QueryFingerprint&) const = default;
 };
 
@@ -87,7 +90,10 @@ Result<std::map<std::string, QueryFingerprint>> RunAll(Testbed* bed) {
                                  result.metrics.failed_splits,
                                  result.metrics.cache_hits,
                                  result.metrics.cache_bytes_saved,
-                                 result.metrics.bytes_refetched_on_retry};
+                                 result.metrics.bytes_refetched_on_retry,
+                                 result.metrics.splits_planned,
+                                 result.metrics.splits_pruned,
+                                 result.metrics.metadata_cache_errors};
   }
   return out;
 }
@@ -127,6 +133,24 @@ TEST(ChaosMatrix, FaultedQueriesMatchReferenceWithExpectedSignature) {
       EXPECT_LT(dirty.bytes_refetched_on_retry, dirty.bytes_from_storage)
           << name;
     }
+    if (expectation->expect_stats_unavailable) {
+      // Stats service down → planning degrades to the unpruned path:
+      // every candidate split is planned, none pruned, and the exact
+      // reference data movement is reproduced.
+      EXPECT_EQ(dirty.splits_pruned, 0u) << name;
+      EXPECT_EQ(dirty.splits_planned, clean.splits_planned) << name;
+      EXPECT_EQ(dirty.bytes_from_storage, clean.bytes_from_storage) << name;
+      EXPECT_EQ(dirty.fallbacks, 0u) << name << ": a stats outage must "
+                                     << "never reach the data path";
+    }
+  }
+  if (expectation->expect_stats_unavailable) {
+    uint64_t total_errors = 0;
+    for (const auto& [name, dirty] : *faulted) {
+      total_errors += dirty.metadata_cache_errors;
+    }
+    EXPECT_GT(total_errors, 0u)
+        << "stats-drop never exercised the metadata cache error path";
   }
   // The reference run itself must be fault-free.
   for (const auto& [name, clean] : *reference) {
@@ -188,6 +212,9 @@ TEST(ChaosMatrix, DeterministicReplay) {
     EXPECT_EQ(replay.cache_bytes_saved, fp.cache_bytes_saved) << name;
     EXPECT_EQ(replay.bytes_refetched_on_retry, fp.bytes_refetched_on_retry)
         << name;
+    EXPECT_EQ(replay.splits_planned, fp.splits_planned) << name;
+    EXPECT_EQ(replay.splits_pruned, fp.splits_pruned) << name;
+    EXPECT_EQ(replay.metadata_cache_errors, fp.metadata_cache_errors) << name;
   }
 }
 

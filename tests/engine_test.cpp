@@ -240,8 +240,8 @@ class MockConnector final : public connector::Connector {
                                                 const std::string&) override {
     return Status::Unimplemented("mock");
   }
-  Result<std::vector<connector::Split>> GetSplits(
-      const connector::TableHandle&) override {
+  Result<connector::SplitPlan> GetSplits(const connector::TableHandle&,
+                                         const connector::ScanSpec&) override {
     return Status::Unimplemented("mock");
   }
   connector::PushdownCapabilities capabilities() const override { return {}; }

@@ -207,6 +207,45 @@ class CheckBenchTest(unittest.TestCase):
         self.assertEqual(result.returncode, 1)
         self.assertIn("no candidate metric matches", result.stdout)
 
+    # The PR 8 perf-smoke gates: split pruning must actually prune, and
+    # the planner metadata cache must actually hit on the warm repeat.
+    PRUNING = {
+        "laghos.selective.splits_pruned": ("exact", 1),
+        "process.connector.metadata_cache.hit": ("exact", 2),
+    }
+
+    def test_pruning_gates_pass_when_positive(self):
+        metrics = dict(self.BASE, **self.PRUNING)
+        base = self.write("base.json", make_report(metrics))
+        cand = self.write("cand.json", make_report(metrics))
+        result = self.run_check(
+            cand, base,
+            "--require-nonzero-glob", "laghos.selective.splits_pruned",
+            "--require-nonzero-glob", "process.connector.metadata_cache.hit")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_pruning_gate_fails_when_pruning_stops(self):
+        metrics = dict(self.BASE, **self.PRUNING)
+        metrics["laghos.selective.splits_pruned"] = ("exact", 0)
+        base = self.write("base.json", make_report(metrics))
+        cand = self.write("cand.json", make_report(metrics))
+        result = self.run_check(
+            cand, base,
+            "--require-nonzero-glob", "laghos.selective.splits_pruned")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("laghos.selective.splits_pruned", result.stdout)
+
+    def test_pruning_gate_fails_when_cache_never_hits(self):
+        metrics = dict(self.BASE, **self.PRUNING)
+        metrics["process.connector.metadata_cache.hit"] = ("exact", 0)
+        base = self.write("base.json", make_report(metrics))
+        cand = self.write("cand.json", make_report(metrics))
+        result = self.run_check(
+            cand, base,
+            "--require-nonzero-glob", "process.connector.metadata_cache.hit")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("process.connector.metadata_cache.hit", result.stdout)
+
     def test_unreadable_candidate_is_hard_error(self):
         base = self.write("base.json", make_report(self.BASE))
         cand = self.write("cand.json", "{not json")
