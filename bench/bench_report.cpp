@@ -1,9 +1,11 @@
 // Unified bench driver for CI: runs a curated subset of the paper's
 // experiments (Fig. 5 progressive pushdown on TPC-H Q1 and Laghos, the
 // Table 3 stage breakdown, an S3-Select-path query, a warm-cache repeat
-// scan through the connector split-result cache, and a selective scan
-// through the split-pruning metadata cache) and emits one
-// schema-versioned JSON report — BENCH_PR8.json by default — that
+// scan through the connector split-result cache, a selective scan
+// through the split-pruning metadata cache, and the multi-table join —
+// dimension filter + fact scan + group-by — with and without the
+// join-key bloom / storage-side partial aggregation) and emits one
+// schema-versioned JSON report — BENCH_PR9.json by default — that
 // tools/check_bench.py diffs against a committed baseline.
 //
 // `--smoke` shrinks every dataset to CI size (seconds, not minutes);
@@ -27,11 +29,47 @@ using namespace pocs;
 
 namespace {
 
+// Order-insensitive 32-bit result fingerprint: rows canonicalized
+// (%.9g doubles), sorted, FNV-1a hashed and folded. Used to assert the
+// pushed join plan returns exactly the engine-only plan's answer.
+uint32_t ResultFingerprint(const columnar::RecordBatch& batch) {
+  std::vector<std::string> rows;
+  for (size_t r = 0; r < batch.num_rows(); ++r) {
+    std::string row;
+    for (size_t c = 0; c < batch.num_columns(); ++c) {
+      if (c) row += "|";
+      const auto& col = *batch.column(c);
+      if (col.IsNull(r)) {
+        row += "NULL";
+      } else if (col.type() == columnar::TypeKind::kFloat64) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.9g", col.GetFloat64(r));
+        row += buf;
+      } else {
+        row += col.GetDatum(r).ToString();
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end());
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::string& row : rows) {
+    for (char ch : row) {
+      h ^= static_cast<unsigned char>(ch);
+      h *= 0x100000001b3ull;
+    }
+    h ^= '\n';
+    h *= 0x100000001b3ull;
+  }
+  return static_cast<uint32_t>((h ^ (h >> 32)) & 0xffffffffull);
+}
+
 // Runs one catalog and appends the per-query metrics under `prefix.`.
 // Returns false (after printing the error) when the query fails.
 bool RunAndRecord(workloads::Testbed& testbed, const std::string& sql,
                   const std::string& catalog, const std::string& prefix,
-                  bench::BenchReport* report) {
+                  bench::BenchReport* report,
+                  engine::QueryResult* out = nullptr) {
   auto result = testbed.Run(sql, catalog);
   if (!result.ok()) {
     std::fprintf(stderr, "bench_report: %s via %s failed: %s\n", sql.c_str(),
@@ -58,9 +96,18 @@ bool RunAndRecord(workloads::Testbed& testbed, const std::string& sql,
                    static_cast<double>(m.cache_bytes_saved), "bytes");
   report->AddExact(prefix + ".bytes_refetched_on_retry",
                    static_cast<double>(m.bytes_refetched_on_retry), "bytes");
+  report->AddExact(prefix + ".pushdown.bloom_pushed",
+                   static_cast<double>(m.bloom_pushed));
+  report->AddExact(prefix + ".pushdown.bloom_rows_pruned",
+                   static_cast<double>(m.bloom_rows_pruned), "rows");
+  report->AddExact(prefix + ".pushdown.partial_agg_accepted",
+                   static_cast<double>(m.partial_agg_accepted));
+  report->AddExact(prefix + ".pushdown.partial_agg_merges",
+                   static_cast<double>(m.partial_agg_merges), "rows");
   report->AddTiming(prefix + ".sim_seconds", m.total);
   std::printf("%-28s %14.4f s %12.1f KB moved\n", prefix.c_str(), m.total,
               m.bytes_from_storage / 1024.0);
+  if (out) *out = std::move(*result);
   return true;
 }
 
@@ -98,7 +145,7 @@ void RecordCollectorTotals(workloads::Testbed& testbed,
 
 int main(int argc, char** argv) {
   bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
-  if (args.json_path.empty()) args.json_path = "BENCH_PR8.json";
+  if (args.json_path.empty()) args.json_path = "BENCH_PR9.json";
   const size_t rows_per_file =
       (args.smoke ? (1 << 12) : (1 << 16)) * args.scale;
 
@@ -128,6 +175,55 @@ int main(int argc, char** argv) {
     if (!RunAndRecord(testbed, workloads::TpchQ1(), "hive", "tpch.s3select",
                       &report)) {
       return 1;
+    }
+
+    // --- Multi-table join: bloom semi-join + storage partial agg ---------
+    // The same join twice: "ocs_join_engine" disables the join-key bloom
+    // and aggregation pushdown (engine-side single plan), "ocs" takes
+    // both. The pushed run must return the identical answer while moving
+    // strictly fewer bytes (DESIGN.md §14).
+    {
+      auto dim = workloads::GenerateSupplier(workloads::SupplierConfig{});
+      if (!dim.ok() || !testbed.Ingest(std::move(*dim)).ok()) {
+        std::fprintf(stderr, "bench_report: supplier ingest failed\n");
+        return 1;
+      }
+      connectors::OcsConnectorConfig engine_only;
+      engine_only.pushdown_aggregation = false;
+      engine_only.pushdown_join_bloom = false;
+      testbed.RegisterOcsCatalog("ocs_join_engine", engine_only);
+      const std::string join_sql = workloads::TpchJoinQuery();
+      engine::QueryResult ref;
+      engine::QueryResult pushed;
+      if (!RunAndRecord(testbed, join_sql, "ocs_join_engine", "tpch.join",
+                        &report, &ref) ||
+          !RunAndRecord(testbed, join_sql, "ocs", "tpch.join_pushdown",
+                        &report, &pushed)) {
+        return 1;
+      }
+      const uint32_t ref_fp = ResultFingerprint(*ref.table);
+      const uint32_t pushed_fp = ResultFingerprint(*pushed.table);
+      report.AddExact("tpch.join.result_fingerprint",
+                      static_cast<double>(ref_fp));
+      report.AddExact("tpch.join_pushdown.result_fingerprint",
+                      static_cast<double>(pushed_fp));
+      if (pushed_fp != ref_fp) {
+        std::fprintf(stderr,
+                     "bench_report: pushed join answer diverged from the "
+                     "engine-only plan (%u vs %u)\n",
+                     pushed_fp, ref_fp);
+        return 1;
+      }
+      if (pushed.metrics.bytes_from_storage >= ref.metrics.bytes_from_storage) {
+        std::fprintf(stderr,
+                     "bench_report: pushed join moved %llu bytes, engine-only "
+                     "moved %llu — pushdown must move strictly fewer\n",
+                     static_cast<unsigned long long>(
+                         pushed.metrics.bytes_from_storage),
+                     static_cast<unsigned long long>(
+                         ref.metrics.bytes_from_storage));
+        return 1;
+      }
     }
     RecordCollectorTotals(testbed, "tpch.listener", &report);
   }

@@ -1,0 +1,70 @@
+// Seeded blocked-free bloom filter over 64-bit keys, used for semi-join
+// reduction: the engine builds one over a dimension table's join keys and
+// attaches it to the fact-table scan so storage nodes drop non-matching
+// rows before any bytes cross the network (DESIGN.md §14). Double
+// hashing (Kirsch–Mitzenmacher) over the splitmix64 mixer keeps the
+// filter deterministic for a given (seed, insertion set) regardless of
+// insertion order, so pushed plans — and therefore plan fingerprints —
+// are reproducible across runs.
+//
+// No false negatives, ever: a key that was Add()ed always passes
+// MayContain(). False positives are expected and harmless — every
+// consumer re-probes an exact hash table engine-side.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace pocs {
+
+class BloomFilter {
+ public:
+  // `num_bits` is rounded up to a multiple of 64 (min one word).
+  BloomFilter(uint64_t num_bits, uint32_t num_hashes, uint64_t seed)
+      : words_((num_bits + 63) / 64 == 0 ? 1 : (num_bits + 63) / 64, 0),
+        num_hashes_(num_hashes == 0 ? 1 : num_hashes),
+        seed_(seed) {}
+
+  // Reconstruct from serialized state (e.g. a pushed plan's bloom term).
+  BloomFilter(std::vector<uint64_t> words, uint32_t num_hashes, uint64_t seed)
+      : words_(std::move(words)),
+        num_hashes_(num_hashes == 0 ? 1 : num_hashes),
+        seed_(seed) {
+    POCS_CHECK(!words_.empty());
+  }
+
+  void Add(uint64_t key) {
+    uint64_t h1 = Mix64(key ^ seed_);
+    uint64_t h2 = Mix64(h1 ^ 0x9e3779b97f4a7c15ULL) | 1;  // odd stride
+    const uint64_t n_bits = words_.size() * 64;
+    for (uint32_t i = 0; i < num_hashes_; ++i) {
+      const uint64_t bit = (h1 + i * h2) % n_bits;
+      words_[bit / 64] |= uint64_t{1} << (bit % 64);
+    }
+  }
+
+  bool MayContain(uint64_t key) const {
+    uint64_t h1 = Mix64(key ^ seed_);
+    uint64_t h2 = Mix64(h1 ^ 0x9e3779b97f4a7c15ULL) | 1;
+    const uint64_t n_bits = words_.size() * 64;
+    for (uint32_t i = 0; i < num_hashes_; ++i) {
+      const uint64_t bit = (h1 + i * h2) % n_bits;
+      if ((words_[bit / 64] & (uint64_t{1} << (bit % 64))) == 0) return false;
+    }
+    return true;
+  }
+
+  const std::vector<uint64_t>& words() const { return words_; }
+  uint32_t num_hashes() const { return num_hashes_; }
+  uint64_t seed() const { return seed_; }
+
+ private:
+  std::vector<uint64_t> words_;
+  uint32_t num_hashes_;
+  uint64_t seed_;
+};
+
+}  // namespace pocs

@@ -33,6 +33,11 @@ void QueryStatsCollector::Accumulate(const QueryEvent& event, Totals* t) {
   t->cache_misses += s.cache_misses;
   t->cache_bytes_saved += s.cache_bytes_saved;
   t->bytes_refetched_on_retry += s.bytes_refetched_on_retry;
+  t->partial_agg_accepted += s.partial_agg_accepted;
+  t->partial_agg_rejected += s.partial_agg_rejected;
+  t->bloom_pushed += s.bloom_pushed;
+  t->bloom_rows_pruned += s.bloom_rows_pruned;
+  t->partial_agg_merges += s.partial_agg_merges;
   t->wall_seconds += s.wall_seconds;
   t->simulated_seconds += s.simulated_seconds;
   t->queue_wait_seconds += s.queue_wait_seconds;
@@ -63,6 +68,11 @@ void QueryStatsCollector::QueryCompleted(const QueryEvent& event) {
   static auto& cache_saved = registry.GetCounter("engine.cache_bytes_saved");
   static auto& refetched =
       registry.GetCounter("engine.bytes_refetched_on_retry");
+  static auto& pagg_accepted = registry.GetCounter("engine.partial_agg_accepted");
+  static auto& pagg_rejected = registry.GetCounter("engine.partial_agg_rejected");
+  static auto& bloom_pushed = registry.GetCounter("engine.bloom_pushed");
+  static auto& bloom_pruned = registry.GetCounter("engine.bloom_rows_pruned");
+  static auto& pagg_merges = registry.GetCounter("engine.partial_agg_merges");
   static auto& wall = registry.GetHistogram("engine.query_wall_seconds");
   queries.Increment();
   rows_scanned.Add(event.stats.rows_scanned);
@@ -79,6 +89,11 @@ void QueryStatsCollector::QueryCompleted(const QueryEvent& event) {
   cache_hits.Add(event.stats.cache_hits);
   cache_saved.Add(event.stats.cache_bytes_saved);
   refetched.Add(event.stats.bytes_refetched_on_retry);
+  pagg_accepted.Add(event.stats.partial_agg_accepted);
+  pagg_rejected.Add(event.stats.partial_agg_rejected);
+  bloom_pushed.Add(event.stats.bloom_pushed);
+  bloom_pruned.Add(event.stats.bloom_rows_pruned);
+  pagg_merges.Add(event.stats.partial_agg_merges);
   wall.Record(event.stats.wall_seconds);
 }
 

@@ -45,6 +45,11 @@ class QueryStatsCollector final : public EventListener {
     uint64_t cache_misses = 0;
     uint64_t cache_bytes_saved = 0;
     uint64_t bytes_refetched_on_retry = 0;
+    uint64_t partial_agg_accepted = 0;
+    uint64_t partial_agg_rejected = 0;
+    uint64_t bloom_pushed = 0;
+    uint64_t bloom_rows_pruned = 0;
+    uint64_t partial_agg_merges = 0;
     double wall_seconds = 0;
     double simulated_seconds = 0;
     double queue_wait_seconds = 0;  // admission-queue wait, summed

@@ -9,6 +9,7 @@ std::string_view PushedOperatorKindName(PushedOperator::Kind kind) {
     case PushedOperator::Kind::kPartialAggregation: return "aggregation";
     case PushedOperator::Kind::kPartialTopN: return "topn";
     case PushedOperator::Kind::kPartialLimit: return "limit";
+    case PushedOperator::Kind::kJoinKeyBloom: return "join_key_bloom";
   }
   return "?";
 }

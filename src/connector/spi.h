@@ -37,6 +37,10 @@ struct Split {
   // cost performance but never rows (DESIGN.md §13).
   std::vector<uint32_t> row_groups;
   uint64_t stats_version = 0;  // object version the hint was computed from
+  // Object version a pushed join-key bloom filter was pinned to at plan
+  // time (0 = unknown). Storage applies the bloom only while the object
+  // still has this version; see Rel::bloom_version (DESIGN.md §14).
+  uint64_t bloom_version = 0;
 };
 
 // Split-planning outcome: the surviving splits plus the pruning and
@@ -64,6 +68,7 @@ struct PushedOperator {
     kPartialAggregation,  // grouped partial aggregation (merge at compute)
     kPartialTopN,         // per-split top-N candidates (merge at compute)
     kPartialLimit,        // per-split row cap (merge limit at compute)
+    kJoinKeyBloom,        // semi-join bloom reduction on one scan column
   };
   Kind kind = Kind::kFilter;
 
@@ -77,6 +82,16 @@ struct PushedOperator {
 
   std::vector<substrait::SortField> sort_fields;  // kPartialTopN
   int64_t limit = -1;
+
+  // kJoinKeyBloom: seeded bloom filter over the build side's join keys,
+  // applied to scan-output column `bloom_column` (common::BloomFilter
+  // wire state). `bloom_key_count` is the number of distinct build keys
+  // (selectivity estimation only).
+  std::vector<uint64_t> bloom_words;
+  uint32_t bloom_hashes = 0;
+  uint64_t bloom_seed = 0;
+  int bloom_column = -1;
+  uint64_t bloom_key_count = 0;
 };
 
 std::string_view PushedOperatorKindName(PushedOperator::Kind kind);
@@ -140,6 +155,11 @@ struct PageSourceStats {
   // Payload bytes of data calls that only succeeded after at least one
   // retry — the re-sent traffic partial-result retention tries to shrink.
   uint64_t bytes_refetched_on_retry = 0;
+
+  // -- pushdown accounting (join/partial-agg PR) ----------------------------
+  // Rows the pushed join-key bloom filter dropped before they could cross
+  // the network (storage-side scan or the engine-side fallback scan).
+  uint64_t bloom_rows_pruned = 0;
 };
 
 // Streams pages (record batches) for one split, with pushed operators
@@ -160,6 +180,7 @@ struct PushdownCapabilities {
   bool projection = false;       // expression projection
   bool aggregation = false;
   bool topn = false;
+  bool join_bloom = false;       // join-key bloom semi-join reduction
 };
 
 // Decision record for one offered operator (feeds the EventListener and
@@ -256,6 +277,15 @@ struct QueryStats {
   uint64_t cache_misses = 0;
   uint64_t cache_bytes_saved = 0;
   uint64_t bytes_refetched_on_retry = 0;
+  // Join/partial-aggregation pushdown (DESIGN.md §14): phase-split
+  // aggregations offered to storage and how they fared, bloom semi-join
+  // filters attached to pushed scans, rows those blooms dropped before
+  // crossing the network, and engine-side merges of storage partials.
+  uint64_t partial_agg_accepted = 0;
+  uint64_t partial_agg_rejected = 0;
+  uint64_t bloom_pushed = 0;
+  uint64_t bloom_rows_pruned = 0;
+  uint64_t partial_agg_merges = 0;
   std::vector<OperatorTiming> operator_timings;
 
   uint64_t bytes_moved() const { return bytes_from_storage + bytes_to_storage; }

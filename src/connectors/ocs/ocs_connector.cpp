@@ -57,6 +57,26 @@ double SchemaRowWidth(const columnar::Schema& schema) {
   return width;
 }
 
+// pocs-lint: begin partial-agg-whitelist
+// Aggregate kinds the connector will push to storage in partial form.
+// Every kind listed here MUST have a matching engine-side merge in
+// engine::FinalAggSpecs (src/engine/two_phase.cpp) — a partial whose
+// merge is missing would silently return per-split rows as if they were
+// global aggregates. Enforced by pocs_lint's partial-agg-merge-sync rule.
+bool PartialAggSupported(substrait::AggFunc func) {
+  switch (func) {
+    case substrait::AggFunc::kSum:
+    case substrait::AggFunc::kMin:
+    case substrait::AggFunc::kMax:
+    case substrait::AggFunc::kAvg:
+    case substrait::AggFunc::kCount:
+    case substrait::AggFunc::kCountStar:
+      return true;
+  }
+  return false;
+}
+// pocs-lint: end partial-agg-whitelist
+
 // Mirrors every OfferPushdown outcome into the registry (the runtime
 // counters behind the EventListener's per-query pushdown stats).
 bool RecordPushdownDecision(bool accepted) {
@@ -142,6 +162,15 @@ Result<connector::SplitPlan> OcsConnector::GetSplits(const TableHandle& table,
                              &terms);
   }
 
+  // A pushed join-key bloom must be pinned to the object version it will
+  // prune against (DESIGN.md §14): storage applies the filter only while
+  // the pin matches, so a PUT between planning and dispatch silently
+  // disables it rather than dropping rows of the new data.
+  bool has_bloom = false;
+  for (const PushedOperator& op : spec.operators) {
+    if (op.kind == PushedOperator::Kind::kJoinKeyBloom) has_bloom = true;
+  }
+
   // Planning is metadata-only by contract (enforced by pocs_lint's
   // planning-data-rpc rule): Stat/DescribeObject/Locate, never Get*.
   objectstore::StorageClient store(client_.channel());
@@ -157,6 +186,14 @@ Result<connector::SplitPlan> OcsConnector::GetSplits(const TableHandle& table,
         ++plan.splits_pruned;
         continue;  // proven empty — no data RPC is ever issued for it
       }
+      if (desc) split.bloom_version = desc->version;
+    }
+    if (has_bloom && split.bloom_version == 0) {
+      // Pin via a metadata-only Stat. On failure the pin stays 0 and
+      // storage ignores the bloom wholesale — the safe direction.
+      auto ostat = store.Stat(table.info.bucket, object, nullptr,
+                              config_.dispatch.call);
+      if (ostat.ok()) split.bloom_version = ostat->version;
     }
     if (dispatcher_) {
       // Resolve placement up front (metadata-only Locate on the
@@ -237,6 +274,9 @@ Result<bool> OcsConnector::OfferPushdown(
       case PushedOperator::Kind::kPartialLimit:
         rows = std::min(rows, static_cast<double>(prior.limit));
         break;
+      case PushedOperator::Kind::kJoinKeyBloom:
+        rows *= 0.5;  // heuristic: see the kJoinKeyBloom offer case
+        break;
       case PushedOperator::Kind::kProject:
         break;
     }
@@ -277,6 +317,15 @@ Result<bool> OcsConnector::OfferPushdown(
         incapable_reason = "aggregation pushdown disabled";
         break;
       }
+      for (const auto& agg : op.aggregates) {
+        if (!PartialAggSupported(agg.func)) {
+          capable = false;
+          incapable_reason = "aggregate " + std::string(AggFuncName(agg.func)) +
+                             " has no storage-side partial form";
+          break;
+        }
+      }
+      if (!capable) break;
       selectivity = analyzer.EstimateAggregationSelectivity(
           op.group_keys, *spec->output_schema, rows);
       break;
@@ -294,6 +343,23 @@ Result<bool> OcsConnector::OfferPushdown(
         break;
       }
       selectivity = analyzer.EstimateTopNSelectivity(op.limit, rows);
+      break;
+    case PushedOperator::Kind::kJoinKeyBloom:
+      if (!config_.pushdown_join_bloom) {
+        capable = false;
+        incapable_reason = "join-key bloom pushdown disabled";
+        break;
+      }
+      if (op.bloom_words.empty() || op.bloom_hashes == 0) {
+        capable = false;
+        incapable_reason = "empty join-key bloom filter";
+        break;
+      }
+      // No per-key join statistics exist; assume the canonical
+      // half-pruned fact table. The filter is advisory (false positives
+      // are re-filtered engine-side, stale pins disable it wholesale),
+      // so a wrong estimate costs performance, never correctness.
+      selectivity = 0.5;
       break;
   }
 
@@ -319,6 +385,7 @@ Result<bool> OcsConnector::OfferPushdown(
     case PushedOperator::Kind::kFilter:
     case PushedOperator::Kind::kPartialTopN:
     case PushedOperator::Kind::kPartialLimit:
+    case PushedOperator::Kind::kJoinKeyBloom:
       break;  // schema unchanged
     case PushedOperator::Kind::kProject: {
       std::vector<Field> fields;
@@ -410,6 +477,17 @@ Result<std::unique_ptr<connector::PageSource>> MakePageSource(
 // row-group pruning — the whole object already crossed the network.
 namespace {
 
+// True when the plan's Read leaf carries a join-key bloom filter — the
+// fallback must then learn the object version to honour the pin.
+bool PlanHasBloom(const substrait::Plan& plan) {
+  for (const substrait::Rel* r = plan.root.get(); r; r = r->input.get()) {
+    if (r->kind == substrait::RelKind::kRead && !r->bloom_words.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
 class LocalObjectSource final : public exec::BatchSource {
  public:
   LocalObjectSource(std::shared_ptr<format::FileReader> reader,
@@ -462,8 +540,9 @@ Result<std::shared_ptr<columnar::Table>> OcsConnector::ExecuteFallback(
     account(info);
     fetched_bytes = object.size();
     if (info.retries > 0) stats->bytes_refetched_on_retry += info.bytes_received;
-    if (split_result_cache_) {
-      // Learn the version so the result can enter the split cache.
+    if (split_result_cache_ || PlanHasBloom(plan)) {
+      // Learn the version so the result can enter the split cache and the
+      // bloom's version pin can be checked against the bytes just read.
       objectstore::TransferInfo stat_info;
       auto ostat = store.Stat(split.bucket, split.object, &stat_info,
                               config_.dispatch.fallback_call);
@@ -535,15 +614,25 @@ Result<std::shared_ptr<columnar::Table>> OcsConnector::ExecuteFallback(
   stats->row_groups_total += reader->num_row_groups();
 
   exec::ScanFactory factory =
-      [&reader](const substrait::Rel& r)
+      [&reader, stats, version = *object_version](const substrait::Rel& r)
       -> Result<std::unique_ptr<exec::BatchSource>> {
     if (!reader->schema()->Equals(*r.base_schema)) {
       return Status::InvalidArgument("ocs fallback: plan schema != object");
     }
     POCS_ASSIGN_OR_RETURN(SchemaPtr scan_schema, substrait::OutputSchema(r));
-    return std::unique_ptr<exec::BatchSource>(
+    std::unique_ptr<exec::BatchSource> source =
         std::make_unique<LocalObjectSource>(reader, r.read_columns,
-                                            std::move(scan_schema)));
+                                            std::move(scan_schema));
+    // Honour the pushed join-key bloom under the same version-pin rule as
+    // the storage node: applied only when the pin matches the bytes this
+    // fallback just fetched, skipped wholesale otherwise.
+    if (!r.bloom_words.empty() && r.bloom_version != 0 &&
+        r.bloom_version == version) {
+      source = std::make_unique<exec::BloomFilterSource>(
+          std::move(source), r.bloom_words, r.bloom_hashes, r.bloom_seed,
+          r.bloom_column, &stats->bloom_rows_pruned);
+    }
+    return source;
   };
   exec::ExecStats exec_stats;
   POCS_ASSIGN_OR_RETURN(auto table,
@@ -650,6 +739,7 @@ Result<std::unique_ptr<connector::PageSource>> OcsConnector::CreatePageSource(
       stats.row_groups_skipped = result.stats.row_groups_skipped;
       stats.row_groups_lazy_skipped = result.stats.row_groups_lazy_skipped;
       stats.row_groups_hint_skipped = result.stats.row_groups_hint_skipped;
+      stats.bloom_rows_pruned = result.stats.bloom_rows_pruned;
       stats.rows_scanned = result.stats.rows_scanned;
       // Level-1 (storage-side row-group cache) accounting rides back on
       // the result; fold it into this split's stats.

@@ -87,6 +87,13 @@ struct OcsConnectorConfig {
   bool pushdown_projection = true;
   bool pushdown_aggregation = true;
   bool pushdown_topn = true;
+  // Join-key bloom filters (semi-join reduction, DESIGN.md §14): the
+  // engine builds a bloom over a small dimension table's join keys and
+  // attaches it to the fact-table scan so storage prunes non-matching
+  // rows before any bytes cross the network. Purely advisory — false
+  // positives are re-filtered engine-side, and a stale version pin
+  // disables the filter wholesale.
+  bool pushdown_join_bloom = true;
   // Correctness contract for partial top-N above a pushed aggregation.
   bool assume_split_disjoint_groups = true;
   // Byte budget of the split-result cache (0 disables): decoded result
@@ -202,6 +209,7 @@ class OcsConnector final : public connector::Connector {
     caps.projection = config_.pushdown_projection;
     caps.aggregation = config_.pushdown_aggregation;
     caps.topn = config_.pushdown_topn;
+    caps.join_bloom = config_.pushdown_join_bloom;
     return caps;
   }
 

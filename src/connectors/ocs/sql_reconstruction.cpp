@@ -145,6 +145,23 @@ Result<std::string> ReconstructSql(const TableHandle& table,
       case PushedOperator::Kind::kPartialLimit:
         limit_clause = std::to_string(op.limit);
         break;
+      case PushedOperator::Kind::kJoinKeyBloom: {
+        // Rendered as an opaque membership predicate — there is no SQL
+        // surface for a bloom filter, but the audit log should show it.
+        if (op.bloom_column < 0 ||
+            static_cast<size_t>(op.bloom_column) >= current->num_fields()) {
+          return Status::InvalidArgument("sql: bloom column out of range");
+        }
+        std::string pred = "BLOOM_MAY_CONTAIN(" +
+                           current->field(op.bloom_column).name + ", " +
+                           std::to_string(op.bloom_key_count) + " keys)";
+        if (where_clause.empty()) {
+          where_clause = pred;
+        } else {
+          where_clause = "(" + where_clause + " AND " + pred + ")";
+        }
+        break;
+      }
     }
   }
 

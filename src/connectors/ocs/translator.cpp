@@ -68,6 +68,7 @@ Result<Plan> TranslateScanSpec(const TableHandle& table, const Split& split,
   read->row_group_hint = split.row_groups;
   read->hint_version = split.stats_version;
 
+  Rel* read_rel = read.get();
   std::unique_ptr<Rel> chain = std::move(read);
   POCS_ASSIGN_OR_RETURN(SchemaPtr current, substrait::OutputSchema(*chain));
 
@@ -96,9 +97,29 @@ Result<Plan> TranslateScanSpec(const TableHandle& table, const Split& split,
         agg->kind = RelKind::kAggregate;
         agg->group_keys = op.group_keys;
         agg->aggregates = op.aggregates;  // partial specs
+        agg->agg_phase = substrait::AggPhase::kPartial;
         agg->input = std::move(chain);
         chain = std::move(agg);
         last_agg = &op;
+        break;
+      }
+      case PushedOperator::Kind::kJoinKeyBloom: {
+        // The bloom is not a relational operator: it annotates the Read
+        // leaf, which prunes non-matching rows during the scan itself
+        // (late-materialized, DESIGN.md §14). The version pin makes the
+        // filter advisory — storage ignores it wholesale on mismatch.
+        const size_t scan_width = read_rel->read_columns.empty()
+                                      ? table.info.schema->num_fields()
+                                      : read_rel->read_columns.size();
+        if (op.bloom_column < 0 ||
+            static_cast<size_t>(op.bloom_column) >= scan_width) {
+          return Status::InvalidArgument("bloom column out of range");
+        }
+        read_rel->bloom_words = op.bloom_words;
+        read_rel->bloom_hashes = op.bloom_hashes;
+        read_rel->bloom_seed = op.bloom_seed;
+        read_rel->bloom_column = op.bloom_column;
+        read_rel->bloom_version = split.bloom_version;
         break;
       }
       case PushedOperator::Kind::kPartialLimit: {

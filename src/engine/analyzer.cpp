@@ -69,6 +69,40 @@ bool ContainsAggregate(const AstExpr& e) {
   return false;
 }
 
+// Flatten the AND spine of a WHERE clause into its conjuncts.
+void CollectConjuncts(const AstExpr* e, std::vector<const AstExpr*>* out) {
+  if (e->kind == AstExprKind::kBinary &&
+      e->binary_op == sql::BinaryOp::kAnd) {
+    CollectConjuncts(e->args[0].get(), out);
+    CollectConjuncts(e->args[1].get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+void ShiftFieldRefs(Expression* e, int delta) {
+  if (e->kind == ExprKind::kFieldRef) {
+    e->field_index += delta;
+    return;
+  }
+  for (Expression& arg : e->args) ShiftFieldRefs(&arg, delta);
+}
+
+Expression AndCombine(std::vector<Expression> preds) {
+  Expression combined = std::move(preds[0]);
+  for (size_t i = 1; i < preds.size(); ++i) {
+    combined = Expression::Call(ScalarFunc::kAnd,
+                                {std::move(combined), std::move(preds[i])},
+                                TypeKind::kBool);
+  }
+  return combined;
+}
+
+bool IsJoinKeyType(TypeKind t) {
+  return t == TypeKind::kInt32 || t == TypeKind::kInt64 ||
+         t == TypeKind::kDate32;
+}
+
 }  // namespace
 
 Result<Expression> LowerExpression(const AstExpr& ast, const Schema& schema) {
@@ -221,9 +255,14 @@ bool IsTrivialFieldRef(const Expression& e) {
 }  // namespace
 
 Result<PlanNodePtr> AnalyzeQuery(const sql::Query& query,
-                                 const connector::TableHandle& table) {
+                                 const connector::TableHandle& table,
+                                 const connector::TableHandle* build_table) {
   const SchemaPtr& scan_schema = table.info.schema;
   if (!scan_schema) return Status::InvalidArgument("table has no schema");
+  const bool has_join = !query.join_table_name.empty();
+  if (has_join && (!build_table || !build_table->info.schema)) {
+    return Status::InvalidArgument("join query needs a build table handle");
+  }
 
   // ---- TableScan ----------------------------------------------------------
   auto scan = std::make_shared<PlanNode>();
@@ -232,19 +271,135 @@ Result<PlanNodePtr> AnalyzeQuery(const sql::Query& query,
   scan->output_schema = scan_schema;
   PlanNodePtr chain = scan;
 
-  // ---- Filter -------------------------------------------------------------
-  if (query.where) {
-    POCS_ASSIGN_OR_RETURN(Expression predicate,
-                          LowerExpression(*query.where, *scan_schema));
-    if (predicate.type != TypeKind::kBool) {
-      return Status::InvalidArgument("WHERE must be boolean");
+  // Schema the SELECT/GROUP BY/aggregates resolve against: the scan
+  // schema, or the join's combined (fact then dim) schema.
+  SchemaPtr base = scan_schema;
+
+  if (!has_join) {
+    // ---- Filter -----------------------------------------------------------
+    if (query.where) {
+      POCS_ASSIGN_OR_RETURN(Expression predicate,
+                            LowerExpression(*query.where, *scan_schema));
+      if (predicate.type != TypeKind::kBool) {
+        return Status::InvalidArgument("WHERE must be boolean");
+      }
+      auto filter = std::make_shared<PlanNode>();
+      filter->kind = NodeKind::kFilter;
+      filter->input = chain;
+      filter->predicate = std::move(predicate);
+      filter->output_schema = scan_schema;
+      chain = filter;
     }
-    auto filter = std::make_shared<PlanNode>();
-    filter->kind = NodeKind::kFilter;
-    filter->input = chain;
-    filter->predicate = std::move(predicate);
-    filter->output_schema = scan_schema;
-    chain = filter;
+  } else {
+    // ---- Join (DESIGN.md §14) ---------------------------------------------
+    const SchemaPtr& dim_schema = build_table->info.schema;
+    std::vector<Field> combined_fields;
+    for (const Field& f : scan_schema->fields()) combined_fields.push_back(f);
+    for (const Field& f : dim_schema->fields()) {
+      if (scan_schema->FieldIndex(f.name) >= 0) {
+        return Status::InvalidArgument(
+            "join: column '" + f.name +
+            "' exists in both tables (names must be globally unique)");
+      }
+      combined_fields.push_back(f);
+    }
+    SchemaPtr combined = MakeSchema(std::move(combined_fields));
+    const int n_fact = static_cast<int>(scan_schema->num_fields());
+
+    // Resolve ON <col> = <col>: one side in each table, either order.
+    const int l_fact = scan_schema->FieldIndex(query.join_on_left);
+    const int l_dim = dim_schema->FieldIndex(query.join_on_left);
+    const int r_fact = scan_schema->FieldIndex(query.join_on_right);
+    const int r_dim = dim_schema->FieldIndex(query.join_on_right);
+    int probe_key = -1;
+    int build_key = -1;
+    if (l_fact >= 0 && r_dim >= 0) {
+      probe_key = l_fact;
+      build_key = r_dim;
+    } else if (r_fact >= 0 && l_dim >= 0) {
+      probe_key = r_fact;
+      build_key = l_dim;
+    } else {
+      return Status::InvalidArgument(
+          "join: ON must equate one column of each table");
+    }
+    if (!IsJoinKeyType(scan_schema->field(probe_key).type) ||
+        !IsJoinKeyType(dim_schema->field(build_key).type)) {
+      return Status::InvalidArgument("join keys must be integer columns");
+    }
+
+    // Classify WHERE conjuncts by the side(s) they reference: fact-only
+    // filters go below the join (pushable to storage), dim-only into the
+    // build subplan, mixed above the join.
+    std::vector<Expression> fact_preds;
+    std::vector<Expression> dim_preds;
+    std::vector<Expression> mixed_preds;
+    if (query.where) {
+      std::vector<const AstExpr*> conjuncts;
+      CollectConjuncts(query.where.get(), &conjuncts);
+      for (const AstExpr* c : conjuncts) {
+        POCS_ASSIGN_OR_RETURN(Expression lowered,
+                              LowerExpression(*c, *combined));
+        if (lowered.type != TypeKind::kBool) {
+          return Status::InvalidArgument("WHERE must be boolean");
+        }
+        std::vector<int> refs;
+        lowered.CollectFieldRefs(&refs);
+        bool any_fact = false;
+        bool any_dim = false;
+        for (int r : refs) (r < n_fact ? any_fact : any_dim) = true;
+        if (any_dim && !any_fact) {
+          ShiftFieldRefs(&lowered, -n_fact);  // now over the dim schema
+          dim_preds.push_back(std::move(lowered));
+        } else if (any_dim) {
+          mixed_preds.push_back(std::move(lowered));
+        } else {
+          // Fact-only (or constant): indices coincide with the fact schema.
+          fact_preds.push_back(std::move(lowered));
+        }
+      }
+    }
+    if (!fact_preds.empty()) {
+      auto filter = std::make_shared<PlanNode>();
+      filter->kind = NodeKind::kFilter;
+      filter->input = chain;
+      filter->predicate = AndCombine(std::move(fact_preds));
+      filter->output_schema = scan_schema;
+      chain = filter;
+    }
+
+    auto build_scan = std::make_shared<PlanNode>();
+    build_scan->kind = NodeKind::kTableScan;
+    build_scan->table = *build_table;
+    build_scan->output_schema = dim_schema;
+    PlanNodePtr build_chain = build_scan;
+    if (!dim_preds.empty()) {
+      auto filter = std::make_shared<PlanNode>();
+      filter->kind = NodeKind::kFilter;
+      filter->input = build_chain;
+      filter->predicate = AndCombine(std::move(dim_preds));
+      filter->output_schema = dim_schema;
+      build_chain = filter;
+    }
+
+    auto join = std::make_shared<PlanNode>();
+    join->kind = NodeKind::kJoin;
+    join->input = chain;
+    join->build = build_chain;
+    join->probe_key = probe_key;
+    join->build_key = build_key;
+    join->output_schema = combined;
+    chain = join;
+
+    if (!mixed_preds.empty()) {
+      auto filter = std::make_shared<PlanNode>();
+      filter->kind = NodeKind::kFilter;
+      filter->input = chain;
+      filter->predicate = AndCombine(std::move(mixed_preds));
+      filter->output_schema = combined;
+      chain = filter;
+    }
+    base = combined;
   }
 
   // ---- classify SELECT items ---------------------------------------------
@@ -266,11 +421,12 @@ Result<PlanNodePtr> AnalyzeQuery(const sql::Query& query,
   SchemaPtr pre_output_schema;         // schema out_exprs are rooted in
 
   if (has_aggregates) {
-    // Lower group keys and aggregate arguments against the scan schema.
+    // Lower group keys and aggregate arguments against the base schema
+    // (scan schema, or the join's combined schema).
     std::vector<Expression> key_exprs;
     for (const auto& key_ast : query.group_by) {
       POCS_ASSIGN_OR_RETURN(Expression key,
-                            LowerExpression(*key_ast, *scan_schema));
+                            LowerExpression(*key_ast, *base));
       key_exprs.push_back(std::move(key));
     }
     std::vector<AggItem> agg_items;
@@ -300,7 +456,7 @@ Result<PlanNodePtr> AnalyzeQuery(const sql::Query& query,
           item.spec.func = AggFunc::kCountStar;
         } else if (e.args.size() == 1) {
           POCS_ASSIGN_OR_RETURN(item.spec.argument,
-                                LowerExpression(*e.args[0], *scan_schema));
+                                LowerExpression(*e.args[0], *base));
         } else {
           return Status::InvalidArgument("aggregate '" + e.name +
                                          "' expects one argument");
@@ -310,11 +466,11 @@ Result<PlanNodePtr> AnalyzeQuery(const sql::Query& query,
       } else {
         // Must match a group key (textual match on the lowered form).
         POCS_ASSIGN_OR_RETURN(Expression lowered,
-                              LowerExpression(e, *scan_schema));
+                              LowerExpression(e, *base));
         bool matched = false;
         for (size_t k = 0; k < key_exprs.size(); ++k) {
-          if (key_exprs[k].ToString(scan_schema.get()) ==
-              lowered.ToString(scan_schema.get())) {
+          if (key_exprs[k].ToString(base.get()) ==
+              lowered.ToString(base.get())) {
             item_sources.push_back({true, k});
             matched = true;
             break;
@@ -356,7 +512,7 @@ Result<PlanNodePtr> AnalyzeQuery(const sql::Query& query,
         project->expressions.push_back(key_exprs[k]);
         std::string name = "$key" + std::to_string(k);
         if (key_exprs[k].kind == ExprKind::kFieldRef) {
-          name = scan_schema->field(key_exprs[k].field_index).name;
+          name = base->field(key_exprs[k].field_index).name;
         }
         project->output_names.push_back(name);
         fields.push_back({name, key_exprs[k].type});

@@ -15,8 +15,16 @@
 
 namespace pocs::engine {
 
-Result<PlanNodePtr> AnalyzeQuery(const sql::Query& query,
-                                 const connector::TableHandle& table);
+// `build_table` resolves the query's JOIN table (required iff the query
+// has one). The join plans as a kJoin node above the fact-side filters:
+//   TableScan(fact) → Filter(fact-only)? → Join[build: TableScan(dim) →
+//   Filter(dim-only)?] → Filter(mixed)? → Aggregation? → ...
+// WHERE conjuncts are classified by the columns they reference; join
+// keys must be integer-typed and column names globally unique across the
+// two tables (the dialect has no qualified references).
+Result<PlanNodePtr> AnalyzeQuery(
+    const sql::Query& query, const connector::TableHandle& table,
+    const connector::TableHandle* build_table = nullptr);
 
 // Lower a scalar AST expression against a schema (exposed for tests and
 // the connectors' condition handling).

@@ -1,7 +1,11 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <atomic>
+#include <unordered_map>
 
+#include "columnar/kernels.h"
+#include "common/bloom.h"
 #include "common/stopwatch.h"
 #include "engine/analyzer.h"
 #include "engine/optimizer.h"
@@ -69,6 +73,604 @@ struct TicketReleaser {
   }
 };
 
+// One merge-stage node applied to the whole intermediate table. Shared by
+// the linear pipeline and the join path.
+Result<std::shared_ptr<Table>> ApplyMergeNode(const PlanNode& node,
+                                              std::shared_ptr<Table> current) {
+  switch (node.kind) {
+    case NodeKind::kSort: {
+      POCS_ASSIGN_OR_RETURN(RecordBatchPtr sorted,
+                            exec::SortTable(*current, node.sort_fields));
+      current = std::make_shared<Table>(sorted->schema());
+      current->AppendBatch(std::move(sorted));
+      return current;
+    }
+    case NodeKind::kTopN: {
+      POCS_ASSIGN_OR_RETURN(RecordBatchPtr sorted,
+                            exec::SortTable(*current, node.sort_fields));
+      columnar::SelectionVector head;
+      for (uint32_t r = 0;
+           r < std::min<uint64_t>(sorted->num_rows(), node.limit); ++r) {
+        head.push_back(r);
+      }
+      RecordBatchPtr top = columnar::TakeBatch(*sorted, head);
+      current = std::make_shared<Table>(top->schema());
+      current->AppendBatch(std::move(top));
+      return current;
+    }
+    case NodeKind::kLimit:
+      return exec::FetchTable(*current, 0, node.limit);
+    case NodeKind::kProject: {
+      auto next = std::make_shared<Table>(node.output_schema);
+      for (const auto& batch : current->batches()) {
+        POCS_ASSIGN_OR_RETURN(RecordBatchPtr projected,
+                              ApplyProjectNode(node, *batch));
+        next->AppendBatch(std::move(projected));
+      }
+      return next;
+    }
+    case NodeKind::kFilter: {
+      auto next = std::make_shared<Table>(current->schema());
+      for (const auto& batch : current->batches()) {
+        POCS_ASSIGN_OR_RETURN(RecordBatchPtr filtered,
+                              substrait::FilterBatch(node.predicate, *batch));
+        if (filtered->num_rows() > 0) next->AppendBatch(std::move(filtered));
+      }
+      return next;
+    }
+    default:
+      return Status::Internal("unexpected merge-stage node");
+  }
+}
+
+// Final-phase aggregation + finalize projection (AVG = sum/count) into a
+// one-batch table with the aggregation node's output schema.
+Result<std::shared_ptr<Table>> FinalizeAggTable(
+    const PlanNode& agg_node, exec::HashAggregator* final_agg) {
+  POCS_ASSIGN_OR_RETURN(RecordBatchPtr final_batch, final_agg->Finish());
+  std::vector<Expression> finalize_exprs;
+  std::vector<std::string> finalize_names;
+  FinalizeProjection(agg_node.aggregates, agg_node.group_keys.size(),
+                     *final_batch->schema(), &finalize_exprs, &finalize_names);
+  std::vector<columnar::ColumnPtr> cols;
+  for (const Expression& e : finalize_exprs) {
+    POCS_ASSIGN_OR_RETURN(columnar::ColumnPtr col,
+                          substrait::Evaluate(e, *final_batch));
+    cols.push_back(std::move(col));
+  }
+  RecordBatchPtr finalized =
+      columnar::MakeBatch(agg_node.output_schema, std::move(cols));
+  auto out = std::make_shared<Table>(finalized->schema());
+  out->AppendBatch(std::move(finalized));
+  return out;
+}
+
+// Sign-extended 64-bit join key for one row; false when the value is null
+// (never joins) or the column has no integer join-key form.
+bool JoinKeyAt(const columnar::Column& col, size_t row, int64_t* out) {
+  if (col.IsNull(row)) return false;
+  switch (col.type()) {
+    case columnar::TypeKind::kInt64:
+      *out = col.GetInt64(row);
+      return true;
+    case columnar::TypeKind::kInt32:
+    case columnar::TypeKind::kDate32:
+      *out = col.GetInt32(row);
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Folds one page source's stats into the query metrics and the simulated
+// scan-stage totals (join path; the parallel linear path does the same
+// inline so it can also account per-split residual compute).
+void FoldSourceStats(const PageSourceStats& s, QueryMetrics* m,
+                     SplitStageTotals* t) {
+  t->bytes_moved += s.bytes_received + s.bytes_sent;
+  t->messages += 2;  // request + response per split
+  t->storage_compute_seconds += s.storage_compute_seconds;
+  t->media_read_seconds += s.media_read_seconds;
+  t->compute_seconds += s.decode_seconds;
+  m->bytes_from_storage += s.bytes_received;
+  m->bytes_to_storage += s.bytes_sent;
+  m->rows_from_storage += s.rows_received;
+  m->rows_scanned += s.rows_scanned;
+  m->ir_generation += s.ir_generation_seconds;
+  m->storage_compute_seconds += s.storage_compute_seconds;
+  m->row_groups_total += s.row_groups_total;
+  m->row_groups_skipped += s.row_groups_skipped;
+  m->retries += s.dispatch_retries;
+  m->fallbacks += s.fallbacks;
+  m->failed_splits += s.failed_dispatches;
+  m->row_groups_lazy_skipped += s.row_groups_lazy_skipped;
+  m->row_groups_hint_skipped += s.row_groups_hint_skipped;
+  m->cache_hits += s.cache_hits;
+  m->cache_misses += s.cache_misses;
+  m->cache_bytes_saved += s.cache_bytes_saved;
+  m->bytes_refetched_on_retry += s.bytes_refetched_on_retry;
+  m->bloom_rows_pruned += s.bloom_rows_pruned;
+}
+
+// Runs one scan chain (TableScan + residual Filters) sequentially across
+// its splits and collects every surviving row. Used for the join's build
+// (dimension) side, which is small by assumption.
+Result<std::shared_ptr<Table>> RunScanChain(PlanNode* scan,
+                                            const std::vector<PlanNode*>& stream,
+                                            connector::Connector& conn,
+                                            QueryMetrics* metrics,
+                                            SplitStageTotals* totals,
+                                            double* residual) {
+  POCS_ASSIGN_OR_RETURN(connector::SplitPlan split_plan,
+                        conn.GetSplits(scan->table, scan->scan_spec));
+  metrics->splits += split_plan.splits.size();
+  metrics->splits_planned += split_plan.splits_planned;
+  metrics->splits_pruned += split_plan.splits_pruned;
+  metrics->metadata_cache_hits += split_plan.metadata_cache_hits;
+  metrics->metadata_cache_misses += split_plan.metadata_cache_misses;
+  metrics->metadata_cache_stale += split_plan.metadata_cache_stale;
+  metrics->metadata_cache_errors += split_plan.metadata_cache_errors;
+  totals->splits += split_plan.splits.size();
+
+  SchemaPtr out_schema = stream.empty() ? scan->scan_spec.output_schema
+                                        : stream.back()->output_schema;
+  if (!out_schema) out_schema = scan->output_schema;
+  auto out = std::make_shared<Table>(out_schema);
+  for (const connector::Split& split : split_plan.splits) {
+    POCS_ASSIGN_OR_RETURN(
+        std::unique_ptr<connector::PageSource> source,
+        conn.CreatePageSource(scan->table, split, scan->scan_spec));
+    while (true) {
+      POCS_ASSIGN_OR_RETURN(RecordBatchPtr batch, source->Next());
+      if (!batch) break;
+      Stopwatch batch_timer;
+      for (PlanNode* node : stream) {
+        if (node->kind != NodeKind::kFilter) {
+          return Status::Internal("unexpected node in join build subplan");
+        }
+        POCS_ASSIGN_OR_RETURN(batch,
+                              substrait::FilterBatch(node->predicate, *batch));
+        if (batch->num_rows() == 0) break;
+      }
+      if (batch->num_rows() > 0) out->AppendBatch(batch);
+      *residual += batch_timer.ElapsedSeconds();
+    }
+    FoldSourceStats(source->stats(), metrics, totals);
+  }
+  return out;
+}
+
+// Deterministic seed of pushed join-key blooms ("pocsjoin"): plans — and
+// therefore plan fingerprints and replay — are identical across runs.
+constexpr uint64_t kJoinBloomSeed = 0x706f63736a6f696eULL;
+
+// Executes a plan containing a kJoin node (DESIGN.md §14):
+//   1. run the build (dimension) side and collect it in memory;
+//   2. build an exact hash index plus a seeded bloom filter over the
+//      build keys and offer the bloom to the fact-side connector, so
+//      storage drops non-matching rows before any bytes move;
+//   3. when the node directly above the join is an aggregation whose
+//      arguments are fact-side and the dim keys are unique, offer the
+//      partial phase to storage grouped by {fact keys ∪ join key} —
+//      dim-referenced group keys are recovered from the matched dim row
+//      at probe time (functionally dependent on the unique join key);
+//   4. scan the fact side, probe the exact index (dropping bloom false
+//      positives), and merge partials / aggregate / collect;
+//   5. apply the remaining merge-stage nodes.
+// Rejected or faulted pushdowns degrade transparently: the connector's
+// fallback re-runs the identical pushed plan engine-side, so this path
+// never sees the difference.
+Result<std::shared_ptr<Table>> ExecuteJoinChain(const PlanNodePtr& root,
+                                                connector::Connector& conn,
+                                                const EngineConfig& config,
+                                                QueryMetrics* metrics,
+                                                double* residual_out) {
+  // Bottom→top probe-side chain: [scan, fact filters..., join, above...].
+  std::vector<PlanNode*> chain;
+  for (PlanNode* n = root.get(); n; n = n->input.get()) chain.push_back(n);
+  std::reverse(chain.begin(), chain.end());
+  if (chain.empty() || chain[0]->kind != NodeKind::kTableScan) {
+    return Status::Internal("join plan lost its scan");
+  }
+  PlanNode* scan = chain[0];
+  size_t join_idx = 0;
+  for (size_t i = 0; i < chain.size(); ++i) {
+    if (chain[i]->kind == NodeKind::kJoin) join_idx = i;
+  }
+  PlanNode* join = chain[join_idx];
+  std::vector<PlanNode*> fact_stream(chain.begin() + 1,
+                                     chain.begin() + join_idx);
+  for (PlanNode* node : fact_stream) {
+    if (node->kind != NodeKind::kFilter) {
+      return Status::Internal("unexpected node below join");
+    }
+  }
+
+  SplitStageTotals totals;
+  double residual = 0;
+
+  // ---- build side: negotiate pushdown, scan, collect the dim table --------
+  POCS_ASSIGN_OR_RETURN(LocalOptimizerResult build_local,
+                        RunConnectorOptimizer(join->build, conn));
+  join->build = build_local.plan;
+  for (const auto& d : build_local.decisions) {
+    metrics->pushdown_decisions.push_back(d);
+  }
+  std::vector<PlanNode*> bchain;
+  for (PlanNode* n = join->build.get(); n; n = n->input.get()) {
+    bchain.push_back(n);
+  }
+  std::reverse(bchain.begin(), bchain.end());
+  if (bchain.empty() || bchain[0]->kind != NodeKind::kTableScan) {
+    return Status::Internal("join build subplan lost its scan");
+  }
+  std::vector<PlanNode*> build_stream(bchain.begin() + 1, bchain.end());
+  POCS_ASSIGN_OR_RETURN(
+      std::shared_ptr<Table> dim_table,
+      RunScanChain(bchain[0], build_stream, conn, metrics, &totals, &residual));
+  RecordBatchPtr dim_batch = dim_table->Combine();
+
+  // ---- exact hash index + bloom over the build join keys -------------------
+  Stopwatch build_timer;
+  const columnar::Column& build_col = *dim_batch->column(join->build_key);
+  std::unordered_map<int64_t, std::vector<uint32_t>> dim_index;
+  for (size_t r = 0; r < dim_batch->num_rows(); ++r) {
+    int64_t key;
+    if (!JoinKeyAt(build_col, r, &key)) continue;  // null never joins
+    dim_index[key].push_back(static_cast<uint32_t>(r));
+  }
+  bool keys_unique = true;
+  for (const auto& [key, rows] : dim_index) {
+    if (rows.size() > 1) {
+      keys_unique = false;
+      break;
+    }
+  }
+  const uint64_t bloom_bits = std::max<uint64_t>(
+      64, static_cast<uint64_t>(config.join_bloom_bits_per_key *
+                                std::max<double>(dim_index.size(), 1.0)));
+  const uint32_t bloom_hashes = std::clamp<uint32_t>(
+      static_cast<uint32_t>(config.join_bloom_bits_per_key * 0.693 + 0.5), 1,
+      16);
+  BloomFilter bloom(bloom_bits, bloom_hashes, kJoinBloomSeed);
+  for (const auto& [key, rows] : dim_index) {
+    bloom.Add(static_cast<uint64_t>(key));
+  }
+  residual += build_timer.ElapsedSeconds();
+
+  // ---- offer the bloom to the fact-side connector --------------------------
+  connector::ScanSpec& spec = scan->scan_spec;
+  // Join plans skip column pruning, so scan output order matches the
+  // table schema — but stay defensive about an explicit projection.
+  int bloom_col = join->probe_key;
+  if (!spec.columns.empty()) {
+    bloom_col = -1;
+    for (size_t i = 0; i < spec.columns.size(); ++i) {
+      if (spec.columns[i] == join->probe_key) bloom_col = static_cast<int>(i);
+    }
+  }
+  if (bloom_col >= 0) {
+    connector::PushedOperator op;
+    op.kind = connector::PushedOperator::Kind::kJoinKeyBloom;
+    op.bloom_words = bloom.words();
+    op.bloom_hashes = bloom.num_hashes();
+    op.bloom_seed = bloom.seed();
+    op.bloom_column = bloom_col;
+    op.bloom_key_count = dim_index.size();
+    connector::PushdownDecision decision;
+    decision.kind = op.kind;
+    POCS_ASSIGN_OR_RETURN(bool bloom_accepted,
+                          conn.OfferPushdown(scan->table, op, &spec, &decision));
+    metrics->pushdown_decisions.push_back(decision);
+    (void)bloom_accepted;
+  }
+
+  // ---- post-join pipeline classification ------------------------------------
+  std::vector<PlanNode*> post_stream;  // mixed filters above the join
+  size_t idx = join_idx + 1;
+  while (idx < chain.size() &&
+         (chain[idx]->kind == NodeKind::kFilter ||
+          (chain[idx]->kind == NodeKind::kProject &&
+           !chain[idx]->identity_project))) {
+    post_stream.push_back(chain[idx]);
+    ++idx;
+  }
+  PlanNode* agg_node =
+      (idx < chain.size() && chain[idx]->kind == NodeKind::kAggregation)
+          ? chain[idx]
+          : nullptr;
+  const size_t merge_from = agg_node ? idx + 1 : idx;
+
+  // ---- early-aggregation offer ----------------------------------------------
+  const int n_fact = static_cast<int>(scan->output_schema->num_fields());
+  bool storage_agg = false;
+  bool two_phase = false;  // per-split partial + engine merge (either side)
+  std::vector<int> storage_keys;  // fact-schema indices pushed as group keys
+  int probe_pos = -1;             // join-key position within storage_keys
+  if (agg_node && post_stream.empty() && fact_stream.empty() && keys_unique) {
+    bool eligible = true;
+    for (const auto& aspec : agg_node->aggregates) {
+      if (aspec.func == substrait::AggFunc::kCountStar) continue;
+      if (aspec.argument.kind != substrait::ExprKind::kFieldRef ||
+          aspec.argument.field_index >= n_fact) {
+        eligible = false;  // dim-side or computed argument: keep engine-side
+      }
+    }
+    if (eligible) {
+      two_phase = true;
+      for (int k : agg_node->group_keys) {
+        if (k >= n_fact) continue;  // dim keys recovered at probe time
+        if (k == join->probe_key) {
+          probe_pos = static_cast<int>(storage_keys.size());
+        }
+        storage_keys.push_back(k);
+      }
+      if (probe_pos < 0) {
+        probe_pos = static_cast<int>(storage_keys.size());
+        storage_keys.push_back(join->probe_key);
+      }
+      connector::PushedOperator op;
+      op.kind = connector::PushedOperator::Kind::kPartialAggregation;
+      op.group_keys = storage_keys;
+      op.aggregates = PartialAggSpecs(agg_node->aggregates);
+      connector::PushdownDecision decision;
+      decision.kind = op.kind;
+      POCS_ASSIGN_OR_RETURN(
+          storage_agg, conn.OfferPushdown(scan->table, op, &spec, &decision));
+      metrics->pushdown_decisions.push_back(decision);
+    }
+  }
+
+  // ---- fact-side scan, probe, and accumulation ------------------------------
+  // Split generation runs after both offers so the connector pins the
+  // bloom to each split object's current version.
+  POCS_ASSIGN_OR_RETURN(connector::SplitPlan fact_plan,
+                        conn.GetSplits(scan->table, spec));
+  metrics->splits += fact_plan.splits.size();
+  metrics->splits_planned += fact_plan.splits_planned;
+  metrics->splits_pruned += fact_plan.splits_pruned;
+  metrics->metadata_cache_hits += fact_plan.metadata_cache_hits;
+  metrics->metadata_cache_misses += fact_plan.metadata_cache_misses;
+  metrics->metadata_cache_stale += fact_plan.metadata_cache_stale;
+  metrics->metadata_cache_errors += fact_plan.metadata_cache_errors;
+  totals.splits += fact_plan.splits.size();
+
+  const columnar::Schema& combined = *join->output_schema;
+  const size_t n_dim = combined.num_fields() - static_cast<size_t>(n_fact);
+  if (dim_batch->num_columns() != n_dim) {
+    return Status::Internal("join build schema mismatch");
+  }
+
+  std::unique_ptr<exec::HashAggregator> final_agg;   // storage partials
+  std::unique_ptr<exec::HashAggregator> partial_agg;  // engine-side partial
+  std::shared_ptr<Table> collected;                  // no aggregation
+  // Per user group key: gather from the partial batch (fact keys) or
+  // from the matched dim row (dim-referenced keys).
+  struct KeySource {
+    bool from_partial = false;
+    int index = -1;
+  };
+  std::vector<KeySource> key_sources;
+  SchemaPtr aug_schema;  // user group keys + storage partial columns
+  SchemaPtr joined_schema = post_stream.empty()
+                                ? join->output_schema
+                                : post_stream.back()->output_schema;
+  SchemaPtr partial_schema_ptr;  // storage_keys then partial agg columns
+  if (two_phase) {
+    // When storage rejects the offer the engine runs the IDENTICAL
+    // per-split partial phase itself (same decomposition, same row
+    // order), so accepted and rejected plans evaluate the same
+    // floating-point operation tree and agree bit-for-bit.
+    partial_schema_ptr =
+        storage_agg ? spec.output_schema
+                    : PartialOutputSchema(*spec.output_schema, storage_keys,
+                                          agg_node->aggregates);
+    const columnar::Schema& partial_schema = *partial_schema_ptr;
+    std::vector<columnar::Field> aug_fields;
+    for (int k : agg_node->group_keys) {
+      aug_fields.push_back(combined.field(k));
+      if (k < n_fact) {
+        KeySource src{true, -1};
+        for (size_t i = 0; i < storage_keys.size(); ++i) {
+          if (storage_keys[i] == k) src.index = static_cast<int>(i);
+        }
+        key_sources.push_back(src);
+      } else {
+        key_sources.push_back({false, k - n_fact});
+      }
+    }
+    for (size_t j = storage_keys.size(); j < partial_schema.num_fields(); ++j) {
+      aug_fields.push_back(partial_schema.field(j));
+    }
+    aug_schema = columnar::MakeSchema(std::move(aug_fields));
+    const size_t n_user_keys = agg_node->group_keys.size();
+    std::vector<int> iota_keys(n_user_keys);
+    for (size_t k = 0; k < n_user_keys; ++k) iota_keys[k] = static_cast<int>(k);
+    final_agg = std::make_unique<exec::HashAggregator>(
+        aug_schema, std::move(iota_keys),
+        FinalAggSpecs(agg_node->aggregates, n_user_keys));
+  } else if (agg_node) {
+    partial_agg = std::make_unique<exec::HashAggregator>(
+        joined_schema, agg_node->group_keys,
+        PartialAggSpecs(agg_node->aggregates));
+  } else {
+    collected = std::make_shared<Table>(joined_schema);
+  }
+
+  uint64_t probe_rows_in = 0;
+  uint64_t probe_rows_out = 0;
+  Stopwatch probe_timer_total;
+  // Probe one batch of partial rows (keyed by storage_keys) against the
+  // exact dim index — dropping bloom false positives — augment with the
+  // dim-referenced group keys, and feed the final merge.
+  auto merge_partials = [&](const columnar::RecordBatch& batch) -> Status {
+    probe_rows_in += batch.num_rows();
+    const columnar::Column& key_col = *batch.column(probe_pos);
+    columnar::SelectionVector sel;
+    columnar::SelectionVector dim_sel;
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      int64_t key;
+      if (!JoinKeyAt(key_col, r, &key)) continue;
+      auto it = dim_index.find(key);
+      if (it == dim_index.end()) continue;
+      sel.push_back(static_cast<uint32_t>(r));
+      dim_sel.push_back(it->second.front());  // keys are unique
+    }
+    if (sel.empty()) return Status::OK();
+    std::vector<columnar::ColumnPtr> cols;
+    for (const KeySource& src : key_sources) {
+      cols.push_back(src.from_partial
+                         ? columnar::Take(*batch.column(src.index), sel)
+                         : columnar::Take(*dim_batch->column(src.index),
+                                          dim_sel));
+    }
+    for (size_t j = storage_keys.size(); j < batch.num_columns(); ++j) {
+      cols.push_back(columnar::Take(*batch.column(j), sel));
+    }
+    RecordBatchPtr aug = columnar::MakeBatch(aug_schema, std::move(cols));
+    POCS_RETURN_NOT_OK(final_agg->Consume(*aug));
+    metrics->partial_agg_merges += sel.size();
+    probe_rows_out += sel.size();
+    return Status::OK();
+  };
+  for (const connector::Split& split : fact_plan.splits) {
+    POCS_ASSIGN_OR_RETURN(
+        std::unique_ptr<connector::PageSource> source,
+        conn.CreatePageSource(scan->table, split, spec));
+    // Rejected offer: the engine computes the same per-split partial
+    // phase storage would have run, from the raw fact rows.
+    std::unique_ptr<exec::HashAggregator> split_agg;
+    if (two_phase && !storage_agg) {
+      split_agg = std::make_unique<exec::HashAggregator>(
+          spec.output_schema, storage_keys,
+          PartialAggSpecs(agg_node->aggregates));
+    }
+    while (true) {
+      POCS_ASSIGN_OR_RETURN(RecordBatchPtr batch, source->Next());
+      if (!batch) break;
+      Stopwatch batch_timer;
+      if (storage_agg) {
+        // Batch rows are storage partials keyed by storage_keys.
+        POCS_RETURN_NOT_OK(merge_partials(*batch));
+      } else if (split_agg) {
+        POCS_RETURN_NOT_OK(split_agg->Consume(*batch));
+      } else {
+        // Raw fact rows: residual filters, probe, gather, post-join work.
+        for (PlanNode* node : fact_stream) {
+          POCS_ASSIGN_OR_RETURN(
+              batch, substrait::FilterBatch(node->predicate, *batch));
+          if (batch->num_rows() == 0) break;
+        }
+        if (batch->num_rows() == 0) {
+          residual += batch_timer.ElapsedSeconds();
+          continue;
+        }
+        probe_rows_in += batch->num_rows();
+        const columnar::Column& probe_col = *batch->column(join->probe_key);
+        columnar::SelectionVector sel;
+        columnar::SelectionVector dim_sel;
+        for (size_t r = 0; r < batch->num_rows(); ++r) {
+          int64_t key;
+          if (!JoinKeyAt(probe_col, r, &key)) continue;
+          auto it = dim_index.find(key);
+          if (it == dim_index.end()) continue;
+          for (uint32_t dim_row : it->second) {
+            sel.push_back(static_cast<uint32_t>(r));
+            dim_sel.push_back(dim_row);
+          }
+        }
+        if (!sel.empty()) {
+          RecordBatchPtr fact_part = columnar::TakeBatch(*batch, sel);
+          std::vector<columnar::ColumnPtr> cols(fact_part->columns());
+          for (size_t j = 0; j < n_dim; ++j) {
+            cols.push_back(columnar::Take(*dim_batch->column(j), dim_sel));
+          }
+          RecordBatchPtr joined =
+              columnar::MakeBatch(join->output_schema, std::move(cols));
+          for (PlanNode* node : post_stream) {
+            if (node->kind == NodeKind::kFilter) {
+              POCS_ASSIGN_OR_RETURN(
+                  joined, substrait::FilterBatch(node->predicate, *joined));
+            } else {
+              POCS_ASSIGN_OR_RETURN(joined, ApplyProjectNode(*node, *joined));
+            }
+            if (joined->num_rows() == 0) break;
+          }
+          if (joined->num_rows() > 0) {
+            probe_rows_out += joined->num_rows();
+            if (partial_agg) {
+              POCS_RETURN_NOT_OK(partial_agg->Consume(*joined));
+            } else {
+              collected->AppendBatch(joined);
+            }
+          }
+        }
+      }
+      residual += batch_timer.ElapsedSeconds();
+    }
+    if (split_agg) {
+      Stopwatch finish_timer;
+      POCS_ASSIGN_OR_RETURN(RecordBatchPtr partials, split_agg->Finish());
+      POCS_RETURN_NOT_OK(merge_partials(*partials));
+      residual += finish_timer.ElapsedSeconds();
+    }
+    FoldSourceStats(source->stats(), metrics, &totals);
+  }
+  metrics->operator_timings.push_back({"join.probe",
+                                       probe_timer_total.ElapsedSeconds(),
+                                       probe_rows_in, probe_rows_out});
+
+  // ---- simulated scan-stage time (both sides' splits) -----------------------
+  {
+    SplitStageTotals transfer_only = totals;
+    transfer_only.compute_seconds = 0;
+    metrics->pushdown_and_transfer =
+        SplitStageSeconds(transfer_only, config.time_model);
+  }
+  metrics->operator_timings.push_back(
+      {"plan_analysis", metrics->logical_plan_analysis, 0, 0});
+  metrics->operator_timings.push_back(
+      {"ir_generation", metrics->ir_generation, 0, 0});
+  metrics->operator_timings.push_back({"scan_transfer",
+                                       metrics->pushdown_and_transfer,
+                                       metrics->rows_scanned,
+                                       metrics->rows_from_storage});
+
+  // ---- merge stage -----------------------------------------------------------
+  Stopwatch merge_timer;
+  std::shared_ptr<Table> current;
+  if (two_phase) {
+    POCS_ASSIGN_OR_RETURN(current, FinalizeAggTable(*agg_node, final_agg.get()));
+  } else if (agg_node) {
+    POCS_ASSIGN_OR_RETURN(RecordBatchPtr partial_batch, partial_agg->Finish());
+    const size_t n_user_keys = agg_node->group_keys.size();
+    std::vector<int> iota_keys(n_user_keys);
+    for (size_t k = 0; k < n_user_keys; ++k) iota_keys[k] = static_cast<int>(k);
+    exec::HashAggregator merge_agg(
+        partial_agg->output_schema(), std::move(iota_keys),
+        FinalAggSpecs(agg_node->aggregates, n_user_keys));
+    POCS_RETURN_NOT_OK(merge_agg.Consume(*partial_batch));
+    POCS_ASSIGN_OR_RETURN(current, FinalizeAggTable(*agg_node, &merge_agg));
+  } else {
+    current = collected;
+  }
+  for (size_t i = merge_from; i < chain.size(); ++i) {
+    PlanNode* node = chain[i];
+    Stopwatch node_timer;
+    const uint64_t node_rows_in = current->num_rows();
+    POCS_ASSIGN_OR_RETURN(current, ApplyMergeNode(*node, std::move(current)));
+    metrics->operator_timings.push_back(
+        {"merge." + std::string(NodeKindName(node->kind)),
+         node_timer.ElapsedSeconds(), node_rows_in, current->num_rows()});
+  }
+  metrics->post_scan_execution += residual + merge_timer.ElapsedSeconds();
+  metrics->operator_timings.push_back(
+      {"post_scan", metrics->post_scan_execution, metrics->rows_from_storage,
+       current->num_rows()});
+  *residual_out = residual;
+  return current;
+}
+
 }  // namespace
 
 Result<QueryResult> QueryEngine::Execute(const std::string& sql,
@@ -106,7 +708,15 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql,
       query.schema_name.empty() ? "default" : query.schema_name;
   POCS_ASSIGN_OR_RETURN(connector::TableHandle table,
                         conn->GetTableHandle(schema_name, query.table_name));
-  POCS_ASSIGN_OR_RETURN(PlanNodePtr plan, AnalyzeQuery(query, table));
+  connector::TableHandle build_table;
+  const bool has_join = !query.join_table_name.empty();
+  if (has_join) {
+    POCS_ASSIGN_OR_RETURN(
+        build_table, conn->GetTableHandle(schema_name, query.join_table_name));
+  }
+  POCS_ASSIGN_OR_RETURN(
+      PlanNodePtr plan,
+      AnalyzeQuery(query, table, has_join ? &build_table : nullptr));
   POCS_RETURN_NOT_OK(PruneColumns(plan));
   result.logical_plan = PlanChainToString(*plan);
 
@@ -116,6 +726,104 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql,
   metrics.pushdown_decisions = local.decisions;
   result.optimized_plan = PlanChainToString(*plan);
   metrics.logical_plan_analysis = plan_timer.ElapsedSeconds();
+
+  // Shared epilogue of both execution paths: derive the per-kind pushdown
+  // counters from the decision log, close the simulated-time books, and
+  // notify listeners.
+  auto finish = [&](const std::shared_ptr<Table>& current,
+                    double residual_compute) {
+    result.table = current->Combine();
+    for (const auto& d : metrics.pushdown_decisions) {
+      if (d.kind == connector::PushedOperator::Kind::kPartialAggregation) {
+        if (d.accepted) {
+          ++metrics.partial_agg_accepted;
+        } else {
+          ++metrics.partial_agg_rejected;
+        }
+      } else if (d.kind == connector::PushedOperator::Kind::kJoinKeyBloom &&
+                 d.accepted) {
+        ++metrics.bloom_pushed;
+      }
+    }
+    metrics.others += std::max(
+        0.0, total_timer.ElapsedSeconds() -
+                 (metrics.logical_plan_analysis + metrics.ir_generation +
+                  residual_compute + metrics.storage_compute_seconds +
+                  metrics.others));
+    metrics.total = metrics.others + metrics.logical_plan_analysis +
+                    metrics.ir_generation + metrics.pushdown_and_transfer +
+                    metrics.post_scan_execution;
+
+    if (listeners_.empty()) return;
+    connector::QueryEvent event;
+    event.query_id = "q" + std::to_string(next_query_id_++);
+    event.connector_id = catalog;
+    event.decisions = metrics.pushdown_decisions;
+
+    connector::QueryStats& qs = event.stats;
+    qs.tenant = options.tenant;
+    qs.queue_wait_seconds = metrics.admission_queue_seconds;
+    qs.wall_seconds = total_timer.ElapsedSeconds();
+    qs.simulated_seconds = metrics.total;
+    qs.result_rows = result.table ? result.table->num_rows() : 0;
+    qs.rows_scanned = metrics.rows_scanned;
+    qs.rows_returned = metrics.rows_from_storage;
+    qs.bytes_from_storage = metrics.bytes_from_storage;
+    qs.bytes_to_storage = metrics.bytes_to_storage;
+    qs.splits = metrics.splits;
+    qs.splits_planned = metrics.splits_planned;
+    qs.splits_pruned = metrics.splits_pruned;
+    qs.metadata_cache_hits = metrics.metadata_cache_hits;
+    qs.metadata_cache_misses = metrics.metadata_cache_misses;
+    qs.metadata_cache_stale = metrics.metadata_cache_stale;
+    qs.metadata_cache_errors = metrics.metadata_cache_errors;
+    qs.row_groups_total = metrics.row_groups_total;
+    qs.row_groups_skipped = metrics.row_groups_skipped;
+    qs.retries = metrics.retries;
+    qs.fallbacks = metrics.fallbacks;
+    qs.failed_splits = metrics.failed_splits;
+    qs.row_groups_lazy_skipped = metrics.row_groups_lazy_skipped;
+    qs.row_groups_hint_skipped = metrics.row_groups_hint_skipped;
+    qs.cache_hits = metrics.cache_hits;
+    qs.cache_misses = metrics.cache_misses;
+    qs.cache_bytes_saved = metrics.cache_bytes_saved;
+    qs.bytes_refetched_on_retry = metrics.bytes_refetched_on_retry;
+    qs.partial_agg_accepted = metrics.partial_agg_accepted;
+    qs.partial_agg_rejected = metrics.partial_agg_rejected;
+    qs.bloom_pushed = metrics.bloom_pushed;
+    qs.bloom_rows_pruned = metrics.bloom_rows_pruned;
+    qs.partial_agg_merges = metrics.partial_agg_merges;
+    for (const auto& d : metrics.pushdown_decisions) {
+      ++qs.pushdown_offered;
+      if (d.accepted) {
+        ++qs.pushdown_accepted;
+      } else {
+        ++qs.pushdown_rejected;
+      }
+    }
+    qs.operator_timings = metrics.operator_timings;
+
+    // Legacy flat fields, mirrored from stats.
+    event.bytes_from_storage = qs.bytes_from_storage;
+    event.rows_from_storage = qs.rows_returned;
+    event.execution_seconds = qs.simulated_seconds;
+    for (const auto& listener : listeners_) listener->QueryCompleted(event);
+  };
+
+  // ---- join path (DESIGN.md §14) -------------------------------------------
+  PlanNode* join_node = nullptr;
+  for (PlanNode* n = plan.get(); n; n = n->input.get()) {
+    if (n->kind == NodeKind::kJoin) join_node = n;
+  }
+  if (join_node) {
+    double join_residual = 0;
+    POCS_ASSIGN_OR_RETURN(
+        std::shared_ptr<Table> joined,
+        ExecuteJoinChain(plan, *conn, config_, &metrics, &join_residual));
+    result.optimized_plan = PlanChainToString(*plan);  // includes late offers
+    finish(joined, join_residual);
+    return result;
+  }
 
   // ---- classify the executable chain ---------------------------------------
   std::vector<PlanNode*> chain;
@@ -275,6 +983,7 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql,
     metrics.cache_misses += out.stats.cache_misses;
     metrics.cache_bytes_saved += out.stats.cache_bytes_saved;
     metrics.bytes_refetched_on_retry += out.stats.bytes_refetched_on_retry;
+    metrics.bloom_rows_pruned += out.stats.bloom_rows_pruned;
     residual_compute += out.compute_seconds + out.stats.decode_seconds;
   }
   totals.splits = splits.size();
@@ -319,6 +1028,10 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql,
   if (agg_node) {
     Stopwatch agg_timer;
     const uint64_t agg_rows_in = current->num_rows();
+    if (agg_node->agg_step == AggregationStep::kFinal) {
+      // Inputs are storage-computed partials; count the merge volume.
+      metrics.partial_agg_merges += agg_rows_in;
+    }
     const size_t n_keys = agg_node->group_keys.size();
     exec::HashAggregator final_agg(
         current->schema(),
@@ -357,55 +1070,7 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql,
     PlanNode* node = chain[i];
     Stopwatch node_timer;
     const uint64_t node_rows_in = current->num_rows();
-    switch (node->kind) {
-      case NodeKind::kSort: {
-        POCS_ASSIGN_OR_RETURN(RecordBatchPtr sorted,
-                              exec::SortTable(*current, node->sort_fields));
-        current = std::make_shared<Table>(sorted->schema());
-        current->AppendBatch(std::move(sorted));
-        break;
-      }
-      case NodeKind::kTopN: {
-        POCS_ASSIGN_OR_RETURN(RecordBatchPtr sorted,
-                              exec::SortTable(*current, node->sort_fields));
-        columnar::SelectionVector head;
-        for (uint32_t r = 0;
-             r < std::min<uint64_t>(sorted->num_rows(), node->limit); ++r) {
-          head.push_back(r);
-        }
-        RecordBatchPtr top = columnar::TakeBatch(*sorted, head);
-        current = std::make_shared<Table>(top->schema());
-        current->AppendBatch(std::move(top));
-        break;
-      }
-      case NodeKind::kLimit: {
-        POCS_ASSIGN_OR_RETURN(current,
-                              exec::FetchTable(*current, 0, node->limit));
-        break;
-      }
-      case NodeKind::kProject: {
-        auto next = std::make_shared<Table>(node->output_schema);
-        for (const auto& batch : current->batches()) {
-          POCS_ASSIGN_OR_RETURN(RecordBatchPtr projected,
-                                ApplyProjectNode(*node, *batch));
-          next->AppendBatch(std::move(projected));
-        }
-        current = next;
-        break;
-      }
-      case NodeKind::kFilter: {
-        auto next = std::make_shared<Table>(current->schema());
-        for (const auto& batch : current->batches()) {
-          POCS_ASSIGN_OR_RETURN(RecordBatchPtr filtered,
-                                substrait::FilterBatch(node->predicate, *batch));
-          if (filtered->num_rows() > 0) next->AppendBatch(std::move(filtered));
-        }
-        current = next;
-        break;
-      }
-      default:
-        return Status::Internal("unexpected merge-stage node");
-    }
+    POCS_ASSIGN_OR_RETURN(current, ApplyMergeNode(*node, std::move(current)));
     metrics.operator_timings.push_back(
         {"merge." + std::string(NodeKindName(node->kind)),
          node_timer.ElapsedSeconds(), node_rows_in, current->num_rows()});
@@ -415,67 +1080,7 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql,
       {"post_scan", metrics.post_scan_execution, metrics.rows_from_storage,
        current->num_rows()});
 
-  result.table = current->Combine();
-  metrics.others += std::max(
-      0.0, total_timer.ElapsedSeconds() -
-               (metrics.logical_plan_analysis + metrics.ir_generation +
-                residual_compute + metrics.storage_compute_seconds +
-                metrics.others));
-  metrics.total = metrics.others + metrics.logical_plan_analysis +
-                  metrics.ir_generation + metrics.pushdown_and_transfer +
-                  metrics.post_scan_execution;
-
-  // ---- events ----------------------------------------------------------------
-  if (!listeners_.empty()) {
-    connector::QueryEvent event;
-    event.query_id = "q" + std::to_string(next_query_id_++);
-    event.connector_id = catalog;
-    event.decisions = metrics.pushdown_decisions;
-
-    connector::QueryStats& qs = event.stats;
-    qs.tenant = options.tenant;
-    qs.queue_wait_seconds = metrics.admission_queue_seconds;
-    qs.wall_seconds = total_timer.ElapsedSeconds();
-    qs.simulated_seconds = metrics.total;
-    qs.result_rows = result.table ? result.table->num_rows() : 0;
-    qs.rows_scanned = metrics.rows_scanned;
-    qs.rows_returned = metrics.rows_from_storage;
-    qs.bytes_from_storage = metrics.bytes_from_storage;
-    qs.bytes_to_storage = metrics.bytes_to_storage;
-    qs.splits = metrics.splits;
-    qs.splits_planned = metrics.splits_planned;
-    qs.splits_pruned = metrics.splits_pruned;
-    qs.metadata_cache_hits = metrics.metadata_cache_hits;
-    qs.metadata_cache_misses = metrics.metadata_cache_misses;
-    qs.metadata_cache_stale = metrics.metadata_cache_stale;
-    qs.metadata_cache_errors = metrics.metadata_cache_errors;
-    qs.row_groups_total = metrics.row_groups_total;
-    qs.row_groups_skipped = metrics.row_groups_skipped;
-    qs.retries = metrics.retries;
-    qs.fallbacks = metrics.fallbacks;
-    qs.failed_splits = metrics.failed_splits;
-    qs.row_groups_lazy_skipped = metrics.row_groups_lazy_skipped;
-    qs.row_groups_hint_skipped = metrics.row_groups_hint_skipped;
-    qs.cache_hits = metrics.cache_hits;
-    qs.cache_misses = metrics.cache_misses;
-    qs.cache_bytes_saved = metrics.cache_bytes_saved;
-    qs.bytes_refetched_on_retry = metrics.bytes_refetched_on_retry;
-    for (const auto& d : metrics.pushdown_decisions) {
-      ++qs.pushdown_offered;
-      if (d.accepted) {
-        ++qs.pushdown_accepted;
-      } else {
-        ++qs.pushdown_rejected;
-      }
-    }
-    qs.operator_timings = metrics.operator_timings;
-
-    // Legacy flat fields, mirrored from stats.
-    event.bytes_from_storage = qs.bytes_from_storage;
-    event.rows_from_storage = qs.rows_returned;
-    event.execution_seconds = qs.simulated_seconds;
-    for (const auto& listener : listeners_) listener->QueryCompleted(event);
-  }
+  finish(current, residual_compute);
   return result;
 }
 

@@ -33,6 +33,12 @@ struct EngineConfig {
   // Backpressure against wide scans: a 64-split query may only hold this
   // many workers/storage dispatches at once.
   size_t max_inflight_splits = 0;
+  // Sizing of the join-key bloom filter pushed to storage for semi-join
+  // reduction (DESIGN.md §14): bits per distinct build-side key. 10 bits
+  // ≈ 1% false positives (re-filtered engine-side, so this only trades
+  // bytes moved, never correctness). Tests shrink it to force false
+  // positives through the engine-side exact probe.
+  double join_bloom_bits_per_key = 10.0;
 };
 
 // Per-call execution options (Presto's session properties, reduced to
@@ -89,6 +95,14 @@ struct QueryMetrics {
   uint64_t cache_misses = 0;
   uint64_t cache_bytes_saved = 0;
   uint64_t bytes_refetched_on_retry = 0;
+  // Pushdown-pipeline accounting (DESIGN.md §14): partial-aggregation
+  // offers by outcome, join-key blooms attached to the pushed plan, rows
+  // storage pruned with them, and partial rows merged engine-side.
+  uint64_t partial_agg_accepted = 0;
+  uint64_t partial_agg_rejected = 0;
+  uint64_t bloom_pushed = 0;
+  uint64_t bloom_rows_pruned = 0;
+  uint64_t partial_agg_merges = 0;
   std::vector<connector::PushdownDecision> pushdown_decisions;
 
   // Stage/operator breakdown with row flow; see

@@ -47,6 +47,14 @@ Status PruneColumns(const PlanNodePtr& root) {
   PlanNode* scan = chain[0];
   const SchemaPtr& table_schema = scan->table.info.schema;
 
+  // Join plans are left unpruned: the nodes above the join reference the
+  // combined (fact + dim) schema, so the scan-schema remap below would
+  // corrupt them. The dimension table is small by contract and the fact
+  // side's reduction comes from the pushed bloom filter instead.
+  for (PlanNode* n : chain) {
+    if (n->kind == NodeKind::kJoin) return Status::OK();
+  }
+
   std::set<int> used;
   size_t i = 1;
   for (; i < chain.size(); ++i) {
@@ -155,6 +163,11 @@ void TrimResultColumns(const PlanNodePtr& scan,
                        const std::vector<PlanNodePtr>& residual_above_scan) {
   connector::ScanSpec& spec = scan->scan_spec;
   if (spec.operators.empty()) return;
+  // Join plans keep every scan column: the probe key and the columns the
+  // post-join nodes reference all live above the kJoin boundary.
+  for (const auto& n : residual_above_scan) {
+    if (n->kind == NodeKind::kJoin) return;
+  }
   for (const auto& op : spec.operators) {
     if (op.kind == connector::PushedOperator::Kind::kProject ||
         op.kind == connector::PushedOperator::Kind::kPartialAggregation) {

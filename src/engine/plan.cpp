@@ -13,6 +13,7 @@ std::string_view NodeKindName(NodeKind kind) {
     case NodeKind::kSort: return "Sort";
     case NodeKind::kTopN: return "TopN";
     case NodeKind::kLimit: return "Limit";
+    case NodeKind::kJoin: return "Join";
   }
   return "?";
 }
@@ -28,6 +29,9 @@ std::string PlanChainToString(const PlanNode& root) {
     os << NodeKindName((*it)->kind);
     if ((*it)->kind == NodeKind::kProject && (*it)->identity_project) {
       os << "(identity)";
+    }
+    if ((*it)->kind == NodeKind::kJoin && (*it)->build) {
+      os << "[build: " << PlanChainToString(*(*it)->build) << "]";
     }
     if ((*it)->kind == NodeKind::kTableScan &&
         !(*it)->scan_spec.operators.empty()) {

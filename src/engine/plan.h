@@ -26,6 +26,7 @@ enum class NodeKind : uint8_t {
   kSort,
   kTopN,
   kLimit,
+  kJoin,  // single INNER equi-join: probe = input (fact), build subplan
 };
 
 std::string_view NodeKindName(NodeKind kind);
@@ -67,6 +68,13 @@ struct PlanNode {
 
   // -- kTopN / kLimit
   int64_t limit = -1;
+
+  // -- kJoin (INNER equi-join; DESIGN.md §14). `input` is the probe
+  // (fact) side; `build` the dimension subplan executed first. Output
+  // schema is the probe schema followed by the build schema.
+  PlanNodePtr build;
+  int probe_key = -1;  // join key index in the probe (fact) schema
+  int build_key = -1;  // join key index in the build (dim) schema
 };
 
 // Pipeline description, e.g. "TableScan -> Filter -> Aggregation -> TopN".

@@ -95,6 +95,47 @@ void MirrorToRegistry(const ExecStats& stats, double plan_seconds) {
 
 }  // namespace
 
+columnar::SelectionVector BloomSelectRows(const columnar::Column& col,
+                                          const BloomFilter& bloom) {
+  columnar::SelectionVector sel;
+  sel.reserve(col.length());
+  for (size_t i = 0; i < col.length(); ++i) {
+    if (col.IsNull(i)) continue;
+    uint64_t key = 0;
+    switch (col.type()) {
+      case columnar::TypeKind::kInt64:
+        key = static_cast<uint64_t>(col.GetInt64(i));
+        break;
+      case columnar::TypeKind::kInt32:
+      case columnar::TypeKind::kDate32:
+        key = static_cast<uint64_t>(static_cast<int64_t>(col.GetInt32(i)));
+        break;
+      default:
+        sel.push_back(static_cast<uint32_t>(i));
+        continue;
+    }
+    if (bloom.MayContain(key)) sel.push_back(static_cast<uint32_t>(i));
+  }
+  return sel;
+}
+
+Result<columnar::RecordBatchPtr> BloomFilterSource::Next() {
+  while (true) {
+    POCS_ASSIGN_OR_RETURN(columnar::RecordBatchPtr batch, inner_->Next());
+    if (!batch) return batch;
+    if (bloom_column_ < 0 ||
+        static_cast<size_t>(bloom_column_) >= batch->num_columns()) {
+      return batch;
+    }
+    columnar::SelectionVector sel =
+        BloomSelectRows(*batch->column(bloom_column_), bloom_);
+    if (sel.size() == batch->num_rows()) return batch;
+    if (rows_pruned_) *rows_pruned_ += batch->num_rows() - sel.size();
+    if (sel.empty()) continue;  // whole batch pruned; pull the next one
+    return columnar::TakeBatch(*batch, sel);
+  }
+}
+
 Result<std::shared_ptr<Table>> ExecuteRel(const Rel& root,
                                           const ScanFactory& scan_factory,
                                           ExecStats* stats) {

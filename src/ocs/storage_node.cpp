@@ -4,6 +4,7 @@
 
 #include "columnar/ipc.h"
 #include "columnar/kernels.h"
+#include "common/bloom.h"
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/thread_annotations.h"
@@ -89,12 +90,15 @@ class ParquetObjectSource : public exec::BatchSource {
                       std::vector<int> columns, columnar::SchemaPtr schema,
                       std::vector<objectstore::SelectPredicate> pruning,
                       std::vector<uint32_t> row_group_hint,
+                      std::unique_ptr<BloomFilter> bloom, int bloom_column,
                       OcsExecStats* stats, RowGroupCache* cache,
                       std::string object_id, uint64_t version)
       : reader_(std::move(reader)),
         columns_(std::move(columns)),
         schema_(std::move(schema)),
         pruning_(std::move(pruning)),
+        bloom_(std::move(bloom)),
+        bloom_column_(bloom_column),
         stats_(stats),
         cache_(cache),
         object_id_(std::move(object_id)),
@@ -180,6 +184,32 @@ class ParquetObjectSource : public exec::BatchSource {
         }
       }
 
+      // Semi-join bloom reduction (DESIGN.md §14): decode the join-key
+      // column first and drop rows the bloom proves unmatched. A group
+      // where every key misses never materializes its other columns —
+      // the same late-materialization shape as the lazy-column path.
+      columnar::SelectionVector bloom_sel;
+      bool bloom_filters_rows = false;
+      if (bloom_ && bloom_column_ >= 0 &&
+          static_cast<size_t>(bloom_column_) < columns_.size()) {
+        const int key_col = columns_[bloom_column_];
+        auto it = fetched.find(key_col);
+        if (it == fetched.end()) {
+          POCS_ASSIGN_OR_RETURN(ColumnPtr col, FetchColumn(g, key_col));
+          it = fetched.emplace(key_col, std::move(col)).first;
+        }
+        const size_t group_rows = it->second->length();
+        bloom_sel = exec::BloomSelectRows(*it->second, *bloom_);
+        if (bloom_sel.empty()) {
+          stats_->bloom_rows_pruned += group_rows;
+          continue;
+        }
+        if (bloom_sel.size() < group_rows) {
+          stats_->bloom_rows_pruned += group_rows - bloom_sel.size();
+          bloom_filters_rows = true;
+        }
+      }
+
       std::vector<ColumnPtr> cols;
       cols.reserve(columns_.size());
       for (int c : columns_) {
@@ -191,7 +221,10 @@ class ParquetObjectSource : public exec::BatchSource {
           cols.push_back(std::move(col));
         }
       }
-      return columnar::MakeBatch(batch_schema_, std::move(cols));
+      RecordBatchPtr batch = columnar::MakeBatch(batch_schema_,
+                                                 std::move(cols));
+      if (bloom_filters_rows) batch = columnar::TakeBatch(*batch, bloom_sel);
+      return batch;
     }
     return RecordBatchPtr{};
   }
@@ -240,6 +273,8 @@ class ParquetObjectSource : public exec::BatchSource {
   columnar::SchemaPtr batch_schema_;
   std::vector<objectstore::SelectPredicate> pruning_;
   std::vector<bool> hinted_;  // empty = no hint; else hinted_[g] = keep
+  std::unique_ptr<BloomFilter> bloom_;  // null = no pushed bloom filter
+  int bloom_column_ = -1;               // position in columns_ order
   OcsExecStats* stats_;
   RowGroupCache* cache_;
   std::string object_id_;
@@ -294,12 +329,22 @@ Result<OcsResult> StorageNode::ExecutePlan(const substrait::Plan& plan) const {
     if (!r.row_group_hint.empty() && r.hint_version == object.version) {
       hint = r.row_group_hint;
     }
+    // Same version-pin discipline for the pushed bloom filter: apply it
+    // only when it was built against this exact object version. A stale
+    // pin silently degrades to an unfiltered scan — the engine's exact
+    // probe keeps the answer correct either way.
+    std::unique_ptr<BloomFilter> bloom;
+    if (!r.bloom_words.empty() && r.bloom_version == object.version) {
+      bloom = std::make_unique<BloomFilter>(r.bloom_words, r.bloom_hashes,
+                                            r.bloom_seed);
+    }
     result.stats.row_groups_total += reader->num_row_groups();
     result.stats.object_version = object.version;
     return std::unique_ptr<exec::BatchSource>(std::make_unique<ParquetObjectSource>(
         std::move(reader), r.read_columns, std::move(scan_schema),
-        std::move(pruning), std::move(hint), &result.stats,
-        rowgroup_cache_.get(), r.bucket + "/" + r.object, object.version));
+        std::move(pruning), std::move(hint), std::move(bloom), r.bloom_column,
+        &result.stats, rowgroup_cache_.get(), r.bucket + "/" + r.object,
+        object.version));
   };
 
   exec::ExecStats exec_stats;
@@ -331,8 +376,10 @@ Result<OcsResult> StorageNode::ExecutePlan(const substrait::Plan& plan) const {
         reg.GetCounter("storage.row_groups_hint_skipped");
     static auto& cache_saved_bytes =
         reg.GetCounter("storage.cache_bytes_saved");
+    static auto& bloom_pruned = reg.GetCounter("storage.bloom_rows_pruned");
     static auto& compute = reg.GetHistogram("storage.compute_seconds");
     plans.Increment();
+    bloom_pruned.Add(result.stats.bloom_rows_pruned);
     rows_scanned.Add(result.stats.rows_scanned);
     rows_output.Add(result.stats.rows_output);
     media_bytes.Add(result.stats.object_bytes_read);
@@ -393,6 +440,7 @@ void EncodeOcsResult(const OcsResult& result, BufferWriter* out) {
   out->WriteVarint(result.stats.cache_hits);
   out->WriteVarint(result.stats.cache_misses);
   out->WriteVarint(result.stats.cache_bytes_saved);
+  out->WriteVarint(result.stats.bloom_rows_pruned);
   out->WriteVarint(result.stats.object_version);
   out->WriteLE<double>(result.stats.storage_compute_seconds);
   out->WriteLE<double>(result.stats.media_read_seconds);
@@ -415,6 +463,7 @@ Result<OcsResult> DecodeOcsResult(BufferReader* in) {
   POCS_ASSIGN_OR_RETURN(result.stats.cache_hits, in->ReadVarint());
   POCS_ASSIGN_OR_RETURN(result.stats.cache_misses, in->ReadVarint());
   POCS_ASSIGN_OR_RETURN(result.stats.cache_bytes_saved, in->ReadVarint());
+  POCS_ASSIGN_OR_RETURN(result.stats.bloom_rows_pruned, in->ReadVarint());
   POCS_ASSIGN_OR_RETURN(result.stats.object_version, in->ReadVarint());
   POCS_ASSIGN_OR_RETURN(result.stats.storage_compute_seconds,
                         in->ReadLE<double>());

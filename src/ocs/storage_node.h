@@ -80,6 +80,11 @@ struct OcsExecStats {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_bytes_saved = 0;      // media bytes avoided by hits
+  // Rows dropped by the pushed join-key bloom filter before leaving the
+  // node (DESIGN.md §14). Only counted when the filter's version pin
+  // matched the object — a stale bloom is ignored wholesale, like a
+  // stale row-group hint.
+  uint64_t bloom_rows_pruned = 0;
   // Version of the object this plan scanned (0 if unknown) — the
   // connector's split-result cache keys on it.
   uint64_t object_version = 0;

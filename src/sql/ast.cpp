@@ -88,6 +88,10 @@ std::string Query::ToString() const {
   os << " FROM ";
   if (!schema_name.empty()) os << schema_name << ".";
   os << table_name;
+  if (!join_table_name.empty()) {
+    os << " JOIN " << join_table_name << " ON " << join_on_left << " = "
+       << join_on_right;
+  }
   if (where) os << " WHERE " << where->ToString();
   if (!group_by.empty()) {
     os << " GROUP BY ";

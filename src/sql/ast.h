@@ -74,6 +74,12 @@ struct Query {
   std::vector<SelectItem> items;
   std::string schema_name;  // empty = default schema
   std::string table_name;
+  // Single INNER equi-join: FROM <table> [INNER] JOIN <join_table>
+  // ON <col> = <col>. Column names are unqualified and must be globally
+  // unique across the two tables. Empty join_table_name = no join.
+  std::string join_table_name;
+  std::string join_on_left;
+  std::string join_on_right;
   AstExprPtr where;  // may be null
   std::vector<AstExprPtr> group_by;
   // HAVING predicate; may only reference group keys and SELECT aliases.

@@ -49,6 +49,21 @@ class Parser {
     } else {
       query.table_name = name;
     }
+    // [INNER] JOIN dim ON col = col — a single equi-join over unqualified,
+    // globally unique column names (the engine validates uniqueness).
+    bool has_join = AcceptKeyword("inner");
+    if (has_join) {
+      POCS_RETURN_NOT_OK(ExpectKeyword("join"));
+    } else {
+      has_join = AcceptKeyword("join");
+    }
+    if (has_join) {
+      POCS_ASSIGN_OR_RETURN(query.join_table_name, ExpectIdentifier());
+      POCS_RETURN_NOT_OK(ExpectKeyword("on"));
+      POCS_ASSIGN_OR_RETURN(query.join_on_left, ExpectIdentifier());
+      POCS_RETURN_NOT_OK(ExpectOperator("="));
+      POCS_ASSIGN_OR_RETURN(query.join_on_right, ExpectIdentifier());
+    }
     if (AcceptKeyword("where")) {
       POCS_ASSIGN_OR_RETURN(query.where, ParseOr());
     }
@@ -156,7 +171,8 @@ class Parser {
     static const char* kKeywords[] = {
         "select", "from",  "where", "group", "by",    "order", "limit",
         "and",    "or",    "not",   "as",    "asc",   "desc",  "between",
-        "date",   "interval", "day", "in",   "is",    "null",  "having"};
+        "date",   "interval", "day", "in",   "is",    "null",  "having",
+        "join",   "inner", "on"};
     for (const char* kw : kKeywords) {
       if (word == kw) return true;
     }

@@ -22,6 +22,15 @@ std::string_view RelKindName(RelKind kind) {
   return "?";
 }
 
+std::string_view AggPhaseName(AggPhase phase) {
+  switch (phase) {
+    case AggPhase::kSingle: return "single";
+    case AggPhase::kPartial: return "partial";
+    case AggPhase::kFinal: return "final";
+  }
+  return "?";
+}
+
 namespace {
 
 // Checks that every field reference in expr is valid against the schema
@@ -76,6 +85,18 @@ Result<SchemaPtr> OutputSchema(const Rel& rel) {
   if (rel.kind == RelKind::kRead) {
     if (rel.input) return Status::InvalidArgument("read rel has an input");
     if (!rel.base_schema) return Status::InvalidArgument("read rel: no schema");
+    const size_t scan_width = rel.read_columns.empty()
+                                  ? rel.base_schema->num_fields()
+                                  : rel.read_columns.size();
+    if (!rel.bloom_words.empty()) {
+      if (rel.bloom_column < 0 ||
+          static_cast<size_t>(rel.bloom_column) >= scan_width) {
+        return Status::InvalidArgument("read rel: bloom column out of range");
+      }
+      if (rel.bloom_hashes == 0) {
+        return Status::InvalidArgument("read rel: bloom with zero hashes");
+      }
+    }
     if (rel.read_columns.empty()) return SchemaPtr(rel.base_schema);
     std::vector<Field> fields;
     for (int c : rel.read_columns) {
@@ -180,7 +201,12 @@ std::string PlanToString(const Plan& plan) {
     if (it != chain.rbegin()) os << " -> ";
     os << RelKindName((*it)->kind);
     if ((*it)->kind == RelKind::kRead) {
-      os << "(" << (*it)->bucket << "/" << (*it)->object << ")";
+      os << "(" << (*it)->bucket << "/" << (*it)->object;
+      if (!(*it)->bloom_words.empty()) os << ", bloom";
+      os << ")";
+    } else if ((*it)->kind == RelKind::kAggregate &&
+               (*it)->agg_phase != AggPhase::kSingle) {
+      os << "(" << AggPhaseName((*it)->agg_phase) << ")";
     }
   }
   return os.str();
@@ -196,11 +222,17 @@ std::unique_ptr<Rel> CloneRel(const Rel& rel) {
   out->read_columns = rel.read_columns;
   out->row_group_hint = rel.row_group_hint;
   out->hint_version = rel.hint_version;
+  out->bloom_words = rel.bloom_words;
+  out->bloom_hashes = rel.bloom_hashes;
+  out->bloom_seed = rel.bloom_seed;
+  out->bloom_column = rel.bloom_column;
+  out->bloom_version = rel.bloom_version;
   out->predicate = rel.predicate;
   out->expressions = rel.expressions;
   out->output_names = rel.output_names;
   out->group_keys = rel.group_keys;
   out->aggregates = rel.aggregates;
+  out->agg_phase = rel.agg_phase;
   out->sort_fields = rel.sort_fields;
   out->offset = rel.offset;
   out->count = rel.count;

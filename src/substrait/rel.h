@@ -27,6 +27,20 @@ enum class RelKind : uint8_t {
 
 std::string_view RelKindName(RelKind kind);
 
+// Phase marker for AggregateRel: whether the relation computes the whole
+// aggregation (kSingle), the storage-side partial half of a two-phase
+// decomposition (kPartial — the aggregate specs are already rewritten via
+// engine::PartialAggSpecs, AVG as sum+count), or the engine-side merge
+// (kFinal). Storage only ever receives kSingle or kPartial; the marker
+// makes pushed plans self-describing for logging and audits.
+enum class AggPhase : uint8_t {
+  kSingle = 0,
+  kPartial = 1,
+  kFinal = 2,
+};
+
+std::string_view AggPhaseName(AggPhase phase);
+
 struct SortField {
   int field = 0;  // index into input schema
   bool ascending = true;
@@ -48,6 +62,18 @@ struct Rel {
   // computed from stale stats silently degrades to a full scan.
   std::vector<uint32_t> row_group_hint;
   uint64_t hint_version = 0;
+  // Semi-join bloom filter over one scan-output column (DESIGN.md §14):
+  // rows whose key misses the filter are dropped at the scan, before any
+  // bytes leave the storage node. Empty `bloom_words` = no filter.
+  // Advisory like the row-group hint — storage honors it only when
+  // bloom_version matches the object's current version; a stale pin
+  // degrades to an unfiltered scan (the engine's exact probe re-checks
+  // every row, so false positives and skipped filters are both safe).
+  std::vector<uint64_t> bloom_words;
+  uint32_t bloom_hashes = 0;
+  uint64_t bloom_seed = 0;
+  int bloom_column = -1;  // index into the scan output (read_columns order)
+  uint64_t bloom_version = 0;
 
   // -- kFilter
   Expression predicate;
@@ -59,6 +85,7 @@ struct Rel {
   // -- kAggregate
   std::vector<int> group_keys;  // indices into input schema
   std::vector<AggregateSpec> aggregates;
+  AggPhase agg_phase = AggPhase::kSingle;
 
   // -- kSort
   std::vector<SortField> sort_fields;

@@ -86,6 +86,14 @@ void WriteRel(const Rel& rel, BufferWriter* out) {
       out->WriteVarint(rel.hint_version);
       out->WriteVarint(rel.row_group_hint.size());
       for (uint32_t g : rel.row_group_hint) out->WriteVarint(g);
+      out->WriteVarint(rel.bloom_words.size());
+      if (!rel.bloom_words.empty()) {
+        for (uint64_t w : rel.bloom_words) out->WriteLE<uint64_t>(w);
+        out->WriteVarint(rel.bloom_hashes);
+        out->WriteVarint(rel.bloom_seed);
+        out->WriteSVarint(rel.bloom_column);
+        out->WriteVarint(rel.bloom_version);
+      }
       break;
     case RelKind::kFilter:
       WriteExpression(rel.predicate, out);
@@ -106,6 +114,7 @@ void WriteRel(const Rel& rel, BufferWriter* out) {
         WriteExpression(agg.argument, out);
         out->WriteString(agg.output_name);
       }
+      out->WriteU8(static_cast<uint8_t>(rel.agg_phase));
       break;
     case RelKind::kSort:
       out->WriteVarint(rel.sort_fields.size());
@@ -154,6 +163,26 @@ Result<std::unique_ptr<Rel>> ReadRel(BufferReader* in, int depth) {
         POCS_ASSIGN_OR_RETURN(uint64_t g, in->ReadVarint());
         rel->row_group_hint.push_back(static_cast<uint32_t>(g));
       }
+      POCS_ASSIGN_OR_RETURN(uint64_t n_bloom, in->ReadVarint());
+      if (n_bloom > (1u << 20)) {
+        return Status::Corruption("rel: bloom filter too large");
+      }
+      if (n_bloom > 0) {
+        rel->bloom_words.reserve(n_bloom);
+        for (uint64_t i = 0; i < n_bloom; ++i) {
+          POCS_ASSIGN_OR_RETURN(uint64_t w, in->ReadLE<uint64_t>());
+          rel->bloom_words.push_back(w);
+        }
+        POCS_ASSIGN_OR_RETURN(uint64_t hashes, in->ReadVarint());
+        if (hashes == 0 || hashes > 64) {
+          return Status::Corruption("rel: bad bloom hash count");
+        }
+        rel->bloom_hashes = static_cast<uint32_t>(hashes);
+        POCS_ASSIGN_OR_RETURN(rel->bloom_seed, in->ReadVarint());
+        POCS_ASSIGN_OR_RETURN(int64_t bc, in->ReadSVarint());
+        rel->bloom_column = static_cast<int>(bc);
+        POCS_ASSIGN_OR_RETURN(rel->bloom_version, in->ReadVarint());
+      }
       break;
     }
     case RelKind::kFilter: {
@@ -191,6 +220,11 @@ Result<std::unique_ptr<Rel>> ReadRel(BufferReader* in, int depth) {
         POCS_ASSIGN_OR_RETURN(agg.output_name, in->ReadString());
         rel->aggregates.push_back(std::move(agg));
       }
+      POCS_ASSIGN_OR_RETURN(uint8_t phase, in->ReadU8());
+      if (phase > static_cast<uint8_t>(AggPhase::kFinal)) {
+        return Status::Corruption("rel: bad aggregate phase");
+      }
+      rel->agg_phase = static_cast<AggPhase>(phase);
       break;
     }
     case RelKind::kSort: {

@@ -8,7 +8,7 @@ namespace pocs::workloads {
 
 std::vector<std::string> ChaosProfiles() {
   return {"crash-storage", "slow-link", "partition", "flaky-rpc",
-          "flaky-rpc-cached", "stats-drop"};
+          "flaky-rpc-cached", "stats-drop", "join-drop"};
 }
 
 Result<ChaosExpectation> ChaosExpectationFor(const std::string& profile) {
@@ -27,6 +27,12 @@ Result<ChaosExpectation> ChaosExpectationFor(const std::string& profile) {
   if (profile == "stats-drop") {
     return ChaosExpectation{.expect_stats_unavailable = true};
   }
+  if (profile == "join-drop") {
+    // In-storage execution is gone, so pushed join-key blooms and partial
+    // aggregations cannot run at storage; every split must recover
+    // through the engine-side fallback with identical rows.
+    return ChaosExpectation{.expect_fallbacks = true};
+  }
   return Status::InvalidArgument("unknown chaos profile: " + profile);
 }
 
@@ -36,7 +42,8 @@ Result<TestbedConfig> MakeChaosTestbedConfig(const ChaosConfig& config) {
   connectors::OcsDispatchPolicy& d = bed.ocs_connector.dispatch;
   d.call.jitter_seed = config.seed;
   d.fallback_call.jitter_seed = config.seed + 1;
-  if (config.profile == "none" || config.profile == "crash-storage") {
+  if (config.profile == "none" || config.profile == "crash-storage" ||
+      config.profile == "join-drop") {
     // Defaults: 3 attempts, no deadline. A crashed exec engine fails all
     // three, then the split re-plans through the fallback.
   } else if (config.profile == "slow-link") {
@@ -83,7 +90,7 @@ Status ApplyChaos(Testbed* bed, const ChaosConfig& config) {
     bed->SetFaultPlan(nullptr);
     return Status::OK();
   }
-  if (config.profile == "crash-storage") {
+  if (config.profile == "crash-storage" || config.profile == "join-drop") {
     for (size_t i = 0; i < bed->cluster().num_storage_nodes(); ++i) {
       bed->cluster().mutable_storage_node(i).faults().exec_crashed.store(true);
     }
@@ -155,15 +162,23 @@ Status IngestChaosDatasets(Testbed* bed) {
   deepwater.rows_per_file = 1 << 12;
   deepwater.rows_per_group = 1 << 10;
   POCS_ASSIGN_OR_RETURN(GeneratedDataset impact, GenerateDeepWater(deepwater));
-  return bed->Ingest(std::move(impact));
+  POCS_RETURN_NOT_OK(bed->Ingest(std::move(impact)));
+
+  SupplierConfig supplier;
+  supplier.num_suppliers = 500;
+  POCS_ASSIGN_OR_RETURN(GeneratedDataset dim, GenerateSupplier(supplier));
+  return bed->Ingest(std::move(dim));
 }
 
 std::vector<std::pair<std::string, std::string>> ChaosQueries() {
+  // Existing indices are load-bearing for seeded replay tests: only
+  // append at the end.
   return {
       {"tpch_q1", TpchQ1("lineitem")},
       {"tpch_q6", TpchQ6("lineitem")},
       {"laghos", LaghosQuery("laghos")},
       {"deepwater", DeepWaterQuery("deepwater")},
+      {"tpch_join", TpchJoinQuery("lineitem", "supplier")},
   };
 }
 

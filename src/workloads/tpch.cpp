@@ -144,4 +144,46 @@ std::string TpchSelectiveQuery(const std::string& table,
          "AND orderkey <= " + std::to_string(max_orderkey);
 }
 
+columnar::SchemaPtr SupplierSchema() {
+  return MakeSchema({{"s_suppkey", TypeKind::kInt64},
+                     {"s_nationkey", TypeKind::kInt32},
+                     {"s_acctbal", TypeKind::kFloat64}});
+}
+
+Result<GeneratedDataset> GenerateSupplier(const SupplierConfig& config) {
+  auto schema = SupplierSchema();
+  DatasetBuilder builder("default", "supplier", "tpch", schema);
+  format::WriterOptions options;
+  options.codec = config.codec;
+  options.rows_per_group = config.rows_per_group;
+
+  auto suppkey = MakeColumn(TypeKind::kInt64);
+  auto nationkey = MakeColumn(TypeKind::kInt32);
+  auto acctbal = MakeColumn(TypeKind::kFloat64);
+  for (size_t s = 1; s <= config.num_suppliers; ++s) {
+    suppkey->AppendInt64(static_cast<int64_t>(s));
+    nationkey->AppendInt32(static_cast<int32_t>(s % 25));
+    // dbgen: acctbal ∈ [-999.99, 9999.99]; derived, not random, so the
+    // dataset is a pure function of the config.
+    acctbal->AppendFloat64(-999.99 +
+                           static_cast<double>((s * 7919) % 1099998) / 100.0);
+  }
+  auto batch = MakeBatch(schema, {suppkey, nationkey, acctbal});
+  POCS_RETURN_NOT_OK(builder.AddFile("supplier/part-0", {batch}, options));
+  return builder.Finish();
+}
+
+std::string TpchJoinQuery(const std::string& fact, const std::string& dim,
+                          int64_t nations) {
+  return "SELECT s_nationkey, "
+         "SUM(extendedprice) AS revenue, "
+         "AVG(quantity) AS avg_qty, "
+         "COUNT(*) AS lines "
+         "FROM " + fact + " JOIN " + dim +
+         " ON suppkey = s_suppkey "
+         "WHERE s_nationkey < " + std::to_string(nations) +
+         " GROUP BY s_nationkey "
+         "ORDER BY s_nationkey";
+}
+
 }  // namespace pocs::workloads

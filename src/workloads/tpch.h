@@ -46,4 +46,29 @@ std::string TpchQ6(const std::string& table = "lineitem");
 std::string TpchSelectiveQuery(const std::string& table = "lineitem",
                                int64_t max_orderkey = 1000);
 
+// supplier dimension table for the multi-table workload (DESIGN.md §14).
+// Column names are prefixed `s_` because the SQL dialect has no qualified
+// references: names must be globally unique across a join's two tables.
+// s_suppkey covers 1..num_suppliers — the same domain lineitem's suppkey
+// draws from — and s_nationkey = s_suppkey % 25, so a nation filter keeps
+// ~1/25 of suppliers and the pushed join-key bloom prunes most fact rows.
+struct SupplierConfig {
+  size_t num_suppliers = 1000;
+  size_t rows_per_group = 1 << 9;
+  compress::CodecType codec = compress::CodecType::kNone;
+};
+
+columnar::SchemaPtr SupplierSchema();
+
+Result<GeneratedDataset> GenerateSupplier(const SupplierConfig& config);
+
+// Multi-table join shape: dimension filter + fact scan + group-by.
+// Aggregate arguments are plain fact columns and the aggregation sits
+// directly above the join, so the connector may take both the join-key
+// bloom and the storage-side partial phase (`nations` bounds the
+// s_nationkey dimension filter).
+std::string TpchJoinQuery(const std::string& fact = "lineitem",
+                          const std::string& dim = "supplier",
+                          int64_t nations = 5);
+
 }  // namespace pocs::workloads

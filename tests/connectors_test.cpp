@@ -245,9 +245,10 @@ TEST(TranslatorTest, FilterAggTopnPipeline) {
   auto plan = TranslateScanSpec(table, split, spec);
   ASSERT_TRUE(plan.ok()) << plan.status();
   // Read -> Filter -> Aggregate -> Project(aux) -> Sort -> Fetch -> Project
+  // (the pushed aggregation is the storage-side partial phase)
   EXPECT_EQ(substrait::PlanToString(*plan),
-            "Read(hpc/laghos/part-0) -> Filter -> Aggregate -> Project -> "
-            "Sort -> Fetch -> Project");
+            "Read(hpc/laghos/part-0) -> Filter -> Aggregate(partial) -> "
+            "Project -> Sort -> Fetch -> Project");
   // The plan's final schema is the canonical partial schema.
   auto schema = substrait::OutputSchema(*plan->root);
   ASSERT_TRUE(schema.ok());

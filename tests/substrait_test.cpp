@@ -218,6 +218,50 @@ TEST(SerializeTest, PlanRoundtrip) {
   EXPECT_EQ(PlanToString(*rt), PlanToString(plan));
 }
 
+// The pushdown-pipeline extensions (DESIGN.md §14): a read rel carrying
+// a version-pinned join-key bloom, and a partial-phase aggregation, must
+// survive the wire bit-for-bit.
+TEST(SerializeTest, BloomAndAggPhaseRoundtrip) {
+  Plan plan = FullPlan();
+  Rel* agg = plan.root->input.get();  // Fetch -> Sort -> Aggregate
+  ASSERT_EQ(agg->kind, RelKind::kSort);
+  agg = agg->input.get();
+  ASSERT_EQ(agg->kind, RelKind::kAggregate);
+  agg->agg_phase = AggPhase::kPartial;
+  Rel* read = agg->input->input.get();  // Filter -> Read
+  ASSERT_EQ(read->kind, RelKind::kRead);
+  read->bloom_words = {0x0123456789abcdefull, 0xfedcba9876543210ull, 1, 0};
+  read->bloom_hashes = 5;
+  read->bloom_seed = 0x706f63736a6f696eull;
+  read->bloom_column = 1;
+  read->bloom_version = 42;
+
+  ASSERT_TRUE(ValidatePlan(plan).ok());
+  Bytes data = SerializePlan(plan);
+  auto rt = DeserializePlan(ByteSpan(data.data(), data.size()));
+  ASSERT_TRUE(rt.ok()) << rt.status();
+  Bytes data2 = SerializePlan(*rt);
+  EXPECT_EQ(data, data2);
+
+  const Rel* rt_agg = rt->root->input->input.get();
+  ASSERT_EQ(rt_agg->kind, RelKind::kAggregate);
+  EXPECT_EQ(rt_agg->agg_phase, AggPhase::kPartial);
+  const Rel* rt_read = rt_agg->input->input.get();
+  ASSERT_EQ(rt_read->kind, RelKind::kRead);
+  EXPECT_EQ(rt_read->bloom_words, read->bloom_words);
+  EXPECT_EQ(rt_read->bloom_hashes, 5u);
+  EXPECT_EQ(rt_read->bloom_seed, 0x706f63736a6f696eull);
+  EXPECT_EQ(rt_read->bloom_column, 1);
+  EXPECT_EQ(rt_read->bloom_version, 42u);
+
+  // A plan without a bloom must serialize to different (smaller) bytes —
+  // the fields are not silently dropped on the wire.
+  Plan bare = FullPlan();
+  Rel* bare_agg = bare.root->input->input.get();
+  bare_agg->agg_phase = AggPhase::kPartial;
+  EXPECT_NE(SerializePlan(bare), data);
+}
+
 TEST(SerializeTest, ExpressionRoundtripAllFuncs) {
   for (int f = 0; f <= static_cast<int>(ScalarFunc::kNegate); ++f) {
     ScalarFunc func = static_cast<ScalarFunc>(f);

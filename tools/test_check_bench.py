@@ -246,6 +246,48 @@ class CheckBenchTest(unittest.TestCase):
         self.assertEqual(result.returncode, 1)
         self.assertIn("process.connector.metadata_cache.hit", result.stdout)
 
+    # The PR 9 pushdown gates: the pushed join must actually prune fact
+    # rows with the bloom at storage, and the engine must actually merge
+    # storage-computed partial aggregates.
+    PUSHDOWN = {
+        "tpch.join_pushdown.pushdown.bloom_rows_pruned": ("exact", 6457),
+        "process.engine.partial_agg_merges": ("exact", 395),
+    }
+
+    def test_pushdown_gates_pass_when_positive(self):
+        metrics = dict(self.BASE, **self.PUSHDOWN)
+        base = self.write("base.json", make_report(metrics))
+        cand = self.write("cand.json", make_report(metrics))
+        result = self.run_check(
+            cand, base,
+            "--require-nonzero-glob",
+            "tpch.join_pushdown.pushdown.bloom_rows_pruned",
+            "--require-nonzero-glob", "process.engine.partial_agg_merges")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_pushdown_gate_fails_when_bloom_stops_pruning(self):
+        metrics = dict(self.BASE, **self.PUSHDOWN)
+        metrics["tpch.join_pushdown.pushdown.bloom_rows_pruned"] = ("exact", 0)
+        base = self.write("base.json", make_report(metrics))
+        cand = self.write("cand.json", make_report(metrics))
+        result = self.run_check(
+            cand, base,
+            "--require-nonzero-glob",
+            "tpch.join_pushdown.pushdown.bloom_rows_pruned")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("bloom_rows_pruned", result.stdout)
+
+    def test_pushdown_gate_fails_when_merges_disappear(self):
+        metrics = dict(self.BASE, **self.PUSHDOWN)
+        del metrics["process.engine.partial_agg_merges"]
+        base = self.write("base.json", make_report(metrics))
+        cand = self.write("cand.json", make_report(metrics))
+        result = self.run_check(
+            cand, base,
+            "--require-nonzero-glob", "process.engine.partial_agg_merges")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("no candidate metric matches", result.stdout)
+
     def test_unreadable_candidate_is_hard_error(self):
         base = self.write("base.json", make_report(self.BASE))
         cand = self.write("cand.json", "{not json")
