@@ -2,8 +2,18 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string_view>
 
 #include "common/hash.h"
+
+// Vectorization hint for provably dependence-free elementwise loops.
+// GCC's ivdep is a pure hint (never diagnoses on failure); under other
+// compilers the plain loop is the scalar fallback and -O level decides.
+#if defined(__GNUC__) && !defined(__clang__)
+#define POCS_VEC_LOOP _Pragma("GCC ivdep")
+#else
+#define POCS_VEC_LOOP
+#endif
 
 namespace pocs::columnar {
 
@@ -21,33 +31,181 @@ std::string_view CompareOpName(CompareOp op) {
 
 namespace {
 
-template <typename T, typename Getter>
-void CompareLoop(const Column& col, CompareOp op, T lit, Getter get,
-                 const SelectionVector* input, SelectionVector* out) {
-  auto test = [&](T v) {
-    switch (op) {
-      case CompareOp::kEq: return v == lit;
-      case CompareOp::kNe: return v != lit;
-      case CompareOp::kLt: return v < lit;
-      case CompareOp::kLe: return v <= lit;
-      case CompareOp::kGt: return v > lit;
-      case CompareOp::kGe: return v >= lit;
+// The comparison op is a template parameter so the hot loops compile to
+// a single branch-free compare per element instead of a per-row switch.
+template <CompareOp Op, typename T>
+inline bool OpTest(T v, T lit) {
+  if constexpr (Op == CompareOp::kEq) return v == lit;
+  if constexpr (Op == CompareOp::kNe) return v != lit;
+  if constexpr (Op == CompareOp::kLt) return v < lit;
+  if constexpr (Op == CompareOp::kLe) return v <= lit;
+  if constexpr (Op == CompareOp::kGt) return v > lit;
+  if constexpr (Op == CompareOp::kGe) return v >= lit;
+  return false;
+}
+
+template <typename F>
+size_t WithOp(CompareOp op, F&& f) {
+  switch (op) {
+    case CompareOp::kEq:
+      return f(std::integral_constant<CompareOp, CompareOp::kEq>{});
+    case CompareOp::kNe:
+      return f(std::integral_constant<CompareOp, CompareOp::kNe>{});
+    case CompareOp::kLt:
+      return f(std::integral_constant<CompareOp, CompareOp::kLt>{});
+    case CompareOp::kLe:
+      return f(std::integral_constant<CompareOp, CompareOp::kLe>{});
+    case CompareOp::kGt:
+      return f(std::integral_constant<CompareOp, CompareOp::kGt>{});
+    case CompareOp::kGe:
+      return f(std::integral_constant<CompareOp, CompareOp::kGe>{});
+  }
+  return 0;
+}
+
+// Branch-free compress-store: unconditionally write the candidate index,
+// advance the output cursor only when the predicate holds. `valid` is
+// nullptr for null-free columns; V is the storage type, T the (possibly
+// widened) comparison type so int32 vs int64-literal compares stay exact.
+template <CompareOp Op, typename T, typename V>
+size_t CompareDense(const V* vals, const uint8_t* valid, uint32_t n, T lit,
+                    uint32_t* out) {
+  size_t k = 0;
+  if (valid == nullptr) {
+    for (uint32_t i = 0; i < n; ++i) {
+      out[k] = i;
+      k += static_cast<size_t>(OpTest<Op>(static_cast<T>(vals[i]), lit));
     }
-    return false;
-  };
-  const bool nulls = col.has_nulls();
-  if (input) {
+  } else {
+    for (uint32_t i = 0; i < n; ++i) {
+      out[k] = i;
+      k += static_cast<size_t>((valid[i] != 0) &
+                               OpTest<Op>(static_cast<T>(vals[i]), lit));
+    }
+  }
+  return k;
+}
+
+template <CompareOp Op, typename T, typename V>
+size_t CompareSelected(const V* vals, const uint8_t* valid,
+                       const uint32_t* sel, size_t m, T lit, uint32_t* out) {
+  size_t k = 0;
+  if (valid == nullptr) {
+    for (size_t j = 0; j < m; ++j) {
+      const uint32_t i = sel[j];
+      out[k] = i;
+      k += static_cast<size_t>(OpTest<Op>(static_cast<T>(vals[i]), lit));
+    }
+  } else {
+    for (size_t j = 0; j < m; ++j) {
+      const uint32_t i = sel[j];
+      out[k] = i;
+      k += static_cast<size_t>((valid[i] != 0) &
+                               OpTest<Op>(static_cast<T>(vals[i]), lit));
+    }
+  }
+  return k;
+}
+
+template <typename T, typename V>
+size_t CompareTyped(const V* vals, const uint8_t* valid, size_t n,
+                    CompareOp op, T lit, const SelectionVector* input,
+                    uint32_t* out) {
+  return WithOp(op, [&](auto opc) {
+    constexpr CompareOp kOp = decltype(opc)::value;
+    if (input != nullptr) {
+      return CompareSelected<kOp, T>(vals, valid, input->data(),
+                                     input->size(), lit, out);
+    }
+    return CompareDense<kOp, T>(vals, valid, static_cast<uint32_t>(n), lit,
+                                out);
+  });
+}
+
+inline std::string_view StringAt(const int32_t* offsets, const char* chars,
+                                 uint32_t i) {
+  return {chars + offsets[i],
+          static_cast<size_t>(offsets[i + 1] - offsets[i])};
+}
+
+template <CompareOp Op>
+size_t CompareStrings(const Column& col, std::string_view lit,
+                      const SelectionVector* input, uint32_t* out) {
+  const int32_t* offsets = col.offsets().data();
+  const char* chars = col.chars().data();
+  const uint8_t* valid = col.has_nulls() ? col.validity().data() : nullptr;
+  size_t k = 0;
+  if (input != nullptr) {
     for (uint32_t i : *input) {
-      if (nulls && col.IsNull(i)) continue;
-      if (test(get(i))) out->push_back(i);
+      if (valid != nullptr && valid[i] == 0) continue;
+      out[k] = i;
+      k += static_cast<size_t>(OpTest<Op>(StringAt(offsets, chars, i), lit));
     }
   } else {
     const uint32_t n = static_cast<uint32_t>(col.length());
     for (uint32_t i = 0; i < n; ++i) {
-      if (nulls && col.IsNull(i)) continue;
-      if (test(get(i))) out->push_back(i);
+      if (valid != nullptr && valid[i] == 0) continue;
+      out[k] = i;
+      k += static_cast<size_t>(OpTest<Op>(StringAt(offsets, chars, i), lit));
     }
   }
+  return k;
+}
+
+// Fused BETWEEN: both bounds tested in one traversal (the old
+// implementation allocated an intermediate selection between two
+// CompareScalar passes).
+template <typename T, typename V>
+size_t BetweenDense(const V* vals, const uint8_t* valid, uint32_t n, T lo,
+                    T hi, uint32_t* out) {
+  size_t k = 0;
+  if (valid == nullptr) {
+    for (uint32_t i = 0; i < n; ++i) {
+      const T v = static_cast<T>(vals[i]);
+      out[k] = i;
+      k += static_cast<size_t>((v >= lo) & (v <= hi));
+    }
+  } else {
+    for (uint32_t i = 0; i < n; ++i) {
+      const T v = static_cast<T>(vals[i]);
+      out[k] = i;
+      k += static_cast<size_t>((valid[i] != 0) & (v >= lo) & (v <= hi));
+    }
+  }
+  return k;
+}
+
+template <typename T, typename V>
+size_t BetweenSelected(const V* vals, const uint8_t* valid,
+                       const uint32_t* sel, size_t m, T lo, T hi,
+                       uint32_t* out) {
+  size_t k = 0;
+  if (valid == nullptr) {
+    for (size_t j = 0; j < m; ++j) {
+      const uint32_t i = sel[j];
+      const T v = static_cast<T>(vals[i]);
+      out[k] = i;
+      k += static_cast<size_t>((v >= lo) & (v <= hi));
+    }
+  } else {
+    for (size_t j = 0; j < m; ++j) {
+      const uint32_t i = sel[j];
+      const T v = static_cast<T>(vals[i]);
+      out[k] = i;
+      k += static_cast<size_t>((valid[i] != 0) & (v >= lo) & (v <= hi));
+    }
+  }
+  return k;
+}
+
+template <typename T, typename V>
+size_t BetweenTyped(const V* vals, const uint8_t* valid, size_t n, T lo, T hi,
+                    const SelectionVector* input, uint32_t* out) {
+  if (input != nullptr) {
+    return BetweenSelected<T>(vals, valid, input->data(), input->size(), lo,
+                              hi, out);
+  }
+  return BetweenDense<T>(vals, valid, static_cast<uint32_t>(n), lo, hi, out);
 }
 
 }  // namespace
@@ -56,51 +214,176 @@ SelectionVector CompareScalar(const Column& col, CompareOp op,
                               const Datum& literal,
                               const SelectionVector* input) {
   SelectionVector out;
-  out.reserve(input ? input->size() : col.length());
   if (literal.is_null()) return out;  // comparisons with NULL match nothing
+  out.resize(input ? input->size() : col.length());
+  const uint8_t* valid = col.has_nulls() ? col.validity().data() : nullptr;
+  size_t k = 0;
   switch (col.type()) {
     case TypeKind::kBool:
-      CompareLoop<int>(col, op, literal.bool_value() ? 1 : 0,
-                       [&](uint32_t i) { return col.GetBool(i) ? 1 : 0; },
-                       input, &out);
+      k = CompareTyped<int>(col.bool_data().data(), valid, col.length(), op,
+                            literal.bool_value() ? 1 : 0, input, out.data());
       break;
     case TypeKind::kInt32:
     case TypeKind::kDate32:
-      CompareLoop<int64_t>(col, op, literal.AsInt64(),
-                           [&](uint32_t i) { return int64_t{col.GetInt32(i)}; },
-                           input, &out);
+      k = CompareTyped<int64_t>(col.i32_data().data(), valid, col.length(),
+                                op, literal.AsInt64(), input, out.data());
       break;
     case TypeKind::kInt64:
-      CompareLoop<int64_t>(col, op, literal.AsInt64(),
-                           [&](uint32_t i) { return col.GetInt64(i); }, input,
-                           &out);
+      k = CompareTyped<int64_t>(col.i64_data().data(), valid, col.length(),
+                                op, literal.AsInt64(), input, out.data());
       break;
     case TypeKind::kFloat64:
-      CompareLoop<double>(col, op, literal.AsDouble(),
-                          [&](uint32_t i) { return col.GetFloat64(i); }, input,
-                          &out);
+      k = CompareTyped<double>(col.f64_data().data(), valid, col.length(), op,
+                               literal.AsDouble(), input, out.data());
       break;
-    case TypeKind::kString: {
-      std::string_view lit = literal.string_value();
-      CompareLoop<std::string_view>(
-          col, op, lit, [&](uint32_t i) { return col.GetString(i); }, input,
-          &out);
+    case TypeKind::kString:
+      k = WithOp(op, [&](auto opc) {
+        return CompareStrings<decltype(opc)::value>(
+            col, literal.string_value(), input, out.data());
+      });
       break;
-    }
   }
+  out.resize(k);
   return out;
 }
 
 SelectionVector Between(const Column& col, const Datum& lo, const Datum& hi,
                         const SelectionVector* input) {
-  SelectionVector pass_lo = CompareScalar(col, CompareOp::kGe, lo, input);
-  return CompareScalar(col, CompareOp::kLe, hi, &pass_lo);
+  SelectionVector out;
+  if (lo.is_null() || hi.is_null()) return out;  // NULL bound matches nothing
+  out.resize(input ? input->size() : col.length());
+  const uint8_t* valid = col.has_nulls() ? col.validity().data() : nullptr;
+  size_t k = 0;
+  switch (col.type()) {
+    case TypeKind::kBool:
+      k = BetweenTyped<int>(col.bool_data().data(), valid, col.length(),
+                            lo.bool_value() ? 1 : 0, hi.bool_value() ? 1 : 0,
+                            input, out.data());
+      break;
+    case TypeKind::kInt32:
+    case TypeKind::kDate32:
+      k = BetweenTyped<int64_t>(col.i32_data().data(), valid, col.length(),
+                                lo.AsInt64(), hi.AsInt64(), input, out.data());
+      break;
+    case TypeKind::kInt64:
+      k = BetweenTyped<int64_t>(col.i64_data().data(), valid, col.length(),
+                                lo.AsInt64(), hi.AsInt64(), input, out.data());
+      break;
+    case TypeKind::kFloat64:
+      k = BetweenTyped<double>(col.f64_data().data(), valid, col.length(),
+                               lo.AsDouble(), hi.AsDouble(), input,
+                               out.data());
+      break;
+    case TypeKind::kString: {
+      const int32_t* offsets = col.offsets().data();
+      const char* chars = col.chars().data();
+      const std::string_view vlo = lo.string_value();
+      const std::string_view vhi = hi.string_value();
+      auto one = [&](uint32_t i) {
+        const std::string_view v = StringAt(offsets, chars, i);
+        out[k] = i;
+        k += static_cast<size_t>((v >= vlo) & (v <= vhi));
+      };
+      if (input != nullptr) {
+        for (uint32_t i : *input) {
+          if (valid != nullptr && valid[i] == 0) continue;
+          one(i);
+        }
+      } else {
+        for (uint32_t i = 0; i < col.length(); ++i) {
+          if (valid != nullptr && valid[i] == 0) continue;
+          one(i);
+        }
+      }
+      break;
+    }
+  }
+  out.resize(k);
+  return out;
 }
 
+namespace {
+
+// Bulk gather for fixed-width buffers: memcpy maximal contiguous runs of
+// the (ascending) selection instead of copying element-wise.
+template <typename T>
+void GatherRuns(const T* src, const uint32_t* sel, size_t m, T* dst) {
+  size_t i = 0;
+  while (i < m) {
+    const uint32_t start = sel[i];
+    size_t j = i + 1;
+    while (j < m && sel[j] == start + static_cast<uint32_t>(j - i)) ++j;
+    std::memcpy(dst + i, src + start, (j - i) * sizeof(T));
+    i = j;
+  }
+}
+
+}  // namespace
+
 std::shared_ptr<Column> Take(const Column& col, const SelectionVector& sel) {
+  const size_t m = sel.size();
   auto out = MakeColumn(col.type());
-  out->Reserve(sel.size());
-  for (uint32_t i : sel) out->AppendFrom(col, i);
+  switch (col.type()) {
+    case TypeKind::kBool:
+      out->mutable_bool().resize(m);
+      GatherRuns(col.bool_data().data(), sel.data(), m,
+                 out->mutable_bool().data());
+      break;
+    case TypeKind::kInt32:
+    case TypeKind::kDate32:
+      out->mutable_i32().resize(m);
+      GatherRuns(col.i32_data().data(), sel.data(), m,
+                 out->mutable_i32().data());
+      break;
+    case TypeKind::kInt64:
+      out->mutable_i64().resize(m);
+      GatherRuns(col.i64_data().data(), sel.data(), m,
+                 out->mutable_i64().data());
+      break;
+    case TypeKind::kFloat64:
+      out->mutable_f64().resize(m);
+      GatherRuns(col.f64_data().data(), sel.data(), m,
+                 out->mutable_f64().data());
+      break;
+    case TypeKind::kString: {
+      const int32_t* soff = col.offsets().data();
+      const std::string& schars = col.chars();
+      std::vector<int32_t>& off = out->mutable_offsets();
+      off.resize(m + 1);
+      off[0] = 0;
+      size_t total = 0;
+      POCS_VEC_LOOP
+      for (size_t j = 0; j < m; ++j) {
+        total += static_cast<size_t>(soff[sel[j] + 1] - soff[sel[j]]);
+      }
+      std::string& chars = out->mutable_chars();
+      chars.resize(total);
+      int32_t pos = 0;
+      for (size_t j = 0; j < m; ++j) {
+        const int32_t b = soff[sel[j]];
+        const int32_t len = soff[sel[j] + 1] - b;
+        std::memcpy(chars.data() + pos, schars.data() + b,
+                    static_cast<size_t>(len));
+        pos += len;
+        off[j + 1] = pos;
+      }
+      break;
+    }
+  }
+  size_t null_count = 0;
+  if (col.has_nulls()) {
+    std::vector<uint8_t>& v = out->mutable_validity();
+    v.resize(m);
+    GatherRuns(col.validity().data(), sel.data(), m, v.data());
+    size_t ones = 0;
+    POCS_VEC_LOOP
+    for (size_t j = 0; j < m; ++j) ones += v[j];
+    null_count = m - ones;
+    // Normalize so a null-free gather of a nullable column is
+    // indistinguishable from a gather of a null-free column.
+    if (null_count == 0) v.clear();
+  }
+  out->FinishDeserialized(m, null_count);
   return out;
 }
 
@@ -113,6 +396,26 @@ RecordBatchPtr TakeBatch(const RecordBatch& batch, const SelectionVector& sel) {
   return MakeBatch(batch.schema(), std::move(cols));
 }
 
+namespace {
+
+constexpr uint64_t kNullHash = 0x9ae16a3b2f90404fULL;
+
+// One typed pass per key column: the type switch is hoisted out of the
+// row loop, and the null-free case drops the validity test entirely.
+template <typename V, typename F>
+void HashTypedLoop(const V* vals, const uint8_t* valid, size_t n, uint64_t* h,
+                   F&& one) {
+  if (valid == nullptr) {
+    for (size_t i = 0; i < n; ++i) h[i] = HashCombine(h[i], one(vals[i]));
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      h[i] = HashCombine(h[i], valid[i] == 0 ? kNullHash : one(vals[i]));
+    }
+  }
+}
+
+}  // namespace
+
 void HashRows(const std::vector<ColumnPtr>& keys, std::vector<uint64_t>* out) {
   if (keys.empty()) {
     out->clear();
@@ -120,24 +423,49 @@ void HashRows(const std::vector<ColumnPtr>& keys, std::vector<uint64_t>* out) {
   }
   const size_t n = keys[0]->length();
   out->assign(n, 0x5bd1e995u);
+  uint64_t* h = out->data();
   for (const auto& key : keys) {
     const Column& col = *key;
-    for (size_t i = 0; i < n; ++i) {
-      uint64_t h;
-      if (col.IsNull(i)) {
-        h = 0x9ae16a3b2f90404fULL;
-      } else {
-        switch (col.type()) {
-          case TypeKind::kBool: h = HashValue<uint8_t>(col.GetBool(i)); break;
-          case TypeKind::kInt32:
-          case TypeKind::kDate32: h = HashValue(col.GetInt32(i)); break;
-          case TypeKind::kInt64: h = HashValue(col.GetInt64(i)); break;
-          case TypeKind::kFloat64: h = HashValue(col.GetFloat64(i)); break;
-          case TypeKind::kString: h = HashString(col.GetString(i)); break;
-          default: h = 0; break;
+    const uint8_t* valid = col.has_nulls() ? col.validity().data() : nullptr;
+    switch (col.type()) {
+      case TypeKind::kBool:
+        HashTypedLoop(col.bool_data().data(), valid, n, h, [](uint8_t v) {
+          return HashValue<uint8_t>(v != 0);
+        });
+        break;
+      case TypeKind::kInt32:
+      case TypeKind::kDate32:
+        HashTypedLoop(col.i32_data().data(), valid, n, h,
+                      [](int32_t v) { return HashValue(v); });
+        break;
+      case TypeKind::kInt64:
+        HashTypedLoop(col.i64_data().data(), valid, n, h,
+                      [](int64_t v) { return HashValue(v); });
+        break;
+      case TypeKind::kFloat64:
+        HashTypedLoop(col.f64_data().data(), valid, n, h,
+                      [](double v) { return HashValue(v); });
+        break;
+      case TypeKind::kString: {
+        const int32_t* offsets = col.offsets().data();
+        const char* chars = col.chars().data();
+        if (valid == nullptr) {
+          for (size_t i = 0; i < n; ++i) {
+            h[i] = HashCombine(
+                h[i],
+                HashString(StringAt(offsets, chars, static_cast<uint32_t>(i))));
+          }
+        } else {
+          for (size_t i = 0; i < n; ++i) {
+            h[i] = HashCombine(
+                h[i], valid[i] == 0
+                          ? kNullHash
+                          : HashString(StringAt(offsets, chars,
+                                                static_cast<uint32_t>(i))));
+          }
         }
+        break;
       }
-      (*out)[i] = HashCombine((*out)[i], h);
     }
   }
 }

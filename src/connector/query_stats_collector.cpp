@@ -38,6 +38,8 @@ void QueryStatsCollector::Accumulate(const QueryEvent& event, Totals* t) {
   t->bloom_pushed += s.bloom_pushed;
   t->bloom_rows_pruned += s.bloom_rows_pruned;
   t->partial_agg_merges += s.partial_agg_merges;
+  t->rows_dict_filtered += s.rows_dict_filtered;
+  t->rows_late_materialized += s.rows_late_materialized;
   t->wall_seconds += s.wall_seconds;
   t->simulated_seconds += s.simulated_seconds;
   t->queue_wait_seconds += s.queue_wait_seconds;
@@ -73,6 +75,10 @@ void QueryStatsCollector::QueryCompleted(const QueryEvent& event) {
   static auto& bloom_pushed = registry.GetCounter("engine.bloom_pushed");
   static auto& bloom_pruned = registry.GetCounter("engine.bloom_rows_pruned");
   static auto& pagg_merges = registry.GetCounter("engine.partial_agg_merges");
+  static auto& dict_filtered =
+      registry.GetCounter("engine.rows_dict_filtered");
+  static auto& late_mat =
+      registry.GetCounter("engine.rows_late_materialized");
   static auto& wall = registry.GetHistogram("engine.query_wall_seconds");
   queries.Increment();
   rows_scanned.Add(event.stats.rows_scanned);
@@ -94,6 +100,8 @@ void QueryStatsCollector::QueryCompleted(const QueryEvent& event) {
   bloom_pushed.Add(event.stats.bloom_pushed);
   bloom_pruned.Add(event.stats.bloom_rows_pruned);
   pagg_merges.Add(event.stats.partial_agg_merges);
+  dict_filtered.Add(event.stats.rows_dict_filtered);
+  late_mat.Add(event.stats.rows_late_materialized);
   wall.Record(event.stats.wall_seconds);
 }
 

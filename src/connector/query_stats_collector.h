@@ -50,6 +50,8 @@ class QueryStatsCollector final : public EventListener {
     uint64_t bloom_pushed = 0;
     uint64_t bloom_rows_pruned = 0;
     uint64_t partial_agg_merges = 0;
+    uint64_t rows_dict_filtered = 0;
+    uint64_t rows_late_materialized = 0;
     double wall_seconds = 0;
     double simulated_seconds = 0;
     double queue_wait_seconds = 0;  // admission-queue wait, summed

@@ -160,6 +160,14 @@ struct PageSourceStats {
   // Rows the pushed join-key bloom filter dropped before they could cross
   // the network (storage-side scan or the engine-side fallback scan).
   uint64_t bloom_rows_pruned = 0;
+
+  // -- vectorized-scan accounting (SIMD/late-materialization PR) ------------
+  // Rows the storage scan rejected in the dictionary code domain — the
+  // predicate ran against distinct values, never the row's string bytes.
+  uint64_t rows_dict_filtered = 0;
+  // Rows whose string values were decoded from a dictionary page under a
+  // selection (only predicate/bloom survivors materialize).
+  uint64_t rows_late_materialized = 0;
 };
 
 // Streams pages (record batches) for one split, with pushed operators
@@ -286,6 +294,11 @@ struct QueryStats {
   uint64_t bloom_pushed = 0;
   uint64_t bloom_rows_pruned = 0;
   uint64_t partial_agg_merges = 0;
+  // Vectorized-scan accounting (DESIGN.md §15), summed across splits:
+  // rows rejected in the dictionary code domain, and rows whose string
+  // values were late-materialized under a selection.
+  uint64_t rows_dict_filtered = 0;
+  uint64_t rows_late_materialized = 0;
   std::vector<OperatorTiming> operator_timings;
 
   uint64_t bytes_moved() const { return bytes_from_storage + bytes_to_storage; }

@@ -740,6 +740,8 @@ Result<std::unique_ptr<connector::PageSource>> OcsConnector::CreatePageSource(
       stats.row_groups_lazy_skipped = result.stats.row_groups_lazy_skipped;
       stats.row_groups_hint_skipped = result.stats.row_groups_hint_skipped;
       stats.bloom_rows_pruned = result.stats.bloom_rows_pruned;
+      stats.rows_dict_filtered = result.stats.rows_dict_filtered;
+      stats.rows_late_materialized = result.stats.rows_late_materialized;
       stats.rows_scanned = result.stats.rows_scanned;
       // Level-1 (storage-side row-group cache) accounting rides back on
       // the result; fold it into this split's stats.

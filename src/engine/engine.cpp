@@ -190,6 +190,8 @@ void FoldSourceStats(const PageSourceStats& s, QueryMetrics* m,
   m->cache_bytes_saved += s.cache_bytes_saved;
   m->bytes_refetched_on_retry += s.bytes_refetched_on_retry;
   m->bloom_rows_pruned += s.bloom_rows_pruned;
+  m->rows_dict_filtered += s.rows_dict_filtered;
+  m->rows_late_materialized += s.rows_late_materialized;
 }
 
 // Runs one scan chain (TableScan + residual Filters) sequentially across
@@ -793,6 +795,8 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql,
     qs.bloom_pushed = metrics.bloom_pushed;
     qs.bloom_rows_pruned = metrics.bloom_rows_pruned;
     qs.partial_agg_merges = metrics.partial_agg_merges;
+    qs.rows_dict_filtered = metrics.rows_dict_filtered;
+    qs.rows_late_materialized = metrics.rows_late_materialized;
     for (const auto& d : metrics.pushdown_decisions) {
       ++qs.pushdown_offered;
       if (d.accepted) {
@@ -984,6 +988,8 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql,
     metrics.cache_bytes_saved += out.stats.cache_bytes_saved;
     metrics.bytes_refetched_on_retry += out.stats.bytes_refetched_on_retry;
     metrics.bloom_rows_pruned += out.stats.bloom_rows_pruned;
+    metrics.rows_dict_filtered += out.stats.rows_dict_filtered;
+    metrics.rows_late_materialized += out.stats.rows_late_materialized;
     residual_compute += out.compute_seconds + out.stats.decode_seconds;
   }
   totals.splits = splits.size();

@@ -103,6 +103,10 @@ struct QueryMetrics {
   uint64_t bloom_pushed = 0;
   uint64_t bloom_rows_pruned = 0;
   uint64_t partial_agg_merges = 0;
+  // Vectorized-scan accounting (DESIGN.md §15): rows rejected in the
+  // dictionary code domain, and rows late-materialized under a selection.
+  uint64_t rows_dict_filtered = 0;
+  uint64_t rows_late_materialized = 0;
   std::vector<connector::PushdownDecision> pushdown_decisions;
 
   // Stage/operator breakdown with row flow; see

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "columnar/batch.h"
+#include "columnar/kernels.h"
 #include "substrait/expr.h"
 
 namespace pocs::exec {
@@ -20,6 +21,13 @@ class HashAggregator {
                  std::vector<substrait::AggregateSpec> aggregates);
 
   Status Consume(const columnar::RecordBatch& batch);
+  // Selection-aware variant: accumulate only the rows in `sel` (every
+  // row when null). Key hashing and aggregate arguments are still
+  // evaluated vectorized over the whole batch; only selected rows are
+  // read, so placeholder rows under late materialization (DESIGN.md §15)
+  // never reach an accumulator.
+  Status Consume(const columnar::RecordBatch& batch,
+                 const columnar::SelectionVector* sel);
 
   // Output schema: group key fields followed by aggregate outputs.
   columnar::SchemaPtr output_schema() const { return output_schema_; }

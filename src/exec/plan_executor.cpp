@@ -95,45 +95,72 @@ void MirrorToRegistry(const ExecStats& stats, double plan_seconds) {
 
 }  // namespace
 
+namespace {
+
+// Typed bloom-probe loop: the type dispatch is hoisted out of the row
+// loop and keys come from the raw value span (no per-row accessors).
+template <typename V>
+void BloomProbeLoop(const V* vals, const uint8_t* valid, size_t n,
+                    const BloomFilter& bloom,
+                    columnar::SelectionVector* sel) {
+  for (size_t i = 0; i < n; ++i) {
+    if (valid != nullptr && valid[i] == 0) continue;
+    const uint64_t key = static_cast<uint64_t>(static_cast<int64_t>(vals[i]));
+    if (bloom.MayContain(key)) sel->push_back(static_cast<uint32_t>(i));
+  }
+}
+
+}  // namespace
+
 columnar::SelectionVector BloomSelectRows(const columnar::Column& col,
                                           const BloomFilter& bloom) {
   columnar::SelectionVector sel;
   sel.reserve(col.length());
-  for (size_t i = 0; i < col.length(); ++i) {
-    if (col.IsNull(i)) continue;
-    uint64_t key = 0;
-    switch (col.type()) {
-      case columnar::TypeKind::kInt64:
-        key = static_cast<uint64_t>(col.GetInt64(i));
-        break;
-      case columnar::TypeKind::kInt32:
-      case columnar::TypeKind::kDate32:
-        key = static_cast<uint64_t>(static_cast<int64_t>(col.GetInt32(i)));
-        break;
-      default:
+  const size_t n = col.length();
+  const uint8_t* valid = col.has_nulls() ? col.validity().data() : nullptr;
+  switch (col.type()) {
+    case columnar::TypeKind::kInt64:
+      BloomProbeLoop(col.i64_data().data(), valid, n, bloom, &sel);
+      break;
+    case columnar::TypeKind::kInt32:
+    case columnar::TypeKind::kDate32:
+      BloomProbeLoop(col.i32_data().data(), valid, n, bloom, &sel);
+      break;
+    default:
+      // Non-integer key: keep every non-null row (bloom reduction is
+      // advisory; dropping nothing is the safe direction).
+      for (size_t i = 0; i < n; ++i) {
+        if (valid != nullptr && valid[i] == 0) continue;
         sel.push_back(static_cast<uint32_t>(i));
-        continue;
-    }
-    if (bloom.MayContain(key)) sel.push_back(static_cast<uint32_t>(i));
+      }
+      break;
   }
   return sel;
 }
 
-Result<columnar::RecordBatchPtr> BloomFilterSource::Next() {
+Result<SelectedBatch> BloomFilterSource::NextSelected() {
   while (true) {
     POCS_ASSIGN_OR_RETURN(columnar::RecordBatchPtr batch, inner_->Next());
-    if (!batch) return batch;
+    if (!batch) return SelectedBatch{nullptr, std::nullopt};
     if (bloom_column_ < 0 ||
         static_cast<size_t>(bloom_column_) >= batch->num_columns()) {
-      return batch;
+      return SelectedBatch{std::move(batch), std::nullopt};
     }
     columnar::SelectionVector sel =
         BloomSelectRows(*batch->column(bloom_column_), bloom_);
-    if (sel.size() == batch->num_rows()) return batch;
+    if (sel.size() == batch->num_rows()) {
+      return SelectedBatch{std::move(batch), std::nullopt};
+    }
     if (rows_pruned_) *rows_pruned_ += batch->num_rows() - sel.size();
     if (sel.empty()) continue;  // whole batch pruned; pull the next one
-    return columnar::TakeBatch(*batch, sel);
+    return SelectedBatch{std::move(batch), std::move(sel)};
   }
+}
+
+Result<columnar::RecordBatchPtr> BloomFilterSource::Next() {
+  POCS_ASSIGN_OR_RETURN(SelectedBatch sb, NextSelected());
+  if (!sb.batch || !sb.selection) return std::move(sb.batch);
+  return columnar::TakeBatch(*sb.batch, *sb.selection);
 }
 
 Result<std::shared_ptr<Table>> ExecuteRel(const Rel& root,
@@ -201,41 +228,65 @@ Result<std::shared_ptr<Table>> ExecuteRel(const Rel& root,
                                               : prefix_schemas[blocking - 1]);
 
   // ---- streaming phase ---------------------------------------------------
+  // Batches flow with an optional selection (SelectedBatch): chained
+  // filters intersect selections instead of compacting rows, and the
+  // one materialization (TakeBatch) happens only at the first operator
+  // that needs real values at every row — a Project, the top-N
+  // accumulator, or the intermediate table. Hash aggregation consumes
+  // the selection directly.
   while (true) {
-    POCS_ASSIGN_OR_RETURN(RecordBatchPtr batch, source->Next());
+    POCS_ASSIGN_OR_RETURN(SelectedBatch sb, source->NextSelected());
+    RecordBatchPtr batch = std::move(sb.batch);
     if (!batch) break;
     local.rows_scanned += batch->num_rows();
     ++local.batches_scanned;
-    for (size_t i = 1; i < blocking && batch; ++i) {
+    std::optional<columnar::SelectionVector> sel = std::move(sb.selection);
+    auto live_rows = [&] {
+      return sel ? sel->size() : (batch ? batch->num_rows() : 0);
+    };
+    auto materialize = [&] {
+      if (sel) {
+        batch = columnar::TakeBatch(*batch, *sel);
+        sel.reset();
+      }
+    };
+    bool exhausted = live_rows() == 0;
+    for (size_t i = 1; i < blocking && !exhausted; ++i) {
       const Rel& rel = *chain[i];
       OperatorCounters& oc = local.ForKind(rel.kind);
       Stopwatch op_timer;
-      oc.rows_in += batch->num_rows();
+      oc.rows_in += live_rows();
       if (rel.kind == RelKind::kFilter) {
-        POCS_ASSIGN_OR_RETURN(batch,
-                              substrait::FilterBatch(rel.predicate, *batch));
+        POCS_ASSIGN_OR_RETURN(
+            columnar::SelectionVector out_sel,
+            substrait::FilterSelection(rel.predicate, *batch,
+                                       sel ? &*sel : nullptr));
+        sel = std::move(out_sel);
       } else {
+        materialize();
         POCS_ASSIGN_OR_RETURN(batch,
                               ApplyProject(rel, *batch, prefix_schemas[i]));
       }
-      oc.rows_out += batch->num_rows();
+      oc.rows_out += live_rows();
       oc.seconds += op_timer.ElapsedSeconds();
       ++oc.invocations;
-      if (batch->num_rows() == 0) batch = nullptr;
+      exhausted = live_rows() == 0;
     }
-    if (!batch) continue;
+    if (exhausted) continue;
     if (aggregator || topn) {
       OperatorCounters& oc = local.ForKind(accumulator_kind);
       Stopwatch op_timer;
-      oc.rows_in += batch->num_rows();
+      oc.rows_in += live_rows();
       if (aggregator) {
-        POCS_RETURN_NOT_OK(aggregator->Consume(*batch));
+        POCS_RETURN_NOT_OK(aggregator->Consume(*batch, sel ? &*sel : nullptr));
       } else {
+        materialize();
         POCS_RETURN_NOT_OK(topn->Consume(*batch));
       }
       oc.seconds += op_timer.ElapsedSeconds();
       ++oc.invocations;
     } else {
+      materialize();
       intermediate->AppendBatch(std::move(batch));
     }
   }

@@ -10,6 +10,7 @@
 #include <array>
 #include <functional>
 #include <memory>
+#include <optional>
 
 #include "columnar/batch.h"
 #include "columnar/kernels.h"
@@ -18,13 +19,32 @@
 
 namespace pocs::exec {
 
+// A scan batch plus an optional selection restricting it. When
+// `selection` is set, only those rows (ascending indices) are logically
+// present; rows outside it may carry unmaterialized placeholder data
+// (late materialization, DESIGN.md §15) and must never be observed
+// except under an intersecting selection. Ownership: the selection
+// always travels with — and indexes into — exactly this batch.
+struct SelectedBatch {
+  columnar::RecordBatchPtr batch;  // nullptr at end of stream
+  std::optional<columnar::SelectionVector> selection;
+};
+
 // Pull-based source of scan batches for one Read relation.
 class BatchSource {
  public:
   virtual ~BatchSource() = default;
   virtual columnar::SchemaPtr schema() const = 0;
-  // nullptr at end of stream.
+  // nullptr at end of stream. Always fully materialized.
   virtual Result<columnar::RecordBatchPtr> Next() = 0;
+  // Selection-carrying variant, the executor's preferred entry point:
+  // sources that pre-filter rows (pushed blooms, code-domain predicate
+  // evaluation) hand back the full batch plus the surviving selection
+  // instead of materializing a compacted copy. The default wraps Next().
+  virtual Result<SelectedBatch> NextSelected() {
+    POCS_ASSIGN_OR_RETURN(columnar::RecordBatchPtr batch, Next());
+    return SelectedBatch{std::move(batch), std::nullopt};
+  }
 };
 
 using ScanFactory = std::function<Result<std::unique_ptr<BatchSource>>(
@@ -88,7 +108,11 @@ class BloomFilterSource : public BatchSource {
         rows_pruned_(rows_pruned) {}
 
   columnar::SchemaPtr schema() const override { return inner_->schema(); }
+  // Materializing variant (kept for direct callers).
   Result<columnar::RecordBatchPtr> Next() override;
+  // Hands back the inner batch with the bloom survivors attached as a
+  // selection — no compaction; the executor consumes the selection.
+  Result<SelectedBatch> NextSelected() override;
 
  private:
   std::unique_ptr<BatchSource> inner_;

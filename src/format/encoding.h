@@ -9,8 +9,11 @@
 #pragma once
 
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "columnar/column.h"
+#include "columnar/kernels.h"
 #include "common/buffer.h"
 
 namespace pocs::format {
@@ -19,6 +22,53 @@ enum class PageEncoding : uint8_t {
   kPlain = 0,
   kDictionary = 1,
 };
+
+// A dictionary page decoded to its encoded (pre-materialization) form:
+// the distinct values plus one code byte per row. Predicates over the
+// column can be translated into the code domain — evaluated once per
+// distinct value instead of once per row — and rows filtered on the raw
+// code array, so only surviving rows ever materialize string bytes
+// (late materialization, DESIGN.md §15).
+struct DictionaryPage {
+  std::vector<std::string> values;  // distinct values, code order
+  std::vector<uint8_t> codes;       // one per row (0 on null rows)
+  std::vector<uint8_t> validity;    // empty = all valid
+  size_t null_count = 0;
+  size_t num_rows() const { return codes.size(); }
+};
+
+// Decode a page produced by EncodePage into its dictionary form, or
+// nullopt when the page is plain-encoded (caller falls back to
+// DecodePage). Codes of non-null rows are validated against the
+// dictionary size.
+Result<std::optional<DictionaryPage>> DecodeDictionaryPage(
+    ByteSpan payload, const columnar::Field& field, size_t expected_rows);
+
+// Translate `value <op> literal` into the code domain: one compare per
+// distinct value. The returned table has 256 entries so a code byte can
+// index it unchecked; entries past the dictionary are zero. A NULL
+// literal matches nothing (all zeros).
+std::vector<uint8_t> TranslateDictPredicate(const DictionaryPage& page,
+                                            columnar::CompareOp op,
+                                            const columnar::Datum& literal);
+
+// Rows (restricted to `input` if non-null) whose code passes the match
+// table. Null rows never match.
+columnar::SelectionVector FilterDictCodes(
+    const DictionaryPage& page, const std::vector<uint8_t>& match,
+    const columnar::SelectionVector* input = nullptr);
+
+// Materialize the full string column; bit-identical to DecodePage over
+// the same page bytes.
+columnar::ColumnPtr MaterializeDictionary(const DictionaryPage& page);
+
+// Late materialization: only rows in `sel` (ascending) get their real
+// string bytes; all other rows decode to empty placeholders. Validity is
+// preserved verbatim, so null semantics are unchanged. Callers must
+// attach `sel` to any batch built from the result — placeholder rows
+// carry no data and may only be observed under an intersecting selection.
+columnar::ColumnPtr MaterializeDictionarySelected(
+    const DictionaryPage& page, const columnar::SelectionVector& sel);
 
 // Encode a single-column page: picks the smaller of plain and (for
 // eligible string columns) dictionary encoding. The returned buffer is

@@ -236,6 +236,22 @@ Result<std::shared_ptr<columnar::Table>> FileReader::ReadAll(
   return table;
 }
 
+Result<Bytes> FileReader::ReadChunkPage(size_t group, int column) const {
+  if (group >= meta_.row_groups.size()) {
+    return Status::OutOfRange("row group " + std::to_string(group));
+  }
+  if (column < 0 ||
+      static_cast<size_t>(column) >= meta_.schema->num_fields()) {
+    return Status::InvalidArgument("bad column index");
+  }
+  const RowGroupMeta& g = meta_.row_groups[group];
+  POCS_DCHECK_LT(static_cast<size_t>(column), g.chunks.size());
+  const ChunkMeta& chunk = g.chunks[column];
+  POCS_DCHECK_LE(chunk.offset + chunk.length, file_.size());
+  ByteSpan raw(file_.data() + chunk.offset, chunk.length);
+  return compress::GetCodec(meta_.codec).Decompress(raw);
+}
+
 uint64_t FileReader::ChunkBytes(size_t group,
                                 const std::vector<int>& columns) const {
   if (group >= meta_.row_groups.size()) return 0;

@@ -97,6 +97,12 @@ class FileReader {
   // fetch — used for transfer accounting in filter-only pushdown paths.
   uint64_t ChunkBytes(size_t group, const std::vector<int>& columns) const;
 
+  // Decompressed encoded page bytes (leading encoding byte) of one
+  // column chunk, without materializing the column. The dictionary-aware
+  // scan path uses this to evaluate predicates in the code domain and
+  // decode only surviving rows (DESIGN.md §15).
+  Result<Bytes> ReadChunkPage(size_t group, int column) const;
+
  private:
   FileReader(Bytes file, FileMeta meta)
       : file_(std::move(file)), meta_(std::move(meta)) {}

@@ -1,5 +1,7 @@
 #include "ocs/storage_node.h"
 
+#include <algorithm>
+#include <optional>
 #include <unordered_map>
 
 #include "columnar/ipc.h"
@@ -8,6 +10,7 @@
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/thread_annotations.h"
+#include "format/encoding.h"
 #include "format/parquet_lite.h"
 #include "objectstore/select.h"
 #include "objectstore/service.h"
@@ -78,12 +81,42 @@ void CollectPruningTerms(const Expression& expr,
 
 namespace {
 
+// Intersection of two ascending, duplicate-free selections.
+columnar::SelectionVector IntersectSelections(
+    const columnar::SelectionVector& a, const columnar::SelectionVector& b) {
+  columnar::SelectionVector out;
+  out.reserve(std::min(a.size(), b.size()));
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out.push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
 // BatchSource over a local Parquet-lite object with projection,
 // statistics-based row-group pruning, a per-column decoded-chunk cache,
 // and a lazy-column fast path: predicate columns are decoded (or served
 // from cache) first and the pruning terms evaluated against the actual
 // values; row groups where they match zero rows never materialize the
 // remaining columns.
+//
+// Dictionary-aware late materialization (DESIGN.md §15): string predicate
+// columns whose chunk page is dictionary-encoded are evaluated in the
+// code domain — the predicate is translated once per distinct value and
+// rows filtered on the raw code bytes, without decoding any string. When
+// the surviving selection is partial, dictionary string columns
+// materialize only the selected rows (the rest stay placeholders) and
+// the selection is attached to the returned batch, so the embedded
+// engine's operators — and the bloom semi-join reduction — consume
+// selections instead of compacted copies.
 class ParquetObjectSource : public exec::BatchSource {
  public:
   ParquetObjectSource(std::shared_ptr<format::FileReader> reader,
@@ -125,7 +158,16 @@ class ParquetObjectSource : public exec::BatchSource {
 
   columnar::SchemaPtr schema() const override { return schema_; }
 
+  // Materializing variant (direct callers outside the executor).
   Result<RecordBatchPtr> Next() override {
+    POCS_ASSIGN_OR_RETURN(exec::SelectedBatch sb, NextSelected());
+    if (sb.batch && sb.selection) {
+      return columnar::TakeBatch(*sb.batch, *sb.selection);
+    }
+    return std::move(sb.batch);
+  }
+
+  Result<exec::SelectedBatch> NextSelected() override {
     while (group_ < reader_->num_row_groups()) {
       const size_t g = group_++;
       // Coordinator hint first: these groups were already proven
@@ -151,82 +193,171 @@ class ParquetObjectSource : public exec::BatchSource {
         continue;
       }
 
-      // Lazy-column fast path: decode only the predicate columns and
-      // evaluate the pruning conjuncts against real values. Every pruned
-      // term is a conjunct of the filter that sits above this scan, so a
-      // group where their conjunction matches zero rows contributes
-      // nothing to the query — skip it before touching the remaining
-      // (often much wider) projected columns.
+      const size_t group_rows = reader_->meta().row_groups[g].num_rows;
+      // Per-group resolution state: fully decoded columns, and string
+      // chunks kept in dictionary (code) form for late materialization.
       std::unordered_map<int, ColumnPtr> fetched;
+      std::unordered_map<int, format::DictionaryPage> dict_pages;
+
+      // Resolve one column for evaluation: cache first; then, for string
+      // chunks whose page is dictionary-encoded, retain the page in the
+      // code domain (dict_pages) instead of decoding values; everything
+      // else decodes into `fetched`. Returns the dictionary page, or
+      // nullptr when the column landed in `fetched`.
+      auto resolve = [&](int c) -> Result<const format::DictionaryPage*> {
+        if (auto dit = dict_pages.find(c); dit != dict_pages.end()) {
+          return &dit->second;
+        }
+        if (fetched.count(c) != 0) {
+          return static_cast<const format::DictionaryPage*>(nullptr);
+        }
+        const columnar::Field& field = reader_->schema()->field(c);
+        if (field.type == columnar::TypeKind::kString) {
+          const uint64_t chunk_bytes = reader_->ChunkBytes(g, {c});
+          RowGroupCacheKey key{object_id_, version_, g, c};
+          if (cache_) {
+            if (ColumnPtr hit = cache_->Lookup(key)) {
+              ++stats_->cache_hits;
+              stats_->cache_bytes_saved += chunk_bytes;
+              fetched.emplace(c, std::move(hit));
+              return static_cast<const format::DictionaryPage*>(nullptr);
+            }
+          }
+          POCS_ASSIGN_OR_RETURN(Bytes page, reader_->ReadChunkPage(g, c));
+          stats_->object_bytes_read += chunk_bytes;
+          POCS_ASSIGN_OR_RETURN(
+              std::optional<format::DictionaryPage> dict,
+              format::DecodeDictionaryPage(page, field, group_rows));
+          if (dict) {
+            return &dict_pages.emplace(c, std::move(*dict)).first->second;
+          }
+          // Plain page: decode from the bytes already in hand — the same
+          // accounting as a FetchColumn miss (the media read was charged
+          // above, once).
+          POCS_ASSIGN_OR_RETURN(ColumnPtr col,
+                                format::DecodePage(page, field, group_rows));
+          if (cache_) {
+            ++stats_->cache_misses;
+            cache_->Insert(key, col, col->ByteSize());
+          }
+          fetched.emplace(c, std::move(col));
+          return static_cast<const format::DictionaryPage*>(nullptr);
+        }
+        POCS_ASSIGN_OR_RETURN(ColumnPtr col, FetchColumn(g, c));
+        fetched.emplace(c, std::move(col));
+        return static_cast<const format::DictionaryPage*>(nullptr);
+      };
+
+      // Lazy-column fast path: evaluate the pruning conjuncts against
+      // predicate columns only — in the code domain where the chunk is
+      // dictionary-encoded. Every pruned term is a conjunct of the filter
+      // that sits above this scan, so a group where their conjunction
+      // matches zero rows contributes nothing to the query — skip it
+      // before touching the remaining (often much wider) columns.
+      // Otherwise the surviving selection rides along with the batch.
+      std::optional<columnar::SelectionVector> sel;
+      bool lazy_skip = false;
       if (!pruning_.empty() && HasNonPredicateColumns()) {
-        bool all_false = false;
-        columnar::SelectionVector sel;
-        bool first = true;
         for (const auto& pred : pruning_) {
           int idx = reader_->schema()->FieldIndex(pred.column);
           if (idx < 0) continue;
-          auto it = fetched.find(idx);
-          if (it == fetched.end()) {
-            POCS_ASSIGN_OR_RETURN(ColumnPtr col, FetchColumn(g, idx));
-            it = fetched.emplace(idx, std::move(col)).first;
+          POCS_ASSIGN_OR_RETURN(const format::DictionaryPage* dict,
+                                resolve(idx));
+          if (dict != nullptr) {
+            const size_t before = sel ? sel->size() : group_rows;
+            std::vector<uint8_t> match =
+                format::TranslateDictPredicate(*dict, pred.op, pred.literal);
+            columnar::SelectionVector out =
+                format::FilterDictCodes(*dict, match, sel ? &*sel : nullptr);
+            stats_->rows_dict_filtered += before - out.size();
+            sel = std::move(out);
+          } else {
+            sel = columnar::CompareScalar(*fetched.at(idx), pred.op,
+                                          pred.literal, sel ? &*sel : nullptr);
           }
-          sel = columnar::CompareScalar(*it->second, pred.op, pred.literal,
-                                        first ? nullptr : &sel);
-          first = false;
-          if (sel.empty()) {
-            all_false = true;
+          if (sel->empty()) {
+            lazy_skip = true;
             break;
           }
         }
-        if (all_false) {
-          ++stats_->row_groups_lazy_skipped;
-          continue;
-        }
+      }
+      if (lazy_skip) {
+        ++stats_->row_groups_lazy_skipped;
+        continue;
       }
 
-      // Semi-join bloom reduction (DESIGN.md §14): decode the join-key
-      // column first and drop rows the bloom proves unmatched. A group
-      // where every key misses never materializes its other columns —
-      // the same late-materialization shape as the lazy-column path.
-      columnar::SelectionVector bloom_sel;
-      bool bloom_filters_rows = false;
+      // Semi-join bloom reduction (DESIGN.md §14): probe the join-key
+      // column and drop rows the bloom proves unmatched. A group where
+      // every key misses never materializes its other columns. The probe
+      // runs over all rows (its pruned-row accounting predates predicate
+      // selections); the two selections are then intersected.
       if (bloom_ && bloom_column_ >= 0 &&
           static_cast<size_t>(bloom_column_) < columns_.size()) {
         const int key_col = columns_[bloom_column_];
-        auto it = fetched.find(key_col);
-        if (it == fetched.end()) {
-          POCS_ASSIGN_OR_RETURN(ColumnPtr col, FetchColumn(g, key_col));
-          it = fetched.emplace(key_col, std::move(col)).first;
-        }
-        const size_t group_rows = it->second->length();
-        bloom_sel = exec::BloomSelectRows(*it->second, *bloom_);
-        if (bloom_sel.empty()) {
-          stats_->bloom_rows_pruned += group_rows;
-          continue;
-        }
-        if (bloom_sel.size() < group_rows) {
-          stats_->bloom_rows_pruned += group_rows - bloom_sel.size();
-          bloom_filters_rows = true;
+        POCS_ASSIGN_OR_RETURN(const format::DictionaryPage* key_dict,
+                              resolve(key_col));
+        // A dictionary (string) key column cannot probe an integer-key
+        // bloom; BloomSelectRows keeps every row of a non-integer column,
+        // so the probe is a no-op — skip it.
+        if (key_dict == nullptr) {
+          columnar::SelectionVector bloom_sel =
+              exec::BloomSelectRows(*fetched.at(key_col), *bloom_);
+          if (bloom_sel.empty()) {
+            stats_->bloom_rows_pruned += group_rows;
+            continue;
+          }
+          if (bloom_sel.size() < group_rows) {
+            stats_->bloom_rows_pruned += group_rows - bloom_sel.size();
+            sel = sel ? IntersectSelections(*sel, bloom_sel)
+                      : std::move(bloom_sel);
+          }
         }
       }
+
+      if (sel && sel->size() == group_rows) sel.reset();  // full — drop
+      const bool partial = sel.has_value();
 
       std::vector<ColumnPtr> cols;
       cols.reserve(columns_.size());
       for (int c : columns_) {
-        auto it = fetched.find(c);
-        if (it != fetched.end()) {
-          cols.push_back(it->second);
-        } else {
-          POCS_ASSIGN_OR_RETURN(ColumnPtr col, FetchColumn(g, c));
-          cols.push_back(std::move(col));
+        // Under a partial selection, string columns go through the
+        // resolver so dictionary chunks can late-materialize survivors
+        // only — this is where the wide projected string column avoids
+        // decoding pruned rows.
+        if (partial && fetched.count(c) == 0 && dict_pages.count(c) == 0 &&
+            reader_->schema()->field(c).type == columnar::TypeKind::kString) {
+          POCS_RETURN_NOT_OK(resolve(c).status());
         }
+        if (auto it = fetched.find(c); it != fetched.end()) {
+          cols.push_back(it->second);
+          continue;
+        }
+        if (auto dit = dict_pages.find(c); dit != dict_pages.end()) {
+          if (partial) {
+            // Placeholder rows make the column unusable outside this
+            // batch+selection pair — never cached.
+            cols.push_back(
+                format::MaterializeDictionarySelected(dit->second, *sel));
+            stats_->rows_late_materialized += sel->size();
+          } else {
+            ColumnPtr col = format::MaterializeDictionary(dit->second);
+            if (cache_) {
+              ++stats_->cache_misses;
+              cache_->Insert(RowGroupCacheKey{object_id_, version_, g, c},
+                             col, col->ByteSize());
+            }
+            cols.push_back(std::move(col));
+          }
+          continue;
+        }
+        POCS_ASSIGN_OR_RETURN(ColumnPtr col, FetchColumn(g, c));
+        cols.push_back(std::move(col));
       }
-      RecordBatchPtr batch = columnar::MakeBatch(batch_schema_,
-                                                 std::move(cols));
-      if (bloom_filters_rows) batch = columnar::TakeBatch(*batch, bloom_sel);
-      return batch;
+      RecordBatchPtr batch =
+          columnar::MakeBatch(batch_schema_, std::move(cols));
+      return exec::SelectedBatch{std::move(batch), std::move(sel)};
     }
-    return RecordBatchPtr{};
+    return exec::SelectedBatch{RecordBatchPtr{}, std::nullopt};
   }
 
  private:
@@ -377,9 +508,15 @@ Result<OcsResult> StorageNode::ExecutePlan(const substrait::Plan& plan) const {
     static auto& cache_saved_bytes =
         reg.GetCounter("storage.cache_bytes_saved");
     static auto& bloom_pruned = reg.GetCounter("storage.bloom_rows_pruned");
+    static auto& dict_filtered =
+        reg.GetCounter("storage.rows_dict_filtered");
+    static auto& late_mat =
+        reg.GetCounter("storage.rows_late_materialized");
     static auto& compute = reg.GetHistogram("storage.compute_seconds");
     plans.Increment();
     bloom_pruned.Add(result.stats.bloom_rows_pruned);
+    dict_filtered.Add(result.stats.rows_dict_filtered);
+    late_mat.Add(result.stats.rows_late_materialized);
     rows_scanned.Add(result.stats.rows_scanned);
     rows_output.Add(result.stats.rows_output);
     media_bytes.Add(result.stats.object_bytes_read);
@@ -441,6 +578,8 @@ void EncodeOcsResult(const OcsResult& result, BufferWriter* out) {
   out->WriteVarint(result.stats.cache_misses);
   out->WriteVarint(result.stats.cache_bytes_saved);
   out->WriteVarint(result.stats.bloom_rows_pruned);
+  out->WriteVarint(result.stats.rows_dict_filtered);
+  out->WriteVarint(result.stats.rows_late_materialized);
   out->WriteVarint(result.stats.object_version);
   out->WriteLE<double>(result.stats.storage_compute_seconds);
   out->WriteLE<double>(result.stats.media_read_seconds);
@@ -464,6 +603,9 @@ Result<OcsResult> DecodeOcsResult(BufferReader* in) {
   POCS_ASSIGN_OR_RETURN(result.stats.cache_misses, in->ReadVarint());
   POCS_ASSIGN_OR_RETURN(result.stats.cache_bytes_saved, in->ReadVarint());
   POCS_ASSIGN_OR_RETURN(result.stats.bloom_rows_pruned, in->ReadVarint());
+  POCS_ASSIGN_OR_RETURN(result.stats.rows_dict_filtered, in->ReadVarint());
+  POCS_ASSIGN_OR_RETURN(result.stats.rows_late_materialized,
+                        in->ReadVarint());
   POCS_ASSIGN_OR_RETURN(result.stats.object_version, in->ReadVarint());
   POCS_ASSIGN_OR_RETURN(result.stats.storage_compute_seconds,
                         in->ReadLE<double>());

@@ -85,6 +85,15 @@ struct OcsExecStats {
   // matched the object — a stale bloom is ignored wholesale, like a
   // stale row-group hint.
   uint64_t bloom_rows_pruned = 0;
+  // Rows rejected by predicate evaluation in the dictionary code domain
+  // (DESIGN.md §15): the predicate was tested once per distinct value and
+  // these rows' code bytes failed the match table — their string values
+  // were never decoded.
+  uint64_t rows_dict_filtered = 0;
+  // Rows whose string values were materialized from a dictionary page
+  // under a selection (only predicate/bloom survivors decode; the rest
+  // of the page stays encoded).
+  uint64_t rows_late_materialized = 0;
   // Version of the object this plan scanned (0 if unknown) — the
   // connector's split-result cache keys on it.
   uint64_t object_version = 0;

@@ -246,17 +246,37 @@ Result<ColumnPtr> Evaluate(const Expression& expr, const RecordBatch& input) {
 
 Result<SelectionVector> FilterSelection(const Expression& predicate,
                                         const RecordBatch& input) {
+  return FilterSelection(predicate, input, nullptr);
+}
+
+Result<SelectionVector> FilterSelection(const Expression& predicate,
+                                        const RecordBatch& input,
+                                        const SelectionVector* input_sel) {
   if (predicate.type != TypeKind::kBool) {
     return Status::InvalidArgument("filter predicate must be boolean");
   }
   POCS_ASSIGN_OR_RETURN(ColumnPtr mask, Evaluate(predicate, input));
+  const uint8_t* bits = mask->bool_data().data();
+  const uint8_t* valid =
+      mask->has_nulls() ? mask->validity().data() : nullptr;
   SelectionVector sel;
-  sel.reserve(mask->length());
-  for (size_t i = 0; i < mask->length(); ++i) {
-    if (!mask->IsNull(i) && mask->GetBool(i)) {
-      sel.push_back(static_cast<uint32_t>(i));
+  sel.resize(input_sel ? input_sel->size() : mask->length());
+  size_t k = 0;
+  if (input_sel != nullptr) {
+    for (uint32_t i : *input_sel) {
+      sel[k] = i;
+      k += static_cast<size_t>((bits[i] != 0) &
+                               (valid == nullptr || valid[i] != 0));
+    }
+  } else {
+    const uint32_t n = static_cast<uint32_t>(mask->length());
+    for (uint32_t i = 0; i < n; ++i) {
+      sel[k] = i;
+      k += static_cast<size_t>((bits[i] != 0) &
+                               (valid == nullptr || valid[i] != 0));
     }
   }
+  sel.resize(k);
   return sel;
 }
 

@@ -30,4 +30,13 @@ Result<columnar::RecordBatchPtr> FilterBatch(
 Result<columnar::SelectionVector> FilterSelection(
     const Expression& predicate, const columnar::RecordBatch& input);
 
+// Selection-aware variant: the result is the subset of `input_sel`
+// (every row of the batch when null) where `predicate` is TRUE. The
+// predicate is evaluated vectorized over the whole batch; rows outside
+// `input_sel` never appear in the output, so batches carrying
+// unmaterialized placeholder rows (DESIGN.md §15) stay correct.
+Result<columnar::SelectionVector> FilterSelection(
+    const Expression& predicate, const columnar::RecordBatch& input,
+    const columnar::SelectionVector* input_sel);
+
 }  // namespace pocs::substrait

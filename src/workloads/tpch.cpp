@@ -144,6 +144,12 @@ std::string TpchSelectiveQuery(const std::string& table,
          "AND orderkey <= " + std::to_string(max_orderkey);
 }
 
+std::string TpchDictFilterQuery(const std::string& table) {
+  return "SELECT orderkey, quantity, extendedprice, returnflag, linestatus "
+         "FROM " + table +
+         " WHERE returnflag = 'R' AND quantity < 25";
+}
+
 columnar::SchemaPtr SupplierSchema() {
   return MakeSchema({{"s_suppkey", TypeKind::kInt64},
                      {"s_nationkey", TypeKind::kInt32},

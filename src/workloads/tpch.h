@@ -46,6 +46,14 @@ std::string TpchQ6(const std::string& table = "lineitem");
 std::string TpchSelectiveQuery(const std::string& table = "lineitem",
                                int64_t max_orderkey = 1000);
 
+// A returnflag/quantity filter projecting columns the predicate never
+// touches. returnflag is a 3-value string column, so every row group
+// stores it dictionary-encoded: the storage node evaluates the string
+// conjunct in the code domain and late-materializes only the surviving
+// rows' string bytes (DESIGN.md §15). Drives the `dict.*` bench section
+// and its rows_dict_filtered / rows_late_materialized gates.
+std::string TpchDictFilterQuery(const std::string& table = "lineitem");
+
 // supplier dimension table for the multi-table workload (DESIGN.md §14).
 // Column names are prefixed `s_` because the SQL dialect has no qualified
 // references: names must be globally unique across a join's two tables.

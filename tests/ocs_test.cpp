@@ -210,6 +210,8 @@ TEST(OcsResultWireTest, EncodeDecode) {
   result.stats.cache_hits = 3;
   result.stats.cache_misses = 2;
   result.stats.cache_bytes_saved = 2048;
+  result.stats.rows_dict_filtered = 42;
+  result.stats.rows_late_materialized = 17;
   result.stats.object_version = 7;
   result.stats.storage_compute_seconds = 0.125;
   result.arrow_ipc = {1, 2, 3};
@@ -224,6 +226,8 @@ TEST(OcsResultWireTest, EncodeDecode) {
   EXPECT_EQ(rt->stats.cache_hits, 3u);
   EXPECT_EQ(rt->stats.cache_misses, 2u);
   EXPECT_EQ(rt->stats.cache_bytes_saved, 2048u);
+  EXPECT_EQ(rt->stats.rows_dict_filtered, 42u);
+  EXPECT_EQ(rt->stats.rows_late_materialized, 17u);
   EXPECT_EQ(rt->stats.object_version, 7u);
   EXPECT_DOUBLE_EQ(rt->stats.storage_compute_seconds, 0.125);
   EXPECT_EQ(rt->arrow_ipc, (Bytes{1, 2, 3}));

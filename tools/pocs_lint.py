@@ -44,6 +44,17 @@ Rules (each can be suppressed on a line with  // pocs-lint: allow(<rule>)):
                      (Stat/DescribeObject/LocateObject) — a data RPC
                      there silently re-moves the bytes pruning exists
                      to avoid (DESIGN.md §13).
+  row-loop-in-hot-path
+                     A per-row typed accessor (Get{Bool,Int32,Int64,
+                     Float64,String}) called inside a for/while body in a
+                     hot-path TU (src/exec/*.cpp, src/ocs/*.cpp). Row
+                     loops over virtual per-element getters are exactly
+                     what the vectorized kernels (columnar/kernels.h,
+                     DESIGN.md §15) replace: batch operators should go
+                     through CompareScalar/Take/HashRows or typed spans.
+                     Suppress with the allow comment where per-row access
+                     is genuinely required (e.g. key equality probes on
+                     hash collisions).
   partial-agg-merge-sync
                      Cross-file: every aggregate kind inside the
                      `// pocs-lint: begin/end partial-agg-whitelist`
@@ -327,6 +338,7 @@ def lint_file(path, rel_path, status_names, findings):
 
     check_unannotated_members(stripped, report)
     check_planning_data_rpc(stripped, rel_path, report)
+    check_row_loop_in_hot_path(stripped, rel_path, report)
 
     # ---- ignored-status (needs statement joining) --------------------------
     joined = stripped
@@ -493,6 +505,66 @@ def check_planning_data_rpc(stripped, rel_path, report):
                    "planning is metadata-only — use Stat/DescribeObject/"
                    "LocateObject, or move the data access to the page "
                    "source")
+
+
+# TUs on the batch-execution hot path: the engine's operators and the
+# storage node's embedded engine. Headers are exempt (inline helpers like
+# Column::GetInt64 itself live there), as are tests/benches (naive
+# reference loops are the point there).
+HOT_PATH_FILE_RE = re.compile(r"^src/(?:exec|ocs)/[^/]+\.(?:cpp|cc)$")
+ROW_GET_RE = re.compile(
+    r"(?:\.|->)\s*(Get(?:Bool|Int32|Int64|Float64|String))\s*\(")
+
+
+def check_row_loop_in_hot_path(stripped, rel_path, report):
+    """row-loop-in-hot-path: flag per-row typed accessors inside loop
+    bodies in hot-path TUs; batch work belongs in the vectorized kernels
+    (DESIGN.md §15)."""
+    if not HOT_PATH_FILE_RE.match(rel_path.replace(os.sep, "/")):
+        return
+    reported = set()
+    for m in re.finditer(r"\b(?:for|while)\s*\(", stripped):
+        # Walk past the loop header's parens, then bound the body: a
+        # braced compound statement or a single statement up to ';'.
+        i, depth = m.end() - 1, 0
+        while i < len(stripped):
+            if stripped[i] == "(":
+                depth += 1
+            elif stripped[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        j = i + 1
+        while j < len(stripped) and stripped[j] in " \t\n":
+            j += 1
+        if j >= len(stripped):
+            continue
+        if stripped[j] == "{":
+            k, depth = j, 0
+            while k < len(stripped):
+                if stripped[k] == "{":
+                    depth += 1
+                elif stripped[k] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k += 1
+            start, stop = j, k
+        else:
+            stop = stripped.find(";", j)
+            if stop == -1:
+                continue
+            start = j
+        for g in ROW_GET_RE.finditer(stripped, start, stop):
+            line_no = 1 + stripped.count("\n", 0, g.start())
+            if line_no in reported:  # nested loops: report a line once
+                continue
+            reported.add(line_no)
+            report(line_no, "row-loop-in-hot-path",
+                   f"per-row {g.group(1)}() in a loop on the execution "
+                   "hot path; use the vectorized kernels "
+                   "(columnar/kernels.h) or typed spans instead")
 
 
 PARTIAL_AGG_WHITELIST_FILE = "src/connectors/ocs/ocs_connector.cpp"

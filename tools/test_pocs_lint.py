@@ -373,6 +373,102 @@ class PlanningDataRpcTest(LintRunner):
         self.assert_clean(self.run_lint())
 
 
+class RowLoopInHotPathTest(LintRunner):
+    """row-loop-in-hot-path: per-row Get*() loops in src/exec/ and
+    src/ocs/ TUs must use the vectorized kernels instead."""
+
+    def test_get_in_for_body_in_exec_fires(self):
+        self.write("src/exec/op.cpp",
+                   "void f(const Column& c) {\n"
+                   "  for (size_t i = 0; i < c.length(); ++i) {\n"
+                   "    Use(c.GetInt64(i));\n"
+                   "  }\n"
+                   "}\n")
+        self.assert_finding(self.run_lint(), "row-loop-in-hot-path",
+                            "op.cpp")
+
+    def test_get_in_while_body_in_ocs_fires(self):
+        self.write("src/ocs/node.cpp",
+                   "void f(const Column& c) {\n"
+                   "  size_t i = 0;\n"
+                   "  while (i < c.length()) {\n"
+                   "    Use(c.GetString(i));\n"
+                   "    ++i;\n"
+                   "  }\n"
+                   "}\n")
+        self.assert_finding(self.run_lint(), "row-loop-in-hot-path",
+                            "node.cpp")
+
+    def test_single_statement_loop_body_fires(self):
+        self.write("src/exec/op.cpp",
+                   "void f(const Column& c) {\n"
+                   "  for (size_t i = 0; i < c.length(); ++i)\n"
+                   "    sum += c.GetFloat64(i);\n"
+                   "}\n")
+        self.assert_finding(self.run_lint(), "row-loop-in-hot-path")
+
+    def test_header_is_not_covered(self):
+        # Headers carry declarations and inline accessors; the rule is
+        # scoped to translation units where execution loops live.
+        self.write("src/exec/op.h",
+                   "#pragma once\n"
+                   "inline void f(const Column& c) {\n"
+                   "  for (size_t i = 0; i < c.length(); ++i) {\n"
+                   "    Use(c.GetInt64(i));\n"
+                   "  }\n"
+                   "}\n")
+        self.assert_clean(self.run_lint())
+
+    def test_non_hot_path_dir_is_clean(self):
+        self.write("src/columnar/util.cpp",
+                   "void f(const Column& c) {\n"
+                   "  for (size_t i = 0; i < c.length(); ++i) {\n"
+                   "    Use(c.GetInt64(i));\n"
+                   "  }\n"
+                   "}\n")
+        self.assert_clean(self.run_lint())
+
+    def test_get_outside_loop_is_clean(self):
+        self.write("src/exec/op.cpp",
+                   "void f(const Column& c, size_t row) {\n"
+                   "  Use(c.GetInt64(row));\n"
+                   "}\n")
+        self.assert_clean(self.run_lint())
+
+    def test_suppression_on_same_line(self):
+        self.write("src/exec/op.cpp",
+                   "void f(const Column& c) {\n"
+                   "  for (size_t i = 0; i < c.length(); ++i) {\n"
+                   "    Use(c.GetInt64(i));"
+                   "  // pocs-lint: allow(row-loop-in-hot-path)\n"
+                   "  }\n"
+                   "}\n")
+        self.assert_clean(self.run_lint())
+
+    def test_suppression_on_previous_line(self):
+        self.write("src/ocs/node.cpp",
+                   "void f(const Column& c) {\n"
+                   "  for (size_t i = 0; i < c.length(); ++i) {\n"
+                   "    // pocs-lint: allow(row-loop-in-hot-path)\n"
+                   "    Use(c.GetString(i));\n"
+                   "  }\n"
+                   "}\n")
+        self.assert_clean(self.run_lint())
+
+    def test_nested_loops_report_each_line_once(self):
+        self.write("src/exec/op.cpp",
+                   "void f(const Column& c) {\n"
+                   "  for (size_t i = 0; i < 4; ++i) {\n"
+                   "    for (size_t j = 0; j < c.length(); ++j) {\n"
+                   "      Use(c.GetInt32(j));\n"
+                   "    }\n"
+                   "  }\n"
+                   "}\n")
+        result = self.run_lint()
+        self.assert_finding(result, "row-loop-in-hot-path")
+        self.assertEqual(result.stdout.count("row-loop-in-hot-path"), 1)
+
+
 class PartialAggMergeSyncTest(LintRunner):
     """partial-agg-merge-sync: the connector's storage partial-agg
     whitelist must stay in lockstep with engine::FinalAggSpecs."""
